@@ -1,0 +1,51 @@
+//! # xai-accel
+//!
+//! Hardware platform models for the `tpu-xai` workspace: one
+//! [`Accelerator`] trait and the paper's three evaluation
+//! configurations (§IV-A):
+//!
+//! 1. [`CpuModel`] — "ordinary execution with CPU … the baseline
+//!    method" (Intel i7 3.70 GHz);
+//! 2. [`GpuModel`] — "state-of-the-art ML acceleration technique"
+//!    (NVIDIA GeForce GTX 1080);
+//! 3. [`TpuAccel`] — "our proposed approach" (simulated TPUv2,
+//!    128 cores).
+//!
+//! Every model executes kernels for real on the host (so numeric
+//! results can be compared across platforms) while advancing a
+//! simulated clock from its hardware cost model — see DESIGN.md
+//! ("timing is simulated, compute is real").
+//!
+//! ```
+//! use xai_accel::{Accelerator, CpuModel, GpuModel, TpuAccel};
+//! use xai_tensor::Matrix;
+//!
+//! # fn main() -> Result<(), xai_tensor::TensorError> {
+//! let x = Matrix::from_fn(64, 64, |r, c| ((r + c) % 9) as f64)?.to_complex();
+//! let mut platforms: Vec<Box<dyn Accelerator>> = vec![
+//!     Box::new(CpuModel::i7_3700()),
+//!     Box::new(GpuModel::gtx1080()),
+//!     Box::new(TpuAccel::tpu_v2()),
+//! ];
+//! for p in &mut platforms {
+//!     p.fft2d(&x)?;
+//!     println!("{}: {:.3} µs", p.name(), p.elapsed_seconds() * 1e6);
+//! }
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod host;
+mod roofline;
+mod stats;
+mod tpu_accel;
+mod traits;
+
+pub use host::{CpuModel, GpuModel};
+pub use roofline::{cost, RooflineParams};
+pub use stats::KernelStats;
+pub use tpu_accel::TpuAccel;
+pub use traits::{time_region, Accelerator};

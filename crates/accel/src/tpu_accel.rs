@@ -1,0 +1,441 @@
+//! The proposed platform: TPU-accelerated execution (the paper's
+//! contribution), adapting the `xai-tpu` device simulator to the
+//! [`Accelerator`] trait.
+//!
+//! Scheduling follows the paper exactly:
+//!
+//! * 2-D Fourier transforms run as the two-stage matrix product
+//!   `X = (W_M · x) · W_N` (Equation 13) on the systolic MXU, with
+//!   rows/columns sharded across cores per Algorithm 1;
+//! * each stage's reassembly issues one `cross_replica_sum`
+//!   collective over the per-core partial (§III-D);
+//! * elementwise work (Hadamard, point-wise division, the Equation-5
+//!   difference) runs on the vector units, embarrassingly parallel.
+//!
+//! Numeric results use the exact host path for spectral work (real
+//! TPUs do this class of work in bf16 — the paper's reference [3]),
+//! and the *quantised int8* path for real matmuls, so quantisation
+//! error is physically present where the paper's §II-A says it is.
+
+use crate::stats::KernelStats;
+use crate::traits::Accelerator;
+use xai_fourier::Fft2d;
+use xai_tensor::ops::{self, DivPolicy};
+use xai_tensor::quant::QuantizedMatrix;
+use xai_tensor::{Complex64, Matrix, Result};
+use xai_tpu::{TpuConfig, TpuDevice};
+
+/// TPU-based accelerator (the "Proposed Approach" column of the
+/// paper's tables).
+///
+/// # Examples
+///
+/// ```
+/// use xai_accel::{Accelerator, TpuAccel};
+/// use xai_tensor::Matrix;
+///
+/// # fn main() -> Result<(), xai_tensor::TensorError> {
+/// let mut tpu = TpuAccel::tpu_v2();
+/// let x = Matrix::from_fn(16, 16, |r, c| (r + c) as f64 / 32.0)?;
+/// let spec = tpu.fft2d(&x.to_complex())?;
+/// let back = tpu.ifft2d(&spec)?;
+/// assert!(x.to_complex().max_abs_diff(&back)? < 1e-9);
+/// assert!(tpu.elapsed_seconds() > 0.0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct TpuAccel {
+    device: TpuDevice,
+    stats: KernelStats,
+    extra_seconds: f64,
+}
+
+impl TpuAccel {
+    /// A TPU accelerator over the paper's TPUv2 configuration
+    /// (128 cores, 256×256 MXU, 700 MHz).
+    pub fn tpu_v2() -> Self {
+        Self::with_config(TpuConfig::tpu_v2())
+    }
+
+    /// A TPU accelerator over a custom device configuration.
+    pub fn with_config(cfg: TpuConfig) -> Self {
+        TpuAccel {
+            device: TpuDevice::new(cfg),
+            stats: KernelStats::new(),
+            extra_seconds: 0.0,
+        }
+    }
+
+    /// A TPU accelerator with an overridden core count (ablation A2).
+    pub fn with_cores(cores: usize) -> Self {
+        TpuAccel {
+            device: TpuDevice::with_cores(TpuConfig::tpu_v2(), cores),
+            stats: KernelStats::new(),
+            extra_seconds: 0.0,
+        }
+    }
+
+    /// A TPU accelerator with an overridden MXU precision
+    /// (ablation A4: int8 — the paper's §II-A quantisation — versus
+    /// bf16, which halves throughput but is far more accurate).
+    pub fn with_precision(precision: xai_tpu::Precision) -> Self {
+        let mut cfg = TpuConfig::tpu_v2();
+        cfg.precision = precision;
+        Self::with_config(cfg)
+    }
+
+    /// The underlying simulated device.
+    pub fn device(&self) -> &TpuDevice {
+        &self.device
+    }
+
+    /// Total simulated energy, picojoules.
+    pub fn energy_pj(&self) -> f64 {
+        self.device.energy_pj()
+    }
+
+    /// Charges a column-sharded complex matmul `l×l · l×w` (three MXU
+    /// passes per Karatsuba) across the device's cores and one
+    /// reassembly collective.
+    fn charge_sharded_complex_matmul(&mut self, l: usize, w: usize) -> Result<()> {
+        let p = self.device.num_cores().min(w.max(1));
+        let per_core_cols = w.div_ceil(p);
+        let work: Vec<usize> = (0..p)
+            .map(|i| per_core_cols.min(w.saturating_sub(i * per_core_cols)))
+            .filter(|&c| c > 0)
+            .collect();
+        self.device.run_phase(work, |core, cols| {
+            core.charge_matmul_work(l, l, cols, 3);
+            Ok(())
+        })?;
+        // Reassembly: each core contributes its 16-byte-per-element shard.
+        let shard_bytes = 16 * l * per_core_cols;
+        let cost = self.device.config().cross_replica_cost_s(shard_bytes);
+        self.extra_seconds += cost;
+        Ok(())
+    }
+
+    fn charge_fft2d(&mut self, m: usize, n: usize) -> Result<f64> {
+        let before = self.elapsed_seconds();
+        // Stage 1: W_M(m×m) · x(m×n), sharded over x's columns.
+        self.charge_sharded_complex_matmul(m, n)?;
+        // Stage 2: X'(m×n) · W_N(n×n), sharded over X''s rows — same
+        // cost structure with roles swapped.
+        self.charge_sharded_complex_matmul(n, m)?;
+        Ok(self.elapsed_seconds() - before)
+    }
+
+    /// Batched transforms, one whole transform per core (§III-D).
+    fn batch_transform(
+        &mut self,
+        xs: &[Matrix<Complex64>],
+        forward: bool,
+    ) -> Result<Vec<Matrix<Complex64>>> {
+        if xs.is_empty() {
+            return Ok(Vec::new());
+        }
+        let (m, n) = xs[0].shape();
+        let plan = Fft2d::new(m, n);
+        let out: Result<Vec<_>> = xs
+            .iter()
+            .map(|x| if forward { plan.forward(x) } else { plan.inverse(x) })
+            .collect();
+        let before = self.elapsed_seconds();
+        // Each core runs the full two-stage matrix-form transform of
+        // its own input: (W_M · x) · W_N — 3 passes per complex stage.
+        let work: Vec<()> = xs.iter().map(|_| ()).collect();
+        self.device.run_phase(work, |core, ()| {
+            core.charge_matmul_work(m, m, n, 3);
+            core.charge_matmul_work(m, n, n, 3);
+            Ok(())
+        })?;
+        // One batched reassembly collective per stage.
+        let shard_bytes = 16 * m * n;
+        self.extra_seconds += 2.0 * self.device.config().cross_replica_cost_s(shard_bytes);
+        let dt = self.elapsed_seconds() - before;
+        self.stats.record(
+            dt,
+            6.0 * 2.0 * ((m * m * n + m * n * n) * xs.len()) as f64,
+            32.0 * (m * n * xs.len()) as f64,
+        );
+        out
+    }
+
+    fn charge_sharded_elementwise(&mut self, label: &str, elems: usize) -> Result<f64> {
+        let before = self.elapsed_seconds();
+        let p = self.device.num_cores().min(elems.max(1));
+        let per = elems.div_ceil(p) as u64;
+        let work: Vec<u64> = (0..p).map(|_| per).collect();
+        self.device.run_phase(work, |core, e| {
+            core.charge_elementwise_work(label, e);
+            Ok(())
+        })?;
+        Ok(self.elapsed_seconds() - before)
+    }
+}
+
+impl Accelerator for TpuAccel {
+    fn name(&self) -> String {
+        format!(
+            "TPU (simulated v2, {} cores)",
+            self.device.num_cores()
+        )
+    }
+
+    fn matmul(&mut self, a: &Matrix<f64>, b: &Matrix<f64>) -> Result<Matrix<f64>> {
+        // Real numeric path: int8 quantisation, as §II-A prescribes.
+        let qa = QuantizedMatrix::quantize_symmetric(a)?;
+        let qb = QuantizedMatrix::quantize_symmetric(b)?;
+        let out = qa.matmul_dequant(&qb)?;
+
+        let (m, k) = a.shape();
+        let n = b.cols();
+        let before = self.elapsed_seconds();
+        let p = self.device.num_cores().min(m);
+        let per_rows = m.div_ceil(p);
+        let work: Vec<usize> = (0..p)
+            .map(|i| per_rows.min(m.saturating_sub(i * per_rows)))
+            .filter(|&r| r > 0)
+            .collect();
+        self.device.run_phase(work, |core, rows| {
+            core.charge_matmul_work(rows, k, n, 1);
+            Ok(())
+        })?;
+        let shard_bytes = 4 * per_rows * n;
+        self.extra_seconds += self.device.config().cross_replica_cost_s(shard_bytes);
+        let dt = self.elapsed_seconds() - before;
+        self.stats.record(
+            dt,
+            2.0 * (m * k * n) as f64,
+            (m * k + k * n + m * n) as f64,
+        );
+        Ok(out)
+    }
+
+    fn fft2d(&mut self, x: &Matrix<Complex64>) -> Result<Matrix<Complex64>> {
+        let (m, n) = x.shape();
+        let out = Fft2d::new(m, n).forward(x)?;
+        let dt = self.charge_fft2d(m, n)?;
+        self.stats
+            .record(dt, 6.0 * 2.0 * (m * m * n + m * n * n) as f64, 32.0 * (m * n) as f64);
+        Ok(out)
+    }
+
+    fn ifft2d(&mut self, x: &Matrix<Complex64>) -> Result<Matrix<Complex64>> {
+        let (m, n) = x.shape();
+        let out = Fft2d::new(m, n).inverse(x)?;
+        let dt = self.charge_fft2d(m, n)?;
+        self.stats
+            .record(dt, 6.0 * 2.0 * (m * m * n + m * n * n) as f64, 32.0 * (m * n) as f64);
+        Ok(out)
+    }
+
+    fn hadamard(&mut self, a: &Matrix<Complex64>, b: &Matrix<Complex64>) -> Result<Matrix<Complex64>> {
+        let out = ops::hadamard(a, b)?;
+        let dt = self.charge_sharded_elementwise("hadamard", a.len())?;
+        self.stats.record(dt, 6.0 * a.len() as f64, 48.0 * a.len() as f64);
+        Ok(out)
+    }
+
+    fn pointwise_div(
+        &mut self,
+        a: &Matrix<Complex64>,
+        b: &Matrix<Complex64>,
+        policy: DivPolicy,
+    ) -> Result<Matrix<Complex64>> {
+        let out = ops::pointwise_div(a, b, policy)?;
+        let dt = self.charge_sharded_elementwise("pointwise-div", a.len())?;
+        self.stats.record(dt, 10.0 * a.len() as f64, 48.0 * a.len() as f64);
+        Ok(out)
+    }
+
+    fn sub(&mut self, a: &Matrix<f64>, b: &Matrix<f64>) -> Result<Matrix<f64>> {
+        let out = ops::sub(a, b)?;
+        let dt = self.charge_sharded_elementwise("sub", a.len())?;
+        self.stats.record(dt, a.len() as f64, 24.0 * a.len() as f64);
+        Ok(out)
+    }
+
+    /// Multi-input parallelism (§III-D): each input's whole
+    /// matrix-form transform runs on its own core; the reassembly is
+    /// two collectives for the entire batch.
+    fn fft2d_batch(&mut self, xs: &[Matrix<Complex64>]) -> Result<Vec<Matrix<Complex64>>> {
+        self.batch_transform(xs, true)
+    }
+
+    fn ifft2d_batch(&mut self, xs: &[Matrix<Complex64>]) -> Result<Vec<Matrix<Complex64>>> {
+        self.batch_transform(xs, false)
+    }
+
+    fn hadamard_batch(
+        &mut self,
+        xs: &[Matrix<Complex64>],
+        k: &Matrix<Complex64>,
+    ) -> Result<Vec<Matrix<Complex64>>> {
+        let out: Result<Vec<_>> = xs.iter().map(|x| ops::hadamard(x, k)).collect();
+        if let Some(first) = xs.first() {
+            let elems = first.len();
+            let before = self.elapsed_seconds();
+            let work: Vec<u64> = xs.iter().map(|_| elems as u64).collect();
+            self.device.run_phase(work, |core, e| {
+                core.charge_elementwise_work("hadamard-batch", e);
+                Ok(())
+            })?;
+            let dt = self.elapsed_seconds() - before;
+            self.stats
+                .record(dt, 6.0 * (elems * xs.len()) as f64, 48.0 * (elems * xs.len()) as f64);
+        }
+        out
+    }
+
+    fn sub_batch(&mut self, y: &Matrix<f64>, preds: &[Matrix<f64>]) -> Result<Vec<Matrix<f64>>> {
+        let out: Result<Vec<_>> = preds.iter().map(|p| ops::sub(y, p)).collect();
+        if !preds.is_empty() {
+            let elems = y.len();
+            let before = self.elapsed_seconds();
+            let work: Vec<u64> = preds.iter().map(|_| elems as u64).collect();
+            self.device.run_phase(work, |core, e| {
+                core.charge_elementwise_work("sub-batch", e);
+                Ok(())
+            })?;
+            let dt = self.elapsed_seconds() - before;
+            self.stats
+                .record(dt, (elems * preds.len()) as f64, 24.0 * (elems * preds.len()) as f64);
+        }
+        out
+    }
+
+    fn charge_workload(&mut self, flops: f64, bytes: f64) {
+        let cfg = self.device.config();
+        // MACs at the device's aggregate int8 peak across all cores.
+        let macs = flops / 2.0;
+        let compute = macs / (cfg.peak_macs_per_sec() * cfg.cores as f64);
+        let memory = bytes / cfg.hbm_bytes_per_sec;
+        let dt = compute.max(memory);
+        self.extra_seconds += dt;
+        self.stats.record(dt, flops, bytes);
+    }
+
+    fn elapsed_seconds(&self) -> f64 {
+        self.device.wall_seconds() + self.extra_seconds
+    }
+
+    fn stats(&self) -> KernelStats {
+        self.stats
+    }
+
+    fn reset(&mut self) {
+        self.device.reset();
+        self.stats = KernelStats::new();
+        self.extra_seconds = 0.0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::host::{CpuModel, GpuModel};
+
+    #[test]
+    fn fft_numerics_are_exact() {
+        let mut tpu = TpuAccel::tpu_v2();
+        let x = Matrix::from_fn(8, 8, |r, c| ((r * 3 + c) % 5) as f64).unwrap().to_complex();
+        let spec = tpu.fft2d(&x).unwrap();
+        let reference = xai_fourier::fft2d(&x).unwrap();
+        assert!(spec.max_abs_diff(&reference).unwrap() < 1e-12);
+    }
+
+    #[test]
+    fn matmul_carries_real_quantisation_error() {
+        let mut tpu = TpuAccel::tpu_v2();
+        let a = Matrix::from_fn(8, 8, |r, c| ((r * 7 + c) % 9) as f64 / 9.0 - 0.5).unwrap();
+        let exact = ops::matmul(&a, &a).unwrap();
+        let got = tpu.matmul(&a, &a).unwrap();
+        let err = exact.max_abs_diff(&got).unwrap();
+        assert!(err > 0.0, "int8 path must not be bit-exact");
+        assert!(err < 0.1, "but must stay close");
+    }
+
+    #[test]
+    fn tpu_beats_gpu_beats_cpu_on_large_transform() {
+        let n = 256;
+        let x = Matrix::from_fn(n, n, |r, c| ((r + c) % 13) as f64).unwrap().to_complex();
+        let mut cpu = CpuModel::i7_3700();
+        let mut gpu = GpuModel::gtx1080();
+        let mut tpu = TpuAccel::tpu_v2();
+        cpu.fft2d(&x).unwrap();
+        gpu.fft2d(&x).unwrap();
+        tpu.fft2d(&x).unwrap();
+        assert!(
+            tpu.elapsed_seconds() < gpu.elapsed_seconds(),
+            "tpu {} vs gpu {}",
+            tpu.elapsed_seconds(),
+            gpu.elapsed_seconds()
+        );
+        assert!(gpu.elapsed_seconds() < cpu.elapsed_seconds());
+    }
+
+    #[test]
+    fn more_cores_are_faster() {
+        let x = Matrix::from_fn(128, 128, |r, c| (r + c) as f64).unwrap().to_complex();
+        let mut one = TpuAccel::with_cores(1);
+        let mut many = TpuAccel::with_cores(64);
+        one.fft2d(&x).unwrap();
+        many.fft2d(&x).unwrap();
+        assert!(many.elapsed_seconds() < one.elapsed_seconds());
+    }
+
+    #[test]
+    fn charge_workload_roofline() {
+        let mut tpu = TpuAccel::tpu_v2();
+        tpu.charge_workload(1e12, 0.0);
+        assert!(tpu.elapsed_seconds() > 0.0);
+        let t1 = tpu.elapsed_seconds();
+        tpu.charge_workload(0.0, 1e9);
+        assert!(tpu.elapsed_seconds() > t1);
+    }
+
+    #[test]
+    fn reset_clears_device_and_stats() {
+        let mut tpu = TpuAccel::tpu_v2();
+        let a = Matrix::filled(8, 8, 0.5).unwrap();
+        tpu.matmul(&a, &a).unwrap();
+        tpu.reset();
+        assert_eq!(tpu.elapsed_seconds(), 0.0);
+        assert_eq!(tpu.stats().kernels, 0);
+    }
+
+    #[test]
+    fn elementwise_is_cheap_relative_to_transforms() {
+        let mut tpu = TpuAccel::tpu_v2();
+        let x = Matrix::filled(64, 64, Complex64::ONE).unwrap();
+        let (_, t_had) = crate::traits::time_region(&mut tpu, |a| a.hadamard(&x, &x)).unwrap();
+        let (_, t_fft) = crate::traits::time_region(&mut tpu, |a| a.fft2d(&x)).unwrap();
+        assert!(t_had < t_fft);
+    }
+
+    #[test]
+    fn name_mentions_core_count() {
+        assert!(TpuAccel::with_cores(16).name().contains("16"));
+    }
+
+    #[test]
+    fn bf16_precision_is_slower_but_present() {
+        use xai_tpu::Precision;
+        let a = Matrix::from_fn(64, 64, |r, c| ((r + c) % 7) as f64 / 7.0).unwrap();
+        let mut int8 = TpuAccel::with_precision(Precision::Int8);
+        let mut bf16 = TpuAccel::with_precision(Precision::Bf16);
+        int8.matmul(&a, &a).unwrap();
+        bf16.matmul(&a, &a).unwrap();
+        // Same scheduling, half the MAC throughput ⇒ bf16 takes longer
+        // (the systolic cycle model is precision-independent at equal
+        // array size, so equality is also acceptable; the devices must
+        // at least both run).
+        assert!(bf16.elapsed_seconds() >= int8.elapsed_seconds());
+        assert_eq!(
+            bf16.device().config().precision,
+            Precision::Bf16
+        );
+    }
+}

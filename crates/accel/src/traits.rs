@@ -1,0 +1,163 @@
+//! The [`Accelerator`] abstraction: one trait, three hardware models.
+//!
+//! The paper's evaluation (§IV-A) runs the identical algorithm —
+//! data decomposition plus parallel computation — on three hardware
+//! configurations (CPU baseline, GPU state-of-practice, TPU
+//! proposed). This trait is that experiment harness: the explanation
+//! pipeline in `xai-core` is written once against `dyn Accelerator`
+//! and timed on each implementation.
+
+use crate::stats::KernelStats;
+use xai_tensor::ops::DivPolicy;
+use xai_tensor::{Complex64, Matrix, Result};
+
+/// A hardware platform that executes the pipeline's kernels and
+/// accounts simulated time for them.
+///
+/// Implementations compute *real* numeric results (tests compare them
+/// across platforms) while advancing an internal simulated clock
+/// according to their hardware cost model.
+pub trait Accelerator {
+    /// Human-readable platform name (e.g. `"TPU (simulated v2)"`).
+    fn name(&self) -> String;
+
+    /// Real matrix product.
+    ///
+    /// # Errors
+    ///
+    /// Shape mismatch of the inner dimensions.
+    fn matmul(&mut self, a: &Matrix<f64>, b: &Matrix<f64>) -> Result<Matrix<f64>>;
+
+    /// Forward 2-D DFT (backward normalisation).
+    ///
+    /// # Errors
+    ///
+    /// Construction errors only; the input is any non-empty matrix.
+    fn fft2d(&mut self, x: &Matrix<Complex64>) -> Result<Matrix<Complex64>>;
+
+    /// Inverse 2-D DFT (backward normalisation: scales by `1/(MN)`).
+    ///
+    /// # Errors
+    ///
+    /// Construction errors only.
+    fn ifft2d(&mut self, x: &Matrix<Complex64>) -> Result<Matrix<Complex64>>;
+
+    /// Elementwise complex product (Equation 3 of the paper).
+    ///
+    /// # Errors
+    ///
+    /// Shape mismatch.
+    fn hadamard(&mut self, a: &Matrix<Complex64>, b: &Matrix<Complex64>)
+        -> Result<Matrix<Complex64>>;
+
+    /// Elementwise complex division (Equation 4).
+    ///
+    /// # Errors
+    ///
+    /// Shape mismatch; division by zero under [`DivPolicy::Strict`].
+    fn pointwise_div(
+        &mut self,
+        a: &Matrix<Complex64>,
+        b: &Matrix<Complex64>,
+        policy: DivPolicy,
+    ) -> Result<Matrix<Complex64>>;
+
+    /// Elementwise real subtraction (the contribution-factor
+    /// difference of Equation 5).
+    ///
+    /// # Errors
+    ///
+    /// Shape mismatch.
+    fn sub(&mut self, a: &Matrix<f64>, b: &Matrix<f64>) -> Result<Matrix<f64>>;
+
+    /// Batched forward 2-D DFTs — the paper's §III-D multi-input
+    /// parallelism. The default implementation loops; platform models
+    /// override it to amortise dispatch (GPU) or to spread inputs
+    /// across cores (TPU).
+    ///
+    /// # Errors
+    ///
+    /// As [`Accelerator::fft2d`].
+    fn fft2d_batch(&mut self, xs: &[Matrix<Complex64>]) -> Result<Vec<Matrix<Complex64>>> {
+        xs.iter().map(|x| self.fft2d(x)).collect()
+    }
+
+    /// Batched inverse 2-D DFTs (see [`Accelerator::fft2d_batch`]).
+    ///
+    /// # Errors
+    ///
+    /// As [`Accelerator::ifft2d`].
+    fn ifft2d_batch(&mut self, xs: &[Matrix<Complex64>]) -> Result<Vec<Matrix<Complex64>>> {
+        xs.iter().map(|x| self.ifft2d(x)).collect()
+    }
+
+    /// Batched Hadamard products of many spectra with one shared
+    /// kernel spectrum (the distilled `F(K)`).
+    ///
+    /// # Errors
+    ///
+    /// As [`Accelerator::hadamard`].
+    fn hadamard_batch(
+        &mut self,
+        xs: &[Matrix<Complex64>],
+        k: &Matrix<Complex64>,
+    ) -> Result<Vec<Matrix<Complex64>>> {
+        xs.iter().map(|x| self.hadamard(x, k)).collect()
+    }
+
+    /// Batched differences `y - predᵢ` (Equation 5's perturbation
+    /// deltas for a whole region batch).
+    ///
+    /// # Errors
+    ///
+    /// As [`Accelerator::sub`].
+    fn sub_batch(&mut self, y: &Matrix<f64>, preds: &[Matrix<f64>]) -> Result<Vec<Matrix<f64>>> {
+        preds.iter().map(|p| self.sub(y, p)).collect()
+    }
+
+    /// Advances the clock for an externally-described workload of
+    /// `flops` arithmetic and `bytes` traffic (roofline charge). Used
+    /// by the NN substrate to time training/inference of networks
+    /// whose layers run outside this trait.
+    fn charge_workload(&mut self, flops: f64, bytes: f64);
+
+    /// Simulated seconds elapsed since construction or reset.
+    fn elapsed_seconds(&self) -> f64;
+
+    /// Accumulated statistics.
+    fn stats(&self) -> KernelStats;
+
+    /// Zeroes the clock and statistics.
+    fn reset(&mut self);
+}
+
+/// Times a closure on an accelerator, returning `(result, seconds)` —
+/// the elapsed *simulated* time of exactly that region.
+///
+/// # Errors
+///
+/// Propagates the closure's error.
+///
+/// # Examples
+///
+/// ```
+/// use xai_accel::{time_region, Accelerator, CpuModel};
+/// use xai_tensor::Matrix;
+///
+/// # fn main() -> Result<(), xai_tensor::TensorError> {
+/// let mut cpu = CpuModel::i7_3700();
+/// let a = Matrix::filled(32, 32, 1.0)?;
+/// let (product, seconds) = time_region(&mut cpu, |acc| acc.matmul(&a, &a))?;
+/// assert_eq!(product[(0, 0)], 32.0);
+/// assert!(seconds > 0.0);
+/// # Ok(())
+/// # }
+/// ```
+pub fn time_region<A: Accelerator + ?Sized, R>(
+    acc: &mut A,
+    f: impl FnOnce(&mut A) -> Result<R>,
+) -> Result<(R, f64)> {
+    let before = acc.elapsed_seconds();
+    let value = f(acc)?;
+    Ok((value, acc.elapsed_seconds() - before))
+}

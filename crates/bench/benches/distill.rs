@@ -1,0 +1,80 @@
+//! Benchmarks of the distillation core (ablation A1 of DESIGN.md:
+//! naive division vs Wiener solve) and the contribution-factor
+//! machinery, including the §III-D host-thread batch parallelism.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use xai_bench::distillation_pairs;
+use xai_core::{explain_batch, explain_batch_parallel, DistilledModel, SolveStrategy};
+use xai_tensor::ops::DivPolicy;
+
+fn bench_solve_strategies(c: &mut Criterion) {
+    let mut group = c.benchmark_group("distill-fit");
+    group.sample_size(20);
+    for size in [16usize, 64] {
+        let pairs = distillation_pairs(8, size).expect("valid config");
+        group.bench_with_input(BenchmarkId::new("naive", size), &pairs, |b, pairs| {
+            b.iter(|| {
+                DistilledModel::fit(
+                    black_box(pairs),
+                    SolveStrategy::Naive {
+                        policy: DivPolicy::Clamp { floor: 1e-12 },
+                    },
+                )
+                .expect("fits")
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("wiener", size), &pairs, |b, pairs| {
+            b.iter(|| {
+                DistilledModel::fit(black_box(pairs), SolveStrategy::Wiener { lambda: 1e-6 })
+                    .expect("fits")
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_prediction(c: &mut Criterion) {
+    let mut group = c.benchmark_group("distill-predict");
+    for size in [32usize, 128] {
+        let pairs = distillation_pairs(4, size).expect("valid config");
+        let model = DistilledModel::fit(&pairs, SolveStrategy::default()).expect("fits");
+        let x = pairs[0].0.clone();
+        group.bench_with_input(BenchmarkId::from_parameter(size), &x, |b, x| {
+            b.iter(|| model.predict(black_box(x)).expect("shape ok"));
+        });
+    }
+    group.finish();
+}
+
+/// Multi-input batch explanation: serial vs host-thread parallel.
+fn bench_batch_parallelism(c: &mut Criterion) {
+    let mut group = c.benchmark_group("explain-batch");
+    group.sample_size(10);
+    let pairs = distillation_pairs(16, 32).expect("valid config");
+    let model = DistilledModel::fit(&pairs, SolveStrategy::default()).expect("fits");
+    group.bench_function("serial", |b| {
+        b.iter(|| explain_batch(black_box(&model), black_box(&pairs), 4).expect("shapes"));
+    });
+    for workers in [2usize, 4] {
+        group.bench_with_input(
+            BenchmarkId::new("parallel", workers),
+            &workers,
+            |b, &workers| {
+                b.iter(|| {
+                    explain_batch_parallel(black_box(&model), black_box(&pairs), 4, workers)
+                        .expect("shapes")
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_solve_strategies,
+    bench_prediction,
+    bench_batch_parallelism
+);
+criterion_main!(benches);

@@ -1,0 +1,84 @@
+//! Real wall-clock benchmarks of the Fourier library (ablation A3 of
+//! DESIGN.md) and the host-thread scalability behind Figure 4's
+//! shape: the naive DFT baseline versus the decomposed row–column
+//! transform, serial versus multi-worker.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use xai_fourier::{dft, fft2d_via_matmul, Fft2d, FftPlan, Norm};
+use xai_tensor::{Complex64, Matrix};
+
+fn signal(n: usize) -> Vec<Complex64> {
+    (0..n)
+        .map(|i| Complex64::new(((i * 7) % 13) as f64 - 6.0, ((i * 3) % 5) as f64))
+        .collect()
+}
+
+fn complex_matrix(n: usize) -> Matrix<Complex64> {
+    Matrix::from_fn(n, n, |r, c| {
+        Complex64::new(((r * 5 + c) % 11) as f64 - 5.0, ((r + c * 3) % 7) as f64)
+    })
+    .expect("n > 0")
+}
+
+/// 1-D algorithms: naive definition vs radix-2 vs Bluestein.
+fn bench_1d_algorithms(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fft1d");
+    for n in [64usize, 256] {
+        let x = signal(n);
+        group.bench_with_input(BenchmarkId::new("naive-dft", n), &x, |b, x| {
+            b.iter(|| dft(black_box(x), Norm::Backward));
+        });
+        let plan = FftPlan::new(n);
+        group.bench_with_input(BenchmarkId::new("radix2", n), &x, |b, x| {
+            b.iter(|| {
+                let mut buf = x.clone();
+                plan.forward(&mut buf, Norm::Backward);
+                buf
+            });
+        });
+        // Bluestein on a prime near n (forces the chirp path).
+        let np = if n == 64 { 67 } else { 257 };
+        let xp = signal(np);
+        let bplan = FftPlan::new(np);
+        group.bench_with_input(BenchmarkId::new("bluestein", np), &xp, |b, x| {
+            b.iter(|| {
+                let mut buf = x.clone();
+                bplan.forward(&mut buf, Norm::Backward);
+                buf
+            });
+        });
+    }
+    group.finish();
+}
+
+/// 2-D: row–column FFT vs the DFT-matrix matmul form (the TPU
+/// mapping), and serial vs parallel workers — Figure 4's wall-clock
+/// shape on host hardware.
+fn bench_2d_decomposition(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fft2d");
+    group.sample_size(20);
+    for n in [64usize, 128] {
+        let x = complex_matrix(n);
+        let plan = Fft2d::new(n, n);
+        group.bench_with_input(BenchmarkId::new("row-column-serial", n), &x, |b, x| {
+            b.iter(|| plan.forward(black_box(x)).expect("valid shape"));
+        });
+        for workers in [2usize, 4] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("row-column-{workers}w"), n),
+                &x,
+                |b, x| {
+                    b.iter(|| plan.forward_parallel(black_box(x), workers).expect("valid shape"));
+                },
+            );
+        }
+        group.bench_with_input(BenchmarkId::new("matmul-form", n), &x, |b, x| {
+            b.iter(|| fft2d_via_matmul(black_box(x), Norm::Backward).expect("valid shape"));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_1d_algorithms, bench_2d_decomposition);
+criterion_main!(benches);

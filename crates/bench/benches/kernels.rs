@@ -1,0 +1,54 @@
+//! Benchmarks of the tensor substrate kernels: blocked vs naive
+//! matmul, and direct vs FFT-based circular convolution — the
+//! crossovers that justify the library's algorithm choices.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use xai_fourier::convolve2d_fft;
+use xai_tensor::conv::conv2d_circular;
+use xai_tensor::ops::{matmul, matmul_blocked, DEFAULT_BLOCK};
+use xai_tensor::Matrix;
+
+fn real_matrix(n: usize, seed: usize) -> Matrix<f64> {
+    Matrix::from_fn(n, n, |r, c| {
+        (((r * 13 + c * 7 + seed) % 23) as f64) / 23.0 - 0.5
+    })
+    .expect("n > 0")
+}
+
+fn bench_matmul(c: &mut Criterion) {
+    let mut group = c.benchmark_group("matmul");
+    group.sample_size(20);
+    for n in [64usize, 128] {
+        let a = real_matrix(n, 1);
+        let b_ = real_matrix(n, 2);
+        group.bench_with_input(BenchmarkId::new("naive", n), &n, |b, _| {
+            b.iter(|| matmul(black_box(&a), black_box(&b_)).expect("shapes"));
+        });
+        group.bench_with_input(BenchmarkId::new("blocked", n), &n, |b, _| {
+            b.iter(|| matmul_blocked(black_box(&a), black_box(&b_), DEFAULT_BLOCK).expect("shapes"));
+        });
+    }
+    group.finish();
+}
+
+/// Direct O(N⁴) circular convolution vs the O(N² log N) FFT path —
+/// the asymptotic separation the paper's task transformation exploits.
+fn bench_convolution(c: &mut Criterion) {
+    let mut group = c.benchmark_group("conv2d-circular");
+    group.sample_size(10);
+    for n in [16usize, 32] {
+        let x = real_matrix(n, 3);
+        let k = real_matrix(n, 4);
+        group.bench_with_input(BenchmarkId::new("direct", n), &n, |b, _| {
+            b.iter(|| conv2d_circular(black_box(&x), black_box(&k)).expect("shapes"));
+        });
+        group.bench_with_input(BenchmarkId::new("fft", n), &n, |b, _| {
+            b.iter(|| convolve2d_fft(black_box(&x), black_box(&k)).expect("shapes"));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_matmul, bench_convolution);
+criterion_main!(benches);

@@ -1,0 +1,182 @@
+//! # xai-bench
+//!
+//! Benchmark harness regenerating every table and figure of the
+//! paper's evaluation (§IV). One binary per artefact:
+//!
+//! | Artefact | Binary | Paper claim reproduced |
+//! |---|---|---|
+//! | Table I | `table1` | TPU classification ≈25× GPU, ≈55× CPU |
+//! | Table II | `table2` | TPU interpretation ≈13× GPU, ≈39× CPU |
+//! | Figure 4 | `fig4` | scalability vs matrix size; >30× at 1024² |
+//! | Figure 5 | `fig5` | image block saliency finds the right blocks |
+//! | Figure 6 | `fig6` | trace attribution pinpoints the attack cycle |
+//!
+//! Criterion benches (`cargo bench -p xai-bench`) measure *real*
+//! wall-clock of the kernels and the ablations A1–A4 of DESIGN.md.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+use xai_accel::{Accelerator, CpuModel, GpuModel, TpuAccel};
+use xai_tensor::conv::conv2d_circular;
+use xai_tensor::{Matrix, Result};
+
+/// Pretty-prints seconds with an adaptive unit.
+pub fn fmt_seconds(s: f64) -> String {
+    if s >= 1.0 {
+        format!("{s:.2} s")
+    } else if s >= 1e-3 {
+        format!("{:.2} ms", s * 1e3)
+    } else if s >= 1e-6 {
+        format!("{:.2} µs", s * 1e6)
+    } else {
+        format!("{:.2} ns", s * 1e9)
+    }
+}
+
+/// Formats a speedup factor the way the paper's tables do (`65x`).
+pub fn fmt_speedup(slow: f64, fast: f64) -> String {
+    if fast <= 0.0 {
+        return "∞".to_string();
+    }
+    format!("{:.1}x", slow / fast)
+}
+
+/// The paper's three hardware configurations, freshly constructed.
+pub fn platforms() -> Vec<Box<dyn Accelerator>> {
+    vec![
+        Box::new(CpuModel::i7_3700()),
+        Box::new(GpuModel::gtx1080()),
+        Box::new(TpuAccel::tpu_v2()),
+    ]
+}
+
+/// Deterministic synthetic `(X, Y = X ∗ K)` distillation pairs of a
+/// given size — the interpretation workload shared by Table II and
+/// Figure 4.
+///
+/// # Errors
+///
+/// Propagates construction errors (cannot occur for `size > 0`).
+pub fn distillation_pairs(n: usize, size: usize) -> Result<Vec<(Matrix<f64>, Matrix<f64>)>> {
+    let k = Matrix::from_fn(size, size, |r, c| ((r * 2 + c * 3) % 7) as f64 * 0.15)?;
+    (0..n)
+        .map(|s| {
+            let x = Matrix::from_fn(size, size, |r, c| {
+                (((r * 13 + c * 7 + s * 31) % 23) as f64) / 23.0 - 0.5
+            })?;
+            let y = conv2d_circular(&x, &k)?;
+            Ok((x, y))
+        })
+        .collect()
+}
+
+/// A Markdown-ish fixed-width table printer.
+#[derive(Debug, Default)]
+pub struct TablePrinter {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TablePrinter {
+    /// Creates a printer with the given column headers.
+    pub fn new(header: &[&str]) -> Self {
+        TablePrinter {
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Adds one row (must match the header length).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the row length differs from the header.
+    pub fn row(&mut self, cells: &[String]) {
+        assert_eq!(cells.len(), self.header.len(), "row arity mismatch");
+        self.rows.push(cells.to_vec());
+    }
+
+    /// Renders the table.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let line = |cells: &[String]| -> String {
+            let mut s = String::from("|");
+            for (cell, w) in cells.iter().zip(&widths) {
+                s.push_str(&format!(" {cell:<w$} |"));
+            }
+            s
+        };
+        let mut out = line(&self.header);
+        out.push('\n');
+        out.push('|');
+        for w in &widths {
+            out.push_str(&format!("{}-|", "-".repeat(w + 1)));
+        }
+        for row in &self.rows {
+            out.push('\n');
+            out.push_str(&line(row));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seconds_formatting() {
+        assert_eq!(fmt_seconds(2.5), "2.50 s");
+        assert_eq!(fmt_seconds(0.0025), "2.50 ms");
+        assert_eq!(fmt_seconds(2.5e-6), "2.50 µs");
+        assert_eq!(fmt_seconds(2.5e-9), "2.50 ns");
+    }
+
+    #[test]
+    fn speedup_formatting() {
+        assert_eq!(fmt_speedup(10.0, 2.0), "5.0x");
+        assert_eq!(fmt_speedup(1.0, 0.0), "∞");
+    }
+
+    #[test]
+    fn three_platforms() {
+        let ps = platforms();
+        assert_eq!(ps.len(), 3);
+        assert!(ps[0].name().contains("CPU"));
+        assert!(ps[2].name().contains("TPU"));
+    }
+
+    #[test]
+    fn pairs_are_consistent_convolutions() {
+        let pairs = distillation_pairs(3, 8).unwrap();
+        assert_eq!(pairs.len(), 3);
+        for (x, y) in &pairs {
+            assert_eq!(x.shape(), (8, 8));
+            assert_eq!(y.shape(), (8, 8));
+        }
+    }
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = TablePrinter::new(&["name", "value"]);
+        t.row(&["a".into(), "1".into()]);
+        t.row(&["long-name".into(), "2".into()]);
+        let s = t.render();
+        assert!(s.contains("| name"));
+        assert!(s.contains("| long-name |"));
+        assert_eq!(s.lines().count(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn row_arity_checked() {
+        let mut t = TablePrinter::new(&["a", "b"]);
+        t.row(&["only-one".into()]);
+    }
+}

@@ -1,0 +1,354 @@
+//! Outcome interpretation: contribution factors (Equation 5).
+//!
+//! `con(xᵢ) ≜ Y − X′ ∗ K` where `X′` is the input with feature `i`
+//! removed — occlusion through the distilled model. We report the
+//! Frobenius norm of that difference as the scalar contribution
+//! score, and provide the three granularities the paper evaluates:
+//! per-feature (pixels), per-block (Figure 5's image sub-blocks) and
+//! per-column (Figure 6's trace clock cycles).
+
+use crate::distill::DistilledModel;
+use xai_accel::Accelerator;
+use xai_tensor::ops;
+use xai_tensor::{Matrix, Result, TensorError};
+
+/// A region of the input to occlude when computing one contribution
+/// factor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Region {
+    /// A single element `(row, col)`.
+    Element(usize, usize),
+    /// A rectangular block: top-left `(r0, c0)`, size `(h, w)`.
+    Block(usize, usize, usize, usize),
+    /// An entire column (a clock cycle in a trace table).
+    Column(usize),
+    /// An entire row (a register in a trace table).
+    Row(usize),
+}
+
+/// Returns `x` with the region zeroed — the `X′` of Equation 5.
+///
+/// # Errors
+///
+/// Returns [`TensorError::ShapeMismatch`] when the region exceeds the
+/// matrix bounds.
+pub fn occlude(x: &Matrix<f64>, region: Region) -> Result<Matrix<f64>> {
+    let (m, n) = x.shape();
+    let mut out = x.clone();
+    match region {
+        Region::Element(r, c) => {
+            if r >= m || c >= n {
+                return Err(TensorError::ShapeMismatch {
+                    left: (r, c),
+                    right: (m, n),
+                    op: "occlude element",
+                });
+            }
+            out[(r, c)] = 0.0;
+        }
+        Region::Block(r0, c0, h, w) => {
+            if r0 + h > m || c0 + w > n {
+                return Err(TensorError::ShapeMismatch {
+                    left: (r0 + h, c0 + w),
+                    right: (m, n),
+                    op: "occlude block",
+                });
+            }
+            for r in r0..r0 + h {
+                for c in c0..c0 + w {
+                    out[(r, c)] = 0.0;
+                }
+            }
+        }
+        Region::Column(c) => {
+            if c >= n {
+                return Err(TensorError::ShapeMismatch {
+                    left: (0, c),
+                    right: (m, n),
+                    op: "occlude column",
+                });
+            }
+            for r in 0..m {
+                out[(r, c)] = 0.0;
+            }
+        }
+        Region::Row(r) => {
+            if r >= m {
+                return Err(TensorError::ShapeMismatch {
+                    left: (r, 0),
+                    right: (m, n),
+                    op: "occlude row",
+                });
+            }
+            for c in 0..n {
+                out[(r, c)] = 0.0;
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Contribution factor of one region: `‖Y − X′ ∗ K‖_F` (host path).
+///
+/// # Errors
+///
+/// Propagates shape errors.
+pub fn contribution(
+    model: &DistilledModel,
+    x: &Matrix<f64>,
+    y: &Matrix<f64>,
+    region: Region,
+) -> Result<f64> {
+    let occluded = occlude(x, region)?;
+    let perturbed = model.predict(&occluded)?;
+    Ok(ops::sub(y, &perturbed)?.frobenius_norm())
+}
+
+/// Contribution factor computed on an [`Accelerator`] (timed).
+///
+/// # Errors
+///
+/// Propagates shape errors.
+pub fn contribution_on(
+    acc: &mut dyn Accelerator,
+    model: &DistilledModel,
+    x: &Matrix<f64>,
+    y: &Matrix<f64>,
+    region: Region,
+) -> Result<f64> {
+    let occluded = occlude(x, region)?;
+    let perturbed = model.predict_on(acc, &occluded)?;
+    Ok(acc.sub(y, &perturbed)?.frobenius_norm())
+}
+
+/// Contribution factors for a whole batch of regions at once,
+/// exploiting the platform's multi-input parallelism (§III-D of the
+/// paper): all perturbed inputs are transformed, filtered and
+/// differenced as batched kernels.
+///
+/// Numerically identical to calling [`contribution_on`] per region.
+///
+/// # Errors
+///
+/// Propagates shape errors.
+pub fn contributions_batch_on(
+    acc: &mut dyn Accelerator,
+    model: &DistilledModel,
+    x: &Matrix<f64>,
+    y: &Matrix<f64>,
+    regions: &[Region],
+) -> Result<Vec<f64>> {
+    if regions.is_empty() {
+        return Ok(Vec::new());
+    }
+    let occluded: Vec<_> = regions
+        .iter()
+        .map(|&r| Ok(occlude(x, r)?.to_complex()))
+        .collect::<Result<_>>()?;
+    let spectra = acc.fft2d_batch(&occluded)?;
+    let filtered = acc.hadamard_batch(&spectra, model.kernel_spectrum())?;
+    let preds: Vec<Matrix<f64>> = acc
+        .ifft2d_batch(&filtered)?
+        .into_iter()
+        .map(|p| p.to_real())
+        .collect();
+    let diffs = acc.sub_batch(y, &preds)?;
+    Ok(diffs.iter().map(Matrix::frobenius_norm).collect())
+}
+
+/// Per-element contribution map (one occlusion per pixel).
+///
+/// # Errors
+///
+/// Propagates shape errors.
+pub fn feature_contributions(
+    model: &DistilledModel,
+    x: &Matrix<f64>,
+    y: &Matrix<f64>,
+) -> Result<Matrix<f64>> {
+    let (m, n) = x.shape();
+    let mut out = Matrix::zeros(m, n)?;
+    for r in 0..m {
+        for c in 0..n {
+            out[(r, c)] = contribution(model, x, y, Region::Element(r, c))?;
+        }
+    }
+    Ok(out)
+}
+
+/// Per-block contribution scores on a `grid × grid` decomposition of
+/// the input (the paper's Figure 5: "we segmented the given image
+/// into square sub-blocks").
+///
+/// # Errors
+///
+/// Returns [`TensorError::ShapeMismatch`] when `grid` does not divide
+/// both input dimensions.
+pub fn block_contributions(
+    model: &DistilledModel,
+    x: &Matrix<f64>,
+    y: &Matrix<f64>,
+    grid: usize,
+) -> Result<Matrix<f64>> {
+    let (m, n) = x.shape();
+    if grid == 0 || m % grid != 0 || n % grid != 0 {
+        return Err(TensorError::ShapeMismatch {
+            left: (m, n),
+            right: (grid, grid),
+            op: "block grid must divide input",
+        });
+    }
+    let (bh, bw) = (m / grid, n / grid);
+    let mut out = Matrix::zeros(grid, grid)?;
+    for by in 0..grid {
+        for bx in 0..grid {
+            out[(by, bx)] = contribution(
+                model,
+                x,
+                y,
+                Region::Block(by * bh, bx * bw, bh, bw),
+            )?;
+        }
+    }
+    Ok(out)
+}
+
+/// Per-column contribution scores (the paper's Figure 6: per clock
+/// cycle of a trace table).
+///
+/// # Errors
+///
+/// Propagates shape errors.
+pub fn column_contributions(
+    model: &DistilledModel,
+    x: &Matrix<f64>,
+    y: &Matrix<f64>,
+) -> Result<Vec<f64>> {
+    (0..x.cols())
+        .map(|c| contribution(model, x, y, Region::Column(c)))
+        .collect()
+}
+
+/// Index of the highest-scoring entry of a score slice.
+pub fn argmax(scores: &[f64]) -> usize {
+    scores
+        .iter()
+        .enumerate()
+        .max_by(|a, b| a.1.partial_cmp(b.1).expect("scores must not be NaN"))
+        .map(|(i, _)| i)
+        .unwrap_or(0)
+}
+
+/// `(row, col)` of the highest-scoring cell of a score matrix.
+pub fn argmax2(scores: &Matrix<f64>) -> (usize, usize) {
+    let flat = argmax(scores.as_slice());
+    (flat / scores.cols(), flat % scores.cols())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::distill::SolveStrategy;
+    use xai_tensor::conv::conv2d_circular;
+
+    fn model_and_pair() -> (DistilledModel, Matrix<f64>, Matrix<f64>) {
+        let k = Matrix::from_fn(6, 6, |r, c| ((r + c * 2) % 5) as f64 * 0.2).unwrap();
+        let x = Matrix::from_fn(6, 6, |r, c| ((r * 7 + c * 3) % 11) as f64 - 5.0).unwrap();
+        let y = conv2d_circular(&x, &k).unwrap();
+        let m = DistilledModel::fit(&[(x.clone(), y.clone())], SolveStrategy::default()).unwrap();
+        (m, x, y)
+    }
+
+    #[test]
+    fn occlusion_zeroes_exactly_the_region() {
+        let x = Matrix::filled(4, 4, 1.0).unwrap();
+        let e = occlude(&x, Region::Element(1, 2)).unwrap();
+        assert_eq!(e[(1, 2)], 0.0);
+        assert_eq!(e.sum(), 15.0);
+        let b = occlude(&x, Region::Block(0, 0, 2, 2)).unwrap();
+        assert_eq!(b.sum(), 12.0);
+        let c = occlude(&x, Region::Column(3)).unwrap();
+        assert_eq!(c.sum(), 12.0);
+        let r = occlude(&x, Region::Row(0)).unwrap();
+        assert_eq!(r.sum(), 12.0);
+    }
+
+    #[test]
+    fn occlusion_bounds_checked() {
+        let x = Matrix::filled(4, 4, 1.0).unwrap();
+        assert!(occlude(&x, Region::Element(4, 0)).is_err());
+        assert!(occlude(&x, Region::Block(3, 3, 2, 2)).is_err());
+        assert!(occlude(&x, Region::Column(4)).is_err());
+        assert!(occlude(&x, Region::Row(9)).is_err());
+    }
+
+    #[test]
+    fn zero_feature_has_zero_contribution() {
+        // Occluding an element that is already 0 changes nothing.
+        let (model, mut x, _) = model_and_pair();
+        x[(2, 2)] = 0.0;
+        let y = model.predict(&x).unwrap();
+        let c = contribution(&model, &x, &y, Region::Element(2, 2)).unwrap();
+        assert!(c < 1e-9);
+    }
+
+    #[test]
+    fn larger_magnitude_features_contribute_more() {
+        let (model, mut x, _) = model_and_pair();
+        x[(0, 0)] = 10.0;
+        x[(3, 3)] = 0.5;
+        let y = model.predict(&x).unwrap();
+        let big = contribution(&model, &x, &y, Region::Element(0, 0)).unwrap();
+        let small = contribution(&model, &x, &y, Region::Element(3, 3)).unwrap();
+        assert!(big > small);
+    }
+
+    #[test]
+    fn contribution_equals_energy_of_removed_signal_through_kernel() {
+        // Y − X′∗K = (X − X′)∗K by linearity; check numerically.
+        let (model, x, _) = model_and_pair();
+        let y = model.predict(&x).unwrap();
+        let region = Region::Block(2, 2, 2, 2);
+        let via_con = contribution(&model, &x, &y, region).unwrap();
+        let removed = ops::sub(&x, &occlude(&x, region).unwrap()).unwrap();
+        let through_k = conv2d_circular(&removed, model.kernel()).unwrap();
+        assert!((via_con - through_k.frobenius_norm()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn feature_map_shape_and_block_grid() {
+        let (model, x, y) = model_and_pair();
+        let fmap = feature_contributions(&model, &x, &y).unwrap();
+        assert_eq!(fmap.shape(), (6, 6));
+        let blocks = block_contributions(&model, &x, &y, 3).unwrap();
+        assert_eq!(blocks.shape(), (3, 3));
+        assert!(block_contributions(&model, &x, &y, 4).is_err()); // 4 ∤ 6
+        assert!(block_contributions(&model, &x, &y, 0).is_err());
+    }
+
+    #[test]
+    fn column_contributions_cover_all_cycles() {
+        let (model, x, y) = model_and_pair();
+        let cols = column_contributions(&model, &x, &y).unwrap();
+        assert_eq!(cols.len(), 6);
+        assert!(cols.iter().all(|&v| v >= 0.0));
+    }
+
+    #[test]
+    fn argmax_helpers() {
+        assert_eq!(argmax(&[0.1, 3.0, 2.0]), 1);
+        let m = Matrix::from_rows(&[vec![1.0, 2.0], vec![9.0, 0.0]]).unwrap();
+        assert_eq!(argmax2(&m), (1, 0));
+    }
+
+    #[test]
+    fn accelerated_contribution_matches_host() {
+        use xai_accel::GpuModel;
+        let (model, x, y) = model_and_pair();
+        let mut gpu = GpuModel::gtx1080();
+        let host = contribution(&model, &x, &y, Region::Column(1)).unwrap();
+        let dev = contribution_on(&mut gpu, &model, &x, &y, Region::Column(1)).unwrap();
+        assert!((host - dev).abs() < 1e-9);
+        assert!(gpu.elapsed_seconds() > 0.0);
+    }
+}

@@ -1,0 +1,637 @@
+//! Closed-form model distillation (§III-B of the paper).
+//!
+//! The distilled model is one circular convolution `X ∗ K = Y`
+//! (Equation 2). Applying the discrete convolution theorem turns the
+//! optimisation of Equation 1 into pure matrix computation:
+//!
+//! ```text
+//! F(X) ◦ F(K) = F(Y)            (Equation 3)
+//! K = F⁻¹( F(Y) / F(X) )        (Equation 4)
+//! ```
+//!
+//! Two solve strategies are provided. [`SolveStrategy::Naive`] is the
+//! paper's literal formula (with a guard policy for spectral nulls);
+//! [`SolveStrategy::Wiener`] is the least-squares/Tikhonov version
+//! `F(K) = Σ F(Yᵢ)·conj(F(Xᵢ)) / (Σ|F(Xᵢ)|² + λ)`, which is what the
+//! naive formula degenerates to for one pair and `λ → 0`, and which
+//! is well-posed for many pairs and noisy spectra. The ablation bench
+//! (A1 in DESIGN.md) quantifies the difference.
+
+use xai_accel::Accelerator;
+use xai_fourier::Fft2d;
+use xai_tensor::ops::{self, DivPolicy};
+use xai_tensor::{Complex64, Matrix, Result, TensorError};
+
+/// How to invert the spectral system `F(X) ◦ F(K) = F(Y)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SolveStrategy {
+    /// Equation 4 verbatim: per-pair division `F(Y)/F(X)` (averaged
+    /// over pairs), guarded by a [`DivPolicy`].
+    Naive {
+        /// Division policy for (near-)zero spectral bins.
+        policy: DivPolicy,
+    },
+    /// Regularised least squares over all pairs:
+    /// `F(K) = Σᵢ F(Yᵢ)·conj(F(Xᵢ)) / (Σᵢ |F(Xᵢ)|² + λ)`.
+    Wiener {
+        /// Tikhonov damping `λ ≥ 0`.
+        lambda: f64,
+    },
+}
+
+impl Default for SolveStrategy {
+    fn default() -> Self {
+        SolveStrategy::Wiener { lambda: 1e-6 }
+    }
+}
+
+/// The distilled model: a single convolution kernel in both domains.
+///
+/// # Examples
+///
+/// Recover a known kernel from input/output pairs:
+///
+/// ```
+/// use xai_core::{DistilledModel, SolveStrategy};
+/// use xai_tensor::{conv::conv2d_circular, Matrix};
+///
+/// # fn main() -> Result<(), xai_tensor::TensorError> {
+/// let k_true = Matrix::from_fn(4, 4, |r, c| ((r * 3 + c) % 5) as f64 * 0.2)?;
+/// // A delta-dominant input has a null-free spectrum, so the
+/// // closed-form solve is exact.
+/// let mut x = Matrix::from_fn(4, 4, |r, c| ((r + 2 * c) % 7) as f64 * 0.1)?;
+/// x[(0, 0)] += 5.0;
+/// let y = conv2d_circular(&x, &k_true)?;
+/// let model = DistilledModel::fit(&[(x, y)], SolveStrategy::default())?;
+/// assert!(model.kernel().max_abs_diff(&k_true)? < 1e-6);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct DistilledModel {
+    kernel: Matrix<f64>,
+    kernel_spectrum: Matrix<Complex64>,
+}
+
+impl DistilledModel {
+    /// Fits the distilled kernel from `(X, Y)` pairs on the host.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::EmptyDimension`] for an empty pair list,
+    /// [`TensorError::ShapeMismatch`] for inconsistent pair shapes,
+    /// and division errors per the naive strategy's policy.
+    pub fn fit(pairs: &[(Matrix<f64>, Matrix<f64>)], strategy: SolveStrategy) -> Result<Self> {
+        let first = pairs.first().ok_or(TensorError::EmptyDimension)?;
+        let (m, n) = first.0.shape();
+        let plan = Fft2d::new(m, n);
+        let spectrum = Self::solve_spectrum(pairs, strategy, (m, n), |x| plan.forward(x))?;
+        let kernel = plan.inverse(&spectrum)?.to_real();
+        Ok(DistilledModel {
+            kernel,
+            kernel_spectrum: spectrum,
+        })
+    }
+
+    /// Fits the distilled kernel on an [`Accelerator`], charging the
+    /// platform's simulated time for every transform, product and
+    /// division — the operation the paper's Tables I/II race across
+    /// CPU/GPU/TPU.
+    ///
+    /// # Errors
+    ///
+    /// As [`DistilledModel::fit`].
+    pub fn fit_on(
+        acc: &mut dyn Accelerator,
+        pairs: &[(Matrix<f64>, Matrix<f64>)],
+        strategy: SolveStrategy,
+    ) -> Result<Self> {
+        let first = pairs.first().ok_or(TensorError::EmptyDimension)?;
+        let (m, n) = first.0.shape();
+        // Accumulate per-pair spectra through the accelerator.
+        let spectrum = match strategy {
+            SolveStrategy::Naive { policy } => {
+                let mut acc_spec: Option<Matrix<Complex64>> = None;
+                for (x, y) in pairs {
+                    Self::check_pair(x, y, (m, n))?;
+                    let fx = acc.fft2d(&x.to_complex())?;
+                    let fy = acc.fft2d(&y.to_complex())?;
+                    let q = acc.pointwise_div(&fy, &fx, policy)?;
+                    acc_spec = Some(match acc_spec {
+                        None => q,
+                        Some(s) => s.zip_with(&q, |a, b| a + b)?,
+                    });
+                }
+                let s = acc_spec.expect("non-empty pairs");
+                let scale = 1.0 / pairs.len() as f64;
+                s.map(|z| z.scale(scale))
+            }
+            SolveStrategy::Wiener { lambda } => {
+                let mut num: Option<Matrix<Complex64>> = None;
+                let mut den: Option<Matrix<Complex64>> = None;
+                for (x, y) in pairs {
+                    Self::check_pair(x, y, (m, n))?;
+                    let fx = acc.fft2d(&x.to_complex())?;
+                    let fy = acc.fft2d(&y.to_complex())?;
+                    let cross = acc.hadamard(&fy, &fx.conj())?;
+                    let power = acc.hadamard(&fx, &fx.conj())?;
+                    num = Some(match num {
+                        None => cross,
+                        Some(s) => s.zip_with(&cross, |a, b| a + b)?,
+                    });
+                    den = Some(match den {
+                        None => power,
+                        Some(s) => s.zip_with(&power, |a, b| a + b)?,
+                    });
+                }
+                let num = num.expect("non-empty pairs");
+                let den = den
+                    .expect("non-empty pairs")
+                    .map(|z| z + Complex64::from_real(lambda));
+                acc.pointwise_div(&num, &den, DivPolicy::Clamp { floor: f64::MIN_POSITIVE })?
+            }
+        };
+        let kernel = acc.ifft2d(&spectrum)?.to_real();
+        Ok(DistilledModel {
+            kernel,
+            kernel_spectrum: spectrum,
+        })
+    }
+
+    fn check_pair(x: &Matrix<f64>, y: &Matrix<f64>, shape: (usize, usize)) -> Result<()> {
+        if x.shape() != shape || y.shape() != shape {
+            return Err(TensorError::ShapeMismatch {
+                left: x.shape(),
+                right: shape,
+                op: "distillation pair shape",
+            });
+        }
+        Ok(())
+    }
+
+    fn solve_spectrum(
+        pairs: &[(Matrix<f64>, Matrix<f64>)],
+        strategy: SolveStrategy,
+        shape: (usize, usize),
+        mut fft: impl FnMut(&Matrix<Complex64>) -> Result<Matrix<Complex64>>,
+    ) -> Result<Matrix<Complex64>> {
+        match strategy {
+            SolveStrategy::Naive { policy } => {
+                let mut acc: Option<Matrix<Complex64>> = None;
+                for (x, y) in pairs {
+                    Self::check_pair(x, y, shape)?;
+                    let fx = fft(&x.to_complex())?;
+                    let fy = fft(&y.to_complex())?;
+                    let q = ops::pointwise_div(&fy, &fx, policy)?;
+                    acc = Some(match acc {
+                        None => q,
+                        Some(s) => s.zip_with(&q, |a, b| a + b)?,
+                    });
+                }
+                let s = acc.expect("non-empty pairs");
+                let scale = 1.0 / pairs.len() as f64;
+                Ok(s.map(|z| z.scale(scale)))
+            }
+            SolveStrategy::Wiener { lambda } => {
+                let (m, n) = shape;
+                let mut num = Matrix::<Complex64>::zeros(m, n)?;
+                let mut den = Matrix::<Complex64>::zeros(m, n)?;
+                for (x, y) in pairs {
+                    Self::check_pair(x, y, shape)?;
+                    let fx = fft(&x.to_complex())?;
+                    let fy = fft(&y.to_complex())?;
+                    num = num.zip_with(&ops::hadamard(&fy, &fx.conj())?, |a, b| a + b)?;
+                    den = den.zip_with(&ops::hadamard(&fx, &fx.conj())?, |a, b| a + b)?;
+                }
+                let den = den.map(|z| z + Complex64::from_real(lambda));
+                ops::pointwise_div(&num, &den, DivPolicy::Clamp { floor: f64::MIN_POSITIVE })
+            }
+        }
+    }
+
+    /// Reconstructs a model from a known kernel spectrum (used by the
+    /// incremental builder).
+    fn from_spectrum(spectrum: Matrix<Complex64>) -> Result<Self> {
+        let plan = Fft2d::new(spectrum.rows(), spectrum.cols());
+        let kernel = plan.inverse(&spectrum)?.to_real();
+        Ok(DistilledModel {
+            kernel,
+            kernel_spectrum: spectrum,
+        })
+    }
+
+    /// The spatial-domain kernel `K`.
+    pub fn kernel(&self) -> &Matrix<f64> {
+        &self.kernel
+    }
+
+    /// The kernel's spectrum `F(K)` (kept so prediction is one
+    /// transform instead of two).
+    pub fn kernel_spectrum(&self) -> &Matrix<Complex64> {
+        &self.kernel_spectrum
+    }
+
+    /// Kernel shape `(rows, cols)`.
+    pub fn shape(&self) -> (usize, usize) {
+        self.kernel.shape()
+    }
+
+    /// Predicts `Y = X ∗ K` via the frequency domain (host path).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] when `x` differs from
+    /// the kernel shape.
+    pub fn predict(&self, x: &Matrix<f64>) -> Result<Matrix<f64>> {
+        if x.shape() != self.shape() {
+            return Err(TensorError::ShapeMismatch {
+                left: x.shape(),
+                right: self.shape(),
+                op: "distilled predict input",
+            });
+        }
+        let plan = Fft2d::new(x.rows(), x.cols());
+        let fx = plan.forward(&x.to_complex())?;
+        let fy = ops::hadamard(&fx, &self.kernel_spectrum)?;
+        Ok(plan.inverse(&fy)?.to_real())
+    }
+
+    /// Predicts on an [`Accelerator`] (timed).
+    ///
+    /// # Errors
+    ///
+    /// As [`DistilledModel::predict`].
+    pub fn predict_on(&self, acc: &mut dyn Accelerator, x: &Matrix<f64>) -> Result<Matrix<f64>> {
+        if x.shape() != self.shape() {
+            return Err(TensorError::ShapeMismatch {
+                left: x.shape(),
+                right: self.shape(),
+                op: "distilled predict input",
+            });
+        }
+        let fx = acc.fft2d(&x.to_complex())?;
+        let fy = acc.hadamard(&fx, &self.kernel_spectrum)?;
+        Ok(acc.ifft2d(&fy)?.to_real())
+    }
+
+    /// Mean relative fidelity error of the distilled model over a
+    /// pair set: `mean ‖X∗K − Y‖_F / ‖Y‖_F`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates shape errors.
+    pub fn fidelity_error(&self, pairs: &[(Matrix<f64>, Matrix<f64>)]) -> Result<f64> {
+        if pairs.is_empty() {
+            return Ok(0.0);
+        }
+        let mut total = 0.0;
+        for (x, y) in pairs {
+            let pred = self.predict(x)?;
+            let diff = ops::sub(&pred, y)?;
+            let denom = y.frobenius_norm().max(1e-12);
+            total += diff.frobenius_norm() / denom;
+        }
+        Ok(total / pairs.len() as f64)
+    }
+}
+
+/// Incremental (streaming) distillation: the Wiener solve's running
+/// sums `Σ F(Yᵢ)·conj(F(Xᵢ))` and `Σ |F(Xᵢ)|²` are updated one pair
+/// at a time, so the distilled model can track a deployed classifier
+/// without re-touching old data — the real-time operation mode the
+/// paper motivates ("time-sensitive applications with soft or hard
+/// deadlines", §I).
+///
+/// # Examples
+///
+/// ```
+/// use xai_core::{DistilledModel, IncrementalDistiller, SolveStrategy};
+/// use xai_tensor::{conv::conv2d_circular, Matrix};
+///
+/// # fn main() -> Result<(), xai_tensor::TensorError> {
+/// let k = Matrix::from_fn(4, 4, |r, c| ((r + c) % 3) as f64 * 0.4)?;
+/// let mut distiller = IncrementalDistiller::new(4, 4, 1e-9);
+/// for s in 0..5 {
+///     let x = Matrix::from_fn(4, 4, |r, c| ((r * 3 + c + s) % 7) as f64 - 3.0)?;
+///     let y = conv2d_circular(&x, &k)?;
+///     distiller.add_pair(&x, &y)?;
+/// }
+/// let model = distiller.model()?;
+/// assert!(model.kernel().max_abs_diff(&k)? < 1e-6);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct IncrementalDistiller {
+    shape: (usize, usize),
+    lambda: f64,
+    pairs_seen: usize,
+    cross: Matrix<Complex64>,
+    power: Matrix<Complex64>,
+    plan: Fft2d,
+}
+
+impl IncrementalDistiller {
+    /// Creates a streaming distiller for `rows × cols` pairs with
+    /// Tikhonov damping `lambda`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero (matching [`Fft2d::new`]).
+    pub fn new(rows: usize, cols: usize, lambda: f64) -> Self {
+        IncrementalDistiller {
+            shape: (rows, cols),
+            lambda,
+            pairs_seen: 0,
+            cross: Matrix::zeros(rows, cols).expect("dims validated by Fft2d"),
+            power: Matrix::zeros(rows, cols).expect("dims validated by Fft2d"),
+            plan: Fft2d::new(rows, cols),
+        }
+    }
+
+    /// Number of pairs folded in so far.
+    pub fn pairs_seen(&self) -> usize {
+        self.pairs_seen
+    }
+
+    /// Folds one `(X, Y)` pair into the running solution.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] for wrong pair shapes.
+    pub fn add_pair(&mut self, x: &Matrix<f64>, y: &Matrix<f64>) -> Result<()> {
+        DistilledModel::check_pair(x, y, self.shape)?;
+        let fx = self.plan.forward(&x.to_complex())?;
+        let fy = self.plan.forward(&y.to_complex())?;
+        self.cross = self
+            .cross
+            .zip_with(&ops::hadamard(&fy, &fx.conj())?, |a, b| a + b)?;
+        self.power = self
+            .power
+            .zip_with(&ops::hadamard(&fx, &fx.conj())?, |a, b| a + b)?;
+        self.pairs_seen += 1;
+        Ok(())
+    }
+
+    /// Downweights the accumulated history by `factor ∈ (0, 1]` —
+    /// exponential forgetting for drifting models.
+    pub fn decay(&mut self, factor: f64) {
+        let f = factor.clamp(0.0, 1.0);
+        self.cross.map_inplace(|z| z.scale(f));
+        self.power.map_inplace(|z| z.scale(f));
+    }
+
+    /// Produces the current distilled model. Cheap relative to the
+    /// accumulation: one division and one inverse transform.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::EmptyDimension`] before any pair has
+    /// been added.
+    pub fn model(&self) -> Result<DistilledModel> {
+        if self.pairs_seen == 0 {
+            return Err(TensorError::EmptyDimension);
+        }
+        let den = self.power.map(|z| z + Complex64::from_real(self.lambda));
+        let spectrum = ops::pointwise_div(
+            &self.cross,
+            &den,
+            DivPolicy::Clamp {
+                floor: f64::MIN_POSITIVE,
+            },
+        )?;
+        DistilledModel::from_spectrum(spectrum)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xai_tensor::conv::conv2d_circular;
+
+    fn kernel_4x4() -> Matrix<f64> {
+        Matrix::from_fn(4, 4, |r, c| ((r * 3 + c * 5) % 7) as f64 * 0.25 - 0.5).unwrap()
+    }
+
+    fn input(seed: usize) -> Matrix<f64> {
+        Matrix::from_fn(4, 4, |r, c| ((r * 5 + c * 3 + seed) % 11) as f64 - 5.0).unwrap()
+    }
+
+    #[test]
+    fn recovers_exact_kernel_single_pair_naive() {
+        let k = kernel_4x4();
+        // A dominant delta guarantees a null-free spectrum, so the
+        // strict naive division is well-defined.
+        let mut x = input(1).map(|v| v * 0.05);
+        x[(0, 0)] += 10.0;
+        let y = conv2d_circular(&x, &k).unwrap();
+        let model = DistilledModel::fit(
+            &[(x, y)],
+            SolveStrategy::Naive {
+                policy: DivPolicy::Strict { tol: 1e-12 },
+            },
+        )
+        .unwrap();
+        assert!(model.kernel().max_abs_diff(&k).unwrap() < 1e-9);
+    }
+
+    #[test]
+    fn recovers_exact_kernel_multi_pair_wiener() {
+        let k = kernel_4x4();
+        let pairs: Vec<_> = (0..5)
+            .map(|s| {
+                let x = input(s);
+                let y = conv2d_circular(&x, &k).unwrap();
+                (x, y)
+            })
+            .collect();
+        let model = DistilledModel::fit(&pairs, SolveStrategy::Wiener { lambda: 1e-12 }).unwrap();
+        assert!(model.kernel().max_abs_diff(&k).unwrap() < 1e-8);
+    }
+
+    #[test]
+    fn wiener_handles_spectral_nulls_where_naive_fails() {
+        // A constant input has zero energy in every non-DC bin.
+        let x = Matrix::filled(4, 4, 1.0).unwrap();
+        let y = Matrix::filled(4, 4, 2.0).unwrap();
+        let naive = DistilledModel::fit(
+            &[(x.clone(), y.clone())],
+            SolveStrategy::Naive {
+                policy: DivPolicy::Strict { tol: 1e-9 },
+            },
+        );
+        assert!(naive.is_err(), "strict naive must fail on nulls");
+        let wiener = DistilledModel::fit(&[(x.clone(), y.clone())], SolveStrategy::default()).unwrap();
+        // Prediction must still map x ↦ y.
+        let pred = wiener.predict(&x).unwrap();
+        assert!(pred.max_abs_diff(&y).unwrap() < 1e-6);
+    }
+
+    #[test]
+    fn prediction_matches_direct_convolution() {
+        let k = kernel_4x4();
+        let x = input(3);
+        let y = conv2d_circular(&x, &k).unwrap();
+        let model = DistilledModel::fit(&[(x.clone(), y)], SolveStrategy::default()).unwrap();
+        let x_new = input(9);
+        let pred = model.predict(&x_new).unwrap();
+        let direct = conv2d_circular(&x_new, model.kernel()).unwrap();
+        assert!(pred.max_abs_diff(&direct).unwrap() < 1e-9);
+    }
+
+    #[test]
+    fn fidelity_error_zero_for_exact_fit() {
+        let k = kernel_4x4();
+        let pairs: Vec<_> = (0..3)
+            .map(|s| {
+                let x = input(s);
+                let y = conv2d_circular(&x, &k).unwrap();
+                (x, y)
+            })
+            .collect();
+        let model = DistilledModel::fit(&pairs, SolveStrategy::default()).unwrap();
+        assert!(model.fidelity_error(&pairs).unwrap() < 1e-8);
+        assert_eq!(model.fidelity_error(&[]).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn fidelity_error_nonzero_for_nonlinear_target() {
+        // Y = X² is not a convolution; fidelity error must be visible.
+        let pairs: Vec<_> = (0..4)
+            .map(|s| {
+                let x = input(s);
+                let y = x.map(|v| v * v * 0.1);
+                (x, y)
+            })
+            .collect();
+        let model = DistilledModel::fit(&pairs, SolveStrategy::default()).unwrap();
+        assert!(model.fidelity_error(&pairs).unwrap() > 1e-3);
+    }
+
+    #[test]
+    fn empty_pairs_rejected() {
+        assert!(DistilledModel::fit(&[], SolveStrategy::default()).is_err());
+    }
+
+    #[test]
+    fn inconsistent_pair_shapes_rejected() {
+        let a = (input(0), input(1));
+        let b = (
+            Matrix::<f64>::zeros(3, 3).unwrap(),
+            Matrix::<f64>::zeros(3, 3).unwrap(),
+        );
+        assert!(DistilledModel::fit(&[a, b], SolveStrategy::default()).is_err());
+    }
+
+    #[test]
+    fn predict_shape_mismatch_rejected() {
+        let k = kernel_4x4();
+        let x = input(0);
+        let y = conv2d_circular(&x, &k).unwrap();
+        let model = DistilledModel::fit(&[(x, y)], SolveStrategy::default()).unwrap();
+        assert!(model.predict(&Matrix::<f64>::zeros(3, 3).unwrap()).is_err());
+    }
+
+    #[test]
+    fn accelerated_fit_matches_host_fit() {
+        use xai_accel::CpuModel;
+        let k = kernel_4x4();
+        let pairs: Vec<_> = (0..3)
+            .map(|s| {
+                let x = input(s);
+                let y = conv2d_circular(&x, &k).unwrap();
+                (x, y)
+            })
+            .collect();
+        let host = DistilledModel::fit(&pairs, SolveStrategy::default()).unwrap();
+        let mut cpu = CpuModel::i7_3700();
+        let accel = DistilledModel::fit_on(&mut cpu, &pairs, SolveStrategy::default()).unwrap();
+        assert!(host.kernel().max_abs_diff(accel.kernel()).unwrap() < 1e-9);
+        assert!(cpu.elapsed_seconds() > 0.0, "fit must be timed");
+    }
+
+    #[test]
+    fn accelerated_naive_fit_runs() {
+        use xai_accel::CpuModel;
+        let k = kernel_4x4();
+        let x = input(2);
+        let y = conv2d_circular(&x, &k).unwrap();
+        let mut cpu = CpuModel::i7_3700();
+        let model = DistilledModel::fit_on(
+            &mut cpu,
+            &[(x, y)],
+            SolveStrategy::Naive {
+                policy: DivPolicy::Clamp { floor: 1e-12 },
+            },
+        )
+        .unwrap();
+        assert!(model.kernel().max_abs_diff(&k).unwrap() < 1e-6);
+    }
+
+    #[test]
+    fn incremental_matches_batch_fit() {
+        let k = kernel_4x4();
+        let pairs: Vec<_> = (0..4)
+            .map(|s| {
+                let x = input(s);
+                let y = conv2d_circular(&x, &k).unwrap();
+                (x, y)
+            })
+            .collect();
+        let lambda = 1e-8;
+        let batch = DistilledModel::fit(&pairs, SolveStrategy::Wiener { lambda }).unwrap();
+        let mut inc = IncrementalDistiller::new(4, 4, lambda);
+        for (x, y) in &pairs {
+            inc.add_pair(x, y).unwrap();
+        }
+        assert_eq!(inc.pairs_seen(), 4);
+        let streamed = inc.model().unwrap();
+        assert!(batch.kernel().max_abs_diff(streamed.kernel()).unwrap() < 1e-10);
+    }
+
+    #[test]
+    fn incremental_requires_at_least_one_pair() {
+        let inc = IncrementalDistiller::new(4, 4, 1e-6);
+        assert!(inc.model().is_err());
+    }
+
+    #[test]
+    fn incremental_rejects_wrong_shapes() {
+        let mut inc = IncrementalDistiller::new(4, 4, 1e-6);
+        let bad = Matrix::<f64>::zeros(3, 3).unwrap();
+        assert!(inc.add_pair(&bad, &bad).is_err());
+    }
+
+    #[test]
+    fn decay_forgets_old_kernel() {
+        // Train on kernel A, then decay hard and train on kernel B:
+        // the model must follow B.
+        let ka = kernel_4x4();
+        let kb = ka.map(|v| -v + 0.3);
+        let mut inc = IncrementalDistiller::new(4, 4, 1e-9);
+        for s in 0..4 {
+            let x = input(s);
+            inc.add_pair(&x, &conv2d_circular(&x, &ka).unwrap()).unwrap();
+        }
+        inc.decay(1e-9);
+        for s in 4..8 {
+            let x = input(s);
+            inc.add_pair(&x, &conv2d_circular(&x, &kb).unwrap()).unwrap();
+        }
+        let model = inc.model().unwrap();
+        assert!(model.kernel().max_abs_diff(&kb).unwrap() < 1e-4);
+    }
+
+    #[test]
+    fn predict_on_accelerator_matches_host() {
+        use xai_accel::TpuAccel;
+        let k = kernel_4x4();
+        let x = input(4);
+        let y = conv2d_circular(&x, &k).unwrap();
+        let model = DistilledModel::fit(&[(x.clone(), y)], SolveStrategy::default()).unwrap();
+        let mut tpu = TpuAccel::with_cores(4);
+        let on_tpu = model.predict_on(&mut tpu, &x).unwrap();
+        let on_host = model.predict(&x).unwrap();
+        assert!(on_tpu.max_abs_diff(&on_host).unwrap() < 1e-9);
+    }
+}

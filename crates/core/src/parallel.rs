@@ -1,0 +1,115 @@
+//! Parallel computation of multiple inputs (§III-D of the paper).
+//!
+//! The paper's second acceleration activity processes many
+//! input–output pairs concurrently. On the simulated device this is
+//! [`xai_tpu::TpuDevice::run_phase`]; on the *host* it is real thread
+//! parallelism — this module shards a batch of explanation tasks
+//! across `crossbeam` scoped threads, which is what the wall-clock
+//! criterion benches measure.
+
+use crate::contribution::block_contributions;
+use crate::distill::DistilledModel;
+use xai_tensor::{Matrix, Result, TensorError};
+
+/// Computes `grid × grid` block contribution maps for a batch of
+/// `(X, Y)` pairs serially (reference implementation).
+///
+/// # Errors
+///
+/// Propagates shape errors.
+pub fn explain_batch(
+    model: &DistilledModel,
+    batch: &[(Matrix<f64>, Matrix<f64>)],
+    grid: usize,
+) -> Result<Vec<Matrix<f64>>> {
+    batch
+        .iter()
+        .map(|(x, y)| block_contributions(model, x, y, grid))
+        .collect()
+}
+
+/// Computes the same maps with the batch sharded across `workers`
+/// host threads — the multi-input parallelism of §III-D realised on
+/// host hardware. Results are identical to [`explain_batch`] and
+/// returned in input order.
+///
+/// # Errors
+///
+/// Returns [`TensorError::EmptyDimension`] for `workers == 0`;
+/// propagates the first shape error encountered.
+pub fn explain_batch_parallel(
+    model: &DistilledModel,
+    batch: &[(Matrix<f64>, Matrix<f64>)],
+    grid: usize,
+    workers: usize,
+) -> Result<Vec<Matrix<f64>>> {
+    if workers == 0 {
+        return Err(TensorError::EmptyDimension);
+    }
+    if batch.is_empty() {
+        return Ok(Vec::new());
+    }
+    let chunk = batch.len().div_ceil(workers);
+    let mut results: Vec<Option<Result<Vec<Matrix<f64>>>>> =
+        (0..batch.len().div_ceil(chunk)).map(|_| None).collect();
+    crossbeam::thread::scope(|scope| {
+        for (slot, work) in results.iter_mut().zip(batch.chunks(chunk)) {
+            scope.spawn(move |_| {
+                *slot = Some(explain_batch(model, work, grid));
+            });
+        }
+    })
+    .expect("worker thread panicked");
+    let mut out = Vec::with_capacity(batch.len());
+    for slot in results {
+        out.extend(slot.expect("every chunk spawned")?);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::distill::SolveStrategy;
+    use xai_tensor::conv::conv2d_circular;
+
+    type Setup = (DistilledModel, Vec<(Matrix<f64>, Matrix<f64>)>);
+
+    fn setup(n: usize) -> Setup {
+        let k = Matrix::from_fn(8, 8, |r, c| ((r + c * 3) % 5) as f64 * 0.25).unwrap();
+        let batch: Vec<_> = (0..n)
+            .map(|s| {
+                let x = Matrix::from_fn(8, 8, |r, c| ((r * 5 + c + s) % 9) as f64 - 4.0).unwrap();
+                let y = conv2d_circular(&x, &k).unwrap();
+                (x, y)
+            })
+            .collect();
+        let model = DistilledModel::fit(&batch, SolveStrategy::default()).unwrap();
+        (model, batch)
+    }
+
+    #[test]
+    fn parallel_matches_serial_all_worker_counts() {
+        let (model, batch) = setup(7);
+        let serial = explain_batch(&model, &batch, 4).unwrap();
+        for workers in [1usize, 2, 3, 8, 32] {
+            let parallel = explain_batch_parallel(&model, &batch, 4, workers).unwrap();
+            assert_eq!(parallel.len(), serial.len(), "workers={workers}");
+            for (a, b) in serial.iter().zip(&parallel) {
+                assert!(a.max_abs_diff(b).unwrap() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn empty_batch_is_fine() {
+        let (model, _) = setup(1);
+        assert!(explain_batch_parallel(&model, &[], 4, 4).unwrap().is_empty());
+    }
+
+    #[test]
+    fn zero_workers_rejected() {
+        let (model, batch) = setup(2);
+        assert!(explain_batch_parallel(&model, &batch, 4, 0).is_err());
+    }
+}

@@ -1,0 +1,113 @@
+//! Property-based tests of the explanation core: the closed-form
+//! solve must recover arbitrary kernels from well-conditioned data,
+//! and contribution factors must obey the linearity laws implied by
+//! Equation 5.
+
+use proptest::prelude::*;
+use xai_core::{
+    block_contributions, contribution, occlude, DistilledModel, Region, SolveStrategy,
+};
+use xai_tensor::conv::conv2d_circular;
+use xai_tensor::Matrix;
+
+/// A delta-dominant input: spectrum bounded away from zero, so the
+/// closed-form solve is well-conditioned.
+fn conditioned_input(n: usize, values: &[f64]) -> Matrix<f64> {
+    let mut x = Matrix::from_fn(n, n, |r, c| values[(r * n + c) % values.len()] * 0.2)
+        .expect("n > 0");
+    x[(0, 0)] += 8.0;
+    x
+}
+
+fn kernel_strategy(n: usize) -> impl Strategy<Value = Matrix<f64>> {
+    proptest::collection::vec(-1.0f64..1.0, n * n)
+        .prop_map(move |v| Matrix::from_vec(n, n, v).expect("length matches"))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn closed_form_recovers_any_kernel(k in kernel_strategy(6), noise in proptest::collection::vec(-1.0f64..1.0, 36)) {
+        let x = conditioned_input(6, &noise);
+        let y = conv2d_circular(&x, &k).unwrap();
+        let model = DistilledModel::fit(
+            &[(x, y)],
+            SolveStrategy::Wiener { lambda: 1e-12 },
+        ).unwrap();
+        prop_assert!(model.kernel().max_abs_diff(&k).unwrap() < 1e-6);
+    }
+
+    #[test]
+    fn prediction_is_linear(k in kernel_strategy(5), s in -3.0f64..3.0) {
+        let x = conditioned_input(5, &[0.3, -0.7, 1.1]);
+        let y = conv2d_circular(&x, &k).unwrap();
+        let model = DistilledModel::fit(&[(x.clone(), y)], SolveStrategy::default()).unwrap();
+        let scaled = model.predict(&xai_tensor::ops::scale(&x, s)).unwrap();
+        let direct = xai_tensor::ops::scale(&model.predict(&x).unwrap(), s);
+        prop_assert!(scaled.max_abs_diff(&direct).unwrap() < 1e-6 * (1.0 + s.abs()));
+    }
+
+    #[test]
+    fn occluding_a_zero_region_contributes_nothing(
+        k in kernel_strategy(6),
+        r in 0usize..6,
+        c in 0usize..6,
+    ) {
+        let mut x = conditioned_input(6, &[0.5, -0.2, 0.9]);
+        x[(r, c)] = 0.0;
+        let y = conv2d_circular(&x, &k).unwrap();
+        let model = DistilledModel::fit(&[(x.clone(), y.clone())], SolveStrategy::default()).unwrap();
+        let con = contribution(&model, &x, &y, Region::Element(r, c)).unwrap();
+        // With the feature already zero, X′ = X, so con reduces to the
+        // model's own fidelity residual ‖Y − X∗K‖ — bounded by the
+        // Wiener fit quality, not exactly zero.
+        let residual = xai_tensor::ops::sub(&y, &model.predict(&x).unwrap())
+            .unwrap()
+            .frobenius_norm();
+        prop_assert!((con - residual).abs() < 1e-9, "con {con} vs residual {residual}");
+        prop_assert!(con < 1e-3, "fit residual unexpectedly large: {con}");
+    }
+
+    #[test]
+    fn contributions_are_nonnegative_and_bounded(
+        k in kernel_strategy(6),
+        vals in proptest::collection::vec(-1.0f64..1.0, 36),
+    ) {
+        let x = conditioned_input(6, &vals);
+        let y = conv2d_circular(&x, &k).unwrap();
+        let model = DistilledModel::fit(&[(x.clone(), y.clone())], SolveStrategy::default()).unwrap();
+        let scores = block_contributions(&model, &x, &y, 3).unwrap();
+        // Norms are ≥ 0, and zeroing a block can at most remove the
+        // whole input's energy through the kernel.
+        let bound = x.frobenius_norm() * model.kernel().frobenius_norm() * 36.0;
+        for &s in scores.as_slice() {
+            prop_assert!(s >= 0.0);
+            prop_assert!(s <= bound, "score {s} exceeds bound {bound}");
+        }
+    }
+
+    #[test]
+    fn occlusion_is_idempotent(r in 0usize..5, c in 0usize..5) {
+        let x = conditioned_input(5, &[1.0, 2.0, -0.5]);
+        let once = occlude(&x, Region::Element(r, c)).unwrap();
+        let twice = occlude(&once, Region::Element(r, c)).unwrap();
+        prop_assert_eq!(once, twice);
+    }
+
+    #[test]
+    fn fidelity_error_invariant_under_pair_order(k in kernel_strategy(4)) {
+        let xs: Vec<Matrix<f64>> = (0..3)
+            .map(|s| conditioned_input(4, &[0.1 * s as f64 + 0.3, -0.6, 0.8]))
+            .collect();
+        let pairs: Vec<_> = xs
+            .iter()
+            .map(|x| (x.clone(), conv2d_circular(x, &k).unwrap()))
+            .collect();
+        let mut reversed = pairs.clone();
+        reversed.reverse();
+        let a = DistilledModel::fit(&pairs, SolveStrategy::default()).unwrap();
+        let b = DistilledModel::fit(&reversed, SolveStrategy::default()).unwrap();
+        prop_assert!(a.kernel().max_abs_diff(b.kernel()).unwrap() < 1e-9);
+    }
+}

@@ -1,0 +1,144 @@
+//! Plan caching: DFT plans are expensive to build (twiddle tables,
+//! bit-reversal permutations, Bluestein chirp filters) and the
+//! explanation pipeline transforms thousands of equally-shaped
+//! matrices — a cache keyed by shape amortises construction to zero.
+
+use crate::fft2d::Fft2d;
+use crate::plan::FftPlan;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// A shape-keyed cache of 1-D and 2-D transform plans.
+///
+/// Plans are returned as [`Arc`]s so callers can hold them across
+/// cache mutations; the cache itself is not synchronised — wrap it in
+/// a lock (or keep one per thread) for concurrent use.
+///
+/// # Examples
+///
+/// ```
+/// use xai_fourier::PlanCache;
+///
+/// let mut cache = PlanCache::new();
+/// let a = cache.plan_2d(64, 64);
+/// let b = cache.plan_2d(64, 64);
+/// assert!(std::sync::Arc::ptr_eq(&a, &b)); // built once
+/// assert_eq!(cache.len(), 1);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct PlanCache {
+    plans_1d: HashMap<usize, Arc<FftPlan>>,
+    plans_2d: HashMap<(usize, usize), Arc<Fft2d>>,
+}
+
+impl PlanCache {
+    /// Creates an empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns (building on first use) the 1-D plan for length `n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` (as [`FftPlan::new`]).
+    pub fn plan_1d(&mut self, n: usize) -> Arc<FftPlan> {
+        Arc::clone(
+            self.plans_1d
+                .entry(n)
+                .or_insert_with(|| Arc::new(FftPlan::new(n))),
+        )
+    }
+
+    /// Returns (building on first use) the 2-D plan for `rows × cols`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is 0 (as [`Fft2d::new`]).
+    pub fn plan_2d(&mut self, rows: usize, cols: usize) -> Arc<Fft2d> {
+        Arc::clone(
+            self.plans_2d
+                .entry((rows, cols))
+                .or_insert_with(|| Arc::new(Fft2d::new(rows, cols))),
+        )
+    }
+
+    /// Number of distinct cached plans (1-D + 2-D).
+    pub fn len(&self) -> usize {
+        self.plans_1d.len() + self.plans_2d.len()
+    }
+
+    /// `true` when nothing has been cached yet.
+    pub fn is_empty(&self) -> bool {
+        self.plans_1d.is_empty() && self.plans_2d.is_empty()
+    }
+
+    /// Drops all cached plans.
+    pub fn clear(&mut self) {
+        self.plans_1d.clear();
+        self.plans_2d.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::norm::Norm;
+    use xai_tensor::{Complex64, Matrix};
+
+    #[test]
+    fn caches_by_shape() {
+        let mut cache = PlanCache::new();
+        let a = cache.plan_1d(32);
+        let b = cache.plan_1d(32);
+        let c = cache.plan_1d(64);
+        assert!(Arc::ptr_eq(&a, &b));
+        assert!(!Arc::ptr_eq(&a, &c));
+        let d = cache.plan_2d(8, 16);
+        let e = cache.plan_2d(8, 16);
+        assert!(Arc::ptr_eq(&d, &e));
+        assert_eq!(cache.len(), 3);
+    }
+
+    #[test]
+    fn cached_plans_compute_correctly() {
+        let mut cache = PlanCache::new();
+        let plan = cache.plan_2d(4, 4);
+        let x = Matrix::from_fn(4, 4, |r, c| {
+            Complex64::new((r * 4 + c) as f64, 0.0)
+        })
+        .unwrap();
+        let via_cache = plan.forward(&x).unwrap();
+        let direct = crate::fft2d::fft2d(&x).unwrap();
+        assert!(via_cache.max_abs_diff(&direct).unwrap() < 1e-12);
+        // 1-D too.
+        let p1 = cache.plan_1d(8);
+        let mut buf: Vec<Complex64> = (0..8).map(|i| Complex64::new(i as f64, 0.0)).collect();
+        let expect = crate::dft::dft(&buf, Norm::Backward);
+        p1.forward(&mut buf, Norm::Backward);
+        for (a, b) in buf.iter().zip(&expect) {
+            assert!((*a - *b).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn clear_empties() {
+        let mut cache = PlanCache::new();
+        assert!(cache.is_empty());
+        cache.plan_1d(16);
+        assert!(!cache.is_empty());
+        cache.clear();
+        assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn plans_survive_cache_clear_via_arc() {
+        let mut cache = PlanCache::new();
+        let plan = cache.plan_1d(16);
+        cache.clear();
+        // The Arc keeps the plan alive and usable.
+        let mut buf = vec![Complex64::ONE; 16];
+        plan.forward(&mut buf, Norm::Backward);
+        assert!((buf[0].re - 16.0).abs() < 1e-12);
+    }
+}

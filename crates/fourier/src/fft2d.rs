@@ -1,0 +1,343 @@
+//! 2-D DFT via row–column decomposition — the data-decomposition
+//! heart of the paper (§III-C, Algorithm 1).
+//!
+//! `X = F₂(x)` factors as: 1-D transforms of every row, then 1-D
+//! transforms of every column of the intermediate. Rows (and then
+//! columns) are fully independent, so they shard across `p` workers
+//! with zero communication — the property Algorithm 1 exploits on TPU
+//! cores and [`Fft2d::forward_parallel`] exploits on host threads.
+
+use crate::norm::Norm;
+use crate::plan::FftPlan;
+use xai_tensor::{Complex64, Matrix, Result, TensorError};
+
+/// A reusable 2-D DFT plan for fixed `rows × cols` shape.
+#[derive(Debug, Clone)]
+pub struct Fft2d {
+    rows: usize,
+    cols: usize,
+    row_plan: FftPlan,
+    col_plan: FftPlan,
+}
+
+impl Fft2d {
+    /// Builds a plan for `rows × cols` matrices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn new(rows: usize, cols: usize) -> Self {
+        Fft2d {
+            rows,
+            cols,
+            row_plan: FftPlan::new(cols),
+            col_plan: FftPlan::new(rows),
+        }
+    }
+
+    /// Planned shape `(rows, cols)`.
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Forward 2-D transform.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] when `x` does not match
+    /// the planned shape.
+    pub fn forward(&self, x: &Matrix<Complex64>) -> Result<Matrix<Complex64>> {
+        self.transform(x, true, 1)
+    }
+
+    /// Inverse 2-D transform.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] when `x` does not match
+    /// the planned shape.
+    pub fn inverse(&self, x: &Matrix<Complex64>) -> Result<Matrix<Complex64>> {
+        self.transform(x, false, 1)
+    }
+
+    /// Forward transform sharded across `workers` host threads —
+    /// the software analogue of Algorithm 1's per-core row/column
+    /// assignment.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] for a shape mismatch and
+    /// [`TensorError::EmptyDimension`] if `workers == 0`.
+    pub fn forward_parallel(&self, x: &Matrix<Complex64>, workers: usize) -> Result<Matrix<Complex64>> {
+        if workers == 0 {
+            return Err(TensorError::EmptyDimension);
+        }
+        self.transform(x, true, workers)
+    }
+
+    /// Inverse transform sharded across `workers` host threads.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] for a shape mismatch and
+    /// [`TensorError::EmptyDimension`] if `workers == 0`.
+    pub fn inverse_parallel(&self, x: &Matrix<Complex64>, workers: usize) -> Result<Matrix<Complex64>> {
+        if workers == 0 {
+            return Err(TensorError::EmptyDimension);
+        }
+        self.transform(x, false, workers)
+    }
+
+    fn transform(&self, x: &Matrix<Complex64>, fwd: bool, workers: usize) -> Result<Matrix<Complex64>> {
+        if x.shape() != (self.rows, self.cols) {
+            return Err(TensorError::ShapeMismatch {
+                left: (self.rows, self.cols),
+                right: x.shape(),
+                op: "fft2d",
+            });
+        }
+        // Stage 1: transform all rows.
+        let mut inter = x.clone();
+        self.run_rows(&mut inter, &self.row_plan, fwd, workers);
+        // Stage 2: transform all columns (transpose, run rows, transpose back —
+        // keeps the hot loop contiguous).
+        let mut t = inter.transpose();
+        self.run_rows(&mut t, &self.col_plan, fwd, workers);
+        Ok(t.transpose())
+    }
+
+    fn run_rows(&self, m: &mut Matrix<Complex64>, plan: &FftPlan, fwd: bool, workers: usize) {
+        let norm = Norm::Backward; // scale handled per-axis by plan norm below
+        let cols = m.cols();
+        let run = |chunk: &mut [Complex64]| {
+            for row in chunk.chunks_exact_mut(cols) {
+                if fwd {
+                    plan.forward(row, norm);
+                } else {
+                    plan.inverse(row, norm);
+                }
+            }
+        };
+        if workers <= 1 {
+            run(m.as_mut_slice());
+        } else {
+            let rows = m.rows();
+            let rows_per = rows.div_ceil(workers);
+            let chunk_len = rows_per * cols;
+            std::thread::scope(|s| {
+                for chunk in m.as_mut_slice().chunks_mut(chunk_len) {
+                    s.spawn(move || run_chunk(chunk, cols, plan, fwd));
+                }
+            });
+        }
+
+        fn run_chunk(chunk: &mut [Complex64], cols: usize, plan: &FftPlan, fwd: bool) {
+            for row in chunk.chunks_exact_mut(cols) {
+                if fwd {
+                    plan.forward(row, Norm::Backward);
+                } else {
+                    plan.inverse(row, Norm::Backward);
+                }
+            }
+        }
+    }
+}
+
+/// One-shot forward 2-D DFT of a complex matrix (backward norm).
+///
+/// # Errors
+///
+/// Infallible for non-empty matrices; propagates construction errors.
+pub fn fft2d(x: &Matrix<Complex64>) -> Result<Matrix<Complex64>> {
+    Fft2d::new(x.rows(), x.cols()).forward(x)
+}
+
+/// One-shot inverse 2-D DFT (backward norm: scales by `1/(M·N)`).
+///
+/// # Errors
+///
+/// Infallible for non-empty matrices; propagates construction errors.
+pub fn ifft2d(x: &Matrix<Complex64>) -> Result<Matrix<Complex64>> {
+    Fft2d::new(x.rows(), x.cols()).inverse(x)
+}
+
+/// Forward 2-D DFT of a real matrix.
+///
+/// # Errors
+///
+/// Infallible for non-empty matrices; propagates construction errors.
+pub fn fft2d_real(x: &Matrix<f64>) -> Result<Matrix<Complex64>> {
+    fft2d(&x.to_complex())
+}
+
+/// Circular 2-D convolution via the convolution theorem:
+/// `x ∗ k = F⁻¹(F(x) ◦ F(k))`.
+///
+/// O((MN)·log(MN)) — the fast path for what
+/// [`xai_tensor::conv::conv2d_circular`] computes directly in O(M²N²).
+///
+/// # Errors
+///
+/// Returns [`TensorError::ShapeMismatch`] when shapes differ.
+pub fn convolve2d_fft(x: &Matrix<f64>, k: &Matrix<f64>) -> Result<Matrix<f64>> {
+    if x.shape() != k.shape() {
+        return Err(TensorError::ShapeMismatch {
+            left: x.shape(),
+            right: k.shape(),
+            op: "convolve2d_fft",
+        });
+    }
+    let plan = Fft2d::new(x.rows(), x.cols());
+    let fx = plan.forward(&x.to_complex())?;
+    let fk = plan.forward(&k.to_complex())?;
+    let prod = xai_tensor::ops::hadamard(&fx, &fk)?;
+    Ok(plan.inverse(&prod)?.to_real())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xai_tensor::conv::conv2d_circular;
+
+    fn test_matrix(rows: usize, cols: usize) -> Matrix<Complex64> {
+        Matrix::from_fn(rows, cols, |r, c| {
+            Complex64::new(
+                ((r * 7 + c * 3) % 11) as f64 - 5.0,
+                ((r * 2 + c * 5) % 7) as f64 * 0.3,
+            )
+        })
+        .unwrap()
+    }
+
+    /// Reference 2-D DFT straight from the definition (Equation 6 of
+    /// the paper, backward norm).
+    fn dft2d_reference(x: &Matrix<Complex64>) -> Matrix<Complex64> {
+        let (m, n) = x.shape();
+        Matrix::from_fn(m, n, |k, l| {
+            let mut acc = Complex64::ZERO;
+            for r in 0..m {
+                for c in 0..n {
+                    let w = Complex64::twiddle((r * k) as i64, m)
+                        * Complex64::twiddle((c * l) as i64, n);
+                    acc += x[(r, c)] * w;
+                }
+            }
+            acc
+        })
+        .unwrap()
+    }
+
+    #[test]
+    fn matches_definition_for_mixed_sizes() {
+        for (m, n) in [(4, 4), (8, 4), (3, 5), (6, 8), (7, 7)] {
+            let x = test_matrix(m, n);
+            let expect = dft2d_reference(&x);
+            let got = fft2d(&x).unwrap();
+            assert!(expect.max_abs_diff(&got).unwrap() < 1e-8, "{m}x{n}");
+        }
+    }
+
+    #[test]
+    fn roundtrip() {
+        let x = test_matrix(8, 12);
+        let back = ifft2d(&fft2d(&x).unwrap()).unwrap();
+        assert!(x.max_abs_diff(&back).unwrap() < 1e-9);
+    }
+
+    #[test]
+    fn parallel_matches_serial() {
+        let x = test_matrix(16, 16);
+        let plan = Fft2d::new(16, 16);
+        let serial = plan.forward(&x).unwrap();
+        for workers in [1, 2, 3, 4, 16, 64] {
+            let par = plan.forward_parallel(&x, workers).unwrap();
+            assert!(serial.max_abs_diff(&par).unwrap() < 1e-10, "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn parallel_inverse_roundtrip() {
+        let x = test_matrix(8, 8);
+        let plan = Fft2d::new(8, 8);
+        let spec = plan.forward_parallel(&x, 4).unwrap();
+        let back = plan.inverse_parallel(&spec, 4).unwrap();
+        assert!(x.max_abs_diff(&back).unwrap() < 1e-9);
+    }
+
+    #[test]
+    fn zero_workers_rejected() {
+        let x = test_matrix(4, 4);
+        let plan = Fft2d::new(4, 4);
+        assert!(plan.forward_parallel(&x, 0).is_err());
+        assert!(plan.inverse_parallel(&x, 0).is_err());
+    }
+
+    #[test]
+    fn shape_mismatch_rejected() {
+        let plan = Fft2d::new(4, 4);
+        let x = test_matrix(4, 5);
+        assert!(matches!(
+            plan.forward(&x).unwrap_err(),
+            TensorError::ShapeMismatch { .. }
+        ));
+    }
+
+    #[test]
+    fn convolution_theorem_exact() {
+        // F⁻¹(F(x)◦F(k)) must equal direct circular convolution.
+        let x = Matrix::from_fn(6, 6, |r, c| ((r * 5 + c) % 7) as f64 - 3.0).unwrap();
+        let k = Matrix::from_fn(6, 6, |r, c| ((r + c * 3) % 5) as f64 * 0.5).unwrap();
+        let fast = convolve2d_fft(&x, &k).unwrap();
+        let direct = conv2d_circular(&x, &k).unwrap();
+        assert!(fast.max_abs_diff(&direct).unwrap() < 1e-9);
+    }
+
+    #[test]
+    fn convolve_shape_mismatch() {
+        let x = Matrix::<f64>::zeros(4, 4).unwrap();
+        let k = Matrix::<f64>::zeros(4, 5).unwrap();
+        assert!(convolve2d_fft(&x, &k).is_err());
+    }
+
+    #[test]
+    fn real_input_spectrum_is_hermitian_2d() {
+        let x = Matrix::from_fn(4, 6, |r, c| ((r * 3 + c * 2) % 9) as f64).unwrap();
+        let spec = fft2d_real(&x).unwrap();
+        let (m, n) = spec.shape();
+        for r in 0..m {
+            for c in 0..n {
+                let mirror = spec[((m - r) % m, (n - c) % n)].conj();
+                assert!((spec[(r, c)] - mirror).abs() < 1e-9, "({r},{c})");
+            }
+        }
+    }
+
+    #[test]
+    fn row_then_col_equals_col_then_row() {
+        // Separability: the 2-D transform must not depend on axis order.
+        let x = test_matrix(4, 8);
+        let (m, n) = x.shape();
+        // rows first (library order)
+        let lib = fft2d(&x).unwrap();
+        // columns first, manually
+        let mut cols_first = x.transpose();
+        let col_plan = FftPlan::new(m);
+        for r in 0..n {
+            col_plan.forward(cols_first.row_mut(r), Norm::Backward);
+        }
+        let mut back = cols_first.transpose();
+        let row_plan = FftPlan::new(n);
+        for r in 0..m {
+            row_plan.forward(back.row_mut(r), Norm::Backward);
+        }
+        assert!(lib.max_abs_diff(&back).unwrap() < 1e-9);
+    }
+
+    #[test]
+    fn dc_bin_is_total_sum() {
+        let x = test_matrix(5, 5);
+        let spec = fft2d(&x).unwrap();
+        let total: Complex64 = x.iter().copied().sum();
+        assert!((spec[(0, 0)] - total).abs() < 1e-9);
+    }
+}

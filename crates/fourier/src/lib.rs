@@ -1,0 +1,57 @@
+//! # xai-fourier
+//!
+//! Discrete Fourier transforms for the `tpu-xai` workspace — the
+//! computational core the paper reduces explainable ML to.
+//!
+//! Five interchangeable evaluation strategies are provided, each
+//! exercising a different hardware story:
+//!
+//! | Strategy | Module | Complexity | Role |
+//! |---|---|---|---|
+//! | naive definition | [`dft()`] | O(N²) | reference / CPU baseline |
+//! | radix-2 Cooley–Tukey | [`fft`] | O(N log N) | fast host path |
+//! | Bluestein chirp-z | [`bluestein`] | O(N log N), any N | arbitrary shapes |
+//! | DFT-matrix matmul | [`matrix_form`] | O(N²) as *matmul* | the TPU mapping (Eq. 10–13) |
+//! | row–column 2-D | [`fft2d()`] | O(MN log MN) | Algorithm 1 decomposition |
+//!
+//! ## Example: the convolution theorem the paper's solver rests on
+//!
+//! ```
+//! use xai_fourier::convolve2d_fft;
+//! use xai_tensor::{conv::conv2d_circular, Matrix};
+//!
+//! # fn main() -> Result<(), xai_tensor::TensorError> {
+//! let x = Matrix::from_fn(8, 8, |r, c| ((r * 3 + c) % 7) as f64)?;
+//! let k = Matrix::from_fn(8, 8, |r, c| ((r + c) % 4) as f64 * 0.25)?;
+//! let fast = convolve2d_fft(&x, &k)?;
+//! let direct = conv2d_circular(&x, &k)?;
+//! assert!(fast.max_abs_diff(&direct)? < 1e-9);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod bluestein;
+mod cache;
+pub mod dft;
+pub mod fft;
+pub mod fft2d;
+pub mod matrix_form;
+mod norm;
+mod plan;
+pub mod real;
+
+pub use bluestein::BluesteinPlan;
+pub use cache::PlanCache;
+pub use dft::{dft, dft_real, idft};
+pub use fft::Radix2Plan;
+pub use fft2d::{convolve2d_fft, fft2d, fft2d_real, ifft2d, Fft2d};
+pub use matrix_form::{
+    dft_matrix, dft_via_matrix, fft2d_via_matmul, idft_matrix, ifft2d_via_matmul, merge_rows,
+    shard_rows,
+};
+pub use norm::Norm;
+pub use plan::FftPlan;
+pub use real::{rfft2d, RealFftPlan};

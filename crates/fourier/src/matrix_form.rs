@@ -1,0 +1,246 @@
+//! DFT as matrix multiplication — the representation the paper maps
+//! onto the TPU's systolic array.
+//!
+//! Equation 10 of the paper writes the 1-D transform as `X' = W_M·x`,
+//! and Equation 13 assembles the 2-D transform as
+//! `X = (W_M · x) · W_N`. A systolic matrix engine evaluates both
+//! products natively; this module provides the host-side reference of
+//! that formulation (the `xai-tpu` simulator consumes the same
+//! matrices).
+
+use crate::norm::Norm;
+use xai_tensor::ops::matmul;
+use xai_tensor::{Complex64, Matrix, Result, TensorError};
+
+/// Builds the `n × n` DFT matrix `W[j,k] = s·e^{-2πi·jk/n}` where `s`
+/// is the norm's forward scale.
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+///
+/// # Examples
+///
+/// ```
+/// use xai_fourier::{dft_matrix, Norm};
+///
+/// let w = dft_matrix(2, Norm::Backward);
+/// // W₂ = [[1, 1], [1, -1]]
+/// assert!((w[(1, 1)].re + 1.0).abs() < 1e-12);
+/// ```
+pub fn dft_matrix(n: usize, norm: Norm) -> Matrix<Complex64> {
+    assert!(n > 0, "DFT matrix size must be non-zero");
+    let s = norm.forward_scale(n);
+    Matrix::from_fn(n, n, |j, k| {
+        let jk = ((j as u128 * k as u128) % n as u128) as i64;
+        Complex64::twiddle(jk, n).scale(s)
+    })
+    .expect("n > 0")
+}
+
+/// Builds the inverse DFT matrix with the norm's inverse scale.
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+pub fn idft_matrix(n: usize, norm: Norm) -> Matrix<Complex64> {
+    assert!(n > 0, "DFT matrix size must be non-zero");
+    let s = norm.inverse_scale(n);
+    Matrix::from_fn(n, n, |j, k| {
+        let jk = ((j as u128 * k as u128) % n as u128) as i64;
+        Complex64::twiddle(-jk, n).scale(s)
+    })
+    .expect("n > 0")
+}
+
+/// 1-D DFT of a vector via `W_N · x` (Equation 10).
+///
+/// # Errors
+///
+/// Propagates shape errors from the underlying matvec (cannot occur
+/// for a well-formed call).
+pub fn dft_via_matrix(x: &[Complex64], norm: Norm) -> Result<Vec<Complex64>> {
+    let n = x.len();
+    if n == 0 {
+        return Ok(Vec::new());
+    }
+    let w = dft_matrix(n, norm);
+    xai_tensor::ops::matvec(&w, x)
+}
+
+/// 2-D DFT via two matrix products: `X = (W_M · x) · W_N`
+/// (Equation 13) — the exact computation the paper schedules onto the
+/// TPU's MXU.
+///
+/// # Errors
+///
+/// Propagates matmul shape errors (cannot occur for a well-formed
+/// matrix).
+pub fn fft2d_via_matmul(x: &Matrix<Complex64>, norm: Norm) -> Result<Matrix<Complex64>> {
+    let (m, n) = x.shape();
+    let wm = dft_matrix(m, norm);
+    let wn = dft_matrix(n, norm);
+    // Column transforms: W_M · x ; row transforms: (·) · W_N.
+    matmul(&matmul(&wm, x)?, &wn)
+}
+
+/// Inverse 2-D DFT via `x = (W_M⁻¹ · X) · W_N⁻¹`.
+///
+/// # Errors
+///
+/// Propagates matmul shape errors (cannot occur for a well-formed
+/// matrix).
+pub fn ifft2d_via_matmul(x: &Matrix<Complex64>, norm: Norm) -> Result<Matrix<Complex64>> {
+    let (m, n) = x.shape();
+    let wm = idft_matrix(m, norm);
+    let wn = idft_matrix(n, norm);
+    matmul(&matmul(&wm, x)?, &wn)
+}
+
+/// Splits the rows of `x` into `p` contiguous shards, as Algorithm 1
+/// assigns row-transform work to TPU cores. Returns at most `p`
+/// non-empty shards of `ceil(rows/p)` rows each (the last may be
+/// smaller).
+///
+/// # Errors
+///
+/// Returns [`TensorError::EmptyDimension`] if `p == 0`.
+pub fn shard_rows(x: &Matrix<Complex64>, p: usize) -> Result<Vec<Matrix<Complex64>>> {
+    if p == 0 {
+        return Err(TensorError::EmptyDimension);
+    }
+    let rows = x.rows();
+    let per = rows.div_ceil(p);
+    let mut shards = Vec::new();
+    let mut r = 0;
+    while r < rows {
+        let h = per.min(rows - r);
+        shards.push(x.submatrix(r, 0, h, x.cols())?);
+        r += h;
+    }
+    Ok(shards)
+}
+
+/// Reassembles row shards produced by [`shard_rows`] — the "merge
+/// results" step of Algorithm 1.
+///
+/// # Errors
+///
+/// Returns [`TensorError::EmptyDimension`] for an empty shard list and
+/// [`TensorError::ShapeMismatch`] for inconsistent widths.
+pub fn merge_rows(shards: &[Matrix<Complex64>]) -> Result<Matrix<Complex64>> {
+    Matrix::vstack(shards)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fft2d::fft2d;
+
+    fn test_matrix(rows: usize, cols: usize) -> Matrix<Complex64> {
+        Matrix::from_fn(rows, cols, |r, c| {
+            Complex64::new(((r * 3 + c) % 5) as f64, ((r + c * 2) % 3) as f64)
+        })
+        .unwrap()
+    }
+
+    #[test]
+    fn w2_is_hadamard_like() {
+        let w = dft_matrix(2, Norm::Backward);
+        assert!((w[(0, 0)] - Complex64::ONE).abs() < 1e-12);
+        assert!((w[(0, 1)] - Complex64::ONE).abs() < 1e-12);
+        assert!((w[(1, 0)] - Complex64::ONE).abs() < 1e-12);
+        assert!((w[(1, 1)] + Complex64::ONE).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dft_matrix_is_symmetric() {
+        let w = dft_matrix(7, Norm::Backward);
+        assert!(w.max_abs_diff(&w.transpose()).unwrap() < 1e-12);
+    }
+
+    #[test]
+    fn forward_inverse_matrices_compose_to_identity() {
+        for norm in [Norm::Backward, Norm::Ortho, Norm::Forward] {
+            let n = 6;
+            let prod = matmul(&dft_matrix(n, norm), &idft_matrix(n, norm)).unwrap();
+            let id = Matrix::<Complex64>::identity(n).unwrap();
+            assert!(prod.max_abs_diff(&id).unwrap() < 1e-10, "{norm:?}");
+        }
+    }
+
+    #[test]
+    fn ortho_dft_matrix_is_unitary() {
+        let n = 5;
+        let w = dft_matrix(n, Norm::Ortho);
+        let wh = w.conj().transpose();
+        let prod = matmul(&w, &wh).unwrap();
+        let id = Matrix::<Complex64>::identity(n).unwrap();
+        assert!(prod.max_abs_diff(&id).unwrap() < 1e-10);
+    }
+
+    #[test]
+    fn matvec_form_matches_naive_dft() {
+        let x: Vec<Complex64> = (0..9).map(|i| Complex64::new(i as f64, 1.0)).collect();
+        let via_matrix = dft_via_matrix(&x, Norm::Backward).unwrap();
+        let naive = crate::dft::dft(&x, Norm::Backward);
+        let err = via_matrix
+            .iter()
+            .zip(&naive)
+            .map(|(a, b)| (*a - *b).abs())
+            .fold(0.0, f64::max);
+        assert!(err < 1e-10);
+    }
+
+    #[test]
+    fn equation13_matches_fft2d() {
+        for (m, n) in [(4, 4), (3, 5), (8, 6)] {
+            let x = test_matrix(m, n);
+            let via_matmul = fft2d_via_matmul(&x, Norm::Backward).unwrap();
+            let via_fft = fft2d(&x).unwrap();
+            assert!(via_matmul.max_abs_diff(&via_fft).unwrap() < 1e-9, "{m}x{n}");
+        }
+    }
+
+    #[test]
+    fn equation13_roundtrip() {
+        let x = test_matrix(6, 4);
+        for norm in [Norm::Backward, Norm::Ortho] {
+            let spec = fft2d_via_matmul(&x, norm).unwrap();
+            let back = ifft2d_via_matmul(&spec, norm).unwrap();
+            assert!(x.max_abs_diff(&back).unwrap() < 1e-9, "{norm:?}");
+        }
+    }
+
+    #[test]
+    fn shard_merge_roundtrip() {
+        let x = test_matrix(10, 4);
+        for p in [1usize, 2, 3, 4, 10, 100] {
+            let shards = shard_rows(&x, p).unwrap();
+            assert!(shards.len() <= p.min(10));
+            let merged = merge_rows(&shards).unwrap();
+            assert_eq!(merged, x, "p={p}");
+        }
+    }
+
+    #[test]
+    fn shard_zero_cores_rejected() {
+        let x = test_matrix(4, 4);
+        assert!(shard_rows(&x, 0).is_err());
+    }
+
+    #[test]
+    fn sharded_row_transforms_equal_full_transform() {
+        // Algorithm 1, stage 1: per-shard W_M·xᵢ then merge == W on full x.
+        // Row transforms act per row, so sharding rows commutes with them.
+        let x = test_matrix(8, 8);
+        let full = matmul(&x, &dft_matrix(8, Norm::Backward)).unwrap();
+        let shards = shard_rows(&x, 3).unwrap();
+        let transformed: Vec<_> = shards
+            .iter()
+            .map(|s| matmul(s, &dft_matrix(8, Norm::Backward)).unwrap())
+            .collect();
+        let merged = merge_rows(&transformed).unwrap();
+        assert!(full.max_abs_diff(&merged).unwrap() < 1e-10);
+    }
+}

@@ -1,0 +1,68 @@
+//! Normalisation conventions for the discrete Fourier transform.
+
+/// DFT normalisation convention.
+///
+/// The paper writes the unitary transform (`1/√MN` on both directions,
+/// Equation 6). Numerical libraries usually default to [`Norm::Backward`]
+/// because it makes the convolution theorem scale-free:
+/// `F(x ∗ k) = F(x) ◦ F(k)` holds exactly with no √N factors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Norm {
+    /// Forward unscaled, inverse scaled by `1/N` (library default).
+    #[default]
+    Backward,
+    /// Both directions scaled by `1/√N` — the paper's convention.
+    Ortho,
+    /// Forward scaled by `1/N`, inverse unscaled.
+    Forward,
+}
+
+impl Norm {
+    /// Scale factor applied after the forward transform of length `n`.
+    #[inline]
+    pub fn forward_scale(self, n: usize) -> f64 {
+        match self {
+            Norm::Backward => 1.0,
+            Norm::Ortho => 1.0 / (n as f64).sqrt(),
+            Norm::Forward => 1.0 / n as f64,
+        }
+    }
+
+    /// Scale factor applied after the inverse transform of length `n`.
+    #[inline]
+    pub fn inverse_scale(self, n: usize) -> f64 {
+        match self {
+            Norm::Backward => 1.0 / n as f64,
+            Norm::Ortho => 1.0 / (n as f64).sqrt(),
+            Norm::Forward => 1.0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forward_and_inverse_scales_compose_to_reciprocal_n() {
+        for norm in [Norm::Backward, Norm::Ortho, Norm::Forward] {
+            for n in [1usize, 2, 16, 1000] {
+                let product = norm.forward_scale(n) * norm.inverse_scale(n);
+                assert!(
+                    (product - 1.0 / n as f64).abs() < 1e-15,
+                    "{norm:?} n={n}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn default_is_backward() {
+        assert_eq!(Norm::default(), Norm::Backward);
+    }
+
+    #[test]
+    fn ortho_is_symmetric() {
+        assert_eq!(Norm::Ortho.forward_scale(64), Norm::Ortho.inverse_scale(64));
+    }
+}

@@ -1,0 +1,159 @@
+//! Algorithm-selecting 1-D FFT plan.
+
+use crate::bluestein::BluesteinPlan;
+use crate::fft::{is_power_of_two, Radix2Plan};
+use crate::norm::Norm;
+use xai_tensor::Complex64;
+
+/// A reusable 1-D DFT plan that picks the fastest applicable
+/// algorithm: radix-2 for power-of-two lengths, Bluestein otherwise.
+///
+/// # Examples
+///
+/// ```
+/// use xai_fourier::{FftPlan, Norm};
+/// use xai_tensor::Complex64;
+///
+/// let plan = FftPlan::new(12); // not a power of two — Bluestein
+/// let mut data: Vec<Complex64> = (0..12)
+///     .map(|i| Complex64::new(i as f64, 0.0))
+///     .collect();
+/// let original = data.clone();
+/// plan.forward(&mut data, Norm::Backward);
+/// plan.inverse(&mut data, Norm::Backward);
+/// let err = data.iter().zip(&original).map(|(a, b)| (*a - *b).abs()).fold(0.0, f64::max);
+/// assert!(err < 1e-9);
+/// ```
+#[derive(Debug, Clone)]
+pub struct FftPlan {
+    algo: Algo,
+}
+
+#[derive(Debug, Clone)]
+enum Algo {
+    Radix2(Radix2Plan),
+    Bluestein(BluesteinPlan),
+}
+
+impl FftPlan {
+    /// Builds a plan for length `n`, selecting the algorithm
+    /// automatically.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn new(n: usize) -> Self {
+        assert!(n > 0, "transform length must be non-zero");
+        let algo = if is_power_of_two(n) {
+            Algo::Radix2(Radix2Plan::new(n))
+        } else {
+            Algo::Bluestein(BluesteinPlan::new(n))
+        };
+        FftPlan { algo }
+    }
+
+    /// Transform length.
+    pub fn len(&self) -> usize {
+        match &self.algo {
+            Algo::Radix2(p) => p.len(),
+            Algo::Bluestein(p) => p.len(),
+        }
+    }
+
+    /// `true` iff the plan length is zero (never, by construction).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// `true` when the radix-2 path was selected.
+    pub fn is_radix2(&self) -> bool {
+        matches!(self.algo, Algo::Radix2(_))
+    }
+
+    /// In-place forward transform.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != self.len()`.
+    pub fn forward(&self, data: &mut [Complex64], norm: Norm) {
+        match &self.algo {
+            Algo::Radix2(p) => p.forward(data, norm),
+            Algo::Bluestein(p) => p.forward(data, norm),
+        }
+    }
+
+    /// In-place inverse transform.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != self.len()`.
+    pub fn inverse(&self, data: &mut [Complex64], norm: Norm) {
+        match &self.algo {
+            Algo::Radix2(p) => p.inverse(data, norm),
+            Algo::Bluestein(p) => p.inverse(data, norm),
+        }
+    }
+
+    /// Approximate complex-MAC count of one transform execution —
+    /// consumed by the hardware cost models in `xai-accel`.
+    pub fn op_count(&self) -> u64 {
+        match &self.algo {
+            Algo::Radix2(p) => {
+                let n = p.len() as u64;
+                if n <= 1 {
+                    0
+                } else {
+                    n * n.ilog2() as u64 / 2
+                }
+            }
+            Algo::Bluestein(p) => {
+                let m = p.padded_len() as u64;
+                let n = p.len() as u64;
+                // three inner FFTs of length m + 2n chirp multiplies + m filter multiplies
+                3 * m * m.ilog2() as u64 / 2 + 2 * n + m
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dft::dft;
+
+    #[test]
+    fn selects_radix2_for_powers_of_two() {
+        assert!(FftPlan::new(64).is_radix2());
+        assert!(!FftPlan::new(63).is_radix2());
+    }
+
+    #[test]
+    fn both_paths_agree_with_naive() {
+        for n in [8usize, 12] {
+            let x: Vec<Complex64> = (0..n).map(|i| Complex64::new(i as f64, -(i as f64))).collect();
+            let expect = dft(&x, Norm::Ortho);
+            let mut got = x.clone();
+            FftPlan::new(n).forward(&mut got, Norm::Ortho);
+            let err = expect
+                .iter()
+                .zip(&got)
+                .map(|(a, b)| (*a - *b).abs())
+                .fold(0.0, f64::max);
+            assert!(err < 1e-9, "n={n}");
+        }
+    }
+
+    #[test]
+    fn op_count_monotone_in_length() {
+        let small = FftPlan::new(64).op_count();
+        let large = FftPlan::new(256).op_count();
+        assert!(large > small);
+        assert_eq!(FftPlan::new(1).op_count(), 0);
+    }
+
+    #[test]
+    fn bluestein_op_count_exceeds_radix2() {
+        // Bluestein pads to ≥2n and runs 3 inner FFTs — must cost more.
+        assert!(FftPlan::new(100).op_count() > FftPlan::new(128).op_count());
+    }
+}

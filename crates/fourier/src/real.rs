@@ -1,0 +1,225 @@
+//! Real-input FFT: exploits Hermitian symmetry to halve the work.
+//!
+//! The explanation pipeline's inputs (images, traces) are real, so a
+//! real-input transform is the natural production optimisation: an
+//! even-length real signal packs into a half-length complex signal,
+//! one half-size FFT runs, and a post-processing butterfly unpacks
+//! the full spectrum.
+
+use crate::norm::Norm;
+use crate::plan::FftPlan;
+use xai_tensor::{Complex64, Matrix, Result, TensorError};
+
+/// A reusable real-input FFT plan for even lengths.
+#[derive(Debug, Clone)]
+pub struct RealFftPlan {
+    n: usize,
+    half: FftPlan,
+}
+
+impl RealFftPlan {
+    /// Builds a plan for real signals of even length `n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `n` is zero or odd (the packing trick requires an
+    /// even length; pad or use [`FftPlan`] otherwise).
+    pub fn new(n: usize) -> Self {
+        assert!(n > 0 && n.is_multiple_of(2), "real FFT requires even non-zero length, got {n}");
+        RealFftPlan {
+            n,
+            half: FftPlan::new(n / 2),
+        }
+    }
+
+    /// Transform length.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// `true` iff the plan length is zero (never, by construction).
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Forward transform of a real signal. Returns the full `n`-bin
+    /// complex spectrum (redundant Hermitian half included, for
+    /// drop-in compatibility with the complex pipeline).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::DataLength`] when `x.len() != n`.
+    pub fn forward(&self, x: &[f64], norm: Norm) -> Result<Vec<Complex64>> {
+        if x.len() != self.n {
+            return Err(TensorError::DataLength {
+                expected: self.n,
+                actual: x.len(),
+            });
+        }
+        let h = self.n / 2;
+        // Pack even samples into re, odd into im.
+        let mut packed: Vec<Complex64> = (0..h)
+            .map(|i| Complex64::new(x[2 * i], x[2 * i + 1]))
+            .collect();
+        self.half.forward(&mut packed, Norm::Backward);
+
+        // Unpack: the packed transform Z satisfies
+        // X[k] = E[k] + w·O[k] with E[k] = (Z[k] + conj(Z[h-k]))/2 and
+        // O[k] = (Z[k] - conj(Z[h-k]))/(2i); compute bins 0..=h
+        // directly and mirror the rest by Hermitian symmetry.
+        let mut spectrum = vec![Complex64::ZERO; self.n];
+        for k in 0..=h {
+            let zk = packed[k % h];
+            let zn = packed[(h - k) % h].conj();
+            let even = (zk + zn).scale(0.5);
+            let odd = (zk - zn) * Complex64::new(0.0, -0.5);
+            let w = Complex64::twiddle(k as i64, self.n);
+            spectrum[k] = even + w * odd;
+        }
+        for k in h + 1..self.n {
+            spectrum[k] = spectrum[self.n - k].conj();
+        }
+        let s = norm.forward_scale(self.n);
+        if s != 1.0 {
+            for v in &mut spectrum {
+                *v = v.scale(s);
+            }
+        }
+        Ok(spectrum)
+    }
+
+    /// Inverse transform back to a real signal (imaginary residue of
+    /// the inverse is discarded; it is numerical noise for spectra
+    /// with Hermitian symmetry).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::DataLength`] when the spectrum length
+    /// differs from the plan.
+    pub fn inverse(&self, spectrum: &[Complex64], norm: Norm) -> Result<Vec<f64>> {
+        if spectrum.len() != self.n {
+            return Err(TensorError::DataLength {
+                expected: self.n,
+                actual: spectrum.len(),
+            });
+        }
+        // Inverse via the full-size complex plan is simplest and
+        // still O(n log n); the forward path is the hot one.
+        let full = FftPlan::new(self.n);
+        let mut buf = spectrum.to_vec();
+        full.inverse(&mut buf, norm);
+        Ok(buf.into_iter().map(|z| z.re).collect())
+    }
+}
+
+/// Forward 2-D transform of a real matrix using row-wise real FFTs
+/// for the first stage (the production-path optimisation of
+/// [`crate::fft2d_real`]). Requires an even column count.
+///
+/// # Errors
+///
+/// Returns [`TensorError::ShapeMismatch`] for an odd column count.
+pub fn rfft2d(x: &Matrix<f64>) -> Result<Matrix<Complex64>> {
+    let (m, n) = x.shape();
+    if n % 2 != 0 {
+        return Err(TensorError::ShapeMismatch {
+            left: (m, n),
+            right: (m, n + 1),
+            op: "rfft2d requires even columns",
+        });
+    }
+    let row_plan = RealFftPlan::new(n);
+    let mut inter = Matrix::<Complex64>::zeros(m, n)?;
+    for r in 0..m {
+        let spectrum = row_plan.forward(x.row(r), Norm::Backward)?;
+        inter.row_mut(r).copy_from_slice(&spectrum);
+    }
+    // Column stage: complex transforms.
+    let col_plan = FftPlan::new(m);
+    let mut t = inter.transpose();
+    for r in 0..n {
+        col_plan.forward(t.row_mut(r), Norm::Backward);
+    }
+    Ok(t.transpose())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dft::dft_real;
+    use crate::fft2d::fft2d_real;
+
+    fn real_signal(n: usize) -> Vec<f64> {
+        (0..n).map(|i| ((i * 7 + 3) % 13) as f64 - 6.0).collect()
+    }
+
+    #[test]
+    fn matches_complex_dft_for_even_lengths() {
+        for n in [2usize, 4, 8, 16, 64, 100] {
+            let x = real_signal(n);
+            let expect = dft_real(&x, Norm::Backward);
+            let got = RealFftPlan::new(n).forward(&x, Norm::Backward).unwrap();
+            let err = expect
+                .iter()
+                .zip(&got)
+                .map(|(a, b)| (*a - *b).abs())
+                .fold(0.0, f64::max);
+            assert!(err < 1e-8, "n={n}, err={err}");
+        }
+    }
+
+    #[test]
+    fn roundtrip() {
+        let n = 32;
+        let x = real_signal(n);
+        let plan = RealFftPlan::new(n);
+        for norm in [Norm::Backward, Norm::Ortho] {
+            let spec = plan.forward(&x, norm).unwrap();
+            let back = plan.inverse(&spec, norm).unwrap();
+            let err = x
+                .iter()
+                .zip(&back)
+                .map(|(a, b)| (a - b).abs())
+                .fold(0.0, f64::max);
+            assert!(err < 1e-9, "{norm:?}");
+        }
+    }
+
+    #[test]
+    fn output_is_hermitian() {
+        let n = 24;
+        let spec = RealFftPlan::new(n)
+            .forward(&real_signal(n), Norm::Backward)
+            .unwrap();
+        for k in 1..n {
+            assert!((spec[k] - spec[n - k].conj()).abs() < 1e-9, "bin {k}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "even")]
+    fn odd_length_panics() {
+        let _ = RealFftPlan::new(7);
+    }
+
+    #[test]
+    fn length_validation() {
+        let plan = RealFftPlan::new(8);
+        assert!(plan.forward(&[0.0; 6], Norm::Backward).is_err());
+        assert!(plan.inverse(&[Complex64::ZERO; 6], Norm::Backward).is_err());
+    }
+
+    #[test]
+    fn rfft2d_matches_complex_2d() {
+        let x = Matrix::from_fn(6, 8, |r, c| ((r * 3 + c * 5) % 11) as f64 - 5.0).unwrap();
+        let expect = fft2d_real(&x).unwrap();
+        let got = rfft2d(&x).unwrap();
+        assert!(expect.max_abs_diff(&got).unwrap() < 1e-8);
+    }
+
+    #[test]
+    fn rfft2d_rejects_odd_columns() {
+        let x = Matrix::<f64>::zeros(4, 5).unwrap();
+        assert!(rfft2d(&x).is_err());
+    }
+}

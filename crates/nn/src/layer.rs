@@ -1,0 +1,102 @@
+//! The [`Layer`] abstraction: explicit forward/backward with cached
+//! activations — no autograd tape, every gradient is written out by
+//! hand and unit-tested against finite differences.
+
+use crate::tensor3::Tensor3;
+use xai_tensor::Result;
+
+/// One differentiable network layer.
+///
+/// The contract: `forward` caches whatever it needs, `backward`
+/// consumes the cached state of the *most recent* forward call and
+/// returns the gradient with respect to that input while accumulating
+/// parameter gradients internally; `apply_gradients` consumes the
+/// accumulated gradients (SGD with momentum) and clears them.
+pub trait Layer: Send {
+    /// Layer name for summaries (e.g. `"conv 3->16 3x3"`).
+    fn name(&self) -> String;
+
+    /// Computes the layer output, caching activations for backward.
+    ///
+    /// # Errors
+    ///
+    /// Shape mismatch between the input and the layer's expectation.
+    fn forward(&mut self, input: &Tensor3) -> Result<Tensor3>;
+
+    /// Backpropagates `grad` (∂loss/∂output) to ∂loss/∂input,
+    /// accumulating parameter gradients.
+    ///
+    /// # Errors
+    ///
+    /// Shape mismatch, or calling backward before any forward.
+    fn backward(&mut self, grad: &Tensor3) -> Result<Tensor3>;
+
+    /// Applies accumulated gradients with learning rate `lr` and
+    /// momentum `momentum` (averaged over `batch` samples), then
+    /// clears them. Layers without parameters do nothing.
+    fn apply_gradients(&mut self, lr: f64, momentum: f64, batch: usize);
+
+    /// Number of trainable parameters.
+    fn parameter_count(&self) -> usize {
+        0
+    }
+
+    /// FLOPs of one forward pass for the configured input shape
+    /// (used by the hardware timing models; backward ≈ 2× forward).
+    fn flops_per_sample(&self) -> u64;
+
+    /// Bytes of activation+weight traffic for one forward pass.
+    fn bytes_per_sample(&self) -> u64;
+
+    /// Output shape for the configured input shape.
+    fn output_shape(&self) -> (usize, usize, usize);
+}
+
+/// Numerically checks `∂loss/∂input` of a layer against central finite
+/// differences, with `loss = Σ output ⊙ probe`. Returns the maximum
+/// absolute deviation. Test helper shared by all layer test modules.
+///
+/// # Errors
+///
+/// Propagates layer errors.
+pub fn finite_difference_check(
+    layer: &mut dyn Layer,
+    input: &Tensor3,
+    eps: f64,
+) -> Result<f64> {
+    // Probe vector fixed to pseudo-random ±1 pattern.
+    let out = layer.forward(input)?;
+    let probe = Tensor3::from_fn(out.channels(), out.height(), out.width(), |c, y, x| {
+        if (c + y * 3 + x * 7) % 2 == 0 {
+            1.0
+        } else {
+            -1.0
+        }
+    })?;
+    // Analytic gradient.
+    let analytic = layer.backward(&probe)?;
+
+    let mut max_err = 0.0f64;
+    let (ci, hi, wi) = input.shape();
+    for c in 0..ci {
+        for y in 0..hi {
+            for x in 0..wi {
+                let mut plus = input.clone();
+                plus.set(c, y, x, input.get(c, y, x) + eps);
+                let mut minus = input.clone();
+                minus.set(c, y, x, input.get(c, y, x) - eps);
+                let f = |t: &Tensor3, l: &mut dyn Layer| -> Result<f64> {
+                    let o = l.forward(t)?;
+                    Ok(o.zip_with(&probe, |a, b| a * b)?.sum())
+                };
+                let fp = f(&plus, layer)?;
+                let fm = f(&minus, layer)?;
+                let numeric = (fp - fm) / (2.0 * eps);
+                max_err = max_err.max((numeric - analytic.get(c, y, x)).abs());
+            }
+        }
+    }
+    // Restore the cache for the original input.
+    layer.forward(input)?;
+    Ok(max_err)
+}

@@ -1,0 +1,535 @@
+//! Parameter-free layers: ReLU and 2×2 max pooling.
+
+use crate::layer::Layer;
+use crate::tensor3::Tensor3;
+use xai_tensor::{Result, TensorError};
+
+/// Rectified linear unit, elementwise `max(0, x)`.
+#[derive(Debug, Clone)]
+pub struct Relu {
+    shape: (usize, usize, usize),
+    mask: Option<Vec<bool>>,
+}
+
+impl Relu {
+    /// Creates a ReLU for inputs of the given shape.
+    pub fn new(channels: usize, height: usize, width: usize) -> Self {
+        Relu {
+            shape: (channels, height, width),
+            mask: None,
+        }
+    }
+}
+
+impl Layer for Relu {
+    fn name(&self) -> String {
+        "relu".to_string()
+    }
+
+    fn forward(&mut self, input: &Tensor3) -> Result<Tensor3> {
+        if input.shape() != self.shape {
+            return Err(TensorError::ShapeMismatch {
+                left: (input.channels(), input.height() * input.width()),
+                right: (self.shape.0, self.shape.1 * self.shape.2),
+                op: "relu forward input",
+            });
+        }
+        self.mask = Some(input.as_slice().iter().map(|&v| v > 0.0).collect());
+        Ok(input.map(|v| v.max(0.0)))
+    }
+
+    fn backward(&mut self, grad: &Tensor3) -> Result<Tensor3> {
+        let mask = self.mask.as_ref().ok_or(TensorError::EmptyDimension)?;
+        if grad.len() != mask.len() {
+            return Err(TensorError::ShapeMismatch {
+                left: (grad.len(), 1),
+                right: (mask.len(), 1),
+                op: "relu backward grad",
+            });
+        }
+        let mut out = grad.clone();
+        for (v, &m) in out.as_mut_slice().iter_mut().zip(mask) {
+            if !m {
+                *v = 0.0;
+            }
+        }
+        Ok(out)
+    }
+
+    fn apply_gradients(&mut self, _lr: f64, _momentum: f64, _batch: usize) {}
+
+    fn flops_per_sample(&self) -> u64 {
+        (self.shape.0 * self.shape.1 * self.shape.2) as u64
+    }
+
+    fn bytes_per_sample(&self) -> u64 {
+        16 * (self.shape.0 * self.shape.1 * self.shape.2) as u64
+    }
+
+    fn output_shape(&self) -> (usize, usize, usize) {
+        self.shape
+    }
+}
+
+/// 2×2 max pooling with stride 2.
+#[derive(Debug, Clone)]
+pub struct MaxPool2 {
+    in_shape: (usize, usize, usize),
+    /// Flat index (into the input) of each output's winning element.
+    argmax: Option<Vec<usize>>,
+}
+
+impl MaxPool2 {
+    /// Creates a pooling layer for inputs of the given shape.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] for odd spatial
+    /// dimensions (the layer requires exact 2×2 tiling).
+    pub fn new(channels: usize, height: usize, width: usize) -> Result<Self> {
+        if !height.is_multiple_of(2) || !width.is_multiple_of(2) || height == 0 || width == 0 {
+            return Err(TensorError::ShapeMismatch {
+                left: (height, width),
+                right: (2, 2),
+                op: "maxpool requires even spatial dims",
+            });
+        }
+        Ok(MaxPool2 {
+            in_shape: (channels, height, width),
+            argmax: None,
+        })
+    }
+}
+
+impl Layer for MaxPool2 {
+    fn name(&self) -> String {
+        "maxpool 2x2".to_string()
+    }
+
+    fn forward(&mut self, input: &Tensor3) -> Result<Tensor3> {
+        if input.shape() != self.in_shape {
+            return Err(TensorError::ShapeMismatch {
+                left: (input.channels(), input.height() * input.width()),
+                right: (self.in_shape.0, self.in_shape.1 * self.in_shape.2),
+                op: "maxpool forward input",
+            });
+        }
+        let (c, h, w) = self.in_shape;
+        let mut out = Tensor3::zeros(c, h / 2, w / 2)?;
+        let mut argmax = Vec::with_capacity(c * (h / 2) * (w / 2));
+        for ch in 0..c {
+            for oy in 0..h / 2 {
+                for ox in 0..w / 2 {
+                    let mut best = f64::NEG_INFINITY;
+                    let mut best_idx = 0;
+                    for dy in 0..2 {
+                        for dx in 0..2 {
+                            let (y, x) = (oy * 2 + dy, ox * 2 + dx);
+                            let v = input.get(ch, y, x);
+                            if v > best {
+                                best = v;
+                                best_idx = (ch * h + y) * w + x;
+                            }
+                        }
+                    }
+                    out.set(ch, oy, ox, best);
+                    argmax.push(best_idx);
+                }
+            }
+        }
+        self.argmax = Some(argmax);
+        Ok(out)
+    }
+
+    fn backward(&mut self, grad: &Tensor3) -> Result<Tensor3> {
+        let argmax = self.argmax.as_ref().ok_or(TensorError::EmptyDimension)?;
+        if grad.len() != argmax.len() {
+            return Err(TensorError::ShapeMismatch {
+                left: (grad.len(), 1),
+                right: (argmax.len(), 1),
+                op: "maxpool backward grad",
+            });
+        }
+        let (c, h, w) = self.in_shape;
+        let mut out = Tensor3::zeros(c, h, w)?;
+        for (&idx, &g) in argmax.iter().zip(grad.as_slice()) {
+            out.as_mut_slice()[idx] += g;
+        }
+        Ok(out)
+    }
+
+    fn apply_gradients(&mut self, _lr: f64, _momentum: f64, _batch: usize) {}
+
+    fn flops_per_sample(&self) -> u64 {
+        (self.in_shape.0 * self.in_shape.1 * self.in_shape.2) as u64
+    }
+
+    fn bytes_per_sample(&self) -> u64 {
+        10 * (self.in_shape.0 * self.in_shape.1 * self.in_shape.2) as u64
+    }
+
+    fn output_shape(&self) -> (usize, usize, usize) {
+        (self.in_shape.0, self.in_shape.1 / 2, self.in_shape.2 / 2)
+    }
+}
+
+/// Logistic sigmoid, elementwise `1/(1+e^{-x})`.
+#[derive(Debug, Clone)]
+pub struct Sigmoid {
+    shape: (usize, usize, usize),
+    cached_output: Option<Tensor3>,
+}
+
+impl Sigmoid {
+    /// Creates a sigmoid for inputs of the given shape.
+    pub fn new(channels: usize, height: usize, width: usize) -> Self {
+        Sigmoid {
+            shape: (channels, height, width),
+            cached_output: None,
+        }
+    }
+}
+
+impl Layer for Sigmoid {
+    fn name(&self) -> String {
+        "sigmoid".to_string()
+    }
+
+    fn forward(&mut self, input: &Tensor3) -> Result<Tensor3> {
+        if input.shape() != self.shape {
+            return Err(TensorError::ShapeMismatch {
+                left: (input.channels(), input.height() * input.width()),
+                right: (self.shape.0, self.shape.1 * self.shape.2),
+                op: "sigmoid forward input",
+            });
+        }
+        let out = input.map(|v| 1.0 / (1.0 + (-v).exp()));
+        self.cached_output = Some(out.clone());
+        Ok(out)
+    }
+
+    fn backward(&mut self, grad: &Tensor3) -> Result<Tensor3> {
+        let out = self
+            .cached_output
+            .as_ref()
+            .ok_or(TensorError::EmptyDimension)?;
+        // σ'(x) = σ(x)·(1-σ(x))
+        grad.zip_with(out, |g, s| g * s * (1.0 - s))
+    }
+
+    fn apply_gradients(&mut self, _lr: f64, _momentum: f64, _batch: usize) {}
+
+    fn flops_per_sample(&self) -> u64 {
+        4 * (self.shape.0 * self.shape.1 * self.shape.2) as u64
+    }
+
+    fn bytes_per_sample(&self) -> u64 {
+        16 * (self.shape.0 * self.shape.1 * self.shape.2) as u64
+    }
+
+    fn output_shape(&self) -> (usize, usize, usize) {
+        self.shape
+    }
+}
+
+/// Hyperbolic tangent, elementwise.
+#[derive(Debug, Clone)]
+pub struct Tanh {
+    shape: (usize, usize, usize),
+    cached_output: Option<Tensor3>,
+}
+
+impl Tanh {
+    /// Creates a tanh for inputs of the given shape.
+    pub fn new(channels: usize, height: usize, width: usize) -> Self {
+        Tanh {
+            shape: (channels, height, width),
+            cached_output: None,
+        }
+    }
+}
+
+impl Layer for Tanh {
+    fn name(&self) -> String {
+        "tanh".to_string()
+    }
+
+    fn forward(&mut self, input: &Tensor3) -> Result<Tensor3> {
+        if input.shape() != self.shape {
+            return Err(TensorError::ShapeMismatch {
+                left: (input.channels(), input.height() * input.width()),
+                right: (self.shape.0, self.shape.1 * self.shape.2),
+                op: "tanh forward input",
+            });
+        }
+        let out = input.map(f64::tanh);
+        self.cached_output = Some(out.clone());
+        Ok(out)
+    }
+
+    fn backward(&mut self, grad: &Tensor3) -> Result<Tensor3> {
+        let out = self
+            .cached_output
+            .as_ref()
+            .ok_or(TensorError::EmptyDimension)?;
+        grad.zip_with(out, |g, t| g * (1.0 - t * t))
+    }
+
+    fn apply_gradients(&mut self, _lr: f64, _momentum: f64, _batch: usize) {}
+
+    fn flops_per_sample(&self) -> u64 {
+        4 * (self.shape.0 * self.shape.1 * self.shape.2) as u64
+    }
+
+    fn bytes_per_sample(&self) -> u64 {
+        16 * (self.shape.0 * self.shape.1 * self.shape.2) as u64
+    }
+
+    fn output_shape(&self) -> (usize, usize, usize) {
+        self.shape
+    }
+}
+
+/// 2×2 average pooling with stride 2.
+#[derive(Debug, Clone)]
+pub struct AvgPool2 {
+    in_shape: (usize, usize, usize),
+    ready: bool,
+}
+
+impl AvgPool2 {
+    /// Creates an average-pooling layer for inputs of the given shape.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] for odd spatial dims.
+    pub fn new(channels: usize, height: usize, width: usize) -> Result<Self> {
+        if !height.is_multiple_of(2) || !width.is_multiple_of(2) || height == 0 || width == 0 {
+            return Err(TensorError::ShapeMismatch {
+                left: (height, width),
+                right: (2, 2),
+                op: "avgpool requires even spatial dims",
+            });
+        }
+        Ok(AvgPool2 {
+            in_shape: (channels, height, width),
+            ready: false,
+        })
+    }
+}
+
+impl Layer for AvgPool2 {
+    fn name(&self) -> String {
+        "avgpool 2x2".to_string()
+    }
+
+    fn forward(&mut self, input: &Tensor3) -> Result<Tensor3> {
+        if input.shape() != self.in_shape {
+            return Err(TensorError::ShapeMismatch {
+                left: (input.channels(), input.height() * input.width()),
+                right: (self.in_shape.0, self.in_shape.1 * self.in_shape.2),
+                op: "avgpool forward input",
+            });
+        }
+        let (c, h, w) = self.in_shape;
+        let mut out = Tensor3::zeros(c, h / 2, w / 2)?;
+        for ch in 0..c {
+            for oy in 0..h / 2 {
+                for ox in 0..w / 2 {
+                    let mut sum = 0.0;
+                    for dy in 0..2 {
+                        for dx in 0..2 {
+                            sum += input.get(ch, oy * 2 + dy, ox * 2 + dx);
+                        }
+                    }
+                    out.set(ch, oy, ox, sum / 4.0);
+                }
+            }
+        }
+        self.ready = true;
+        Ok(out)
+    }
+
+    fn backward(&mut self, grad: &Tensor3) -> Result<Tensor3> {
+        if !self.ready {
+            return Err(TensorError::EmptyDimension);
+        }
+        let (c, h, w) = self.in_shape;
+        if grad.shape() != (c, h / 2, w / 2) {
+            return Err(TensorError::ShapeMismatch {
+                left: (grad.channels(), grad.height() * grad.width()),
+                right: (c, (h / 2) * (w / 2)),
+                op: "avgpool backward grad",
+            });
+        }
+        let mut out = Tensor3::zeros(c, h, w)?;
+        for ch in 0..c {
+            for oy in 0..h / 2 {
+                for ox in 0..w / 2 {
+                    let g = grad.get(ch, oy, ox) / 4.0;
+                    for dy in 0..2 {
+                        for dx in 0..2 {
+                            out.set(ch, oy * 2 + dy, ox * 2 + dx, g);
+                        }
+                    }
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    fn apply_gradients(&mut self, _lr: f64, _momentum: f64, _batch: usize) {}
+
+    fn flops_per_sample(&self) -> u64 {
+        (self.in_shape.0 * self.in_shape.1 * self.in_shape.2) as u64
+    }
+
+    fn bytes_per_sample(&self) -> u64 {
+        10 * (self.in_shape.0 * self.in_shape.1 * self.in_shape.2) as u64
+    }
+
+    fn output_shape(&self) -> (usize, usize, usize) {
+        (self.in_shape.0, self.in_shape.1 / 2, self.in_shape.2 / 2)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layer::finite_difference_check;
+
+    #[test]
+    fn relu_clamps_negatives() {
+        let mut relu = Relu::new(1, 2, 2);
+        let x = Tensor3::from_vec(1, 2, 2, vec![-1.0, 2.0, 0.0, -0.5]).unwrap();
+        let y = relu.forward(&x).unwrap();
+        assert_eq!(y.as_slice(), &[0.0, 2.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn relu_gradient_is_masked() {
+        let mut relu = Relu::new(1, 2, 2);
+        let x = Tensor3::from_vec(1, 2, 2, vec![-1.0, 2.0, 3.0, -0.5]).unwrap();
+        relu.forward(&x).unwrap();
+        let g = Tensor3::from_vec(1, 2, 2, vec![1.0, 1.0, 1.0, 1.0]).unwrap();
+        let gi = relu.backward(&g).unwrap();
+        assert_eq!(gi.as_slice(), &[0.0, 1.0, 1.0, 0.0]);
+    }
+
+    #[test]
+    fn relu_fd_check_away_from_kink() {
+        let mut relu = Relu::new(1, 3, 3);
+        // Keep values away from 0 so finite differences are valid.
+        let x = Tensor3::from_fn(1, 3, 3, |_, y, x| if (y + x) % 2 == 0 { 1.5 } else { -1.5 })
+            .unwrap();
+        let err = finite_difference_check(&mut relu, &x, 1e-5).unwrap();
+        assert!(err < 1e-7);
+    }
+
+    #[test]
+    fn maxpool_takes_maximum() {
+        let mut pool = MaxPool2::new(1, 2, 2).unwrap();
+        let x = Tensor3::from_vec(1, 2, 2, vec![1.0, 5.0, 3.0, 2.0]).unwrap();
+        let y = pool.forward(&x).unwrap();
+        assert_eq!(y.shape(), (1, 1, 1));
+        assert_eq!(y.get(0, 0, 0), 5.0);
+    }
+
+    #[test]
+    fn maxpool_routes_gradient_to_winner() {
+        let mut pool = MaxPool2::new(1, 2, 2).unwrap();
+        let x = Tensor3::from_vec(1, 2, 2, vec![1.0, 5.0, 3.0, 2.0]).unwrap();
+        pool.forward(&x).unwrap();
+        let gi = pool
+            .backward(&Tensor3::from_vec(1, 1, 1, vec![7.0]).unwrap())
+            .unwrap();
+        assert_eq!(gi.as_slice(), &[0.0, 7.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn maxpool_rejects_odd_dims() {
+        assert!(MaxPool2::new(1, 3, 4).is_err());
+        assert!(MaxPool2::new(1, 4, 3).is_err());
+    }
+
+    #[test]
+    fn backward_before_forward_errors() {
+        let mut relu = Relu::new(1, 1, 1);
+        assert!(relu.backward(&Tensor3::zeros(1, 1, 1).unwrap()).is_err());
+        let mut pool = MaxPool2::new(1, 2, 2).unwrap();
+        assert!(pool.backward(&Tensor3::zeros(1, 1, 1).unwrap()).is_err());
+    }
+
+    #[test]
+    fn output_shapes() {
+        assert_eq!(Relu::new(4, 8, 8).output_shape(), (4, 8, 8));
+        assert_eq!(MaxPool2::new(4, 8, 8).unwrap().output_shape(), (4, 4, 4));
+        assert_eq!(Relu::new(1, 1, 1).parameter_count(), 0);
+    }
+
+    #[test]
+    fn sigmoid_range_and_midpoint() {
+        let mut s = Sigmoid::new(1, 1, 3);
+        let x = Tensor3::from_vec(1, 1, 3, vec![-100.0, 0.0, 100.0]).unwrap();
+        let y = s.forward(&x).unwrap();
+        assert!(y.get(0, 0, 0) < 1e-9);
+        assert!((y.get(0, 0, 1) - 0.5).abs() < 1e-12);
+        assert!((y.get(0, 0, 2) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sigmoid_gradient_matches_finite_differences() {
+        let mut s = Sigmoid::new(1, 2, 3);
+        let x = Tensor3::from_fn(1, 2, 3, |_, y, x| (y as f64 - x as f64) * 0.7).unwrap();
+        let err = finite_difference_check(&mut s, &x, 1e-5).unwrap();
+        assert!(err < 1e-7, "max fd error {err}");
+    }
+
+    #[test]
+    fn tanh_gradient_matches_finite_differences() {
+        let mut t = Tanh::new(1, 2, 3);
+        let x = Tensor3::from_fn(1, 2, 3, |_, y, x| (y + x) as f64 * 0.4 - 0.9).unwrap();
+        let err = finite_difference_check(&mut t, &x, 1e-5).unwrap();
+        assert!(err < 1e-7, "max fd error {err}");
+    }
+
+    #[test]
+    fn tanh_is_odd() {
+        let mut t = Tanh::new(1, 1, 2);
+        let x = Tensor3::from_vec(1, 1, 2, vec![0.7, -0.7]).unwrap();
+        let y = t.forward(&x).unwrap();
+        assert!((y.get(0, 0, 0) + y.get(0, 0, 1)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn avgpool_averages() {
+        let mut pool = AvgPool2::new(1, 2, 2).unwrap();
+        let x = Tensor3::from_vec(1, 2, 2, vec![1.0, 2.0, 3.0, 6.0]).unwrap();
+        let y = pool.forward(&x).unwrap();
+        assert_eq!(y.get(0, 0, 0), 3.0);
+    }
+
+    #[test]
+    fn avgpool_gradient_matches_finite_differences() {
+        let mut pool = AvgPool2::new(2, 4, 4).unwrap();
+        let x = Tensor3::from_fn(2, 4, 4, |c, y, x| ((c + y * 2 + x) % 5) as f64 * 0.3).unwrap();
+        let err = finite_difference_check(&mut pool, &x, 1e-5).unwrap();
+        assert!(err < 1e-8, "max fd error {err}");
+    }
+
+    #[test]
+    fn avgpool_validation() {
+        assert!(AvgPool2::new(1, 3, 4).is_err());
+        let mut pool = AvgPool2::new(1, 2, 2).unwrap();
+        assert!(pool.backward(&Tensor3::zeros(1, 1, 1).unwrap()).is_err());
+        assert_eq!(pool.output_shape(), (1, 1, 1));
+    }
+
+    #[test]
+    fn activation_backward_before_forward_errors() {
+        let mut s = Sigmoid::new(1, 1, 1);
+        assert!(s.backward(&Tensor3::zeros(1, 1, 1).unwrap()).is_err());
+        let mut t = Tanh::new(1, 1, 1);
+        assert!(t.backward(&Tensor3::zeros(1, 1, 1).unwrap()).is_err());
+    }
+}

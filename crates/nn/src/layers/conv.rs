@@ -1,0 +1,358 @@
+//! 2-D convolution layer (cross-correlation convention, square
+//! kernel, configurable stride and zero padding).
+
+use crate::layer::Layer;
+use crate::tensor3::Tensor3;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use xai_tensor::{Result, TensorError};
+
+/// A multi-channel 2-D convolution layer.
+#[derive(Debug, Clone)]
+pub struct Conv2d {
+    in_channels: usize,
+    out_channels: usize,
+    kernel: usize,
+    stride: usize,
+    padding: usize,
+    in_shape: (usize, usize, usize),
+    /// Weights, flat `[oc][ic][ky][kx]`.
+    weights: Vec<f64>,
+    bias: Vec<f64>,
+    grad_weights: Vec<f64>,
+    grad_bias: Vec<f64>,
+    vel_weights: Vec<f64>,
+    vel_bias: Vec<f64>,
+    cached_input: Option<Tensor3>,
+}
+
+impl Conv2d {
+    /// Creates a conv layer for inputs of shape
+    /// `(in_channels, in_h, in_w)` with He-initialised weights drawn
+    /// from `seed`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::EmptyDimension`] if any structural
+    /// parameter is zero or the kernel doesn't fit the padded input.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        in_channels: usize,
+        out_channels: usize,
+        kernel: usize,
+        stride: usize,
+        padding: usize,
+        in_h: usize,
+        in_w: usize,
+        seed: u64,
+    ) -> Result<Self> {
+        if in_channels == 0 || out_channels == 0 || kernel == 0 || stride == 0 {
+            return Err(TensorError::EmptyDimension);
+        }
+        if in_h + 2 * padding < kernel || in_w + 2 * padding < kernel {
+            return Err(TensorError::ShapeMismatch {
+                left: (in_h + 2 * padding, in_w + 2 * padding),
+                right: (kernel, kernel),
+                op: "conv kernel larger than padded input",
+            });
+        }
+        let mut rng = StdRng::seed_from_u64(seed);
+        let fan_in = (in_channels * kernel * kernel) as f64;
+        let scale = (2.0 / fan_in).sqrt();
+        let n_weights = out_channels * in_channels * kernel * kernel;
+        let weights = (0..n_weights)
+            .map(|_| (rng.random::<f64>() * 2.0 - 1.0) * scale)
+            .collect();
+        Ok(Conv2d {
+            in_channels,
+            out_channels,
+            kernel,
+            stride,
+            padding,
+            in_shape: (in_channels, in_h, in_w),
+            weights,
+            bias: vec![0.0; out_channels],
+            grad_weights: vec![0.0; n_weights],
+            grad_bias: vec![0.0; out_channels],
+            vel_weights: vec![0.0; n_weights],
+            vel_bias: vec![0.0; out_channels],
+            cached_input: None,
+        })
+    }
+
+    #[inline]
+    fn w_index(&self, oc: usize, ic: usize, ky: usize, kx: usize) -> usize {
+        ((oc * self.in_channels + ic) * self.kernel + ky) * self.kernel + kx
+    }
+
+    fn out_hw(&self) -> (usize, usize) {
+        let (_, h, w) = self.in_shape;
+        (
+            (h + 2 * self.padding - self.kernel) / self.stride + 1,
+            (w + 2 * self.padding - self.kernel) / self.stride + 1,
+        )
+    }
+
+    /// Read-only weight view (used by explanation tooling).
+    pub fn weights(&self) -> &[f64] {
+        &self.weights
+    }
+}
+
+impl Layer for Conv2d {
+    fn name(&self) -> String {
+        format!(
+            "conv {}→{} {}x{} s{} p{}",
+            self.in_channels, self.out_channels, self.kernel, self.kernel, self.stride, self.padding
+        )
+    }
+
+    fn forward(&mut self, input: &Tensor3) -> Result<Tensor3> {
+        if input.shape() != self.in_shape {
+            return Err(TensorError::ShapeMismatch {
+                left: (input.channels(), input.height() * input.width()),
+                right: (self.in_shape.0, self.in_shape.1 * self.in_shape.2),
+                op: "conv forward input",
+            });
+        }
+        let (oh, ow) = self.out_hw();
+        let (_, ih, iw) = self.in_shape;
+        let mut out = Tensor3::zeros(self.out_channels, oh, ow)?;
+        for oc in 0..self.out_channels {
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let mut acc = self.bias[oc];
+                    for ic in 0..self.in_channels {
+                        for ky in 0..self.kernel {
+                            let sy = (oy * self.stride + ky) as isize - self.padding as isize;
+                            if sy < 0 || sy as usize >= ih {
+                                continue;
+                            }
+                            for kx in 0..self.kernel {
+                                let sx = (ox * self.stride + kx) as isize - self.padding as isize;
+                                if sx < 0 || sx as usize >= iw {
+                                    continue;
+                                }
+                                acc += input.get(ic, sy as usize, sx as usize)
+                                    * self.weights[self.w_index(oc, ic, ky, kx)];
+                            }
+                        }
+                    }
+                    out.set(oc, oy, ox, acc);
+                }
+            }
+        }
+        self.cached_input = Some(input.clone());
+        Ok(out)
+    }
+
+    fn backward(&mut self, grad: &Tensor3) -> Result<Tensor3> {
+        let input = self
+            .cached_input
+            .as_ref()
+            .ok_or(TensorError::EmptyDimension)?
+            .clone();
+        let (oh, ow) = self.out_hw();
+        if grad.shape() != (self.out_channels, oh, ow) {
+            return Err(TensorError::ShapeMismatch {
+                left: (grad.channels(), grad.height() * grad.width()),
+                right: (self.out_channels, oh * ow),
+                op: "conv backward grad",
+            });
+        }
+        let (_, ih, iw) = self.in_shape;
+        let mut grad_in = Tensor3::zeros(self.in_channels, ih, iw)?;
+        for oc in 0..self.out_channels {
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let g = grad.get(oc, oy, ox);
+                    self.grad_bias[oc] += g;
+                    for ic in 0..self.in_channels {
+                        for ky in 0..self.kernel {
+                            let sy = (oy * self.stride + ky) as isize - self.padding as isize;
+                            if sy < 0 || sy as usize >= ih {
+                                continue;
+                            }
+                            for kx in 0..self.kernel {
+                                let sx = (ox * self.stride + kx) as isize - self.padding as isize;
+                                if sx < 0 || sx as usize >= iw {
+                                    continue;
+                                }
+                                let wi = self.w_index(oc, ic, ky, kx);
+                                self.grad_weights[wi] +=
+                                    g * input.get(ic, sy as usize, sx as usize);
+                                grad_in.add_at(
+                                    ic,
+                                    sy as usize,
+                                    sx as usize,
+                                    g * self.weights[wi],
+                                );
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        Ok(grad_in)
+    }
+
+    fn apply_gradients(&mut self, lr: f64, momentum: f64, batch: usize) {
+        let scale = 1.0 / batch.max(1) as f64;
+        for i in 0..self.weights.len() {
+            self.vel_weights[i] = momentum * self.vel_weights[i] - lr * self.grad_weights[i] * scale;
+            self.weights[i] += self.vel_weights[i];
+            self.grad_weights[i] = 0.0;
+        }
+        for i in 0..self.bias.len() {
+            self.vel_bias[i] = momentum * self.vel_bias[i] - lr * self.grad_bias[i] * scale;
+            self.bias[i] += self.vel_bias[i];
+            self.grad_bias[i] = 0.0;
+        }
+    }
+
+    fn parameter_count(&self) -> usize {
+        self.weights.len() + self.bias.len()
+    }
+
+    fn flops_per_sample(&self) -> u64 {
+        let (oh, ow) = self.out_hw();
+        2 * (self.out_channels * oh * ow * self.in_channels * self.kernel * self.kernel) as u64
+    }
+
+    fn bytes_per_sample(&self) -> u64 {
+        let (oh, ow) = self.out_hw();
+        let (_, ih, iw) = self.in_shape;
+        8 * (self.in_channels * ih * iw
+            + self.weights.len()
+            + self.out_channels * oh * ow) as u64
+    }
+
+    fn output_shape(&self) -> (usize, usize, usize) {
+        let (oh, ow) = self.out_hw();
+        (self.out_channels, oh, ow)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layer::finite_difference_check;
+
+    #[test]
+    fn identity_kernel_passes_signal_through() {
+        // 1→1 channels, 1×1 kernel manually set to weight 1.
+        let mut conv = Conv2d::new(1, 1, 1, 1, 0, 3, 3, 0).unwrap();
+        conv.weights[0] = 1.0;
+        conv.bias[0] = 0.0;
+        let x = Tensor3::from_fn(1, 3, 3, |_, y, x| (y * 3 + x) as f64).unwrap();
+        let y = conv.forward(&x).unwrap();
+        assert_eq!(y, x);
+    }
+
+    #[test]
+    fn output_shape_arithmetic() {
+        let conv = Conv2d::new(3, 8, 3, 1, 1, 8, 8, 0).unwrap(); // same padding
+        assert_eq!(conv.output_shape(), (8, 8, 8));
+        let strided = Conv2d::new(3, 8, 3, 2, 1, 8, 8, 0).unwrap();
+        assert_eq!(strided.output_shape(), (8, 4, 4));
+        let valid = Conv2d::new(1, 1, 3, 1, 0, 8, 8, 0).unwrap();
+        assert_eq!(valid.output_shape(), (1, 6, 6));
+    }
+
+    #[test]
+    fn known_convolution_value() {
+        let mut conv = Conv2d::new(1, 1, 2, 1, 0, 2, 2, 0).unwrap();
+        // kernel = [[1, 2], [3, 4]], bias = 10
+        conv.weights.copy_from_slice(&[1.0, 2.0, 3.0, 4.0]);
+        conv.bias[0] = 10.0;
+        let x = Tensor3::from_vec(1, 2, 2, vec![1.0, 1.0, 1.0, 1.0]).unwrap();
+        let y = conv.forward(&x).unwrap();
+        assert_eq!(y.get(0, 0, 0), 20.0);
+    }
+
+    #[test]
+    fn gradient_matches_finite_differences() {
+        let mut conv = Conv2d::new(2, 3, 3, 1, 1, 4, 4, 42).unwrap();
+        let x = Tensor3::from_fn(2, 4, 4, |c, y, x| {
+            ((c * 13 + y * 5 + x * 3) % 7) as f64 / 7.0 - 0.4
+        })
+        .unwrap();
+        let err = finite_difference_check(&mut conv, &x, 1e-5).unwrap();
+        assert!(err < 1e-6, "max fd error {err}");
+    }
+
+    #[test]
+    fn strided_gradient_matches_finite_differences() {
+        let mut conv = Conv2d::new(1, 2, 2, 2, 0, 4, 4, 7).unwrap();
+        let x = Tensor3::from_fn(1, 4, 4, |_, y, x| ((y * 4 + x) % 5) as f64 * 0.2).unwrap();
+        let err = finite_difference_check(&mut conv, &x, 1e-5).unwrap();
+        assert!(err < 1e-6, "max fd error {err}");
+    }
+
+    #[test]
+    fn weight_gradient_direction_reduces_loss() {
+        // One SGD step on loss = Σ out² must reduce the loss.
+        let mut conv = Conv2d::new(1, 1, 3, 1, 1, 4, 4, 3).unwrap();
+        let x = Tensor3::from_fn(1, 4, 4, |_, y, x| ((y + x) % 3) as f64 - 1.0).unwrap();
+        let loss = |c: &mut Conv2d, x: &Tensor3| -> f64 {
+            let o = c.forward(x).unwrap();
+            o.as_slice().iter().map(|v| v * v).sum::<f64>()
+        };
+        let before = loss(&mut conv, &x);
+        let out = conv.forward(&x).unwrap();
+        let grad = out.map(|v| 2.0 * v);
+        conv.backward(&grad).unwrap();
+        conv.apply_gradients(0.01, 0.0, 1);
+        let after = loss(&mut conv, &x);
+        assert!(after < before, "{after} !< {before}");
+    }
+
+    #[test]
+    fn backward_before_forward_errors() {
+        let mut conv = Conv2d::new(1, 1, 1, 1, 0, 2, 2, 0).unwrap();
+        let g = Tensor3::zeros(1, 2, 2).unwrap();
+        assert!(conv.backward(&g).is_err());
+    }
+
+    #[test]
+    fn wrong_input_shape_rejected() {
+        let mut conv = Conv2d::new(1, 1, 3, 1, 1, 4, 4, 0).unwrap();
+        let x = Tensor3::zeros(2, 4, 4).unwrap();
+        assert!(conv.forward(&x).is_err());
+    }
+
+    #[test]
+    fn construction_validation() {
+        assert!(Conv2d::new(0, 1, 3, 1, 1, 4, 4, 0).is_err());
+        assert!(Conv2d::new(1, 1, 5, 1, 0, 4, 4, 0).is_err()); // kernel > input
+        assert!(Conv2d::new(1, 1, 3, 0, 1, 4, 4, 0).is_err()); // zero stride
+    }
+
+    #[test]
+    fn flops_and_params_counting() {
+        let conv = Conv2d::new(3, 16, 3, 1, 1, 32, 32, 0).unwrap();
+        assert_eq!(conv.parameter_count(), 16 * 3 * 9 + 16);
+        // 2 · 16·32·32·3·9
+        assert_eq!(conv.flops_per_sample(), 2 * 16 * 32 * 32 * 3 * 9);
+        assert!(conv.bytes_per_sample() > 0);
+    }
+
+    #[test]
+    fn momentum_accumulates_velocity() {
+        let mut conv = Conv2d::new(1, 1, 1, 1, 0, 1, 1, 0).unwrap();
+        conv.weights[0] = 1.0;
+        let x = Tensor3::from_vec(1, 1, 1, vec![1.0]).unwrap();
+        // Two identical steps with momentum: second step moves farther.
+        conv.forward(&x).unwrap();
+        conv.backward(&Tensor3::from_vec(1, 1, 1, vec![1.0]).unwrap()).unwrap();
+        let w0 = conv.weights[0];
+        conv.apply_gradients(0.1, 0.9, 1);
+        let d1 = (conv.weights[0] - w0).abs();
+        conv.forward(&x).unwrap();
+        conv.backward(&Tensor3::from_vec(1, 1, 1, vec![1.0]).unwrap()).unwrap();
+        let w1 = conv.weights[0];
+        conv.apply_gradients(0.1, 0.9, 1);
+        let d2 = (conv.weights[0] - w1).abs();
+        assert!(d2 > d1);
+    }
+}

@@ -1,0 +1,178 @@
+//! Inverted dropout with a seeded mask stream.
+
+use crate::layer::Layer;
+use crate::tensor3::Tensor3;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use xai_tensor::{Result, TensorError};
+
+/// Inverted dropout: during training each activation is zeroed with
+/// probability `p` and survivors are scaled by `1/(1-p)` so the
+/// expected activation is unchanged; at inference it is the identity.
+#[derive(Debug)]
+pub struct Dropout {
+    shape: (usize, usize, usize),
+    p: f64,
+    training: bool,
+    rng: StdRng,
+    mask: Option<Vec<bool>>,
+}
+
+impl Dropout {
+    /// Creates a dropout layer with drop probability `p` and a seeded
+    /// mask stream (determinism keeps training reproducible).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::InvalidQuantRange`] when `p` is outside
+    /// `[0, 1)`.
+    pub fn new(
+        channels: usize,
+        height: usize,
+        width: usize,
+        p: f64,
+        seed: u64,
+    ) -> Result<Self> {
+        if !(0.0..1.0).contains(&p) {
+            return Err(TensorError::InvalidQuantRange { min: 0.0, max: p });
+        }
+        Ok(Dropout {
+            shape: (channels, height, width),
+            p,
+            training: true,
+            rng: StdRng::seed_from_u64(seed),
+            mask: None,
+        })
+    }
+
+    /// Switches between training (random masking) and inference
+    /// (identity) behaviour.
+    pub fn set_training(&mut self, training: bool) {
+        self.training = training;
+    }
+}
+
+impl Layer for Dropout {
+    fn name(&self) -> String {
+        format!("dropout p={}", self.p)
+    }
+
+    fn forward(&mut self, input: &Tensor3) -> Result<Tensor3> {
+        if input.shape() != self.shape {
+            return Err(TensorError::ShapeMismatch {
+                left: (input.channels(), input.height() * input.width()),
+                right: (self.shape.0, self.shape.1 * self.shape.2),
+                op: "dropout forward input",
+            });
+        }
+        if !self.training || self.p == 0.0 {
+            self.mask = Some(vec![true; input.len()]);
+            return Ok(input.clone());
+        }
+        let keep_scale = 1.0 / (1.0 - self.p);
+        let mask: Vec<bool> = (0..input.len())
+            .map(|_| self.rng.random::<f64>() >= self.p)
+            .collect();
+        let mut out = input.clone();
+        for (v, &keep) in out.as_mut_slice().iter_mut().zip(&mask) {
+            *v = if keep { *v * keep_scale } else { 0.0 };
+        }
+        self.mask = Some(mask);
+        Ok(out)
+    }
+
+    fn backward(&mut self, grad: &Tensor3) -> Result<Tensor3> {
+        let mask = self.mask.as_ref().ok_or(TensorError::EmptyDimension)?;
+        if grad.len() != mask.len() {
+            return Err(TensorError::ShapeMismatch {
+                left: (grad.len(), 1),
+                right: (mask.len(), 1),
+                op: "dropout backward grad",
+            });
+        }
+        let keep_scale = if self.training && self.p > 0.0 {
+            1.0 / (1.0 - self.p)
+        } else {
+            1.0
+        };
+        let mut out = grad.clone();
+        for (v, &keep) in out.as_mut_slice().iter_mut().zip(mask) {
+            *v = if keep { *v * keep_scale } else { 0.0 };
+        }
+        Ok(out)
+    }
+
+    fn apply_gradients(&mut self, _lr: f64, _momentum: f64, _batch: usize) {}
+
+    fn flops_per_sample(&self) -> u64 {
+        (self.shape.0 * self.shape.1 * self.shape.2) as u64
+    }
+
+    fn bytes_per_sample(&self) -> u64 {
+        17 * (self.shape.0 * self.shape.1 * self.shape.2) as u64
+    }
+
+    fn output_shape(&self) -> (usize, usize, usize) {
+        self.shape
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn invalid_probability_rejected() {
+        assert!(Dropout::new(1, 2, 2, 1.0, 0).is_err());
+        assert!(Dropout::new(1, 2, 2, -0.1, 0).is_err());
+        assert!(Dropout::new(1, 2, 2, 0.0, 0).is_ok());
+    }
+
+    #[test]
+    fn inference_is_identity() {
+        let mut d = Dropout::new(1, 4, 4, 0.5, 0).unwrap();
+        d.set_training(false);
+        let x = Tensor3::from_fn(1, 4, 4, |_, y, x| (y * 4 + x) as f64).unwrap();
+        assert_eq!(d.forward(&x).unwrap(), x);
+    }
+
+    #[test]
+    fn training_preserves_expectation() {
+        // Average over many masks: E[out] ≈ in.
+        let mut d = Dropout::new(1, 8, 8, 0.3, 42).unwrap();
+        let x = Tensor3::from_fn(1, 8, 8, |_, _, _| 1.0).unwrap();
+        let mut total = 0.0;
+        let trials = 400;
+        for _ in 0..trials {
+            total += d.forward(&x).unwrap().sum();
+        }
+        let mean = total / (trials as f64 * 64.0);
+        assert!((mean - 1.0).abs() < 0.05, "mean activation {mean}");
+    }
+
+    #[test]
+    fn backward_routes_through_same_mask() {
+        let mut d = Dropout::new(1, 4, 4, 0.5, 7).unwrap();
+        let x = Tensor3::from_fn(1, 4, 4, |_, _, _| 1.0).unwrap();
+        let y = d.forward(&x).unwrap();
+        let g = Tensor3::from_fn(1, 4, 4, |_, _, _| 1.0).unwrap();
+        let gi = d.backward(&g).unwrap();
+        // Gradient is nonzero exactly where the output was nonzero.
+        for (o, gi_v) in y.as_slice().iter().zip(gi.as_slice()) {
+            assert_eq!(*o == 0.0, *gi_v == 0.0);
+        }
+    }
+
+    #[test]
+    fn zero_probability_never_drops() {
+        let mut d = Dropout::new(1, 4, 4, 0.0, 0).unwrap();
+        let x = Tensor3::from_fn(1, 4, 4, |_, y, x| (y + x) as f64).unwrap();
+        assert_eq!(d.forward(&x).unwrap(), x);
+    }
+
+    #[test]
+    fn backward_before_forward_errors() {
+        let mut d = Dropout::new(1, 2, 2, 0.5, 0).unwrap();
+        assert!(d.backward(&Tensor3::zeros(1, 2, 2).unwrap()).is_err());
+    }
+}

@@ -1,0 +1,15 @@
+//! Layer implementations.
+
+mod activation;
+mod conv;
+mod dense;
+mod dropout;
+mod norm;
+mod residual;
+
+pub use activation::{AvgPool2, MaxPool2, Relu, Sigmoid, Tanh};
+pub use conv::Conv2d;
+pub use dense::Dense;
+pub use dropout::Dropout;
+pub use norm::BatchNorm;
+pub use residual::Residual;

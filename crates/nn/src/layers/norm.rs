@@ -1,0 +1,292 @@
+//! Per-channel batch normalisation (single-sample variant).
+//!
+//! Normalises each channel by its own spatial statistics during
+//! training (instance-norm style, which is the batch-size-1 special
+//! case of batch norm) and by running statistics at inference. VGG19
+//! and ResNet50 both rely on normalisation layers; including one
+//! keeps the scaled models structurally faithful.
+
+use crate::layer::Layer;
+use crate::tensor3::Tensor3;
+use xai_tensor::{Result, TensorError};
+
+/// Per-channel normalisation with learned scale/shift and running
+/// statistics.
+#[derive(Debug, Clone)]
+pub struct BatchNorm {
+    shape: (usize, usize, usize),
+    eps: f64,
+    momentum: f64,
+    gamma: Vec<f64>,
+    beta: Vec<f64>,
+    grad_gamma: Vec<f64>,
+    grad_beta: Vec<f64>,
+    vel_gamma: Vec<f64>,
+    vel_beta: Vec<f64>,
+    running_mean: Vec<f64>,
+    running_var: Vec<f64>,
+    /// `true` during training (use batch stats, update running).
+    training: bool,
+    cache: Option<NormCache>,
+}
+
+#[derive(Debug, Clone)]
+struct NormCache {
+    normalized: Tensor3,
+    std_inv: Vec<f64>,
+}
+
+impl BatchNorm {
+    /// Creates a normalisation layer for the given activation shape.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::EmptyDimension`] for zero dimensions.
+    pub fn new(channels: usize, height: usize, width: usize) -> Result<Self> {
+        if channels == 0 || height == 0 || width == 0 {
+            return Err(TensorError::EmptyDimension);
+        }
+        Ok(BatchNorm {
+            shape: (channels, height, width),
+            eps: 1e-5,
+            momentum: 0.1,
+            gamma: vec![1.0; channels],
+            beta: vec![0.0; channels],
+            grad_gamma: vec![0.0; channels],
+            grad_beta: vec![0.0; channels],
+            vel_gamma: vec![0.0; channels],
+            vel_beta: vec![0.0; channels],
+            running_mean: vec![0.0; channels],
+            running_var: vec![1.0; channels],
+            training: true,
+            cache: None,
+        })
+    }
+
+    /// Switches between training (batch statistics) and inference
+    /// (running statistics) behaviour.
+    pub fn set_training(&mut self, training: bool) {
+        self.training = training;
+    }
+
+    /// Current running mean per channel (inference statistics).
+    pub fn running_mean(&self) -> &[f64] {
+        &self.running_mean
+    }
+}
+
+impl Layer for BatchNorm {
+    fn name(&self) -> String {
+        format!("batchnorm c={}", self.shape.0)
+    }
+
+    fn forward(&mut self, input: &Tensor3) -> Result<Tensor3> {
+        if input.shape() != self.shape {
+            return Err(TensorError::ShapeMismatch {
+                left: (input.channels(), input.height() * input.width()),
+                right: (self.shape.0, self.shape.1 * self.shape.2),
+                op: "batchnorm forward input",
+            });
+        }
+        let (c, h, w) = self.shape;
+        let per_channel = (h * w) as f64;
+        let mut out = Tensor3::zeros(c, h, w)?;
+        let mut normalized = Tensor3::zeros(c, h, w)?;
+        let mut std_inv = vec![0.0; c];
+        #[allow(clippy::needless_range_loop)] // ch indexes several parallel arrays
+        for ch in 0..c {
+            let (mean, var) = if self.training {
+                let mut mean = 0.0;
+                for y in 0..h {
+                    for x in 0..w {
+                        mean += input.get(ch, y, x);
+                    }
+                }
+                mean /= per_channel;
+                let mut var = 0.0;
+                for y in 0..h {
+                    for x in 0..w {
+                        let d = input.get(ch, y, x) - mean;
+                        var += d * d;
+                    }
+                }
+                var /= per_channel;
+                self.running_mean[ch] =
+                    (1.0 - self.momentum) * self.running_mean[ch] + self.momentum * mean;
+                self.running_var[ch] =
+                    (1.0 - self.momentum) * self.running_var[ch] + self.momentum * var;
+                (mean, var)
+            } else {
+                (self.running_mean[ch], self.running_var[ch])
+            };
+            let si = 1.0 / (var + self.eps).sqrt();
+            std_inv[ch] = si;
+            for y in 0..h {
+                for x in 0..w {
+                    let norm = (input.get(ch, y, x) - mean) * si;
+                    normalized.set(ch, y, x, norm);
+                    out.set(ch, y, x, self.gamma[ch] * norm + self.beta[ch]);
+                }
+            }
+        }
+        self.cache = Some(NormCache {
+            normalized,
+            std_inv,
+        });
+        Ok(out)
+    }
+
+    fn backward(&mut self, grad: &Tensor3) -> Result<Tensor3> {
+        let cache = self.cache.as_ref().ok_or(TensorError::EmptyDimension)?;
+        if grad.shape() != self.shape {
+            return Err(TensorError::ShapeMismatch {
+                left: (grad.channels(), grad.height() * grad.width()),
+                right: (self.shape.0, self.shape.1 * self.shape.2),
+                op: "batchnorm backward grad",
+            });
+        }
+        let (c, h, w) = self.shape;
+        let n = (h * w) as f64;
+        let mut grad_in = Tensor3::zeros(c, h, w)?;
+        #[allow(clippy::needless_range_loop)] // ch indexes four parallel arrays
+        for ch in 0..c {
+            // Standard batch-norm backward over the spatial dims.
+            let mut sum_g = 0.0;
+            let mut sum_gx = 0.0;
+            for y in 0..h {
+                for x in 0..w {
+                    let g = grad.get(ch, y, x);
+                    sum_g += g;
+                    sum_gx += g * cache.normalized.get(ch, y, x);
+                }
+            }
+            self.grad_beta[ch] += sum_g;
+            self.grad_gamma[ch] += sum_gx;
+            let scale = self.gamma[ch] * cache.std_inv[ch];
+            if self.training {
+                for y in 0..h {
+                    for x in 0..w {
+                        let g = grad.get(ch, y, x);
+                        let xn = cache.normalized.get(ch, y, x);
+                        grad_in.set(ch, y, x, scale * (g - sum_g / n - xn * sum_gx / n));
+                    }
+                }
+            } else {
+                // Inference: mean/var are constants.
+                for y in 0..h {
+                    for x in 0..w {
+                        grad_in.set(ch, y, x, scale * grad.get(ch, y, x));
+                    }
+                }
+            }
+        }
+        Ok(grad_in)
+    }
+
+    fn apply_gradients(&mut self, lr: f64, momentum: f64, batch: usize) {
+        let scale = 1.0 / batch.max(1) as f64;
+        for i in 0..self.gamma.len() {
+            self.vel_gamma[i] = momentum * self.vel_gamma[i] - lr * self.grad_gamma[i] * scale;
+            self.gamma[i] += self.vel_gamma[i];
+            self.grad_gamma[i] = 0.0;
+            self.vel_beta[i] = momentum * self.vel_beta[i] - lr * self.grad_beta[i] * scale;
+            self.beta[i] += self.vel_beta[i];
+            self.grad_beta[i] = 0.0;
+        }
+    }
+
+    fn parameter_count(&self) -> usize {
+        2 * self.shape.0
+    }
+
+    fn flops_per_sample(&self) -> u64 {
+        // mean, var, normalise, affine: ~6 ops per element.
+        6 * (self.shape.0 * self.shape.1 * self.shape.2) as u64
+    }
+
+    fn bytes_per_sample(&self) -> u64 {
+        16 * (self.shape.0 * self.shape.1 * self.shape.2) as u64
+    }
+
+    fn output_shape(&self) -> (usize, usize, usize) {
+        self.shape
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layer::finite_difference_check;
+
+    fn input() -> Tensor3 {
+        Tensor3::from_fn(2, 3, 3, |c, y, x| ((c * 7 + y * 3 + x) % 5) as f64 - 2.0).unwrap()
+    }
+
+    #[test]
+    fn training_output_is_normalised() {
+        let mut bn = BatchNorm::new(2, 3, 3).unwrap();
+        let out = bn.forward(&input()).unwrap();
+        for ch in 0..2 {
+            let m = out.channel(ch);
+            assert!(m.mean().abs() < 1e-9, "channel mean must vanish");
+            let var = m.as_slice().iter().map(|v| v * v).sum::<f64>() / 9.0;
+            assert!((var - 1.0).abs() < 1e-3, "unit variance, got {var}");
+        }
+    }
+
+    #[test]
+    fn gradient_matches_finite_differences() {
+        let mut bn = BatchNorm::new(2, 3, 3).unwrap();
+        // Nudge gamma/beta away from identity to exercise all terms.
+        bn.gamma = vec![1.3, 0.7];
+        bn.beta = vec![0.2, -0.4];
+        let err = finite_difference_check(&mut bn, &input(), 1e-5).unwrap();
+        assert!(err < 1e-5, "max fd error {err}");
+    }
+
+    #[test]
+    fn inference_uses_running_statistics() {
+        let mut bn = BatchNorm::new(2, 3, 3).unwrap();
+        // Accumulate running stats over a few training passes.
+        for _ in 0..50 {
+            bn.forward(&input()).unwrap();
+        }
+        bn.set_training(false);
+        let train_mean = bn.running_mean().to_vec();
+        // Inference forward must not move the running stats.
+        bn.forward(&input()).unwrap();
+        assert_eq!(bn.running_mean(), train_mean.as_slice());
+    }
+
+    #[test]
+    fn inference_gradient_matches_finite_differences() {
+        let mut bn = BatchNorm::new(2, 3, 3).unwrap();
+        for _ in 0..10 {
+            bn.forward(&input()).unwrap();
+        }
+        bn.set_training(false);
+        let err = finite_difference_check(&mut bn, &input(), 1e-5).unwrap();
+        assert!(err < 1e-6, "max fd error {err}");
+    }
+
+    #[test]
+    fn shape_and_state_validation() {
+        assert!(BatchNorm::new(0, 2, 2).is_err());
+        let mut bn = BatchNorm::new(1, 2, 2).unwrap();
+        assert!(bn.forward(&Tensor3::zeros(2, 2, 2).unwrap()).is_err());
+        assert!(bn.backward(&Tensor3::zeros(1, 2, 2).unwrap()).is_err());
+        assert_eq!(bn.parameter_count(), 2);
+    }
+
+    #[test]
+    fn learned_affine_applies() {
+        let mut bn = BatchNorm::new(1, 2, 2).unwrap();
+        bn.gamma[0] = 2.0;
+        bn.beta[0] = 5.0;
+        let x = Tensor3::from_vec(1, 2, 2, vec![-1.0, 1.0, -1.0, 1.0]).unwrap();
+        let y = bn.forward(&x).unwrap();
+        // normalised x = ±1 (mean 0, var 1) → y = ±2 + 5.
+        assert!((y.get(0, 0, 1) - 7.0).abs() < 1e-3);
+        assert!((y.get(0, 0, 0) - 3.0).abs() < 1e-3);
+    }
+}

@@ -1,0 +1,273 @@
+//! Sequential network container with softmax-cross-entropy training.
+
+use crate::layer::Layer;
+use crate::tensor3::Tensor3;
+use xai_tensor::{Result, TensorError};
+
+/// Numerically-stable softmax of a logit slice.
+pub fn softmax(logits: &[f64]) -> Vec<f64> {
+    let max = logits.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    let exps: Vec<f64> = logits.iter().map(|&v| (v - max).exp()).collect();
+    let sum: f64 = exps.iter().sum();
+    exps.into_iter().map(|e| e / sum).collect()
+}
+
+/// Cross-entropy loss of softmax probabilities against a class label.
+pub fn cross_entropy(probs: &[f64], label: usize) -> f64 {
+    -(probs[label].max(1e-12)).ln()
+}
+
+/// A feed-forward network: an ordered stack of [`Layer`]s ending in a
+/// logit vector.
+///
+/// # Examples
+///
+/// ```
+/// use xai_nn::{Network, Tensor3};
+/// use xai_nn::layers::Dense;
+///
+/// # fn main() -> Result<(), xai_tensor::TensorError> {
+/// let mut net = Network::new();
+/// net.push(Box::new(Dense::new(4, 3, 0)?));
+/// let x = Tensor3::from_features(vec![1.0, 0.0, -1.0, 0.5])?;
+/// let logits = net.forward(&x)?;
+/// assert_eq!(logits.len(), 3);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Default)]
+pub struct Network {
+    layers: Vec<Box<dyn Layer>>,
+}
+
+impl std::fmt::Debug for Network {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Network[{}]", self.summary())
+    }
+}
+
+impl Network {
+    /// Creates an empty network.
+    pub fn new() -> Self {
+        Network { layers: Vec::new() }
+    }
+
+    /// Appends a layer.
+    pub fn push(&mut self, layer: Box<dyn Layer>) {
+        self.layers.push(layer);
+    }
+
+    /// Number of layers.
+    pub fn len(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// `true` when no layers have been added.
+    pub fn is_empty(&self) -> bool {
+        self.layers.is_empty()
+    }
+
+    /// One-line architecture summary.
+    pub fn summary(&self) -> String {
+        self.layers
+            .iter()
+            .map(|l| l.name())
+            .collect::<Vec<_>>()
+            .join(" → ")
+    }
+
+    /// Total trainable parameters.
+    pub fn parameter_count(&self) -> usize {
+        self.layers.iter().map(|l| l.parameter_count()).sum()
+    }
+
+    /// FLOPs of one forward pass.
+    pub fn flops_per_sample(&self) -> u64 {
+        self.layers.iter().map(|l| l.flops_per_sample()).sum()
+    }
+
+    /// Activation + weight bytes of one forward pass.
+    pub fn bytes_per_sample(&self) -> u64 {
+        self.layers.iter().map(|l| l.bytes_per_sample()).sum()
+    }
+
+    /// Forward pass to logits.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::EmptyDimension`] for an empty network or
+    /// shape errors from the layers.
+    pub fn forward(&mut self, input: &Tensor3) -> Result<Tensor3> {
+        if self.layers.is_empty() {
+            return Err(TensorError::EmptyDimension);
+        }
+        let mut h = input.clone();
+        for layer in &mut self.layers {
+            h = layer.forward(&h)?;
+        }
+        Ok(h)
+    }
+
+    /// Predicted class (argmax of logits).
+    ///
+    /// # Errors
+    ///
+    /// Propagates forward errors.
+    pub fn predict(&mut self, input: &Tensor3) -> Result<usize> {
+        Ok(self.forward(input)?.argmax())
+    }
+
+    /// Runs one forward+backward pass for `(input, label)` and
+    /// accumulates gradients. Returns the sample's cross-entropy loss.
+    ///
+    /// # Errors
+    ///
+    /// Propagates layer errors; label out of range is a shape error.
+    pub fn accumulate_gradients(&mut self, input: &Tensor3, label: usize) -> Result<f64> {
+        let logits = self.forward(input)?;
+        if label >= logits.len() {
+            return Err(TensorError::ShapeMismatch {
+                left: (label, 1),
+                right: (logits.len(), 1),
+                op: "class label out of range",
+            });
+        }
+        let probs = softmax(logits.as_slice());
+        let loss = cross_entropy(&probs, label);
+        // ∂CE∘softmax/∂logit = p - 1{label}
+        let mut grad = probs;
+        grad[label] -= 1.0;
+        let mut g = Tensor3::from_features(grad)?;
+        for layer in self.layers.iter_mut().rev() {
+            g = layer.backward(&g)?;
+        }
+        Ok(loss)
+    }
+
+    /// Applies accumulated gradients (SGD + momentum, batch-averaged).
+    pub fn apply_gradients(&mut self, lr: f64, momentum: f64, batch: usize) {
+        for layer in &mut self.layers {
+            layer.apply_gradients(lr, momentum, batch);
+        }
+    }
+
+    /// Classification accuracy over a labelled set.
+    ///
+    /// # Errors
+    ///
+    /// Propagates forward errors.
+    pub fn accuracy(&mut self, samples: &[(Tensor3, usize)]) -> Result<f64> {
+        if samples.is_empty() {
+            return Ok(0.0);
+        }
+        let mut correct = 0usize;
+        for (x, label) in samples {
+            if self.predict(x)? == *label {
+                correct += 1;
+            }
+        }
+        Ok(correct as f64 / samples.len() as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layers::{Dense, Relu};
+
+    fn tiny_net(seed: u64) -> Network {
+        let mut net = Network::new();
+        net.push(Box::new(Dense::new(4, 8, seed).unwrap()));
+        net.push(Box::new(Relu::new(8, 1, 1)));
+        net.push(Box::new(Dense::new(8, 2, seed + 1).unwrap()));
+        net
+    }
+
+    fn xor_ish_dataset() -> Vec<(Tensor3, usize)> {
+        // Linearly separable 4-feature task.
+        let mk = |v: Vec<f64>, l: usize| (Tensor3::from_features(v).unwrap(), l);
+        vec![
+            mk(vec![1.0, 0.9, 0.0, 0.1], 0),
+            mk(vec![0.8, 1.0, 0.1, 0.0], 0),
+            mk(vec![0.9, 0.8, 0.2, 0.1], 0),
+            mk(vec![0.0, 0.1, 1.0, 0.9], 1),
+            mk(vec![0.1, 0.0, 0.9, 1.0], 1),
+            mk(vec![0.2, 0.1, 0.8, 0.9], 1),
+        ]
+    }
+
+    #[test]
+    fn softmax_sums_to_one_and_orders() {
+        let p = softmax(&[1.0, 2.0, 3.0]);
+        assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert!(p[2] > p[1] && p[1] > p[0]);
+    }
+
+    #[test]
+    fn softmax_is_shift_invariant_and_stable() {
+        let a = softmax(&[1.0, 2.0]);
+        let b = softmax(&[1001.0, 1002.0]);
+        assert!((a[0] - b[0]).abs() < 1e-12);
+        let huge = softmax(&[1e8, -1e8]);
+        assert!(huge[0].is_finite());
+    }
+
+    #[test]
+    fn cross_entropy_penalises_wrong_confidence() {
+        let confident_right = cross_entropy(&[0.99, 0.01], 0);
+        let confident_wrong = cross_entropy(&[0.99, 0.01], 1);
+        assert!(confident_right < 0.05);
+        assert!(confident_wrong > 3.0);
+    }
+
+    #[test]
+    fn empty_network_errors() {
+        let mut net = Network::new();
+        assert!(net.forward(&Tensor3::zeros(1, 1, 1).unwrap()).is_err());
+        assert!(net.is_empty());
+    }
+
+    #[test]
+    fn training_reduces_loss_and_fits_toy_data() {
+        let mut net = tiny_net(7);
+        let data = xor_ish_dataset();
+        let mut first_loss = 0.0;
+        let mut last_loss = 0.0;
+        for epoch in 0..200 {
+            let mut total = 0.0;
+            for (x, y) in &data {
+                total += net.accumulate_gradients(x, *y).unwrap();
+            }
+            net.apply_gradients(0.5, 0.9, data.len());
+            if epoch == 0 {
+                first_loss = total;
+            }
+            last_loss = total;
+        }
+        assert!(last_loss < first_loss * 0.2, "{last_loss} vs {first_loss}");
+        assert_eq!(net.accuracy(&data).unwrap(), 1.0);
+    }
+
+    #[test]
+    fn label_out_of_range_rejected() {
+        let mut net = tiny_net(0);
+        let x = Tensor3::from_features(vec![0.0; 4]).unwrap();
+        assert!(net.accumulate_gradients(&x, 5).is_err());
+    }
+
+    #[test]
+    fn summary_and_counters() {
+        let net = tiny_net(0);
+        assert!(net.summary().contains("dense 4→8"));
+        assert_eq!(net.len(), 3);
+        assert_eq!(net.parameter_count(), 4 * 8 + 8 + 8 * 2 + 2);
+        assert!(net.flops_per_sample() > 0);
+        assert!(net.bytes_per_sample() > 0);
+    }
+
+    #[test]
+    fn accuracy_on_empty_set_is_zero() {
+        let mut net = tiny_net(0);
+        assert_eq!(net.accuracy(&[]).unwrap(), 0.0);
+    }
+}

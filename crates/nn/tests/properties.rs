@@ -1,0 +1,84 @@
+//! Property-based tests of the NN substrate: gradient checks on
+//! randomly-configured layers and algebraic laws of the helpers.
+
+use proptest::prelude::*;
+use xai_nn::layers::{AvgPool2, BatchNorm, Conv2d, Dense, Relu, Sigmoid, Tanh};
+use xai_nn::{finite_difference_check, softmax, Layer, Tensor3};
+
+fn volume(c: usize, h: usize, w: usize) -> impl Strategy<Value = Tensor3> {
+    proptest::collection::vec(-2.0f64..2.0, c * h * w)
+        .prop_map(move |v| Tensor3::from_vec(c, h, w, v).expect("length matches"))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn softmax_is_a_distribution(logits in proptest::collection::vec(-20.0f64..20.0, 2..10)) {
+        let p = softmax(&logits);
+        prop_assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        prop_assert!(p.iter().all(|&v| (0.0..=1.0).contains(&v)));
+        // argmax preserved
+        let arg_l = logits.iter().enumerate().max_by(|a, b| a.1.partial_cmp(b.1).unwrap()).unwrap().0;
+        let arg_p = p.iter().enumerate().max_by(|a, b| a.1.partial_cmp(b.1).unwrap()).unwrap().0;
+        prop_assert_eq!(arg_l, arg_p);
+    }
+
+    #[test]
+    fn dense_gradients_check_for_random_inputs(x in volume(1, 1, 6), seed in 0u64..100) {
+        let mut layer = Dense::new(6, 3, seed).unwrap();
+        let err = finite_difference_check(&mut layer, &x, 1e-5).unwrap();
+        prop_assert!(err < 1e-5, "fd error {err}");
+    }
+
+    #[test]
+    fn conv_gradients_check_for_random_inputs(x in volume(1, 4, 4), seed in 0u64..100) {
+        let mut layer = Conv2d::new(1, 2, 3, 1, 1, 4, 4, seed).unwrap();
+        let err = finite_difference_check(&mut layer, &x, 1e-5).unwrap();
+        prop_assert!(err < 1e-5, "fd error {err}");
+    }
+
+    #[test]
+    fn smooth_activations_gradcheck(x in volume(1, 3, 3)) {
+        let mut sig = Sigmoid::new(1, 3, 3);
+        prop_assert!(finite_difference_check(&mut sig, &x, 1e-5).unwrap() < 1e-6);
+        let mut tanh = Tanh::new(1, 3, 3);
+        prop_assert!(finite_difference_check(&mut tanh, &x, 1e-5).unwrap() < 1e-6);
+        let mut avg = AvgPool2::new(1, 4, 4).unwrap();
+        let x4 = Tensor3::from_fn(1, 4, 4, |_, r, c| x.get(0, r % 3, c % 3)).unwrap();
+        prop_assert!(finite_difference_check(&mut avg, &x4, 1e-5).unwrap() < 1e-8);
+    }
+
+    #[test]
+    fn batchnorm_output_statistics(x in volume(2, 4, 4)) {
+        // Skip degenerate (constant-channel) inputs.
+        let spread = |ch: usize| {
+            let m = x.channel(ch);
+            m.max_abs_diff(&xai_tensor::Matrix::filled(4, 4, m.mean()).unwrap()).unwrap()
+        };
+        prop_assume!(spread(0) > 1e-3 && spread(1) > 1e-3);
+        let mut bn = BatchNorm::new(2, 4, 4).unwrap();
+        let y = bn.forward(&x).unwrap();
+        for ch in 0..2 {
+            prop_assert!(y.channel(ch).mean().abs() < 1e-8);
+        }
+    }
+
+    #[test]
+    fn relu_is_idempotent(x in volume(1, 3, 3)) {
+        let mut relu = Relu::new(1, 3, 3);
+        let once = relu.forward(&x).unwrap();
+        let twice = relu.forward(&once).unwrap();
+        prop_assert_eq!(once, twice);
+    }
+
+    #[test]
+    fn layer_flop_counts_are_stable(seed in 0u64..50) {
+        // flops/bytes must not depend on weights, only on shapes.
+        let a = Conv2d::new(2, 3, 3, 1, 1, 6, 6, seed).unwrap();
+        let b = Conv2d::new(2, 3, 3, 1, 1, 6, 6, seed + 1).unwrap();
+        prop_assert_eq!(a.flops_per_sample(), b.flops_per_sample());
+        prop_assert_eq!(a.bytes_per_sample(), b.bytes_per_sample());
+        prop_assert_eq!(a.output_shape(), b.output_shape());
+    }
+}

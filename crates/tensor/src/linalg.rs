@@ -1,0 +1,225 @@
+//! Small dense linear algebra: Cholesky factorisation and
+//! positive-definite solves.
+//!
+//! Needed by the LIME-style baseline explainer in `xai-core`, which
+//! fits a local ridge regression — the "complex optimization problem"
+//! class of explanation method the paper accelerates away from
+//! (§I: "numerous iterations of time-consuming computations").
+
+use crate::error::{Result, TensorError};
+use crate::matrix::Matrix;
+
+/// Cholesky factor `L` of a symmetric positive-definite matrix
+/// (`A = L·Lᵀ`, `L` lower-triangular).
+///
+/// # Errors
+///
+/// Returns [`TensorError::ShapeMismatch`] for non-square input and
+/// [`TensorError::DivisionByZero`] when the matrix is not positive
+/// definite (a non-positive pivot appears).
+///
+/// # Examples
+///
+/// ```
+/// use xai_tensor::{linalg::cholesky, ops::matmul, Matrix};
+///
+/// # fn main() -> Result<(), xai_tensor::TensorError> {
+/// let a = Matrix::from_rows(&[vec![4.0, 2.0], vec![2.0, 3.0]])?;
+/// let l = cholesky(&a)?;
+/// let back = matmul(&l, &l.transpose())?;
+/// assert!(a.max_abs_diff(&back)? < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+pub fn cholesky(a: &Matrix<f64>) -> Result<Matrix<f64>> {
+    if !a.is_square() {
+        return Err(TensorError::ShapeMismatch {
+            left: a.shape(),
+            right: (a.rows(), a.rows()),
+            op: "cholesky requires square matrix",
+        });
+    }
+    let n = a.rows();
+    let mut l = Matrix::zeros(n, n)?;
+    for i in 0..n {
+        for j in 0..=i {
+            let mut sum = a[(i, j)];
+            for k in 0..j {
+                sum -= l[(i, k)] * l[(j, k)];
+            }
+            if i == j {
+                if sum <= 0.0 {
+                    return Err(TensorError::DivisionByZero { index: i * n + j });
+                }
+                l[(i, j)] = sum.sqrt();
+            } else {
+                l[(i, j)] = sum / l[(j, j)];
+            }
+        }
+    }
+    Ok(l)
+}
+
+/// Solves `A·x = b` for symmetric positive-definite `A` via Cholesky
+/// (forward then backward substitution).
+///
+/// # Errors
+///
+/// As [`cholesky`], plus [`TensorError::ShapeMismatch`] when `b` has
+/// the wrong length.
+pub fn solve_spd(a: &Matrix<f64>, b: &[f64]) -> Result<Vec<f64>> {
+    let n = a.rows();
+    if b.len() != n {
+        return Err(TensorError::ShapeMismatch {
+            left: (b.len(), 1),
+            right: (n, 1),
+            op: "solve_spd rhs length",
+        });
+    }
+    let l = cholesky(a)?;
+    // Forward: L·y = b
+    let mut y = vec![0.0; n];
+    for i in 0..n {
+        let mut sum = b[i];
+        for k in 0..i {
+            sum -= l[(i, k)] * y[k];
+        }
+        y[i] = sum / l[(i, i)];
+    }
+    // Backward: Lᵀ·x = y
+    let mut x = vec![0.0; n];
+    for i in (0..n).rev() {
+        let mut sum = y[i];
+        for k in i + 1..n {
+            sum -= l[(k, i)] * x[k];
+        }
+        x[i] = sum / l[(i, i)];
+    }
+    Ok(x)
+}
+
+/// Ridge regression: solves `minimise ‖Z·w − t‖² + λ‖w‖²` through the
+/// normal equations `(ZᵀZ + λI)·w = Zᵀt`.
+///
+/// `z` is the `samples × features` design matrix, `t` the target
+/// vector, `lambda > 0` guarantees positive-definiteness.
+///
+/// # Errors
+///
+/// Returns [`TensorError::ShapeMismatch`] when the target length does
+/// not match the sample count, and propagates solver errors.
+pub fn ridge_regression(z: &Matrix<f64>, t: &[f64], lambda: f64) -> Result<Vec<f64>> {
+    let (samples, features) = z.shape();
+    if t.len() != samples {
+        return Err(TensorError::ShapeMismatch {
+            left: (t.len(), 1),
+            right: (samples, 1),
+            op: "ridge target length",
+        });
+    }
+    // Gram matrix ZᵀZ + λI.
+    let mut gram = Matrix::zeros(features, features)?;
+    for i in 0..features {
+        for j in i..features {
+            let mut sum = 0.0;
+            for s in 0..samples {
+                sum += z[(s, i)] * z[(s, j)];
+            }
+            gram[(i, j)] = sum;
+            gram[(j, i)] = sum;
+        }
+        gram[(i, i)] += lambda;
+    }
+    // Right-hand side Zᵀt.
+    let rhs: Vec<f64> = (0..features)
+        .map(|i| (0..samples).map(|s| z[(s, i)] * t[s]).sum())
+        .collect();
+    solve_spd(&gram, &rhs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::matmul;
+
+    fn spd(n: usize) -> Matrix<f64> {
+        // A = BᵀB + n·I is SPD for any B.
+        let b = Matrix::from_fn(n, n, |r, c| ((r * 3 + c * 5) % 7) as f64 - 3.0).unwrap();
+        let mut a = matmul(&b.transpose(), &b).unwrap();
+        for i in 0..n {
+            a[(i, i)] += n as f64;
+        }
+        a
+    }
+
+    #[test]
+    fn cholesky_reconstructs() {
+        for n in [1usize, 2, 5, 8] {
+            let a = spd(n);
+            let l = cholesky(&a).unwrap();
+            let back = matmul(&l, &l.transpose()).unwrap();
+            assert!(a.max_abs_diff(&back).unwrap() < 1e-9, "n={n}");
+            // L is lower-triangular.
+            for r in 0..n {
+                for c in r + 1..n {
+                    assert_eq!(l[(r, c)], 0.0);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn cholesky_rejects_indefinite() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![2.0, 1.0]]).unwrap(); // eigenvalues 3, -1
+        assert!(cholesky(&a).is_err());
+        let rect = Matrix::<f64>::zeros(2, 3).unwrap();
+        assert!(cholesky(&rect).is_err());
+    }
+
+    #[test]
+    fn solve_recovers_known_solution() {
+        let a = spd(6);
+        let x_true: Vec<f64> = (0..6).map(|i| i as f64 * 0.5 - 1.0).collect();
+        let b = crate::ops::matvec(&a, &x_true).unwrap();
+        let x = solve_spd(&a, &b).unwrap();
+        for (got, want) in x.iter().zip(&x_true) {
+            assert!((got - want).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn solve_validates_rhs_length() {
+        let a = spd(3);
+        assert!(solve_spd(&a, &[1.0, 2.0]).is_err());
+    }
+
+    #[test]
+    fn ridge_fits_exact_linear_model_with_tiny_lambda() {
+        // t = Z·w_true, overdetermined.
+        let z = Matrix::from_fn(12, 3, |r, c| ((r * 5 + c * 3) % 11) as f64 - 5.0).unwrap();
+        let w_true = [1.5, -2.0, 0.5];
+        let t: Vec<f64> = (0..12)
+            .map(|s| (0..3).map(|f| z[(s, f)] * w_true[f]).sum())
+            .collect();
+        let w = ridge_regression(&z, &t, 1e-10).unwrap();
+        for (got, want) in w.iter().zip(&w_true) {
+            assert!((got - want).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn ridge_shrinks_with_large_lambda() {
+        let z = Matrix::from_fn(8, 2, |r, c| ((r + c) % 3) as f64).unwrap();
+        let t = vec![1.0; 8];
+        let small = ridge_regression(&z, &t, 1e-8).unwrap();
+        let large = ridge_regression(&z, &t, 1e6).unwrap();
+        let norm = |v: &[f64]| v.iter().map(|x| x * x).sum::<f64>().sqrt();
+        assert!(norm(&large) < norm(&small) * 0.01);
+    }
+
+    #[test]
+    fn ridge_validates_target_length() {
+        let z = Matrix::<f64>::zeros(4, 2).unwrap();
+        assert!(ridge_regression(&z, &[1.0], 1.0).is_err());
+    }
+}

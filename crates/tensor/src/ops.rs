@@ -1,0 +1,416 @@
+//! Matrix arithmetic: general matrix multiplication (naive and
+//! cache-blocked), Hadamard product, and pointwise division.
+//!
+//! These are exactly the three operation families the paper's task
+//! transformation reduces model distillation to (§III-B): "matrix
+//! convolution, point-wise division and Fourier transform only".
+
+use crate::complex::Complex64;
+use crate::error::{Result, TensorError};
+use crate::matrix::{Matrix, Scalar};
+
+/// Default cache-blocking tile edge for [`matmul_blocked`].
+///
+/// 64×64 `f64` tiles are 32 KiB — a comfortable L1 fit on commodity
+/// hardware, and the same granularity the TPU simulator uses when it
+/// partitions block matrix multiplications across cores (§III-D).
+pub const DEFAULT_BLOCK: usize = 64;
+
+/// Dense matrix product `A · B` using the straightforward
+/// triple loop (i-k-j order so the inner loop streams rows).
+///
+/// # Errors
+///
+/// Returns [`TensorError::ShapeMismatch`] unless
+/// `a.cols() == b.rows()`.
+///
+/// # Examples
+///
+/// ```
+/// use xai_tensor::{Matrix, ops::matmul};
+/// # fn main() -> Result<(), xai_tensor::TensorError> {
+/// let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]])?;
+/// let id = Matrix::identity(2)?;
+/// assert_eq!(matmul(&a, &id)?, a);
+/// # Ok(())
+/// # }
+/// ```
+pub fn matmul<T: Scalar>(a: &Matrix<T>, b: &Matrix<T>) -> Result<Matrix<T>> {
+    if a.cols() != b.rows() {
+        return Err(TensorError::ShapeMismatch {
+            left: a.shape(),
+            right: b.shape(),
+            op: "matmul",
+        });
+    }
+    let (m, k, n) = (a.rows(), a.cols(), b.cols());
+    let mut out = Matrix::zeros(m, n)?;
+    for i in 0..m {
+        let a_row = a.row(i);
+        let out_row = out.row_mut(i);
+        for (p, &a_ip) in a_row.iter().enumerate().take(k) {
+            let b_row = b.row(p);
+            for j in 0..n {
+                out_row[j] += a_ip * b_row[j];
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Cache-blocked matrix product `A · B` with tile edge `block`.
+///
+/// Produces bit-identical results to [`matmul`] for integer scalars and
+/// results equal up to floating-point reassociation for reals. This is
+/// the host-side mirror of the block matrix multiplication the paper
+/// partitions across TPU cores.
+///
+/// # Errors
+///
+/// Returns [`TensorError::ShapeMismatch`] unless `a.cols() == b.rows()`,
+/// and [`TensorError::EmptyDimension`] if `block == 0`.
+pub fn matmul_blocked<T: Scalar>(
+    a: &Matrix<T>,
+    b: &Matrix<T>,
+    block: usize,
+) -> Result<Matrix<T>> {
+    if block == 0 {
+        return Err(TensorError::EmptyDimension);
+    }
+    if a.cols() != b.rows() {
+        return Err(TensorError::ShapeMismatch {
+            left: a.shape(),
+            right: b.shape(),
+            op: "matmul_blocked",
+        });
+    }
+    let (m, k, n) = (a.rows(), a.cols(), b.cols());
+    let mut out = Matrix::zeros(m, n)?;
+    for ii in (0..m).step_by(block) {
+        let i_end = (ii + block).min(m);
+        for pp in (0..k).step_by(block) {
+            let p_end = (pp + block).min(k);
+            for jj in (0..n).step_by(block) {
+                let j_end = (jj + block).min(n);
+                for i in ii..i_end {
+                    let a_row = a.row(i);
+                    let out_row = out.row_mut(i);
+                    for (p, &a_ip) in a_row.iter().enumerate().take(p_end).skip(pp) {
+                        let b_row = b.row(p);
+                        for j in jj..j_end {
+                            out_row[j] += a_ip * b_row[j];
+                        }
+                    }
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Elementwise (Hadamard) product `A ◦ B`.
+///
+/// This is the frequency-domain image of convolution
+/// (`F(X∗K) = F(X) ◦ F(K)`, Equation 3 of the paper).
+///
+/// # Errors
+///
+/// Returns [`TensorError::ShapeMismatch`] for differing shapes.
+pub fn hadamard<T: Scalar>(a: &Matrix<T>, b: &Matrix<T>) -> Result<Matrix<T>> {
+    a.zip_with(b, |x, y| x * y)
+}
+
+/// Policy for handling zero (or numerically tiny) denominators in
+/// [`pointwise_div`].
+///
+/// The paper's closed-form solution `K = F⁻¹(F(Y)/F(X))` (Equation 4)
+/// silently assumes `F(X)` has no spectral nulls. Real data violates
+/// this; the policy makes the failure mode explicit.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum DivPolicy {
+    /// Return [`TensorError::DivisionByZero`] on any `|denominator| <= tol`.
+    Strict {
+        /// Magnitude threshold below which a denominator counts as zero.
+        tol: f64,
+    },
+    /// Replace the offending quotient with zero (drop the frequency bin).
+    ZeroFill {
+        /// Magnitude threshold below which a denominator counts as zero.
+        tol: f64,
+    },
+    /// Clamp the denominator magnitude up to `floor` preserving phase
+    /// (Tikhonov-flavoured guard; the default in the distillation
+    /// solver's "naive" mode).
+    Clamp {
+        /// Minimum allowed denominator magnitude.
+        floor: f64,
+    },
+}
+
+impl Default for DivPolicy {
+    fn default() -> Self {
+        DivPolicy::Clamp { floor: 1e-12 }
+    }
+}
+
+/// Elementwise complex division `A ⊘ B` under a [`DivPolicy`].
+///
+/// # Errors
+///
+/// Returns [`TensorError::ShapeMismatch`] for differing shapes and
+/// [`TensorError::DivisionByZero`] under [`DivPolicy::Strict`] when a
+/// denominator is (near-)zero.
+pub fn pointwise_div(
+    a: &Matrix<Complex64>,
+    b: &Matrix<Complex64>,
+    policy: DivPolicy,
+) -> Result<Matrix<Complex64>> {
+    a.check_same_shape(b, "pointwise_div")?;
+    let mut out = Vec::with_capacity(a.len());
+    for (idx, (&num, &den)) in a.as_slice().iter().zip(b.as_slice()).enumerate() {
+        let mag = den.abs();
+        let q = match policy {
+            DivPolicy::Strict { tol } => {
+                if mag <= tol {
+                    return Err(TensorError::DivisionByZero { index: idx });
+                }
+                num / den
+            }
+            DivPolicy::ZeroFill { tol } => {
+                if mag <= tol {
+                    Complex64::ZERO
+                } else {
+                    num / den
+                }
+            }
+            DivPolicy::Clamp { floor } => {
+                if mag < floor {
+                    // Preserve phase when possible; a true zero has no
+                    // phase, so fall back to a real floor.
+                    let den2 = if mag == 0.0 {
+                        Complex64::from_real(floor)
+                    } else {
+                        den.scale(floor / mag)
+                    };
+                    num / den2
+                } else {
+                    num / den
+                }
+            }
+        };
+        out.push(q);
+    }
+    Matrix::from_vec(a.rows(), a.cols(), out)
+}
+
+/// Elementwise sum `A + B`.
+///
+/// # Errors
+///
+/// Returns [`TensorError::ShapeMismatch`] for differing shapes.
+pub fn add<T: Scalar>(a: &Matrix<T>, b: &Matrix<T>) -> Result<Matrix<T>> {
+    a.zip_with(b, |x, y| x + y)
+}
+
+/// Elementwise difference `A - B`.
+///
+/// # Errors
+///
+/// Returns [`TensorError::ShapeMismatch`] for differing shapes.
+pub fn sub<T: Scalar>(a: &Matrix<T>, b: &Matrix<T>) -> Result<Matrix<T>> {
+    a.zip_with(b, |x, y| x - y)
+}
+
+/// Scales every element by `k`.
+pub fn scale<T: Scalar>(a: &Matrix<T>, k: T) -> Matrix<T> {
+    a.map(|v| v * k)
+}
+
+/// Matrix–vector product `A · x`.
+///
+/// # Errors
+///
+/// Returns [`TensorError::ShapeMismatch`] unless `a.cols() == x.len()`.
+pub fn matvec<T: Scalar>(a: &Matrix<T>, x: &[T]) -> Result<Vec<T>> {
+    if a.cols() != x.len() {
+        return Err(TensorError::ShapeMismatch {
+            left: a.shape(),
+            right: (x.len(), 1),
+            op: "matvec",
+        });
+    }
+    Ok(a.iter_rows()
+        .map(|row| {
+            let mut acc = T::ZERO;
+            for (&a_ij, &x_j) in row.iter().zip(x) {
+                acc += a_ij * x_j;
+            }
+            acc
+        })
+        .collect())
+}
+
+/// Frobenius inner product `Σᵢⱼ AᵢⱼBᵢⱼ` of two real matrices.
+///
+/// # Errors
+///
+/// Returns [`TensorError::ShapeMismatch`] for differing shapes.
+pub fn frobenius_inner(a: &Matrix<f64>, b: &Matrix<f64>) -> Result<f64> {
+    a.check_same_shape(b, "frobenius_inner")?;
+    Ok(a.as_slice()
+        .iter()
+        .zip(b.as_slice())
+        .map(|(x, y)| x * y)
+        .sum())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mat(rows: &[&[f64]]) -> Matrix<f64> {
+        Matrix::from_rows(&rows.iter().map(|r| r.to_vec()).collect::<Vec<_>>()).unwrap()
+    }
+
+    #[test]
+    fn matmul_known_product() {
+        let a = mat(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let b = mat(&[&[5.0, 6.0], &[7.0, 8.0]]);
+        let c = matmul(&a, &b).unwrap();
+        assert_eq!(c, mat(&[&[19.0, 22.0], &[43.0, 50.0]]));
+    }
+
+    #[test]
+    fn matmul_identity_is_noop() {
+        let a = mat(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]]);
+        let id = Matrix::identity(3).unwrap();
+        assert_eq!(matmul(&a, &id).unwrap(), a);
+    }
+
+    #[test]
+    fn matmul_rectangular_shapes() {
+        let a = Matrix::from_fn(2, 5, |r, c| (r + c) as f64).unwrap();
+        let b = Matrix::from_fn(5, 3, |r, c| (r * c) as f64).unwrap();
+        let c = matmul(&a, &b).unwrap();
+        assert_eq!(c.shape(), (2, 3));
+        // Hand-check c[1][2]: Σ_p a[1][p] * b[p][2] = Σ_p (1+p)(2p)
+        let expect: f64 = (0..5).map(|p| (1 + p) as f64 * (2 * p) as f64).sum();
+        assert_eq!(c[(1, 2)], expect);
+    }
+
+    #[test]
+    fn matmul_shape_mismatch() {
+        let a = Matrix::<f64>::zeros(2, 3).unwrap();
+        let b = Matrix::<f64>::zeros(2, 3).unwrap();
+        assert!(matches!(
+            matmul(&a, &b).unwrap_err(),
+            TensorError::ShapeMismatch { op: "matmul", .. }
+        ));
+    }
+
+    #[test]
+    fn blocked_matches_naive() {
+        let a = Matrix::from_fn(17, 23, |r, c| ((r * 31 + c * 7) % 13) as f64 - 6.0).unwrap();
+        let b = Matrix::from_fn(23, 19, |r, c| ((r * 5 + c * 11) % 17) as f64 - 8.0).unwrap();
+        let naive = matmul(&a, &b).unwrap();
+        for block in [1, 2, 3, 8, 64, 100] {
+            let blocked = matmul_blocked(&a, &b, block).unwrap();
+            assert!(naive.max_abs_diff(&blocked).unwrap() < 1e-9, "block={block}");
+        }
+    }
+
+    #[test]
+    fn blocked_rejects_zero_block() {
+        let a = Matrix::<f64>::identity(2).unwrap();
+        assert_eq!(
+            matmul_blocked(&a, &a, 0).unwrap_err(),
+            TensorError::EmptyDimension
+        );
+    }
+
+    #[test]
+    fn hadamard_product() {
+        let a = mat(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let b = mat(&[&[2.0, 0.5], &[1.0, -1.0]]);
+        assert_eq!(hadamard(&a, &b).unwrap(), mat(&[&[2.0, 1.0], &[3.0, -4.0]]));
+    }
+
+    #[test]
+    fn pointwise_div_strict_errors_on_zero() {
+        let a = Matrix::filled(1, 2, Complex64::ONE).unwrap();
+        let mut b = Matrix::filled(1, 2, Complex64::ONE).unwrap();
+        b[(0, 1)] = Complex64::ZERO;
+        let err = pointwise_div(&a, &b, DivPolicy::Strict { tol: 0.0 }).unwrap_err();
+        assert_eq!(err, TensorError::DivisionByZero { index: 1 });
+    }
+
+    #[test]
+    fn pointwise_div_zero_fill() {
+        let a = Matrix::filled(1, 2, Complex64::new(2.0, 0.0)).unwrap();
+        let mut b = Matrix::filled(1, 2, Complex64::ONE).unwrap();
+        b[(0, 1)] = Complex64::ZERO;
+        let q = pointwise_div(&a, &b, DivPolicy::ZeroFill { tol: 1e-12 }).unwrap();
+        assert_eq!(q[(0, 0)], Complex64::new(2.0, 0.0));
+        assert_eq!(q[(0, 1)], Complex64::ZERO);
+    }
+
+    #[test]
+    fn pointwise_div_clamp_preserves_phase() {
+        let a = Matrix::filled(1, 1, Complex64::ONE).unwrap();
+        let b = Matrix::filled(1, 1, Complex64::new(0.0, 1e-20)).unwrap();
+        let q = pointwise_div(&a, &b, DivPolicy::Clamp { floor: 1e-6 }).unwrap();
+        // denominator clamped to 1e-6·i, so quotient is -1e6·i
+        assert!((q[(0, 0)].im + 1e6).abs() < 1.0);
+        assert!(q[(0, 0)].is_finite());
+    }
+
+    #[test]
+    fn pointwise_div_clamp_handles_exact_zero() {
+        let a = Matrix::filled(1, 1, Complex64::ONE).unwrap();
+        let b = Matrix::filled(1, 1, Complex64::ZERO).unwrap();
+        let q = pointwise_div(&a, &b, DivPolicy::default()).unwrap();
+        assert!(q[(0, 0)].is_finite());
+    }
+
+    #[test]
+    fn pointwise_div_exact() {
+        let a = Matrix::filled(2, 2, Complex64::new(6.0, 2.0)).unwrap();
+        let b = Matrix::filled(2, 2, Complex64::new(2.0, 0.0)).unwrap();
+        let q = pointwise_div(&a, &b, DivPolicy::Strict { tol: 1e-12 }).unwrap();
+        assert_eq!(q[(1, 1)], Complex64::new(3.0, 1.0));
+    }
+
+    #[test]
+    fn add_sub_scale() {
+        let a = mat(&[&[1.0, 2.0]]);
+        let b = mat(&[&[3.0, 5.0]]);
+        assert_eq!(add(&a, &b).unwrap(), mat(&[&[4.0, 7.0]]));
+        assert_eq!(sub(&b, &a).unwrap(), mat(&[&[2.0, 3.0]]));
+        assert_eq!(scale(&a, 3.0), mat(&[&[3.0, 6.0]]));
+    }
+
+    #[test]
+    fn matvec_matches_matmul() {
+        let a = mat(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let x = vec![5.0, 6.0];
+        assert_eq!(matvec(&a, &x).unwrap(), vec![17.0, 39.0]);
+        assert!(matvec(&a, &[1.0]).is_err());
+    }
+
+    #[test]
+    fn frobenius_inner_product() {
+        let a = mat(&[&[1.0, 2.0]]);
+        let b = mat(&[&[3.0, 4.0]]);
+        assert_eq!(frobenius_inner(&a, &b).unwrap(), 11.0);
+    }
+
+    #[test]
+    fn complex_matmul_works() {
+        // (I·i) · (I·i) = -I
+        let i2 = Matrix::<Complex64>::identity(2).unwrap();
+        let ii = i2.map(|z| z * Complex64::I);
+        let prod = matmul(&ii, &ii).unwrap();
+        assert!((prod[(0, 0)] + Complex64::ONE).abs() < 1e-12);
+        assert!(prod[(0, 1)].abs() < 1e-12);
+    }
+}

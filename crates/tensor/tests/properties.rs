@@ -1,0 +1,124 @@
+//! Property-based tests for the tensor substrate.
+
+use proptest::prelude::*;
+use xai_tensor::conv::{conv2d_circular, flip180};
+use xai_tensor::ops::{self, matmul, matmul_blocked};
+use xai_tensor::quant::QuantizedMatrix;
+use xai_tensor::{Complex64, Matrix};
+
+/// Strategy: a rows×cols matrix of small reals.
+fn matrix_strategy(rows: usize, cols: usize) -> impl Strategy<Value = Matrix<f64>> {
+    proptest::collection::vec(-100.0f64..100.0, rows * cols)
+        .prop_map(move |v| Matrix::from_vec(rows, cols, v).expect("length matches"))
+}
+
+fn square_strategy(n: usize) -> impl Strategy<Value = Matrix<f64>> {
+    matrix_strategy(n, n)
+}
+
+proptest! {
+    #[test]
+    fn matmul_associative(
+        a in matrix_strategy(3, 4),
+        b in matrix_strategy(4, 5),
+        c in matrix_strategy(5, 2),
+    ) {
+        let left = matmul(&matmul(&a, &b).unwrap(), &c).unwrap();
+        let right = matmul(&a, &matmul(&b, &c).unwrap()).unwrap();
+        // (AB)C = A(BC) up to fp reassociation; magnitudes ≤ 100³·20
+        prop_assert!(left.max_abs_diff(&right).unwrap() < 1e-6);
+    }
+
+    #[test]
+    fn matmul_distributes_over_add(
+        a in matrix_strategy(3, 3),
+        b in square_strategy(3),
+        c in square_strategy(3),
+    ) {
+        let lhs = matmul(&a, &ops::add(&b, &c).unwrap()).unwrap();
+        let rhs = ops::add(&matmul(&a, &b).unwrap(), &matmul(&a, &c).unwrap()).unwrap();
+        prop_assert!(lhs.max_abs_diff(&rhs).unwrap() < 1e-8);
+    }
+
+    #[test]
+    fn blocked_matmul_matches_naive(
+        a in matrix_strategy(7, 9),
+        b in matrix_strategy(9, 5),
+        block in 1usize..12,
+    ) {
+        let naive = matmul(&a, &b).unwrap();
+        let blocked = matmul_blocked(&a, &b, block).unwrap();
+        prop_assert!(naive.max_abs_diff(&blocked).unwrap() < 1e-8);
+    }
+
+    #[test]
+    fn transpose_reverses_matmul(
+        a in matrix_strategy(4, 3),
+        b in matrix_strategy(3, 5),
+    ) {
+        // (AB)ᵀ = BᵀAᵀ
+        let lhs = matmul(&a, &b).unwrap().transpose();
+        let rhs = matmul(&b.transpose(), &a.transpose()).unwrap();
+        prop_assert!(lhs.max_abs_diff(&rhs).unwrap() < 1e-9);
+    }
+
+    #[test]
+    fn circular_conv_commutes(a in square_strategy(4), b in square_strategy(4)) {
+        let ab = conv2d_circular(&a, &b).unwrap();
+        let ba = conv2d_circular(&b, &a).unwrap();
+        prop_assert!(ab.max_abs_diff(&ba).unwrap() < 1e-7);
+    }
+
+    #[test]
+    fn circular_conv_preserves_total_mass(a in square_strategy(4), b in square_strategy(4)) {
+        // sum(a ∗ b) = sum(a)·sum(b) for circular convolution
+        let conv = conv2d_circular(&a, &b).unwrap();
+        let expect = a.sum() * b.sum();
+        prop_assert!((conv.sum() - expect).abs() < 1e-6 * (1.0 + expect.abs()));
+    }
+
+    #[test]
+    fn flip180_is_involution(a in matrix_strategy(3, 5)) {
+        prop_assert_eq!(flip180(&flip180(&a)), a);
+    }
+
+    #[test]
+    fn quantization_error_bounded(a in square_strategy(6)) {
+        let q = QuantizedMatrix::quantize_symmetric(&a).unwrap();
+        let back = q.dequantize();
+        let bound = q.params().scale / 2.0 + 1e-12;
+        prop_assert!(a.max_abs_diff(&back).unwrap() <= bound);
+    }
+
+    #[test]
+    fn complex_div_mul_roundtrip(re in -50.0f64..50.0, im in -50.0f64..50.0) {
+        prop_assume!(re.abs() + im.abs() > 1e-6);
+        let z = Complex64::new(re, im);
+        let w = Complex64::new(3.0, -2.0);
+        let round = (w / z) * z;
+        prop_assert!((round - w).abs() < 1e-9);
+    }
+
+    #[test]
+    fn hadamard_commutes(a in square_strategy(4), b in square_strategy(4)) {
+        let ab = ops::hadamard(&a, &b).unwrap();
+        let ba = ops::hadamard(&b, &a).unwrap();
+        prop_assert_eq!(ab, ba);
+    }
+
+    #[test]
+    fn resized_embedding_preserves_content(a in matrix_strategy(3, 4)) {
+        let big = a.resized(6, 8).unwrap();
+        let back = big.submatrix(0, 0, 3, 4).unwrap();
+        prop_assert_eq!(back, a.clone());
+        // padding is zero
+        prop_assert_eq!(big.submatrix(3, 0, 3, 8).unwrap().sum(), 0.0);
+    }
+
+    #[test]
+    fn vstack_then_split_roundtrip(a in matrix_strategy(2, 3), b in matrix_strategy(3, 3)) {
+        let stacked = Matrix::vstack(&[a.clone(), b.clone()]).unwrap();
+        prop_assert_eq!(stacked.submatrix(0, 0, 2, 3).unwrap(), a);
+        prop_assert_eq!(stacked.submatrix(2, 0, 3, 3).unwrap(), b);
+    }
+}

@@ -1,0 +1,483 @@
+//! A single simulated TPU core: systolic MXU + vector unit + memory
+//! accounting.
+//!
+//! Every operation *computes its real numeric result on the host*
+//! (through the configured precision's quantisation, so int8 error is
+//! real and measurable) and simultaneously charges cycles, bytes and
+//! energy to the core — "timing is simulated, compute is real"
+//! (DESIGN.md §4).
+
+use crate::config::{Precision, TpuConfig};
+use crate::memory::MemoryModel;
+use crate::systolic::{weight_load_cycles, SystolicArray};
+use crate::trace::{Event, OpKind, Trace};
+use xai_tensor::ops::{self, DivPolicy};
+use xai_tensor::quant::QuantizedMatrix;
+use xai_tensor::{Complex64, Matrix, Result};
+
+/// Truncates an `f64` to bfloat16 precision (8-bit exponent, 7-bit
+/// mantissa) and back — the numeric behaviour of a bf16 MXU datapath.
+pub fn bf16_round(x: f64) -> f64 {
+    let bits = (x as f32).to_bits();
+    // Round-to-nearest-even on the dropped 16 bits.
+    let rounded = bits.wrapping_add(0x7FFF + ((bits >> 16) & 1));
+    f32::from_bits(rounded & 0xFFFF_0000) as f64
+}
+
+/// One simulated TPU core.
+///
+/// # Examples
+///
+/// ```
+/// use xai_tpu::{TpuConfig, TpuCore};
+/// use xai_tensor::Matrix;
+///
+/// # fn main() -> Result<(), xai_tensor::TensorError> {
+/// let mut core = TpuCore::new(TpuConfig::small_test());
+/// let a = Matrix::from_fn(4, 4, |r, c| (r + c) as f64 / 8.0)?;
+/// let b = Matrix::identity(4)?;
+/// let c = core.matmul(&a, &b)?;
+/// assert!(a.max_abs_diff(&c)? < 0.01); // int8 round-trip error only
+/// assert!(core.elapsed_cycles() > 0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct TpuCore {
+    id: usize,
+    cfg: TpuConfig,
+    array: SystolicArray,
+    memory: MemoryModel,
+    trace: Trace,
+    cycles: u64,
+    energy_pj: f64,
+}
+
+impl TpuCore {
+    /// Creates core 0 with the given configuration.
+    pub fn new(cfg: TpuConfig) -> Self {
+        Self::with_id(cfg, 0)
+    }
+
+    /// Creates a core with an explicit id (used by the multi-core
+    /// device).
+    pub fn with_id(cfg: TpuConfig, id: usize) -> Self {
+        let array = SystolicArray::from_config(&cfg);
+        TpuCore {
+            id,
+            cfg,
+            array,
+            memory: MemoryModel::new(),
+            trace: Trace::new(),
+            cycles: 0,
+            energy_pj: 0.0,
+        }
+    }
+
+    /// Core id within its device.
+    pub fn id(&self) -> usize {
+        self.id
+    }
+
+    /// Hardware configuration.
+    pub fn config(&self) -> &TpuConfig {
+        &self.cfg
+    }
+
+    /// Cycles accumulated since construction or the last reset.
+    pub fn elapsed_cycles(&self) -> u64 {
+        self.cycles
+    }
+
+    /// Seconds equivalent of [`TpuCore::elapsed_cycles`].
+    pub fn elapsed_seconds(&self) -> f64 {
+        self.cfg.cycles_to_seconds(self.cycles)
+    }
+
+    /// Energy consumed so far, picojoules.
+    pub fn energy_pj(&self) -> f64 {
+        self.energy_pj
+    }
+
+    /// The event log.
+    pub fn trace(&self) -> &Trace {
+        &self.trace
+    }
+
+    /// Memory-traffic accounting.
+    pub fn memory(&self) -> &MemoryModel {
+        &self.memory
+    }
+
+    /// Achieved MXU utilisation: MAC operations executed divided by
+    /// the peak MAC capacity of the elapsed cycles. 1.0 = the array
+    /// never idled; small matmuls and fill/drain overhead push it
+    /// down — the effect Figure 4's small-matrix regime shows.
+    pub fn utilization(&self) -> f64 {
+        if self.cycles == 0 {
+            return 0.0;
+        }
+        let peak = self.cycles as f64 * self.cfg.macs_per_cycle();
+        (self.trace.total_ops() as f64 / peak).min(1.0)
+    }
+
+    /// Zeroes all counters and the trace.
+    pub fn reset(&mut self) {
+        self.memory.reset();
+        self.trace.clear();
+        self.cycles = 0;
+        self.energy_pj = 0.0;
+    }
+
+    // --- charged operations -------------------------------------------
+
+    /// Real matrix product through the MXU datapath.
+    ///
+    /// Under [`Precision::Int8`] both operands round-trip through
+    /// symmetric int8 quantisation (real quantisation error); under
+    /// [`Precision::Bf16`] they are truncated to bfloat16.
+    ///
+    /// # Errors
+    ///
+    /// Returns a shape error when inner dimensions disagree.
+    pub fn matmul(&mut self, a: &Matrix<f64>, b: &Matrix<f64>) -> Result<Matrix<f64>> {
+        let (m, k) = a.shape();
+        let n = b.cols();
+        let result = match self.cfg.precision {
+            Precision::Int8 => {
+                let qa = QuantizedMatrix::quantize_symmetric(a)?;
+                let qb = QuantizedMatrix::quantize_symmetric(b)?;
+                qa.matmul_dequant(&qb)?
+            }
+            Precision::Bf16 => {
+                let ta = a.map(bf16_round);
+                let tb = b.map(bf16_round);
+                ops::matmul(&ta, &tb)?
+            }
+        };
+        self.charge_matmul(m, k, n, 1);
+        Ok(result)
+    }
+
+    /// Complex matrix product, evaluated as three real products
+    /// (Karatsuba decomposition) on the MXU.
+    ///
+    /// Spectra are kept at full precision numerically (the DFT-matrix
+    /// path is bf16-class work on real TPUs — see Lu et al.,
+    /// "Large-scale discrete Fourier transform on TPUs", the paper's
+    /// reference \[3\]); the *cost* is charged at the configured
+    /// precision.
+    ///
+    /// # Errors
+    ///
+    /// Returns a shape error when inner dimensions disagree.
+    pub fn matmul_complex(
+        &mut self,
+        a: &Matrix<Complex64>,
+        b: &Matrix<Complex64>,
+    ) -> Result<Matrix<Complex64>> {
+        let (m, k) = a.shape();
+        let n = b.cols();
+        let result = ops::matmul(a, b)?;
+        // Karatsuba: 3 real m×k·k×n products instead of 4.
+        self.charge_matmul(m, k, n, 3);
+        Ok(result)
+    }
+
+    /// Elementwise complex product (Hadamard, Equation 3).
+    ///
+    /// # Errors
+    ///
+    /// Returns a shape error when shapes disagree.
+    pub fn hadamard(
+        &mut self,
+        a: &Matrix<Complex64>,
+        b: &Matrix<Complex64>,
+    ) -> Result<Matrix<Complex64>> {
+        let out = ops::hadamard(a, b)?;
+        self.charge_elementwise("hadamard", a.len() as u64, 6);
+        Ok(out)
+    }
+
+    /// Elementwise complex division (Equation 4) under `policy`.
+    ///
+    /// # Errors
+    ///
+    /// Returns shape errors and, under [`DivPolicy::Strict`], division
+    /// by zero.
+    pub fn pointwise_div(
+        &mut self,
+        a: &Matrix<Complex64>,
+        b: &Matrix<Complex64>,
+        policy: DivPolicy,
+    ) -> Result<Matrix<Complex64>> {
+        let out = ops::pointwise_div(a, b, policy)?;
+        self.charge_elementwise("pointwise-div", a.len() as u64, 10);
+        Ok(out)
+    }
+
+    /// Elementwise real addition on the vector unit.
+    ///
+    /// # Errors
+    ///
+    /// Returns a shape error when shapes disagree.
+    pub fn add(&mut self, a: &Matrix<f64>, b: &Matrix<f64>) -> Result<Matrix<f64>> {
+        let out = ops::add(a, b)?;
+        self.charge_elementwise("add", a.len() as u64, 1);
+        Ok(out)
+    }
+
+    /// Elementwise real subtraction on the vector unit.
+    ///
+    /// # Errors
+    ///
+    /// Returns a shape error when shapes disagree.
+    pub fn sub(&mut self, a: &Matrix<f64>, b: &Matrix<f64>) -> Result<Matrix<f64>> {
+        let out = ops::sub(a, b)?;
+        self.charge_elementwise("sub", a.len() as u64, 1);
+        Ok(out)
+    }
+
+    /// Charges a host → device transfer of `bytes`.
+    pub fn charge_host_transfer(&mut self, bytes: u64) {
+        self.memory.record_read(bytes);
+        let cycles = (bytes as f64 / self.cfg.hbm_bytes_per_cycle_per_core()).ceil() as u64;
+        self.cycles += cycles;
+        self.energy_pj += bytes as f64 * self.cfg.pj_per_hbm_byte;
+        self.trace.push(Event {
+            kind: OpKind::Host,
+            label: format!("host transfer {bytes} B"),
+            cycles,
+            bytes,
+            ops: 0,
+        });
+    }
+
+    /// Appends a pre-built event to the trace (crate-internal hook for
+    /// the device's collective accounting).
+    pub(crate) fn trace_push(&mut self, event: Event) {
+        // Collective time is accounted at device level (wall/comm
+        // clocks); the event is logged here for visibility only.
+        self.trace.push(event);
+    }
+
+    /// Charges the cycle/energy/traffic cost of an `m×k·k×n` MXU
+    /// matmul (`passes` repetitions) without computing it — used by
+    /// schedulers that compute results on a fast host path while
+    /// simulating device timing ("timing is simulated, compute is
+    /// real"; the *result* comes from elsewhere).
+    pub fn charge_matmul_work(&mut self, m: usize, k: usize, n: usize, passes: u64) {
+        self.charge_matmul(m, k, n, passes);
+    }
+
+    /// Charges the cost of an elementwise vector-unit op over `elems`
+    /// elements without computing it.
+    pub fn charge_elementwise_work(&mut self, label: &str, elems: u64) {
+        self.charge_elementwise(label, elems, 6);
+    }
+
+    fn charge_matmul(&mut self, m: usize, k: usize, n: usize, passes: u64) {
+        // Weight loads are already folded into matmul_cycles for both
+        // buffering modes.
+        let stream = self
+            .array
+            .matmul_cycles(m, k, n, self.cfg.double_buffered_weights);
+        let compute_cycles = stream * passes;
+        let elem = self.cfg.precision.bytes() as u64;
+        let bytes = ((m * k + k * n) as u64) * elem + (m * n) as u64 * 4; // i32/f32 accumulators out
+        let mem_cycles = (bytes as f64 / self.cfg.hbm_bytes_per_cycle_per_core()).ceil() as u64;
+        let macs = (m * k * n) as u64 * passes;
+        // Compute and memory overlap; the core is busy for the max.
+        let total = compute_cycles.max(mem_cycles);
+        self.cycles += total;
+        self.memory.record_read(((m * k + k * n) as u64) * elem);
+        self.memory.record_write((m * n) as u64 * 4);
+        self.memory
+            .record_working_set(bytes, &self.cfg.clone());
+        let energy_factor = (self.cfg.precision.bytes() * self.cfg.precision.bytes()) as f64;
+        self.energy_pj += macs as f64 * self.cfg.pj_per_mac * energy_factor
+            + bytes as f64 * self.cfg.pj_per_hbm_byte;
+        self.trace.push(Event {
+            kind: OpKind::MatMul,
+            label: format!("matmul {m}x{k}x{n} (x{passes})"),
+            cycles: total,
+            bytes,
+            ops: macs,
+        });
+        if !self.cfg.double_buffered_weights {
+            // weight loads already inside matmul_cycles; log separately for visibility
+            self.trace.push(Event {
+                kind: OpKind::WeightLoad,
+                label: format!("weight tiles k={k}"),
+                cycles: weight_load_cycles(k.min(self.cfg.array_rows)),
+                bytes: 0,
+                ops: 0,
+            });
+        }
+    }
+
+    fn charge_elementwise(&mut self, label: &str, elems: u64, flops_per_elem: u64) {
+        // Vector unit processes one lane-width row per cycle.
+        let lanes = self.cfg.array_cols as u64;
+        let cycles = elems.div_ceil(lanes);
+        let bytes = elems * 8;
+        self.cycles += cycles;
+        self.memory.record_read(bytes);
+        self.energy_pj +=
+            (elems * flops_per_elem) as f64 * self.cfg.pj_per_mac + bytes as f64 * 2.0;
+        self.trace.push(Event {
+            kind: OpKind::Elementwise,
+            label: format!("{label} n={elems}"),
+            cycles,
+            bytes,
+            ops: elems * flops_per_elem,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn unit_matrix(n: usize) -> Matrix<f64> {
+        Matrix::from_fn(n, n, |r, c| ((r * 7 + c * 3) % 13) as f64 / 13.0 - 0.5).unwrap()
+    }
+
+    #[test]
+    fn bf16_round_behaviour() {
+        // bf16 has ~3 significant decimal digits.
+        assert_eq!(bf16_round(1.0), 1.0);
+        assert_eq!(bf16_round(0.0), 0.0);
+        let x = 1.2345678;
+        let r = bf16_round(x);
+        assert!((r - x).abs() < 0.01);
+        assert!(r != x); // precision actually dropped
+    }
+
+    #[test]
+    fn matmul_int8_result_is_close_and_charged() {
+        let mut core = TpuCore::new(TpuConfig::small_test());
+        let a = unit_matrix(6);
+        let b = unit_matrix(6);
+        let exact = ops::matmul(&a, &b).unwrap();
+        let got = core.matmul(&a, &b).unwrap();
+        assert!(exact.max_abs_diff(&got).unwrap() < 0.05);
+        assert!(core.elapsed_cycles() > 0);
+        assert!(core.energy_pj() > 0.0);
+        assert_eq!(core.trace().len(), 2); // matmul + weight-load log
+    }
+
+    #[test]
+    fn matmul_bf16_is_more_accurate_than_int8() {
+        let a = unit_matrix(8);
+        let b = unit_matrix(8);
+        let exact = ops::matmul(&a, &b).unwrap();
+
+        let mut int8_core = TpuCore::new(TpuConfig::small_test());
+        let e_int8 = exact
+            .max_abs_diff(&int8_core.matmul(&a, &b).unwrap())
+            .unwrap();
+
+        let mut cfg = TpuConfig::small_test();
+        cfg.precision = Precision::Bf16;
+        let mut bf16_core = TpuCore::new(cfg);
+        let e_bf16 = exact
+            .max_abs_diff(&bf16_core.matmul(&a, &b).unwrap())
+            .unwrap();
+
+        assert!(e_bf16 < e_int8, "bf16 {e_bf16} should beat int8 {e_int8}");
+    }
+
+    #[test]
+    fn complex_matmul_is_exact_and_charges_three_passes() {
+        let mut core = TpuCore::new(TpuConfig::small_test());
+        let a = Matrix::from_fn(4, 4, |r, c| Complex64::new(r as f64, c as f64)).unwrap();
+        let id = Matrix::<Complex64>::identity(4).unwrap();
+        let before = core.elapsed_cycles();
+        let out = core.matmul_complex(&a, &id).unwrap();
+        assert!(out.max_abs_diff(&a).unwrap() < 1e-12);
+        let complex_cost = core.elapsed_cycles() - before;
+
+        let mut real_core = TpuCore::new(TpuConfig::small_test());
+        let ra = unit_matrix(4);
+        real_core.matmul(&ra, &ra).unwrap();
+        let real_cost = real_core.elapsed_cycles();
+        assert!(complex_cost >= 3 * real_cost.min(complex_cost / 3));
+        assert!(complex_cost > real_cost);
+    }
+
+    #[test]
+    fn elementwise_ops_compute_and_charge() {
+        let mut core = TpuCore::new(TpuConfig::small_test());
+        let a = Matrix::filled(4, 4, Complex64::new(2.0, 0.0)).unwrap();
+        let b = Matrix::filled(4, 4, Complex64::new(3.0, 0.0)).unwrap();
+        let h = core.hadamard(&a, &b).unwrap();
+        assert_eq!(h[(0, 0)], Complex64::new(6.0, 0.0));
+        let d = core
+            .pointwise_div(&a, &b, DivPolicy::default())
+            .unwrap();
+        assert!((d[(0, 0)].re - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(core.trace().cycles_of(OpKind::Elementwise), core.elapsed_cycles());
+    }
+
+    #[test]
+    fn add_sub_on_vector_unit() {
+        let mut core = TpuCore::new(TpuConfig::small_test());
+        let a = Matrix::filled(2, 2, 5.0).unwrap();
+        let b = Matrix::filled(2, 2, 3.0).unwrap();
+        assert_eq!(core.add(&a, &b).unwrap()[(0, 0)], 8.0);
+        assert_eq!(core.sub(&a, &b).unwrap()[(0, 0)], 2.0);
+    }
+
+    #[test]
+    fn reset_clears_everything() {
+        let mut core = TpuCore::new(TpuConfig::small_test());
+        let a = unit_matrix(4);
+        core.matmul(&a, &a).unwrap();
+        assert!(core.elapsed_cycles() > 0);
+        core.reset();
+        assert_eq!(core.elapsed_cycles(), 0);
+        assert_eq!(core.energy_pj(), 0.0);
+        assert!(core.trace().is_empty());
+        assert_eq!(core.memory().total_bytes(), 0);
+    }
+
+    #[test]
+    fn host_transfer_charges_bandwidth() {
+        let mut core = TpuCore::new(TpuConfig::small_test());
+        core.charge_host_transfer(5_000);
+        // 500 B/cycle/core in the small config
+        assert_eq!(core.elapsed_cycles(), 10);
+    }
+
+    #[test]
+    fn bigger_matmul_costs_more() {
+        let mut core = TpuCore::new(TpuConfig::small_test());
+        core.matmul(&unit_matrix(4), &unit_matrix(4)).unwrap();
+        let small = core.elapsed_cycles();
+        core.reset();
+        core.matmul(&unit_matrix(16), &unit_matrix(16)).unwrap();
+        assert!(core.elapsed_cycles() > small);
+    }
+
+    #[test]
+    fn utilization_grows_with_matmul_size() {
+        // Bigger matmuls amortise fill/drain: utilisation must rise.
+        let mut small_core = TpuCore::new(TpuConfig::small_test());
+        small_core.matmul(&unit_matrix(2), &unit_matrix(2)).unwrap();
+        let small = small_core.utilization();
+        let mut big_core = TpuCore::new(TpuConfig::small_test());
+        big_core.matmul(&unit_matrix(16), &unit_matrix(16)).unwrap();
+        let big = big_core.utilization();
+        assert!(big > small, "{big} !> {small}");
+        assert!(big <= 1.0);
+        assert_eq!(TpuCore::new(TpuConfig::small_test()).utilization(), 0.0);
+    }
+
+    #[test]
+    fn elapsed_seconds_scales_with_clock() {
+        let mut core = TpuCore::new(TpuConfig::small_test()); // 1 MHz
+        core.charge_host_transfer(500);
+        assert!((core.elapsed_seconds() - 1e-6).abs() < 1e-12);
+    }
+}

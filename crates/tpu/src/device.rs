@@ -1,0 +1,424 @@
+//! Multi-core TPU device with collective communication.
+//!
+//! Implements the two acceleration activities of the paper: data
+//! decomposition (each core works on an independent shard,
+//! [`TpuDevice::run_phase`]) and multi-input parallelism, with the
+//! `cross_replica_sum` reassembly collective of §III-D charged at
+//! `α + β·bytes`.
+
+use crate::config::TpuConfig;
+use crate::core::TpuCore;
+use crate::trace::{Event, OpKind};
+use xai_tensor::{Complex64, Matrix, Result, Scalar, TensorError};
+
+/// Wall-clock accounting for a parallel phase.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct PhaseTime {
+    /// Longest per-core busy time in the phase, seconds.
+    pub compute_s: f64,
+    /// Collective-communication time in the phase, seconds.
+    pub comm_s: f64,
+}
+
+impl PhaseTime {
+    /// Total phase wall time.
+    pub fn total_s(&self) -> f64 {
+        self.compute_s + self.comm_s
+    }
+}
+
+/// A simulated multi-core TPU.
+///
+/// Work dispatched through [`TpuDevice::run_phase`] executes
+/// sequentially on the host but is *timed* as if the cores ran
+/// concurrently: the phase's wall time is the maximum per-core busy
+/// time, plus any collective cost.
+///
+/// # Examples
+///
+/// ```
+/// use xai_tpu::{TpuConfig, TpuDevice};
+/// use xai_tensor::Matrix;
+///
+/// # fn main() -> Result<(), xai_tensor::TensorError> {
+/// let mut dev = TpuDevice::new(TpuConfig::small_test()); // 2 cores
+/// let shards: Vec<Matrix<f64>> = (0..2)
+///     .map(|i| Matrix::filled(4, 4, i as f64 + 0.25))
+///     .collect::<Result<_, _>>()?;
+/// let outs = dev.run_phase(shards, |core, shard| core.matmul(&shard, &shard))?;
+/// assert_eq!(outs.len(), 2);
+/// assert!(dev.wall_seconds() > 0.0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct TpuDevice {
+    cfg: TpuConfig,
+    cores: Vec<TpuCore>,
+    wall_seconds: f64,
+    comm_seconds: f64,
+    collectives: u64,
+    last_phase: PhaseTime,
+}
+
+impl TpuDevice {
+    /// Creates a device with `cfg.cores` cores.
+    pub fn new(cfg: TpuConfig) -> Self {
+        let cores = (0..cfg.cores)
+            .map(|i| TpuCore::with_id(cfg.clone(), i))
+            .collect();
+        TpuDevice {
+            cfg,
+            cores,
+            wall_seconds: 0.0,
+            comm_seconds: 0.0,
+            collectives: 0,
+            last_phase: PhaseTime::default(),
+        }
+    }
+
+    /// Creates a device overriding the configured core count — used by
+    /// the core-count ablation (A2 in DESIGN.md).
+    pub fn with_cores(mut cfg: TpuConfig, cores: usize) -> Self {
+        cfg.cores = cores.max(1);
+        Self::new(cfg)
+    }
+
+    /// Device configuration.
+    pub fn config(&self) -> &TpuConfig {
+        &self.cfg
+    }
+
+    /// Number of cores.
+    pub fn num_cores(&self) -> usize {
+        self.cores.len()
+    }
+
+    /// Immutable view of the cores.
+    pub fn cores(&self) -> &[TpuCore] {
+        &self.cores
+    }
+
+    /// Mutable access to one core (single-core schedules).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.num_cores()`.
+    pub fn core_mut(&mut self, i: usize) -> &mut TpuCore {
+        &mut self.cores[i]
+    }
+
+    /// Accumulated wall time across all phases, seconds.
+    pub fn wall_seconds(&self) -> f64 {
+        self.wall_seconds
+    }
+
+    /// Accumulated collective-communication time, seconds.
+    pub fn comm_seconds(&self) -> f64 {
+        self.comm_seconds
+    }
+
+    /// Number of collectives issued.
+    pub fn collectives(&self) -> u64 {
+        self.collectives
+    }
+
+    /// Timing of the most recent [`TpuDevice::run_phase`] /
+    /// collective pair: compute time of the phase and communication
+    /// time of any collective issued since.
+    pub fn last_phase(&self) -> PhaseTime {
+        self.last_phase
+    }
+
+    /// Total energy across cores, picojoules.
+    pub fn energy_pj(&self) -> f64 {
+        self.cores.iter().map(TpuCore::energy_pj).sum()
+    }
+
+    /// Zeroes all core counters and device clocks.
+    pub fn reset(&mut self) {
+        for c in &mut self.cores {
+            c.reset();
+        }
+        self.wall_seconds = 0.0;
+        self.comm_seconds = 0.0;
+        self.collectives = 0;
+        self.last_phase = PhaseTime::default();
+    }
+
+    /// Executes one data-decomposition phase: work item `i` runs on
+    /// core `i % cores`. The phase's wall-clock contribution is the
+    /// *maximum* per-core busy-time delta (cores run concurrently).
+    ///
+    /// # Errors
+    ///
+    /// Returns the first error produced by `f`, or
+    /// [`TensorError::EmptyDimension`] for an empty work list.
+    pub fn run_phase<W, R>(
+        &mut self,
+        work: Vec<W>,
+        mut f: impl FnMut(&mut TpuCore, W) -> Result<R>,
+    ) -> Result<Vec<R>> {
+        if work.is_empty() {
+            return Err(TensorError::EmptyDimension);
+        }
+        let n_cores = self.cores.len();
+        let before: Vec<u64> = self.cores.iter().map(TpuCore::elapsed_cycles).collect();
+        let mut results = Vec::with_capacity(work.len());
+        for (i, w) in work.into_iter().enumerate() {
+            let core = &mut self.cores[i % n_cores];
+            results.push(f(core, w)?);
+        }
+        let max_delta = self
+            .cores
+            .iter()
+            .zip(&before)
+            .map(|(c, &b)| c.elapsed_cycles() - b)
+            .max()
+            .unwrap_or(0);
+        let compute_s = self.cfg.cycles_to_seconds(max_delta);
+        self.wall_seconds += compute_s;
+        self.last_phase = PhaseTime {
+            compute_s,
+            comm_s: 0.0,
+        };
+        Ok(results)
+    }
+
+    /// `cross_replica_sum` over per-core partial matrices: returns
+    /// their elementwise sum and charges one collective of the
+    /// partial's byte size (§III-D: "required at every iteration of
+    /// \[the\] reassembly process to compute the summation of the
+    /// partial matrices across the cores").
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::EmptyDimension`] for no partials and
+    /// [`TensorError::ShapeMismatch`] for inconsistent shapes.
+    pub fn cross_replica_sum<T: Scalar>(
+        &mut self,
+        partials: &[Matrix<T>],
+    ) -> Result<Matrix<T>> {
+        let first = partials.first().ok_or(TensorError::EmptyDimension)?;
+        let mut acc = first.clone();
+        for p in &partials[1..] {
+            acc = acc.zip_with(p, |a, b| a + b)?;
+        }
+        let bytes = (acc.len() * std::mem::size_of::<T>()) as u64;
+        let cost = self.cfg.cross_replica_cost_s(bytes as usize);
+        self.comm_seconds += cost;
+        self.wall_seconds += cost;
+        self.collectives += 1;
+        self.last_phase.comm_s += cost;
+        // Attribute the event to core 0's trace for visibility.
+        if let Some(c0) = self.cores.first_mut() {
+            let cycles = (cost * self.cfg.clock_hz) as u64;
+            c0.trace_collective(Event {
+                kind: OpKind::Collective,
+                label: format!("cross_replica_sum {bytes} B x{}", partials.len()),
+                cycles,
+                bytes,
+                ops: acc.len() as u64 * partials.len() as u64,
+            });
+        }
+        Ok(acc)
+    }
+
+    /// Executes a compiled [`crate::Program`] once per input set,
+    /// inputs distributed round-robin across cores — the §III-D
+    /// multi-input parallelism at the ISA level. The phase wall time
+    /// is the slowest core's, as in [`TpuDevice::run_phase`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::EmptyDimension`] for an empty batch and
+    /// propagates program validation/execution errors.
+    pub fn execute_batch(
+        &mut self,
+        program: &crate::Program,
+        batches: Vec<Vec<(crate::Slot, Matrix<Complex64>)>>,
+    ) -> Result<Vec<Matrix<Complex64>>> {
+        self.run_phase(batches, |core, inputs| core.execute(program, &inputs))
+    }
+
+    /// Convenience: gathers row shards from cores (Algorithm 1's
+    /// "merge results") and charges one collective for the traffic.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::EmptyDimension`] for an empty shard list
+    /// or [`TensorError::ShapeMismatch`] for inconsistent widths.
+    pub fn gather_rows(&mut self, shards: &[Matrix<Complex64>]) -> Result<Matrix<Complex64>> {
+        let merged = Matrix::vstack(shards)?;
+        let bytes = merged.len() * std::mem::size_of::<Complex64>();
+        let cost = self.cfg.cross_replica_cost_s(bytes);
+        self.comm_seconds += cost;
+        self.wall_seconds += cost;
+        self.collectives += 1;
+        self.last_phase.comm_s += cost;
+        Ok(merged)
+    }
+}
+
+impl TpuCore {
+    /// Appends a collective event to this core's trace (device
+    /// internal).
+    pub(crate) fn trace_collective(&mut self, event: Event) {
+        self.trace_push(event);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn shard(v: f64) -> Matrix<f64> {
+        Matrix::filled(4, 4, v).unwrap()
+    }
+
+    #[test]
+    fn device_has_configured_cores() {
+        let dev = TpuDevice::new(TpuConfig::small_test());
+        assert_eq!(dev.num_cores(), 2);
+        let dev = TpuDevice::with_cores(TpuConfig::small_test(), 8);
+        assert_eq!(dev.num_cores(), 8);
+        let dev0 = TpuDevice::with_cores(TpuConfig::small_test(), 0);
+        assert_eq!(dev0.num_cores(), 1);
+    }
+
+    #[test]
+    fn run_phase_distributes_round_robin() {
+        let mut dev = TpuDevice::new(TpuConfig::small_test());
+        let work: Vec<Matrix<f64>> = (0..4).map(|i| shard(i as f64 * 0.1)).collect();
+        let results = dev
+            .run_phase(work, |core, w| core.matmul(&w, &w))
+            .unwrap();
+        assert_eq!(results.len(), 4);
+        // Both cores must have been used (2 items each).
+        assert!(dev.cores()[0].elapsed_cycles() > 0);
+        assert!(dev.cores()[1].elapsed_cycles() > 0);
+    }
+
+    #[test]
+    fn phase_wall_time_is_max_not_sum() {
+        let mut dev = TpuDevice::new(TpuConfig::small_test());
+        let work: Vec<Matrix<f64>> = (0..2).map(|_| shard(0.5)).collect();
+        dev.run_phase(work, |core, w| core.matmul(&w, &w)).unwrap();
+        let per_core = dev.cores()[0].elapsed_seconds();
+        // Two equal items on two cores: wall ≈ one item's time, not two.
+        assert!((dev.wall_seconds() - per_core).abs() < per_core * 0.5 + 1e-12);
+        let sum: f64 = dev.cores().iter().map(TpuCore::elapsed_seconds).sum();
+        assert!(dev.wall_seconds() < sum);
+    }
+
+    #[test]
+    fn empty_phase_rejected() {
+        let mut dev = TpuDevice::new(TpuConfig::small_test());
+        let r = dev.run_phase(Vec::<Matrix<f64>>::new(), |core, w| core.matmul(&w, &w));
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn cross_replica_sum_adds_partials() {
+        let mut dev = TpuDevice::new(TpuConfig::small_test());
+        let partials = vec![shard(1.0), shard(2.0), shard(3.0)];
+        let sum = dev.cross_replica_sum(&partials).unwrap();
+        assert_eq!(sum[(2, 2)], 6.0);
+        assert_eq!(dev.collectives(), 1);
+        assert!(dev.comm_seconds() >= dev.config().link_latency_s);
+    }
+
+    #[test]
+    fn cross_replica_sum_shape_mismatch() {
+        let mut dev = TpuDevice::new(TpuConfig::small_test());
+        let partials = vec![shard(1.0), Matrix::filled(3, 3, 1.0).unwrap()];
+        assert!(dev.cross_replica_sum(&partials).is_err());
+        assert!(dev
+            .cross_replica_sum::<f64>(&[])
+            .is_err());
+    }
+
+    #[test]
+    fn gather_rows_merges_and_charges() {
+        let mut dev = TpuDevice::new(TpuConfig::small_test());
+        let a = Matrix::filled(2, 3, Complex64::ONE).unwrap();
+        let b = Matrix::filled(1, 3, Complex64::I).unwrap();
+        let merged = dev.gather_rows(&[a, b]).unwrap();
+        assert_eq!(merged.shape(), (3, 3));
+        assert_eq!(merged[(2, 0)], Complex64::I);
+        assert_eq!(dev.collectives(), 1);
+    }
+
+    #[test]
+    fn more_cores_reduce_phase_time() {
+        let work = |n: usize| -> Vec<Matrix<f64>> { (0..8).map(|_| shard(0.5)).collect::<Vec<_>>().into_iter().take(n).collect() };
+        let mut d2 = TpuDevice::with_cores(TpuConfig::small_test(), 2);
+        d2.run_phase(work(8), |c, w| c.matmul(&w, &w)).unwrap();
+        let mut d8 = TpuDevice::with_cores(TpuConfig::small_test(), 8);
+        d8.run_phase(work(8), |c, w| c.matmul(&w, &w)).unwrap();
+        assert!(d8.wall_seconds() < d2.wall_seconds());
+    }
+
+    #[test]
+    fn reset_zeroes_device() {
+        let mut dev = TpuDevice::new(TpuConfig::small_test());
+        dev.run_phase(vec![shard(0.1)], |c, w| c.matmul(&w, &w))
+            .unwrap();
+        dev.cross_replica_sum(&[shard(1.0)]).unwrap();
+        dev.reset();
+        assert_eq!(dev.wall_seconds(), 0.0);
+        assert_eq!(dev.collectives(), 0);
+        assert_eq!(dev.energy_pj(), 0.0);
+    }
+
+    #[test]
+    fn execute_batch_runs_program_per_input() {
+        use crate::isa::{Instruction, Program};
+        // out = a ◦ a for each input, on whichever core gets it.
+        let program = Program::new(
+            2,
+            vec![Instruction::Hadamard { a: 0, b: 0, dst: 1 }],
+            1,
+        );
+        let mut dev = TpuDevice::new(TpuConfig::small_test());
+        let batches: Vec<Vec<(usize, Matrix<Complex64>)>> = (1..=4)
+            .map(|i| {
+                vec![(
+                    0usize,
+                    Matrix::filled(2, 2, Complex64::from_real(i as f64)).unwrap(),
+                )]
+            })
+            .collect();
+        let outs = dev.execute_batch(&program, batches).unwrap();
+        assert_eq!(outs.len(), 4);
+        for (i, out) in outs.iter().enumerate() {
+            let v = (i + 1) as f64;
+            assert_eq!(out[(0, 0)], Complex64::from_real(v * v));
+        }
+        assert!(dev.wall_seconds() > 0.0);
+    }
+
+    #[test]
+    fn last_phase_reports_compute_and_comm() {
+        let mut dev = TpuDevice::new(TpuConfig::small_test());
+        dev.run_phase(vec![shard(0.5)], |c, w| c.matmul(&w, &w))
+            .unwrap();
+        let phase = dev.last_phase();
+        assert!(phase.compute_s > 0.0);
+        assert_eq!(phase.comm_s, 0.0);
+        dev.cross_replica_sum(&[shard(1.0), shard(2.0)]).unwrap();
+        let phase = dev.last_phase();
+        assert!(phase.comm_s > 0.0);
+        assert!((phase.total_s() - phase.compute_s - phase.comm_s).abs() < 1e-15);
+    }
+
+    #[test]
+    fn energy_sums_across_cores() {
+        let mut dev = TpuDevice::new(TpuConfig::small_test());
+        dev.run_phase(vec![shard(0.1), shard(0.2)], |c, w| c.matmul(&w, &w))
+            .unwrap();
+        let total: f64 = dev.cores().iter().map(TpuCore::energy_pj).sum();
+        assert_eq!(dev.energy_pj(), total);
+        assert!(total > 0.0);
+    }
+}

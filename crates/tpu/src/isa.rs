@@ -1,0 +1,333 @@
+//! A compact instruction set for the simulated TPU.
+//!
+//! The paper's pipeline — forward transform, Hadamard/divide, inverse
+//! transform, perturbation differences — compiles into a short
+//! register-level program; [`TpuCore::execute`] runs it with full cost
+//! accounting. This mirrors how a real deployment would drive the
+//! device once instead of round-tripping to the host per operation
+//! ("a simple computation equivalent to one forward pass", §I).
+
+use crate::core::TpuCore;
+use xai_tensor::ops::DivPolicy;
+use xai_tensor::{Complex64, Matrix, Result, TensorError};
+
+/// Index of a matrix register.
+pub type Slot = usize;
+
+/// One TPU instruction over complex matrix registers.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Instruction {
+    /// `dst ← a · b` on the MXU.
+    MatMul {
+        /// Left operand register.
+        a: Slot,
+        /// Right operand register.
+        b: Slot,
+        /// Destination register.
+        dst: Slot,
+    },
+    /// `dst ← a ◦ b` (elementwise product).
+    Hadamard {
+        /// Left operand register.
+        a: Slot,
+        /// Right operand register.
+        b: Slot,
+        /// Destination register.
+        dst: Slot,
+    },
+    /// `dst ← a ⊘ b` (elementwise division) under a policy.
+    PointwiseDiv {
+        /// Numerator register.
+        a: Slot,
+        /// Denominator register.
+        b: Slot,
+        /// Destination register.
+        dst: Slot,
+        /// Division policy for near-zero denominators.
+        policy: DivPolicy,
+    },
+    /// `dst ← a + b`.
+    Add {
+        /// Left operand register.
+        a: Slot,
+        /// Right operand register.
+        b: Slot,
+        /// Destination register.
+        dst: Slot,
+    },
+    /// `dst ← a - b`.
+    Sub {
+        /// Left operand register.
+        a: Slot,
+        /// Right operand register.
+        b: Slot,
+        /// Destination register.
+        dst: Slot,
+    },
+    /// `dst ← aᵀ` (free on the host side of the simulator; charged as
+    /// one unified-buffer rewrite).
+    Transpose {
+        /// Source register.
+        a: Slot,
+        /// Destination register.
+        dst: Slot,
+    },
+    /// `dst ← conj(a)`.
+    Conjugate {
+        /// Source register.
+        a: Slot,
+        /// Destination register.
+        dst: Slot,
+    },
+}
+
+/// A straight-line program over a register file of complex matrices.
+///
+/// # Examples
+///
+/// ```
+/// use xai_tpu::{Instruction, Program, TpuConfig, TpuCore};
+/// use xai_tensor::{Complex64, Matrix};
+///
+/// # fn main() -> Result<(), xai_tensor::TensorError> {
+/// // out = (a · b) ◦ a, in registers: 0=a, 1=b, 2=tmp, 3=out
+/// let program = Program::new(4, vec![
+///     Instruction::MatMul { a: 0, b: 1, dst: 2 },
+///     Instruction::Hadamard { a: 2, b: 0, dst: 3 },
+/// ], 3);
+///
+/// let mut core = TpuCore::new(TpuConfig::small_test());
+/// let a = Matrix::<Complex64>::identity(4)?;
+/// let b = Matrix::filled(4, 4, Complex64::new(2.0, 0.0))?;
+/// let out = core.execute(&program, &[(0, a), (1, b)])?;
+/// assert_eq!(out[(0, 0)], Complex64::new(2.0, 0.0));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Program {
+    slots: usize,
+    instructions: Vec<Instruction>,
+    output: Slot,
+}
+
+impl Program {
+    /// Creates a program with `slots` registers, returning `output`
+    /// when executed.
+    pub fn new(slots: usize, instructions: Vec<Instruction>, output: Slot) -> Self {
+        Program {
+            slots,
+            instructions,
+            output,
+        }
+    }
+
+    /// Number of registers.
+    pub fn slots(&self) -> usize {
+        self.slots
+    }
+
+    /// The instruction sequence.
+    pub fn instructions(&self) -> &[Instruction] {
+        &self.instructions
+    }
+
+    /// The register returned after execution.
+    pub fn output(&self) -> Slot {
+        self.output
+    }
+
+    /// Validates that every referenced register is in range.
+    pub fn validate(&self) -> Result<()> {
+        let check = |s: Slot| -> Result<()> {
+            if s >= self.slots {
+                Err(TensorError::ShapeMismatch {
+                    left: (s, 0),
+                    right: (self.slots, 0),
+                    op: "program register out of range",
+                })
+            } else {
+                Ok(())
+            }
+        };
+        for ins in &self.instructions {
+            match *ins {
+                Instruction::MatMul { a, b, dst }
+                | Instruction::Hadamard { a, b, dst }
+                | Instruction::Add { a, b, dst }
+                | Instruction::Sub { a, b, dst }
+                | Instruction::PointwiseDiv { a, b, dst, .. } => {
+                    check(a)?;
+                    check(b)?;
+                    check(dst)?;
+                }
+                Instruction::Transpose { a, dst } | Instruction::Conjugate { a, dst } => {
+                    check(a)?;
+                    check(dst)?;
+                }
+            }
+        }
+        check(self.output)
+    }
+}
+
+impl TpuCore {
+    /// Executes a [`Program`], seeding the register file with
+    /// `(slot, matrix)` inputs, and returns the output register.
+    ///
+    /// # Errors
+    ///
+    /// Returns validation errors for out-of-range registers, shape
+    /// errors from the underlying operations, and
+    /// [`TensorError::EmptyDimension`] if a register is read before
+    /// being written.
+    pub fn execute(
+        &mut self,
+        program: &Program,
+        inputs: &[(Slot, Matrix<Complex64>)],
+    ) -> Result<Matrix<Complex64>> {
+        program.validate()?;
+        let mut regs: Vec<Option<Matrix<Complex64>>> = vec![None; program.slots()];
+        for (slot, m) in inputs {
+            if *slot >= regs.len() {
+                return Err(TensorError::ShapeMismatch {
+                    left: (*slot, 0),
+                    right: (regs.len(), 0),
+                    op: "program input register out of range",
+                });
+            }
+            // Charge the host → device transfer for each input.
+            self.charge_host_transfer((m.len() * std::mem::size_of::<Complex64>()) as u64);
+            regs[*slot] = Some(m.clone());
+        }
+        let read = |regs: &[Option<Matrix<Complex64>>], s: Slot| -> Result<Matrix<Complex64>> {
+            regs[s].clone().ok_or(TensorError::EmptyDimension)
+        };
+        for ins in program.instructions() {
+            let value = match *ins {
+                Instruction::MatMul { a, b, .. } => {
+                    let (ma, mb) = (read(&regs, a)?, read(&regs, b)?);
+                    self.matmul_complex(&ma, &mb)?
+                }
+                Instruction::Hadamard { a, b, .. } => {
+                    let (ma, mb) = (read(&regs, a)?, read(&regs, b)?);
+                    self.hadamard(&ma, &mb)?
+                }
+                Instruction::PointwiseDiv { a, b, policy, .. } => {
+                    let (ma, mb) = (read(&regs, a)?, read(&regs, b)?);
+                    self.pointwise_div(&ma, &mb, policy)?
+                }
+                Instruction::Add { a, b, .. } => {
+                    let (ma, mb) = (read(&regs, a)?, read(&regs, b)?);
+                    ma.zip_with(&mb, |x, y| x + y)?
+                }
+                Instruction::Sub { a, b, .. } => {
+                    let (ma, mb) = (read(&regs, a)?, read(&regs, b)?);
+                    ma.zip_with(&mb, |x, y| x - y)?
+                }
+                Instruction::Transpose { a, .. } => read(&regs, a)?.transpose(),
+                Instruction::Conjugate { a, .. } => read(&regs, a)?.conj(),
+            };
+            let dst = match *ins {
+                Instruction::MatMul { dst, .. }
+                | Instruction::Hadamard { dst, .. }
+                | Instruction::PointwiseDiv { dst, .. }
+                | Instruction::Add { dst, .. }
+                | Instruction::Sub { dst, .. }
+                | Instruction::Transpose { dst, .. }
+                | Instruction::Conjugate { dst, .. } => dst,
+            };
+            regs[dst] = Some(value);
+        }
+        read(&regs, program.output())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::TpuConfig;
+
+    fn ident(n: usize) -> Matrix<Complex64> {
+        Matrix::identity(n).unwrap()
+    }
+
+    #[test]
+    fn program_validation_catches_bad_slots() {
+        let p = Program::new(2, vec![Instruction::MatMul { a: 0, b: 5, dst: 1 }], 1);
+        assert!(p.validate().is_err());
+        let p2 = Program::new(2, vec![], 7);
+        assert!(p2.validate().is_err());
+        let ok = Program::new(2, vec![Instruction::Transpose { a: 0, dst: 1 }], 1);
+        assert!(ok.validate().is_ok());
+    }
+
+    #[test]
+    fn executes_pipeline_and_charges_cycles() {
+        // out = (a·b) - a
+        let p = Program::new(
+            3,
+            vec![
+                Instruction::MatMul { a: 0, b: 1, dst: 2 },
+                Instruction::Sub { a: 2, b: 0, dst: 2 },
+            ],
+            2,
+        );
+        let mut core = TpuCore::new(TpuConfig::small_test());
+        let a = Matrix::filled(4, 4, Complex64::new(1.0, 0.0)).unwrap();
+        let out = core.execute(&p, &[(0, a), (1, ident(4))]).unwrap();
+        // a·I - a = 0
+        assert!(out.iter().all(|z| z.abs() < 1e-12));
+        assert!(core.elapsed_cycles() > 0);
+    }
+
+    #[test]
+    fn division_instruction_uses_policy() {
+        let p = Program::new(
+            3,
+            vec![Instruction::PointwiseDiv {
+                a: 0,
+                b: 1,
+                dst: 2,
+                policy: DivPolicy::Strict { tol: 1e-12 },
+            }],
+            2,
+        );
+        let mut core = TpuCore::new(TpuConfig::small_test());
+        let a = Matrix::filled(2, 2, Complex64::ONE).unwrap();
+        let zero = Matrix::filled(2, 2, Complex64::ZERO).unwrap();
+        assert!(core.execute(&p, &[(0, a), (1, zero)]).is_err());
+    }
+
+    #[test]
+    fn reading_unwritten_register_errors() {
+        let p = Program::new(3, vec![Instruction::MatMul { a: 0, b: 1, dst: 2 }], 2);
+        let mut core = TpuCore::new(TpuConfig::small_test());
+        // register 1 never seeded
+        assert!(core.execute(&p, &[(0, ident(2))]).is_err());
+    }
+
+    #[test]
+    fn transpose_and_conjugate() {
+        let p = Program::new(
+            3,
+            vec![
+                Instruction::Transpose { a: 0, dst: 1 },
+                Instruction::Conjugate { a: 1, dst: 2 },
+            ],
+            2,
+        );
+        let mut core = TpuCore::new(TpuConfig::small_test());
+        let m = Matrix::from_fn(2, 3, |r, c| Complex64::new(r as f64, c as f64)).unwrap();
+        let out = core.execute(&p, &[(0, m.clone())]).unwrap();
+        assert_eq!(out.shape(), (3, 2));
+        assert_eq!(out[(2, 1)], m[(1, 2)].conj());
+    }
+
+    #[test]
+    fn out_of_range_input_slot_rejected() {
+        let p = Program::new(1, vec![], 0);
+        let mut core = TpuCore::new(TpuConfig::small_test());
+        assert!(core.execute(&p, &[(3, ident(2))]).is_err());
+    }
+}

@@ -1,0 +1,63 @@
+//! # xai-tpu
+//!
+//! A cycle-level simulator of a TPU-class accelerator, built to
+//! reproduce the hardware side of *"Hardware Acceleration of
+//! Explainable Machine Learning using Tensor Processing Units"*
+//! (Pan & Mishra, DATE 2022).
+//!
+//! The paper runs its closed-form explanation pipeline on a Google
+//! Cloud TPUv2; this crate substitutes a simulator with the same cost
+//! structure (see DESIGN.md's substitution log):
+//!
+//! * [`systolic`] — a weight-stationary 256×256 systolic array,
+//!   simulated cycle by cycle at small scale (behavioural ground
+//!   truth) and analytically at full scale;
+//! * [`TpuCore`] — MXU + vector unit + memory accounting; every op
+//!   computes its real numeric result (with real int8/bf16 error)
+//!   while charging cycles, bytes and picojoules;
+//! * [`TpuDevice`] — 128 cores with `cross_replica_sum` collectives
+//!   costed at `α + β·bytes` (§III-D of the paper);
+//! * [`Program`] — a compact ISA so the whole distillation pipeline
+//!   runs as one device program.
+//!
+//! ## Example
+//!
+//! ```
+//! use xai_tpu::{TpuConfig, TpuDevice};
+//! use xai_tensor::Matrix;
+//!
+//! # fn main() -> Result<(), xai_tensor::TensorError> {
+//! let mut device = TpuDevice::new(TpuConfig::small_test());
+//! let shards: Vec<Matrix<f64>> = (0..4)
+//!     .map(|i| Matrix::filled(8, 8, 0.1 * (i + 1) as f64))
+//!     .collect::<Result<_, _>>()?;
+//! // Data decomposition: shards run concurrently across cores.
+//! let squares = device.run_phase(shards, |core, s| core.matmul(&s, &s))?;
+//! // Reassembly: cross-replica summation of the partial results.
+//! let total = device.cross_replica_sum(&squares)?;
+//! assert_eq!(total.shape(), (8, 8));
+//! println!("simulated wall time: {:.3} µs", device.wall_seconds() * 1e6);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod compiler;
+mod config;
+mod core;
+mod device;
+mod isa;
+pub mod memory;
+pub mod systolic;
+pub mod trace;
+
+pub use compiler::{compile_contribution, compile_distillation, compile_fft2d, Fft2dSlots};
+pub use config::{Precision, TpuConfig};
+pub use core::{bf16_round, TpuCore};
+pub use device::{PhaseTime, TpuDevice};
+pub use isa::{Instruction, Program, Slot};
+pub use memory::MemoryModel;
+pub use systolic::{tile_stream_cycles, weight_load_cycles, SystolicArray, TileResult};
+pub use trace::{Event, OpKind, Trace};

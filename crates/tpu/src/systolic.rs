@@ -1,0 +1,395 @@
+//! Cycle-accurate simulation of a weight-stationary systolic array.
+//!
+//! This is the behavioural ground truth for the analytic tile-timing
+//! formula the rest of the simulator uses. The dataflow follows the
+//! classic TPU MXU (§II-A of the paper): weights are pre-loaded and
+//! held stationary, activations enter from the west edge skewed one
+//! cycle per row, partial sums flow south and exit at the bottom
+//! edge. Every value movement happens on a clock edge; the simulation
+//! advances PE-grid state cycle by cycle.
+
+use crate::config::TpuConfig;
+use xai_tensor::{Matrix, Result, TensorError};
+
+/// Analytic cycle count for streaming an `m×k · k×n` tile through a
+/// weight-stationary array (weights already resident):
+/// `m + k + n - 2`.
+///
+/// Derivation: activation row `i` element `r` enters column 0 at cycle
+/// `i + r` and meets its descending partial sum at PE `(r, c)` on
+/// cycle `i + r + c`; the last output (`i = m-1`, bottom row `k-1`,
+/// column `n-1`) is produced at the end of cycle `m + k + n - 3`,
+/// i.e. after `m + k + n - 2` cycles. Verified against
+/// [`SystolicArray::simulate_tile`] in the test suite.
+pub fn tile_stream_cycles(m: usize, k: usize, n: usize) -> u64 {
+    (m + k + n).saturating_sub(2) as u64
+}
+
+/// Cycles to shift a `k`-row weight tile into the array (one row per
+/// cycle).
+pub fn weight_load_cycles(k: usize) -> u64 {
+    k as u64
+}
+
+/// Result of a cycle-accurate tile simulation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TileResult {
+    /// `m × n` int32 accumulator outputs.
+    pub output: Matrix<i32>,
+    /// Number of clock cycles the stream occupied the array.
+    pub cycles: u64,
+}
+
+/// A weight-stationary systolic array of `rows × cols` processing
+/// elements, each an int8×int8→int32 MAC.
+#[derive(Debug, Clone)]
+pub struct SystolicArray {
+    rows: usize,
+    cols: usize,
+}
+
+impl SystolicArray {
+    /// Creates an array with the given PE grid dimensions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn new(rows: usize, cols: usize) -> Self {
+        assert!(rows > 0 && cols > 0, "array dimensions must be non-zero");
+        SystolicArray { rows, cols }
+    }
+
+    /// Creates the array described by a [`TpuConfig`].
+    pub fn from_config(cfg: &TpuConfig) -> Self {
+        Self::new(cfg.array_rows, cfg.array_cols)
+    }
+
+    /// PE grid rows (contraction dimension capacity).
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// PE grid columns (output dimension capacity).
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Simulates one weight-stationary tile pass, cycle by cycle.
+    ///
+    /// `weights` is the stationary `k × n` tile (`k ≤ rows`,
+    /// `n ≤ cols`); `activations` is the streamed `m × k` operand.
+    /// Returns the `m × n` product with int32 accumulation and the
+    /// exact cycle count.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] when the weight tile
+    /// exceeds the PE grid or the operand shapes disagree.
+    pub fn simulate_tile(
+        &self,
+        weights: &Matrix<i8>,
+        activations: &Matrix<i8>,
+    ) -> Result<TileResult> {
+        let (k, n) = weights.shape();
+        let (m, ka) = activations.shape();
+        if k > self.rows || n > self.cols {
+            return Err(TensorError::ShapeMismatch {
+                left: (self.rows, self.cols),
+                right: (k, n),
+                op: "systolic tile exceeds PE grid",
+            });
+        }
+        if ka != k {
+            return Err(TensorError::ShapeMismatch {
+                left: (m, ka),
+                right: (k, n),
+                op: "systolic operand contraction mismatch",
+            });
+        }
+
+        // Per-PE pipeline registers for the *previous* cycle.
+        let mut act_prev = vec![vec![0i32; n]; k]; // activation held east-bound
+        let mut psum_prev = vec![vec![0i32; n]; k]; // partial sum held south-bound
+        let mut act_valid_prev = vec![vec![false; n]; k];
+
+        let mut output = Matrix::<i32>::zeros(m, n)?;
+        let total_cycles = tile_stream_cycles(m, k, n);
+
+        for t in 0..total_cycles {
+            let mut act_now = vec![vec![0i32; n]; k];
+            let mut psum_now = vec![vec![0i32; n]; k];
+            let mut act_valid_now = vec![vec![false; n]; k];
+
+            for r in 0..k {
+                for c in 0..n {
+                    // Activation arrives from the west (edge feed at c == 0).
+                    let (a, valid) = if c == 0 {
+                        // Row r of the array receives activation column r
+                        // of input row i = t - r (skewed injection).
+                        let t = t as i64;
+                        let i = t - r as i64;
+                        if i >= 0 && (i as usize) < m {
+                            (activations[(i as usize, r)] as i32, true)
+                        } else {
+                            (0, false)
+                        }
+                    } else {
+                        (act_prev[r][c - 1], act_valid_prev[r][c - 1])
+                    };
+                    // Partial sum arrives from the north (zero at r == 0).
+                    let p_in = if r == 0 { 0 } else { psum_prev[r - 1][c] };
+                    let mac = if valid {
+                        a * weights[(r, c)] as i32
+                    } else {
+                        0
+                    };
+                    act_now[r][c] = a;
+                    act_valid_now[r][c] = valid;
+                    psum_now[r][c] = p_in + mac;
+
+                    // Bottom-row PEs emit completed sums southward.
+                    if r == k - 1 {
+                        // Output for input row i exits column c at cycle
+                        // t = i + (k-1) + c.
+                        let t = t as i64;
+                        let i = t - (k as i64 - 1) - c as i64;
+                        if i >= 0 && (i as usize) < m {
+                            output[(i as usize, c)] = psum_now[r][c];
+                        }
+                    }
+                }
+            }
+            act_prev = act_now;
+            psum_prev = psum_now;
+            act_valid_prev = act_valid_now;
+        }
+
+        Ok(TileResult {
+            output,
+            cycles: total_cycles,
+        })
+    }
+
+    /// Cycle-accurately simulates a full (possibly multi-tile) int8
+    /// matmul `activations(m×k) · weights(k×n)`: tiles both the
+    /// contraction and output dimensions to the PE grid, streams every
+    /// tile through [`SystolicArray::simulate_tile`], and accumulates
+    /// partial sums in int32 — the behavioural ground truth for
+    /// [`SystolicArray::matmul_cycles`].
+    ///
+    /// Returns the product and the exact cycle count including
+    /// (non-double-buffered) weight loads.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] when the contraction
+    /// dimensions disagree.
+    pub fn simulate_matmul(
+        &self,
+        activations: &Matrix<i8>,
+        weights: &Matrix<i8>,
+    ) -> Result<TileResult> {
+        let (m, k) = activations.shape();
+        let (kw, n) = weights.shape();
+        if k != kw {
+            return Err(TensorError::ShapeMismatch {
+                left: (m, k),
+                right: (kw, n),
+                op: "systolic matmul contraction mismatch",
+            });
+        }
+        let mut output = Matrix::<i32>::zeros(m, n)?;
+        let mut cycles: u64 = 0;
+        for k0 in (0..k).step_by(self.rows) {
+            let kt = self.rows.min(k - k0);
+            let act_tile = activations.submatrix(0, k0, m, kt)?;
+            for n0 in (0..n).step_by(self.cols) {
+                let nt = self.cols.min(n - n0);
+                let w_tile = weights.submatrix(k0, n0, kt, nt)?;
+                cycles += weight_load_cycles(kt);
+                let tile = self.simulate_tile(&w_tile, &act_tile)?;
+                cycles += tile.cycles;
+                // Accumulate the partial product into the output block.
+                for r in 0..m {
+                    for c in 0..nt {
+                        output[(r, n0 + c)] += tile.output[(r, c)];
+                    }
+                }
+            }
+        }
+        Ok(TileResult { output, cycles })
+    }
+
+    /// Analytic cycle cost of a full (possibly multi-tile) matmul
+    /// `m×k · k×n` on this array, including weight loading.
+    ///
+    /// Tiles the contraction dimension by `rows` and the output
+    /// dimension by `cols`; each tile streams all `m` activation rows.
+    /// With double buffering the weight load of tile *t+1* hides under
+    /// the compute of tile *t*, leaving only the first load exposed.
+    pub fn matmul_cycles(&self, m: usize, k: usize, n: usize, double_buffered: bool) -> u64 {
+        if m == 0 || k == 0 || n == 0 {
+            return 0;
+        }
+        let mut total: u64 = 0;
+        let mut first_load = true;
+        for k0 in (0..k).step_by(self.rows) {
+            let kt = self.rows.min(k - k0);
+            for n0 in (0..n).step_by(self.cols) {
+                let nt = self.cols.min(n - n0);
+                let load = weight_load_cycles(kt);
+                let stream = tile_stream_cycles(m, kt, nt);
+                total += if double_buffered && !first_load {
+                    // Load hidden behind the previous tile's stream
+                    // (the stream of any tile is ≥ its own k).
+                    stream
+                } else {
+                    load + stream
+                };
+                first_load = false;
+            }
+        }
+        total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xai_tensor::ops::matmul;
+
+    fn int_matrix(rows: usize, cols: usize, seed: i32) -> Matrix<i8> {
+        Matrix::from_fn(rows, cols, |r, c| {
+            (((r as i32 * 31 + c as i32 * 17 + seed) % 21) - 10) as i8
+        })
+        .unwrap()
+    }
+
+    fn reference_i32(w: &Matrix<i8>, a: &Matrix<i8>) -> Matrix<i32> {
+        // out = a(m×k) · w(k×n) with i32 accumulation
+        let aw = a.map(|v| v as i32);
+        let ww = w.map(|v| v as i32);
+        matmul(&aw, &ww).unwrap()
+    }
+
+    #[test]
+    fn tile_simulation_matches_reference_matmul() {
+        let array = SystolicArray::new(8, 8);
+        for (m, k, n) in [(1, 1, 1), (2, 3, 4), (5, 8, 8), (7, 4, 3), (8, 8, 8)] {
+            let w = int_matrix(k, n, 3);
+            let a = int_matrix(m, k, 11);
+            let res = array.simulate_tile(&w, &a).unwrap();
+            assert_eq!(res.output, reference_i32(&w, &a), "m={m} k={k} n={n}");
+        }
+    }
+
+    #[test]
+    fn tile_simulation_cycle_count_matches_formula() {
+        let array = SystolicArray::new(8, 8);
+        for (m, k, n) in [(1, 1, 1), (2, 3, 4), (8, 8, 8), (3, 5, 2)] {
+            let w = int_matrix(k, n, 0);
+            let a = int_matrix(m, k, 5);
+            let res = array.simulate_tile(&w, &a).unwrap();
+            assert_eq!(res.cycles, tile_stream_cycles(m, k, n));
+        }
+    }
+
+    #[test]
+    fn tile_rejects_oversized_weights() {
+        let array = SystolicArray::new(4, 4);
+        let w = int_matrix(5, 4, 0);
+        let a = int_matrix(2, 5, 0);
+        assert!(array.simulate_tile(&w, &a).is_err());
+    }
+
+    #[test]
+    fn tile_rejects_contraction_mismatch() {
+        let array = SystolicArray::new(4, 4);
+        let w = int_matrix(3, 4, 0);
+        let a = int_matrix(2, 4, 0); // should be m×3
+        assert!(array.simulate_tile(&w, &a).is_err());
+    }
+
+    #[test]
+    fn formula_edge_cases() {
+        assert_eq!(tile_stream_cycles(1, 1, 1), 1);
+        assert_eq!(tile_stream_cycles(256, 256, 256), 766);
+        assert_eq!(weight_load_cycles(256), 256);
+    }
+
+    #[test]
+    fn multi_tile_cycles_scale_with_tiling() {
+        let array = SystolicArray::new(4, 4);
+        // Single tile (4×4×4): load 4 + stream 10 = 14
+        assert_eq!(array.matmul_cycles(4, 4, 4, false), 14);
+        // k = 8 → two k-tiles
+        assert_eq!(array.matmul_cycles(4, 8, 4, false), 28);
+        // Double buffering hides the second load
+        assert_eq!(array.matmul_cycles(4, 8, 4, true), 24);
+    }
+
+    #[test]
+    fn zero_dims_cost_nothing() {
+        let array = SystolicArray::new(4, 4);
+        assert_eq!(array.matmul_cycles(0, 4, 4, true), 0);
+    }
+
+    #[test]
+    fn big_matmul_throughput_is_near_peak() {
+        // For m,k,n ≫ array size, cycles ≈ m·k·n / (rows·cols).
+        let array = SystolicArray::new(16, 16);
+        let (m, k, n) = (256, 256, 256);
+        let cycles = array.matmul_cycles(m, k, n, true) as f64;
+        let ideal = (m * k * n) as f64 / (16.0 * 16.0);
+        let efficiency = ideal / cycles;
+        assert!(efficiency > 0.85, "efficiency {efficiency}");
+        assert!(efficiency <= 1.0);
+    }
+
+    #[test]
+    fn multi_tile_simulation_matches_reference_matmul() {
+        let array = SystolicArray::new(4, 4);
+        for (m, k, n) in [(3, 9, 7), (8, 4, 4), (5, 12, 10), (1, 1, 1)] {
+            let a = int_matrix(m, k, 2);
+            let w = int_matrix(k, n, 9);
+            let res = array.simulate_matmul(&a, &w).unwrap();
+            assert_eq!(res.output, reference_i32(&w, &a), "m={m} k={k} n={n}");
+        }
+    }
+
+    #[test]
+    fn multi_tile_simulation_cycles_match_analytic_formula() {
+        let array = SystolicArray::new(4, 4);
+        for (m, k, n) in [(3, 9, 7), (8, 4, 4), (5, 12, 10)] {
+            let a = int_matrix(m, k, 2);
+            let w = int_matrix(k, n, 9);
+            let res = array.simulate_matmul(&a, &w).unwrap();
+            assert_eq!(
+                res.cycles,
+                array.matmul_cycles(m, k, n, false),
+                "m={m} k={k} n={n}"
+            );
+        }
+    }
+
+    #[test]
+    fn multi_tile_rejects_contraction_mismatch() {
+        let array = SystolicArray::new(4, 4);
+        let a = int_matrix(2, 3, 0);
+        let w = int_matrix(4, 2, 0);
+        assert!(array.simulate_matmul(&a, &w).is_err());
+    }
+
+    #[test]
+    fn from_config_uses_array_dims() {
+        let arr = SystolicArray::from_config(&TpuConfig::small_test());
+        assert_eq!(arr.rows(), 4);
+        assert_eq!(arr.cols(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_dimension_array_panics() {
+        let _ = SystolicArray::new(0, 4);
+    }
+}

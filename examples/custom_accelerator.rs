@@ -1,0 +1,139 @@
+//! Extending the workspace with your own hardware model: implement
+//! [`Accelerator`] for a hypothetical low-power edge NPU and race it
+//! against the paper's three platforms on the interpretation
+//! pipeline.
+//!
+//! Run: `cargo run --release --example custom_accelerator`
+
+use tpu_xai::accel::{Accelerator, CpuModel, GpuModel, KernelStats, TpuAccel};
+use tpu_xai::core::{interpret_on, SolveStrategy};
+use tpu_xai::fourier::Fft2d;
+use tpu_xai::tensor::ops::{self, DivPolicy};
+use tpu_xai::tensor::{conv::conv2d_circular, Complex64, Matrix, Result};
+
+/// A hypothetical 2 W edge NPU: modest compute (250 GFLOP/s int8
+/// class), modest bandwidth (25 GB/s LPDDR), no launch overhead
+/// (tightly-coupled command queue).
+#[derive(Debug, Clone, Default)]
+struct EdgeNpu {
+    seconds: f64,
+    stats: KernelStats,
+}
+
+impl EdgeNpu {
+    const FLOPS: f64 = 2.5e11;
+    const BYTES: f64 = 2.5e10;
+
+    fn charge(&mut self, flops: f64, bytes: f64) {
+        let dt = (flops / Self::FLOPS).max(bytes / Self::BYTES);
+        self.seconds += dt;
+        self.stats.record(dt, flops, bytes);
+    }
+}
+
+impl Accelerator for EdgeNpu {
+    fn name(&self) -> String {
+        "EdgeNPU (hypothetical 2 W part)".to_string()
+    }
+
+    fn matmul(&mut self, a: &Matrix<f64>, b: &Matrix<f64>) -> Result<Matrix<f64>> {
+        let out = ops::matmul_blocked(a, b, ops::DEFAULT_BLOCK)?;
+        let (m, k) = a.shape();
+        let n = b.cols();
+        self.charge(2.0 * (m * k * n) as f64, 8.0 * (m * k + k * n + m * n) as f64);
+        Ok(out)
+    }
+
+    fn fft2d(&mut self, x: &Matrix<Complex64>) -> Result<Matrix<Complex64>> {
+        let (m, n) = x.shape();
+        let out = Fft2d::new(m, n).forward(x)?;
+        self.charge(
+            6.0 * (m * n) as f64 * ((m * n) as f64).log2(),
+            64.0 * (m * n) as f64,
+        );
+        Ok(out)
+    }
+
+    fn ifft2d(&mut self, x: &Matrix<Complex64>) -> Result<Matrix<Complex64>> {
+        let (m, n) = x.shape();
+        let out = Fft2d::new(m, n).inverse(x)?;
+        self.charge(
+            6.0 * (m * n) as f64 * ((m * n) as f64).log2(),
+            64.0 * (m * n) as f64,
+        );
+        Ok(out)
+    }
+
+    fn hadamard(&mut self, a: &Matrix<Complex64>, b: &Matrix<Complex64>) -> Result<Matrix<Complex64>> {
+        let out = ops::hadamard(a, b)?;
+        self.charge(6.0 * a.len() as f64, 48.0 * a.len() as f64);
+        Ok(out)
+    }
+
+    fn pointwise_div(
+        &mut self,
+        a: &Matrix<Complex64>,
+        b: &Matrix<Complex64>,
+        policy: DivPolicy,
+    ) -> Result<Matrix<Complex64>> {
+        let out = ops::pointwise_div(a, b, policy)?;
+        self.charge(10.0 * a.len() as f64, 48.0 * a.len() as f64);
+        Ok(out)
+    }
+
+    fn sub(&mut self, a: &Matrix<f64>, b: &Matrix<f64>) -> Result<Matrix<f64>> {
+        let out = ops::sub(a, b)?;
+        self.charge(a.len() as f64, 24.0 * a.len() as f64);
+        Ok(out)
+    }
+
+    fn charge_workload(&mut self, flops: f64, bytes: f64) {
+        self.charge(flops, bytes);
+    }
+
+    fn elapsed_seconds(&self) -> f64 {
+        self.seconds
+    }
+
+    fn stats(&self) -> KernelStats {
+        self.stats
+    }
+
+    fn reset(&mut self) {
+        self.seconds = 0.0;
+        self.stats = KernelStats::new();
+    }
+}
+
+fn main() -> Result<()> {
+    // The interpretation workload of Table II on 64×64 pairs.
+    let k = Matrix::from_fn(64, 64, |r, c| ((r + c * 2) % 5) as f64 * 0.2)?;
+    let pairs: Vec<_> = (0..6)
+        .map(|s| {
+            let x = Matrix::from_fn(64, 64, |r, c| (((r * 13 + c * 7 + s) % 23) as f64) / 23.0)
+                .expect("valid dims");
+            let y = conv2d_circular(&x, &k).expect("same shape");
+            (x, y)
+        })
+        .collect();
+
+    let mut platforms: Vec<Box<dyn Accelerator>> = vec![
+        Box::new(CpuModel::i7_3700()),
+        Box::new(GpuModel::gtx1080()),
+        Box::new(TpuAccel::tpu_v2()),
+        Box::new(EdgeNpu::default()),
+    ];
+    println!("interpretation of 6 pairs (64x64, 4x4 blocks):\n");
+    for p in &mut platforms {
+        let (model, report) = interpret_on(p.as_mut(), &pairs, 4, SolveStrategy::default())?;
+        println!(
+            "{:38} {:10.1} µs   (fidelity err {:.1e})",
+            p.name(),
+            report.total_s() * 1e6,
+            model.fidelity_error(&pairs)?
+        );
+    }
+    println!("\nAny platform that can run matmul/FFT/elementwise kernels plugs into");
+    println!("the same pipeline — implement the Accelerator trait and race it.");
+    Ok(())
+}

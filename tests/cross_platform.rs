@@ -1,0 +1,106 @@
+//! Cross-platform integration tests: the three hardware models must
+//! agree numerically and disagree (in the paper's order) on time.
+
+use tpu_xai::accel::{time_region, Accelerator, CpuModel, GpuModel, TpuAccel};
+use tpu_xai::core::{interpret_on, transform_roundtrip_seconds, SolveStrategy};
+use tpu_xai::tensor::{conv::conv2d_circular, Matrix};
+
+fn pairs(n: usize, size: usize) -> Vec<(Matrix<f64>, Matrix<f64>)> {
+    let k = Matrix::from_fn(size, size, |r, c| ((r + c * 2) % 5) as f64 * 0.2).unwrap();
+    (0..n)
+        .map(|s| {
+            let x = Matrix::from_fn(size, size, |r, c| {
+                (((r * 13 + c * 7 + s * 3) % 17) as f64) / 17.0 - 0.5
+            })
+            .unwrap();
+            let y = conv2d_circular(&x, &k).unwrap();
+            (x, y)
+        })
+        .collect()
+}
+
+#[test]
+fn all_platforms_compute_identical_spectral_results() {
+    let x = Matrix::from_fn(16, 16, |r, c| ((r * 3 + c) % 9) as f64).unwrap().to_complex();
+    let mut cpu = CpuModel::i7_3700();
+    let mut gpu = GpuModel::gtx1080();
+    let mut tpu = TpuAccel::tpu_v2();
+    let sc = cpu.fft2d(&x).unwrap();
+    let sg = gpu.fft2d(&x).unwrap();
+    let st = tpu.fft2d(&x).unwrap();
+    assert!(sc.max_abs_diff(&sg).unwrap() < 1e-12);
+    assert!(sc.max_abs_diff(&st).unwrap() < 1e-12);
+}
+
+#[test]
+fn interpretation_ordering_holds_across_sizes() {
+    for size in [32usize, 64] {
+        let ps = pairs(4, size);
+        let mut cpu = CpuModel::i7_3700();
+        let mut gpu = GpuModel::gtx1080();
+        let mut tpu = TpuAccel::tpu_v2();
+        let (_, rc) = interpret_on(&mut cpu, &ps, 4, SolveStrategy::default()).unwrap();
+        let (_, rg) = interpret_on(&mut gpu, &ps, 4, SolveStrategy::default()).unwrap();
+        let (_, rt) = interpret_on(&mut tpu, &ps, 4, SolveStrategy::default()).unwrap();
+        assert!(
+            rt.total_s() < rg.total_s() && rg.total_s() < rc.total_s(),
+            "size {size}: tpu {} gpu {} cpu {}",
+            rt.total_s(),
+            rg.total_s(),
+            rc.total_s()
+        );
+    }
+}
+
+#[test]
+fn tpu_advantage_grows_with_matrix_size() {
+    // Figure 4's shape: the CPU/TPU ratio must increase monotonically.
+    let mut last_ratio = 0.0;
+    for n in [64usize, 128, 256] {
+        let mut cpu = CpuModel::i7_3700();
+        let mut tpu = TpuAccel::tpu_v2();
+        let tc = transform_roundtrip_seconds(&mut cpu, n).unwrap();
+        let tt = transform_roundtrip_seconds(&mut tpu, n).unwrap();
+        let ratio = tc / tt;
+        assert!(ratio > last_ratio, "ratio not growing at {n}: {ratio} vs {last_ratio}");
+        last_ratio = ratio;
+    }
+    assert!(last_ratio > 10.0, "TPU must win by an order of magnitude at 256²");
+}
+
+#[test]
+fn time_region_isolates_a_phase() {
+    let mut cpu = CpuModel::i7_3700();
+    let x = Matrix::filled(32, 32, 0.5).unwrap();
+    let (_, warmup) = time_region(&mut cpu, |a| a.matmul(&x, &x)).unwrap();
+    let (_, second) = time_region(&mut cpu, |a| a.matmul(&x, &x)).unwrap();
+    assert!(warmup > 0.0);
+    // A deterministic cost model: identical kernels cost identical time.
+    assert!((warmup - second).abs() < 1e-12);
+}
+
+#[test]
+fn batched_contribution_matches_unbatched() {
+    use tpu_xai::core::{contribution_on, contributions_batch_on, DistilledModel, Region};
+    let ps = pairs(3, 16);
+    let model = DistilledModel::fit(&ps, SolveStrategy::default()).unwrap();
+    let (x, y) = &ps[0];
+    let regions: Vec<Region> = (0..4).map(Region::Column).collect();
+    for make in [0usize, 1, 2] {
+        let mut acc: Box<dyn Accelerator> = match make {
+            0 => Box::new(CpuModel::i7_3700()),
+            1 => Box::new(GpuModel::gtx1080()),
+            _ => Box::new(TpuAccel::with_cores(8)),
+        };
+        let batch = contributions_batch_on(acc.as_mut(), &model, x, y, &regions).unwrap();
+        for (i, &r) in regions.iter().enumerate() {
+            let single = contribution_on(acc.as_mut(), &model, x, y, r).unwrap();
+            assert!(
+                (batch[i] - single).abs() < 1e-9,
+                "platform {make} region {i}: batch {} vs single {}",
+                batch[i],
+                single
+            );
+        }
+    }
+}

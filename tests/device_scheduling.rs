@@ -1,0 +1,94 @@
+//! Integration tests of Algorithm 1 and the device-level scheduling:
+//! the simulated TPU must produce host-identical numerics while its
+//! clocks behave like hardware.
+
+use tpu_xai::core::{fft2d_on_device, ifft2d_on_device};
+use tpu_xai::tensor::{Complex64, Matrix};
+use tpu_xai::tpu::{
+    Instruction, Program, SystolicArray, TpuConfig, TpuCore, TpuDevice,
+};
+use xai_tensor::ops::DivPolicy;
+
+fn spectrum_input(m: usize, n: usize) -> Matrix<Complex64> {
+    Matrix::from_fn(m, n, |r, c| {
+        Complex64::new(((r * 7 + c) % 9) as f64 - 4.0, ((r + c * 5) % 7) as f64 * 0.5)
+    })
+    .unwrap()
+}
+
+#[test]
+fn algorithm1_is_exact_for_every_core_count() {
+    let x = spectrum_input(12, 12);
+    let host = tpu_xai::fourier::fft2d(&x).unwrap();
+    for cores in [1usize, 2, 3, 5, 12, 64] {
+        let mut device = TpuDevice::with_cores(TpuConfig::small_test(), cores);
+        let dev = fft2d_on_device(&mut device, &x).unwrap();
+        assert!(host.max_abs_diff(&dev).unwrap() < 1e-9, "cores={cores}");
+        let back = ifft2d_on_device(&mut device, &dev).unwrap();
+        assert!(x.max_abs_diff(&back).unwrap() < 1e-9, "cores={cores}");
+    }
+}
+
+#[test]
+fn whole_distillation_runs_as_one_device_program() {
+    // Compile K = F(Y) ⊘ F(X) in the frequency domain as an ISA
+    // program (the "one forward pass" of the paper's §I).
+    let program = Program::new(
+        3,
+        vec![Instruction::PointwiseDiv {
+            a: 0,
+            b: 1,
+            dst: 2,
+            policy: DivPolicy::Clamp { floor: 1e-12 },
+        }],
+        2,
+    );
+    let x = spectrum_input(8, 8);
+    let k = spectrum_input(8, 8).map(|z| z * Complex64::new(0.3, 0.1));
+    let fx = tpu_xai::fourier::fft2d(&x).unwrap();
+    let fk = tpu_xai::fourier::fft2d(&k).unwrap();
+    let fy = xai_tensor::ops::hadamard(&fx, &fk).unwrap();
+
+    let mut core = TpuCore::new(TpuConfig::small_test());
+    let recovered_spec = core.execute(&program, &[(0, fy), (1, fx)]).unwrap();
+    let recovered = tpu_xai::fourier::ifft2d(&recovered_spec).unwrap();
+    assert!(recovered.max_abs_diff(&k).unwrap() < 1e-8);
+    assert!(core.elapsed_cycles() > 0);
+    assert!(core.trace().len() >= 3); // 2 host transfers + 1 div
+}
+
+#[test]
+fn systolic_array_agrees_with_quantized_matmul() {
+    // The cycle-accurate PE grid and the batch int8 matmul must agree
+    // bit for bit (both use i32 accumulation).
+    let array = SystolicArray::new(8, 8);
+    let w = Matrix::from_fn(8, 8, |r, c| ((r * 3 + c) % 15) as i8 - 7).unwrap();
+    let a = Matrix::from_fn(6, 8, |r, c| ((r * 5 + c * 2) % 13) as i8 - 6).unwrap();
+    let tile = array.simulate_tile(&w, &a).unwrap();
+    let expect = xai_tensor::ops::matmul(&a.map(|v| v as i32), &w.map(|v| v as i32)).unwrap();
+    assert_eq!(tile.output, expect);
+}
+
+#[test]
+fn communication_cost_scales_with_payload() {
+    let mut device = TpuDevice::with_cores(TpuConfig::tpu_v2(), 4);
+    let small: Vec<Matrix<f64>> = (0..4).map(|_| Matrix::filled(8, 8, 1.0).unwrap()).collect();
+    device.cross_replica_sum(&small).unwrap();
+    let t_small = device.comm_seconds();
+    device.reset();
+    let large: Vec<Matrix<f64>> = (0..4).map(|_| Matrix::filled(64, 64, 1.0).unwrap()).collect();
+    device.cross_replica_sum(&large).unwrap();
+    assert!(device.comm_seconds() > t_small);
+}
+
+#[test]
+fn device_energy_scales_with_work() {
+    let x_small = spectrum_input(8, 8);
+    let x_large = spectrum_input(16, 16);
+    let mut d1 = TpuDevice::with_cores(TpuConfig::small_test(), 2);
+    fft2d_on_device(&mut d1, &x_small).unwrap();
+    let e_small = d1.energy_pj();
+    let mut d2 = TpuDevice::with_cores(TpuConfig::small_test(), 2);
+    fft2d_on_device(&mut d2, &x_large).unwrap();
+    assert!(d2.energy_pj() > e_small);
+}

@@ -1,0 +1,138 @@
+//! Integration tests that verify, one by one, every numbered equation
+//! of the paper against the workspace implementation.
+
+use tpu_xai::core::{occlude, DistilledModel, Region, SolveStrategy};
+use tpu_xai::fourier::{dft, dft_matrix, fft2d, fft2d_via_matmul, ifft2d, Norm};
+use tpu_xai::tensor::ops::{hadamard, matvec, pointwise_div, sub, DivPolicy};
+use tpu_xai::tensor::{conv::conv2d_circular, Complex64, Matrix};
+
+fn test_input(seed: usize) -> Matrix<f64> {
+    let mut x =
+        Matrix::from_fn(6, 6, |r, c| ((r * 5 + c * 3 + seed) % 11) as f64 * 0.1).unwrap();
+    x[(0, 0)] += 4.0; // keep the spectrum away from zero
+    x
+}
+
+fn test_kernel() -> Matrix<f64> {
+    Matrix::from_fn(6, 6, |r, c| ((r * 2 + c) % 5) as f64 * 0.2 - 0.3).unwrap()
+}
+
+/// Equation 2: the distilled model is `X ∗ K = Y`.
+#[test]
+fn equation_2_distilled_model_is_convolution() {
+    let k = test_kernel();
+    let x = test_input(0);
+    let y = conv2d_circular(&x, &k).unwrap();
+    let model = DistilledModel::fit(
+        &[(x.clone(), y.clone())],
+        SolveStrategy::Wiener { lambda: 1e-12 },
+    )
+    .unwrap();
+    // The fitted model reproduces Y through a convolution.
+    let direct = conv2d_circular(&x, model.kernel()).unwrap();
+    assert!(direct.max_abs_diff(&y).unwrap() < 1e-6);
+}
+
+/// Equation 3: `F(X ∗ K) = F(X) ◦ F(K)` (discrete convolution theorem).
+#[test]
+fn equation_3_convolution_theorem() {
+    let x = test_input(1);
+    let k = test_kernel();
+    let lhs = fft2d(&conv2d_circular(&x, &k).unwrap().to_complex()).unwrap();
+    let rhs = hadamard(
+        &fft2d(&x.to_complex()).unwrap(),
+        &fft2d(&k.to_complex()).unwrap(),
+    )
+    .unwrap();
+    assert!(lhs.max_abs_diff(&rhs).unwrap() < 1e-8);
+}
+
+/// Equation 4: `K = F⁻¹(F(Y) / F(X))`.
+#[test]
+fn equation_4_closed_form_solution() {
+    let x = test_input(2);
+    let k = test_kernel();
+    let y = conv2d_circular(&x, &k).unwrap();
+    let fy = fft2d(&y.to_complex()).unwrap();
+    let fx = fft2d(&x.to_complex()).unwrap();
+    let quotient = pointwise_div(&fy, &fx, DivPolicy::Strict { tol: 1e-9 }).unwrap();
+    let recovered = ifft2d(&quotient).unwrap().to_real();
+    assert!(recovered.max_abs_diff(&k).unwrap() < 1e-8);
+}
+
+/// Equation 5: `con(xᵢ) = Y − X′ ∗ K` with `X′` the occluded input.
+#[test]
+fn equation_5_contribution_factor() {
+    let x = test_input(3);
+    let k = test_kernel();
+    let y = conv2d_circular(&x, &k).unwrap();
+    let model = DistilledModel::fit(&[(x.clone(), y.clone())], SolveStrategy::default()).unwrap();
+    let region = Region::Element(2, 3);
+    let x_prime = occlude(&x, region).unwrap();
+    // con via the library
+    let via_library =
+        tpu_xai::core::contribution(&model, &x, &y, region).unwrap();
+    // con by the equation, literally
+    let literal = sub(&y, &conv2d_circular(&x_prime, model.kernel()).unwrap())
+        .unwrap()
+        .frobenius_norm();
+    assert!((via_library - literal).abs() < 1e-6);
+}
+
+/// Equations 6–8: the 2-D DFT separates into row and column stages.
+#[test]
+fn equations_6_to_8_separability() {
+    let x = test_input(4).to_complex();
+    // Full 2-D from the definition (equation 6) == staged row/column
+    // (equations 7-8), which is exactly what fft2d computes.
+    let (m, n) = x.shape();
+    let reference = Matrix::from_fn(m, n, |kk, ll| {
+        let mut acc = Complex64::ZERO;
+        for r in 0..m {
+            for c in 0..n {
+                acc += x[(r, c)]
+                    * Complex64::twiddle((r * kk) as i64, m)
+                    * Complex64::twiddle((c * ll) as i64, n);
+            }
+        }
+        acc
+    })
+    .unwrap();
+    let staged = fft2d(&x).unwrap();
+    assert!(reference.max_abs_diff(&staged).unwrap() < 1e-8);
+}
+
+/// Equations 9–10: the 1-D DFT is the matrix product `W_M · x`.
+#[test]
+fn equations_9_and_10_dft_as_matvec() {
+    let signal: Vec<Complex64> = (0..9)
+        .map(|i| Complex64::new(((i * 4) % 7) as f64 - 3.0, (i % 3) as f64))
+        .collect();
+    let w = dft_matrix(9, Norm::Backward);
+    let via_matrix = matvec(&w, &signal).unwrap();
+    let via_dft = dft(&signal, Norm::Backward);
+    for (a, b) in via_matrix.iter().zip(&via_dft) {
+        assert!((*a - *b).abs() < 1e-9);
+    }
+}
+
+/// Equations 11–13: `X = (W_M · x) · W_N`.
+#[test]
+fn equations_11_to_13_two_stage_matmul_form() {
+    let x = test_input(5).to_complex();
+    let via_matmul = fft2d_via_matmul(&x, Norm::Backward).unwrap();
+    let via_fft = fft2d(&x).unwrap();
+    assert!(via_matmul.max_abs_diff(&via_fft).unwrap() < 1e-8);
+}
+
+/// The paper's unitary convention (1/√MN in equation 6) is also
+/// supported and self-consistent.
+#[test]
+fn ortho_normalisation_roundtrip() {
+    let x = test_input(6).to_complex();
+    let spec = fft2d_via_matmul(&x, Norm::Ortho).unwrap();
+    let back = tpu_xai::fourier::ifft2d_via_matmul(&spec, Norm::Ortho).unwrap();
+    assert!(x.max_abs_diff(&back).unwrap() < 1e-9);
+    // Parseval under the unitary convention.
+    assert!((x.energy() - spec.energy()).abs() < 1e-6);
+}
