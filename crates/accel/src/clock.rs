@@ -1,0 +1,107 @@
+//! The simulated-time ledger behind every [`crate::Accelerator`].
+//!
+//! Kernel methods take `&self` so one accelerator can be shared as
+//! `Arc<dyn Accelerator>` across worker threads; the mutable state —
+//! elapsed simulated seconds and kernel statistics — lives here,
+//! behind interior mutability. One lock acquisition per kernel: the
+//! lock is never held while numeric work executes.
+
+use crate::stats::KernelStats;
+use std::sync::Mutex;
+
+/// An interior-mutable clock + statistics ledger.
+///
+/// Cloning snapshots the current state into an independent ledger
+/// (clones do **not** share time); to share one clock across threads,
+/// share the accelerator that owns it (e.g. through an
+/// [`std::sync::Arc`]).
+#[derive(Debug, Default)]
+pub struct Clock {
+    inner: Mutex<KernelStats>,
+}
+
+impl Clock {
+    /// Creates a zeroed clock.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one kernel's contribution to the ledger.
+    pub fn record(&self, seconds: f64, ops: f64, bytes: f64) {
+        self.lock().record(seconds, ops, bytes);
+    }
+
+    /// Merges an externally-accumulated record.
+    pub fn merge(&self, other: &KernelStats) {
+        self.lock().merge(other);
+    }
+
+    /// Simulated seconds elapsed since construction or reset.
+    pub fn seconds(&self) -> f64 {
+        self.lock().seconds
+    }
+
+    /// Snapshot of the accumulated statistics.
+    pub fn stats(&self) -> KernelStats {
+        *self.lock()
+    }
+
+    /// Zeroes the ledger.
+    pub fn reset(&self) {
+        *self.lock() = KernelStats::new();
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, KernelStats> {
+        self.inner.lock().expect("clock lock poisoned")
+    }
+}
+
+impl Clone for Clock {
+    fn clone(&self) -> Self {
+        Clock {
+            inner: Mutex::new(self.stats()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_through_shared_reference() {
+        let clock = Clock::new();
+        clock.record(0.5, 10.0, 20.0);
+        clock.record(0.25, 5.0, 10.0);
+        assert_eq!(clock.seconds(), 0.75);
+        assert_eq!(clock.stats().kernels, 2);
+        clock.reset();
+        assert_eq!(clock.seconds(), 0.0);
+    }
+
+    #[test]
+    fn clones_are_independent_snapshots() {
+        let clock = Clock::new();
+        clock.record(1.0, 1.0, 1.0);
+        let snap = clock.clone();
+        clock.record(1.0, 1.0, 1.0);
+        assert_eq!(clock.seconds(), 2.0);
+        assert_eq!(snap.seconds(), 1.0);
+    }
+
+    #[test]
+    fn concurrent_records_all_land() {
+        let clock = Clock::new();
+        std::thread::scope(|scope| {
+            for _ in 0..8 {
+                scope.spawn(|| {
+                    for _ in 0..100 {
+                        clock.record(0.001, 1.0, 1.0);
+                    }
+                });
+            }
+        });
+        assert_eq!(clock.stats().kernels, 800);
+        assert!((clock.seconds() - 0.8).abs() < 1e-9);
+    }
+}

@@ -7,15 +7,22 @@
 //! paper deploys on all three platforms is modelled through
 //! [`RooflineParams::workers`].
 //!
+//! Kernels take `&self` — the only mutable state is the [`Clock`]
+//! ledger — so a single model can be shared across worker threads as
+//! `Arc<dyn Accelerator>`. Transform plans come from the process-wide
+//! [`xai_fourier::global_plan_cache`], so plan construction amortises
+//! across threads and models alike.
+//!
 //! Sustained-throughput calibration (documented in EXPERIMENTS.md):
 //! the models use *sustained* rather than peak figures, since the
 //! pipeline's kernels are small and latency/occupancy-bound on real
 //! hardware.
 
+use crate::clock::Clock;
 use crate::roofline::{cost, RooflineParams};
 use crate::stats::KernelStats;
 use crate::traits::Accelerator;
-use xai_fourier::{Fft2d, FftPlan};
+use xai_fourier::global_plan_cache;
 use xai_tensor::ops::{self, DivPolicy};
 use xai_tensor::{Complex64, Matrix, Result};
 
@@ -24,7 +31,7 @@ use xai_tensor::{Complex64, Matrix, Result};
 struct HostModel {
     name: String,
     params: RooflineParams,
-    stats: KernelStats,
+    clock: Clock,
 }
 
 impl HostModel {
@@ -32,16 +39,16 @@ impl HostModel {
         HostModel {
             name: name.into(),
             params,
-            stats: KernelStats::new(),
+            clock: Clock::new(),
         }
     }
 
-    fn charge(&mut self, flops: f64, bytes: f64) {
+    fn charge(&self, flops: f64, bytes: f64) {
         let t = self.params.kernel_seconds(flops, bytes);
-        self.stats.record(t, flops, bytes);
+        self.clock.record(t, flops, bytes);
     }
 
-    fn matmul(&mut self, a: &Matrix<f64>, b: &Matrix<f64>) -> Result<Matrix<f64>> {
+    fn matmul(&self, a: &Matrix<f64>, b: &Matrix<f64>) -> Result<Matrix<f64>> {
         let out = ops::matmul_blocked(a, b, ops::DEFAULT_BLOCK)?;
         let (m, k) = a.shape();
         let n = b.cols();
@@ -49,12 +56,15 @@ impl HostModel {
         Ok(out)
     }
 
-    fn fft2d(&mut self, x: &Matrix<Complex64>, forward: bool) -> Result<Matrix<Complex64>> {
+    fn fft2d(&self, x: &Matrix<Complex64>, forward: bool) -> Result<Matrix<Complex64>> {
         let (m, n) = x.shape();
-        let plan = Fft2d::new(m, n);
-        let out = if forward { plan.forward(x)? } else { plan.inverse(x)? };
-        let row_ops = FftPlan::new(n).op_count();
-        let col_ops = FftPlan::new(m).op_count();
+        let plan = global_plan_cache().plan_2d(m, n);
+        let out = if forward {
+            plan.forward(x)?
+        } else {
+            plan.inverse(x)?
+        };
+        let (row_ops, col_ops) = plan.op_counts();
         self.charge(
             cost::fft2d_flops(m, n, row_ops, col_ops),
             cost::fft2d_bytes(m, n),
@@ -62,7 +72,7 @@ impl HostModel {
         Ok(out)
     }
 
-    fn hadamard(&mut self, a: &Matrix<Complex64>, b: &Matrix<Complex64>) -> Result<Matrix<Complex64>> {
+    fn hadamard(&self, a: &Matrix<Complex64>, b: &Matrix<Complex64>) -> Result<Matrix<Complex64>> {
         let out = ops::hadamard(a, b)?;
         self.charge(
             cost::elementwise_flops(a.len(), 6.0),
@@ -72,7 +82,7 @@ impl HostModel {
     }
 
     fn pointwise_div(
-        &mut self,
+        &self,
         a: &Matrix<Complex64>,
         b: &Matrix<Complex64>,
         policy: DivPolicy,
@@ -85,73 +95,63 @@ impl HostModel {
         Ok(out)
     }
 
-    fn sub(&mut self, a: &Matrix<f64>, b: &Matrix<f64>) -> Result<Matrix<f64>> {
+    fn sub(&self, a: &Matrix<f64>, b: &Matrix<f64>) -> Result<Matrix<f64>> {
         let out = ops::sub(a, b)?;
         self.charge(a.len() as f64, 24.0 * a.len() as f64);
         Ok(out)
     }
 }
 
-macro_rules! host_accelerator {
-    ($(#[$meta:meta])* $name:ident) => {
-        $(#[$meta])*
-        #[derive(Debug, Clone)]
-        pub struct $name {
-            inner: HostModel,
-        }
-
-        impl Accelerator for $name {
-            fn name(&self) -> String {
-                self.inner.name.clone()
-            }
-            fn matmul(&mut self, a: &Matrix<f64>, b: &Matrix<f64>) -> Result<Matrix<f64>> {
-                self.inner.matmul(a, b)
-            }
-            fn fft2d(&mut self, x: &Matrix<Complex64>) -> Result<Matrix<Complex64>> {
-                self.inner.fft2d(x, true)
-            }
-            fn ifft2d(&mut self, x: &Matrix<Complex64>) -> Result<Matrix<Complex64>> {
-                self.inner.fft2d(x, false)
-            }
-            fn hadamard(
-                &mut self,
-                a: &Matrix<Complex64>,
-                b: &Matrix<Complex64>,
-            ) -> Result<Matrix<Complex64>> {
-                self.inner.hadamard(a, b)
-            }
-            fn pointwise_div(
-                &mut self,
-                a: &Matrix<Complex64>,
-                b: &Matrix<Complex64>,
-                policy: DivPolicy,
-            ) -> Result<Matrix<Complex64>> {
-                self.inner.pointwise_div(a, b, policy)
-            }
-            fn sub(&mut self, a: &Matrix<f64>, b: &Matrix<f64>) -> Result<Matrix<f64>> {
-                self.inner.sub(a, b)
-            }
-            fn charge_workload(&mut self, flops: f64, bytes: f64) {
-                self.inner.charge(flops, bytes);
-            }
-            fn elapsed_seconds(&self) -> f64 {
-                self.inner.stats.seconds
-            }
-            fn stats(&self) -> KernelStats {
-                self.inner.stats
-            }
-            fn reset(&mut self) {
-                self.inner.stats = KernelStats::new();
-            }
-        }
-    };
+/// The paper's baseline: "ordinary execution with CPU" on the
+/// Intel i7 3.70 GHz host (§IV-A), with the same data
+/// decomposition applied across its SMT threads.
+///
+/// Cloning snapshots the clock into an independent model; share one
+/// clock by sharing the model itself (e.g. `Arc<CpuModel>`).
+#[derive(Debug, Clone)]
+pub struct CpuModel {
+    inner: HostModel,
 }
 
-host_accelerator! {
-    /// The paper's baseline: "ordinary execution with CPU" on the
-    /// Intel i7 3.70 GHz host (§IV-A), with the same data
-    /// decomposition applied across its SMT threads.
-    CpuModel
+impl Accelerator for CpuModel {
+    fn name(&self) -> String {
+        self.inner.name.clone()
+    }
+    fn matmul(&self, a: &Matrix<f64>, b: &Matrix<f64>) -> Result<Matrix<f64>> {
+        self.inner.matmul(a, b)
+    }
+    fn fft2d(&self, x: &Matrix<Complex64>) -> Result<Matrix<Complex64>> {
+        self.inner.fft2d(x, true)
+    }
+    fn ifft2d(&self, x: &Matrix<Complex64>) -> Result<Matrix<Complex64>> {
+        self.inner.fft2d(x, false)
+    }
+    fn hadamard(&self, a: &Matrix<Complex64>, b: &Matrix<Complex64>) -> Result<Matrix<Complex64>> {
+        self.inner.hadamard(a, b)
+    }
+    fn pointwise_div(
+        &self,
+        a: &Matrix<Complex64>,
+        b: &Matrix<Complex64>,
+        policy: DivPolicy,
+    ) -> Result<Matrix<Complex64>> {
+        self.inner.pointwise_div(a, b, policy)
+    }
+    fn sub(&self, a: &Matrix<f64>, b: &Matrix<f64>) -> Result<Matrix<f64>> {
+        self.inner.sub(a, b)
+    }
+    fn charge_workload(&self, flops: f64, bytes: f64) {
+        self.inner.charge(flops, bytes);
+    }
+    fn elapsed_seconds(&self) -> f64 {
+        self.inner.clock.seconds()
+    }
+    fn stats(&self) -> KernelStats {
+        self.inner.clock.stats()
+    }
+    fn reset(&self) {
+        self.inner.clock.reset();
+    }
 }
 
 /// The paper's state-of-practice baseline: model training and
@@ -161,6 +161,9 @@ host_accelerator! {
 /// Batched kernels pay the launch overhead **once** per batch (one
 /// fused grid instead of many small kernels) — this is how the
 /// paper's §III-D multi-input parallelism manifests on a GPU.
+///
+/// Cloning snapshots the clock into an independent model; share one
+/// clock by sharing the model itself (e.g. `Arc<GpuModel>`).
 #[derive(Debug, Clone)]
 pub struct GpuModel {
     inner: HostModel,
@@ -168,7 +171,7 @@ pub struct GpuModel {
 
 impl GpuModel {
     fn batch_transform(
-        &mut self,
+        &self,
         xs: &[Matrix<Complex64>],
         forward: bool,
     ) -> Result<Vec<Matrix<Complex64>>> {
@@ -176,13 +179,18 @@ impl GpuModel {
             return Ok(Vec::new());
         }
         let (m, n) = xs[0].shape();
-        let plan = Fft2d::new(m, n);
+        let plan = global_plan_cache().plan_2d(m, n);
         let out: Result<Vec<_>> = xs
             .iter()
-            .map(|x| if forward { plan.forward(x) } else { plan.inverse(x) })
+            .map(|x| {
+                if forward {
+                    plan.forward(x)
+                } else {
+                    plan.inverse(x)
+                }
+            })
             .collect();
-        let row_ops = FftPlan::new(n).op_count();
-        let col_ops = FftPlan::new(m).op_count();
+        let (row_ops, col_ops) = plan.op_counts();
         let b = xs.len() as f64;
         self.inner.charge(
             cost::fft2d_flops(m, n, row_ops, col_ops) * b,
@@ -196,41 +204,37 @@ impl Accelerator for GpuModel {
     fn name(&self) -> String {
         self.inner.name.clone()
     }
-    fn matmul(&mut self, a: &Matrix<f64>, b: &Matrix<f64>) -> Result<Matrix<f64>> {
+    fn matmul(&self, a: &Matrix<f64>, b: &Matrix<f64>) -> Result<Matrix<f64>> {
         self.inner.matmul(a, b)
     }
-    fn fft2d(&mut self, x: &Matrix<Complex64>) -> Result<Matrix<Complex64>> {
+    fn fft2d(&self, x: &Matrix<Complex64>) -> Result<Matrix<Complex64>> {
         self.inner.fft2d(x, true)
     }
-    fn ifft2d(&mut self, x: &Matrix<Complex64>) -> Result<Matrix<Complex64>> {
+    fn ifft2d(&self, x: &Matrix<Complex64>) -> Result<Matrix<Complex64>> {
         self.inner.fft2d(x, false)
     }
-    fn hadamard(
-        &mut self,
-        a: &Matrix<Complex64>,
-        b: &Matrix<Complex64>,
-    ) -> Result<Matrix<Complex64>> {
+    fn hadamard(&self, a: &Matrix<Complex64>, b: &Matrix<Complex64>) -> Result<Matrix<Complex64>> {
         self.inner.hadamard(a, b)
     }
     fn pointwise_div(
-        &mut self,
+        &self,
         a: &Matrix<Complex64>,
         b: &Matrix<Complex64>,
         policy: DivPolicy,
     ) -> Result<Matrix<Complex64>> {
         self.inner.pointwise_div(a, b, policy)
     }
-    fn sub(&mut self, a: &Matrix<f64>, b: &Matrix<f64>) -> Result<Matrix<f64>> {
+    fn sub(&self, a: &Matrix<f64>, b: &Matrix<f64>) -> Result<Matrix<f64>> {
         self.inner.sub(a, b)
     }
-    fn fft2d_batch(&mut self, xs: &[Matrix<Complex64>]) -> Result<Vec<Matrix<Complex64>>> {
+    fn fft2d_batch(&self, xs: &[Matrix<Complex64>]) -> Result<Vec<Matrix<Complex64>>> {
         self.batch_transform(xs, true)
     }
-    fn ifft2d_batch(&mut self, xs: &[Matrix<Complex64>]) -> Result<Vec<Matrix<Complex64>>> {
+    fn ifft2d_batch(&self, xs: &[Matrix<Complex64>]) -> Result<Vec<Matrix<Complex64>>> {
         self.batch_transform(xs, false)
     }
     fn hadamard_batch(
-        &mut self,
+        &self,
         xs: &[Matrix<Complex64>],
         k: &Matrix<Complex64>,
     ) -> Result<Vec<Matrix<Complex64>>> {
@@ -244,7 +248,7 @@ impl Accelerator for GpuModel {
         }
         out
     }
-    fn sub_batch(&mut self, y: &Matrix<f64>, preds: &[Matrix<f64>]) -> Result<Vec<Matrix<f64>>> {
+    fn sub_batch(&self, y: &Matrix<f64>, preds: &[Matrix<f64>]) -> Result<Vec<Matrix<f64>>> {
         let out: Result<Vec<_>> = preds.iter().map(|p| ops::sub(y, p)).collect();
         if !preds.is_empty() {
             let b = preds.len() as f64;
@@ -253,17 +257,17 @@ impl Accelerator for GpuModel {
         }
         out
     }
-    fn charge_workload(&mut self, flops: f64, bytes: f64) {
+    fn charge_workload(&self, flops: f64, bytes: f64) {
         self.inner.charge(flops, bytes);
     }
     fn elapsed_seconds(&self) -> f64 {
-        self.inner.stats.seconds
+        self.inner.clock.seconds()
     }
     fn stats(&self) -> KernelStats {
-        self.inner.stats
+        self.inner.clock.stats()
     }
-    fn reset(&mut self) {
-        self.inner.stats = KernelStats::new();
+    fn reset(&self) {
+        self.inner.clock.reset();
     }
 }
 
@@ -340,8 +344,8 @@ mod tests {
 
     #[test]
     fn cpu_and_gpu_compute_identical_results() {
-        let mut cpu = CpuModel::i7_3700();
-        let mut gpu = GpuModel::gtx1080();
+        let cpu = CpuModel::i7_3700();
+        let gpu = GpuModel::gtx1080();
         let a = Matrix::from_fn(8, 8, |r, c| ((r * 5 + c * 3) % 7) as f64 - 3.0).unwrap();
         let b = Matrix::from_fn(8, 8, |r, c| ((r + c * 2) % 5) as f64).unwrap();
         let ca = cpu.matmul(&a, &b).unwrap();
@@ -354,8 +358,8 @@ mod tests {
 
     #[test]
     fn gpu_is_faster_on_large_compute_bound_work() {
-        let mut cpu = CpuModel::i7_3700();
-        let mut gpu = GpuModel::gtx1080();
+        let cpu = CpuModel::i7_3700();
+        let gpu = GpuModel::gtx1080();
         let a = Matrix::filled(96, 96, 0.5).unwrap();
         cpu.matmul(&a, &a).unwrap();
         gpu.matmul(&a, &a).unwrap();
@@ -364,8 +368,8 @@ mod tests {
 
     #[test]
     fn gpu_launch_overhead_dominates_tiny_kernels() {
-        let mut cpu = CpuModel::i7_3700();
-        let mut gpu = GpuModel::gtx1080();
+        let cpu = CpuModel::i7_3700();
+        let gpu = GpuModel::gtx1080();
         let a = Matrix::filled(2, 2, 1.0).unwrap();
         cpu.sub(&a, &a).unwrap();
         gpu.sub(&a, &a).unwrap();
@@ -375,8 +379,10 @@ mod tests {
 
     #[test]
     fn fft_roundtrip_through_accelerator() {
-        let mut cpu = CpuModel::i7_3700();
-        let x = Matrix::from_fn(8, 8, |r, c| (r * 8 + c) as f64).unwrap().to_complex();
+        let cpu = CpuModel::i7_3700();
+        let x = Matrix::from_fn(8, 8, |r, c| (r * 8 + c) as f64)
+            .unwrap()
+            .to_complex();
         let spec = cpu.fft2d(&x).unwrap();
         let back = cpu.ifft2d(&spec).unwrap();
         assert!(x.max_abs_diff(&back).unwrap() < 1e-9);
@@ -385,7 +391,7 @@ mod tests {
 
     #[test]
     fn reset_zeroes_clock() {
-        let mut cpu = CpuModel::i7_3700();
+        let cpu = CpuModel::i7_3700();
         let a = Matrix::filled(4, 4, 1.0).unwrap();
         cpu.matmul(&a, &a).unwrap();
         assert!(cpu.elapsed_seconds() > 0.0);
@@ -396,7 +402,7 @@ mod tests {
 
     #[test]
     fn charge_workload_advances_clock() {
-        let mut gpu = GpuModel::gtx1080();
+        let gpu = GpuModel::gtx1080();
         gpu.charge_workload(8.0e11, 0.0);
         // 8e11 flops at 8e11 aggregate flops/s ⇒ 1 s + launch
         assert!((gpu.elapsed_seconds() - 1.0 - 3e-6).abs() < 1e-6);
@@ -409,7 +415,7 @@ mod tests {
 
     #[test]
     fn division_policy_propagates() {
-        let mut cpu = CpuModel::i7_3700();
+        let cpu = CpuModel::i7_3700();
         let a = Matrix::filled(2, 2, Complex64::ONE).unwrap();
         let z = Matrix::filled(2, 2, Complex64::ZERO).unwrap();
         assert!(cpu
@@ -418,5 +424,31 @@ mod tests {
         assert!(cpu
             .pointwise_div(&a, &z, DivPolicy::ZeroFill { tol: 1e-9 })
             .is_ok());
+    }
+
+    #[test]
+    fn clone_snapshots_rather_than_shares_the_clock() {
+        let cpu = CpuModel::i7_3700();
+        let a = Matrix::filled(4, 4, 1.0).unwrap();
+        cpu.matmul(&a, &a).unwrap();
+        let snap = cpu.clone();
+        cpu.matmul(&a, &a).unwrap();
+        assert_eq!(snap.stats().kernels, 1);
+        assert_eq!(cpu.stats().kernels, 2);
+    }
+
+    #[test]
+    fn shared_model_accumulates_across_threads() {
+        use std::sync::Arc;
+        let gpu = Arc::new(GpuModel::gtx1080());
+        let a = Matrix::filled(8, 8, 1.0).unwrap();
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let gpu = Arc::clone(&gpu);
+                let a = a.clone();
+                scope.spawn(move || gpu.matmul(&a, &a).unwrap());
+            }
+        });
+        assert_eq!(gpu.stats().kernels, 4);
     }
 }

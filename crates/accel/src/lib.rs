@@ -22,12 +22,12 @@
 //!
 //! # fn main() -> Result<(), xai_tensor::TensorError> {
 //! let x = Matrix::from_fn(64, 64, |r, c| ((r + c) % 9) as f64)?.to_complex();
-//! let mut platforms: Vec<Box<dyn Accelerator>> = vec![
+//! let platforms: Vec<Box<dyn Accelerator>> = vec![
 //!     Box::new(CpuModel::i7_3700()),
 //!     Box::new(GpuModel::gtx1080()),
 //!     Box::new(TpuAccel::tpu_v2()),
 //! ];
-//! for p in &mut platforms {
+//! for p in &platforms {
 //!     p.fft2d(&x)?;
 //!     println!("{}: {:.3} µs", p.name(), p.elapsed_seconds() * 1e6);
 //! }
@@ -38,12 +38,14 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+mod clock;
 mod host;
 mod roofline;
 mod stats;
 mod tpu_accel;
 mod traits;
 
+pub use clock::Clock;
 pub use host::{CpuModel, GpuModel};
 pub use roofline::{cost, RooflineParams};
 pub use stats::KernelStats;

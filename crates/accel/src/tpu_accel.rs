@@ -16,17 +16,30 @@
 //! TPUs do this class of work in bf16 — the paper's reference [3]),
 //! and the *quantised int8* path for real matmuls, so quantisation
 //! error is physically present where the paper's §II-A says it is.
+//!
+//! The simulated device lives behind a [`SharedDevice`] handle and
+//! every kernel takes `&self`: one `TpuAccel` (or one device shared
+//! by several) can serve many worker threads, with each kernel's
+//! charging serialised atomically on the device lock while the
+//! numeric work runs outside it.
 
+use crate::clock::Clock;
 use crate::stats::KernelStats;
 use crate::traits::Accelerator;
-use xai_fourier::Fft2d;
+use xai_fourier::global_plan_cache;
 use xai_tensor::ops::{self, DivPolicy};
 use xai_tensor::quant::QuantizedMatrix;
 use xai_tensor::{Complex64, Matrix, Result};
-use xai_tpu::{TpuConfig, TpuDevice};
+use xai_tpu::{SharedDevice, TpuConfig, TpuDevice};
 
 /// TPU-based accelerator (the "Proposed Approach" column of the
 /// paper's tables).
+///
+/// Cloning deep-copies the simulated device (an independent clock);
+/// to drive **one** device from many threads, share the `TpuAccel`
+/// itself (e.g. `Arc<TpuAccel>` / `Arc<dyn Accelerator>`) or
+/// construct several with [`TpuAccel::over_device`] on one
+/// [`SharedDevice`].
 ///
 /// # Examples
 ///
@@ -35,7 +48,7 @@ use xai_tpu::{TpuConfig, TpuDevice};
 /// use xai_tensor::Matrix;
 ///
 /// # fn main() -> Result<(), xai_tensor::TensorError> {
-/// let mut tpu = TpuAccel::tpu_v2();
+/// let tpu = TpuAccel::tpu_v2();
 /// let x = Matrix::from_fn(16, 16, |r, c| (r + c) as f64 / 32.0)?;
 /// let spec = tpu.fft2d(&x.to_complex())?;
 /// let back = tpu.ifft2d(&spec)?;
@@ -44,11 +57,21 @@ use xai_tpu::{TpuConfig, TpuDevice};
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct TpuAccel {
-    device: TpuDevice,
-    stats: KernelStats,
-    extra_seconds: f64,
+    device: SharedDevice,
+    stats: Clock,
+}
+
+impl Clone for TpuAccel {
+    /// Deep copy: the clone gets an independent device with the same
+    /// configuration and current counters.
+    fn clone(&self) -> Self {
+        TpuAccel {
+            device: SharedDevice::from_device(self.device.with(|d| d.clone())),
+            stats: self.stats.clone(),
+        }
+    }
 }
 
 impl TpuAccel {
@@ -60,20 +83,15 @@ impl TpuAccel {
 
     /// A TPU accelerator over a custom device configuration.
     pub fn with_config(cfg: TpuConfig) -> Self {
-        TpuAccel {
-            device: TpuDevice::new(cfg),
-            stats: KernelStats::new(),
-            extra_seconds: 0.0,
-        }
+        Self::over_device(SharedDevice::new(cfg))
     }
 
     /// A TPU accelerator with an overridden core count (ablation A2).
     pub fn with_cores(cores: usize) -> Self {
-        TpuAccel {
-            device: TpuDevice::with_cores(TpuConfig::tpu_v2(), cores),
-            stats: KernelStats::new(),
-            extra_seconds: 0.0,
-        }
+        Self::over_device(SharedDevice::from_device(TpuDevice::with_cores(
+            TpuConfig::tpu_v2(),
+            cores,
+        )))
     }
 
     /// A TPU accelerator with an overridden MXU precision
@@ -85,9 +103,25 @@ impl TpuAccel {
         Self::with_config(cfg)
     }
 
-    /// The underlying simulated device.
-    pub fn device(&self) -> &TpuDevice {
-        &self.device
+    /// An accelerator front-end over an existing (possibly shared)
+    /// device: several `TpuAccel`s built on one [`SharedDevice`]
+    /// behave like several host threads queueing work on one chip.
+    pub fn over_device(device: SharedDevice) -> Self {
+        TpuAccel {
+            device,
+            stats: Clock::new(),
+        }
+    }
+
+    /// A handle to the underlying simulated device (shares the
+    /// clock with this accelerator).
+    pub fn device(&self) -> SharedDevice {
+        self.device.clone()
+    }
+
+    /// The device configuration (snapshot).
+    pub fn config(&self) -> TpuConfig {
+        self.device.config()
     }
 
     /// Total simulated energy, picojoules.
@@ -95,40 +129,60 @@ impl TpuAccel {
         self.device.energy_pj()
     }
 
-    /// Charges a column-sharded complex matmul `l×l · l×w` (three MXU
-    /// passes per Karatsuba) across the device's cores and one
-    /// reassembly collective.
-    fn charge_sharded_complex_matmul(&mut self, l: usize, w: usize) -> Result<()> {
-        let p = self.device.num_cores().min(w.max(1));
-        let per_core_cols = w.div_ceil(p);
-        let work: Vec<usize> = (0..p)
-            .map(|i| per_core_cols.min(w.saturating_sub(i * per_core_cols)))
-            .filter(|&c| c > 0)
-            .collect();
-        self.device.run_phase(work, |core, cols| {
-            core.charge_matmul_work(l, l, cols, 3);
-            Ok(())
-        })?;
-        // Reassembly: each core contributes its 16-byte-per-element shard.
-        let shard_bytes = 16 * l * per_core_cols;
-        let cost = self.device.config().cross_replica_cost_s(shard_bytes);
-        self.extra_seconds += cost;
+    /// Runs `charge` with exclusive device access and returns the
+    /// simulated seconds it advanced the wall clock — the atomic
+    /// charge-and-measure step behind every kernel.
+    fn charge_region(&self, charge: impl FnOnce(&mut TpuDevice) -> Result<()>) -> Result<f64> {
+        self.device.with(|d| {
+            let before = d.wall_seconds();
+            charge(d)?;
+            Ok(d.wall_seconds() - before)
+        })
+    }
+}
+
+/// Charges a column-sharded complex matmul `l×l · l×w` (three MXU
+/// passes per Karatsuba) across the device's cores and one
+/// reassembly collective.
+fn charge_sharded_complex_matmul(d: &mut TpuDevice, l: usize, w: usize) -> Result<()> {
+    let p = d.num_cores().min(w.max(1));
+    let per_core_cols = w.div_ceil(p);
+    let work: Vec<usize> = (0..p)
+        .map(|i| per_core_cols.min(w.saturating_sub(i * per_core_cols)))
+        .filter(|&c| c > 0)
+        .collect();
+    d.run_phase(work, |core, cols| {
+        core.charge_matmul_work(l, l, cols, 3);
         Ok(())
-    }
+    })?;
+    // Reassembly: each core contributes its 16-byte-per-element shard.
+    d.charge_collective(16 * l * per_core_cols);
+    Ok(())
+}
 
-    fn charge_fft2d(&mut self, m: usize, n: usize) -> Result<f64> {
-        let before = self.elapsed_seconds();
-        // Stage 1: W_M(m×m) · x(m×n), sharded over x's columns.
-        self.charge_sharded_complex_matmul(m, n)?;
-        // Stage 2: X'(m×n) · W_N(n×n), sharded over X''s rows — same
-        // cost structure with roles swapped.
-        self.charge_sharded_complex_matmul(n, m)?;
-        Ok(self.elapsed_seconds() - before)
-    }
+fn charge_fft2d(d: &mut TpuDevice, m: usize, n: usize) -> Result<()> {
+    // Stage 1: W_M(m×m) · x(m×n), sharded over x's columns.
+    charge_sharded_complex_matmul(d, m, n)?;
+    // Stage 2: X'(m×n) · W_N(n×n), sharded over X''s rows — same
+    // cost structure with roles swapped.
+    charge_sharded_complex_matmul(d, n, m)
+}
 
+fn charge_sharded_elementwise(d: &mut TpuDevice, label: &'static str, elems: usize) -> Result<()> {
+    let p = d.num_cores().min(elems.max(1));
+    let per = elems.div_ceil(p) as u64;
+    let work: Vec<u64> = (0..p).map(|_| per).collect();
+    d.run_phase(work, |core, e| {
+        core.charge_elementwise_work(label, e);
+        Ok(())
+    })?;
+    Ok(())
+}
+
+impl TpuAccel {
     /// Batched transforms, one whole transform per core (§III-D).
     fn batch_transform(
-        &mut self,
+        &self,
         xs: &[Matrix<Complex64>],
         forward: bool,
     ) -> Result<Vec<Matrix<Complex64>>> {
@@ -136,54 +190,49 @@ impl TpuAccel {
             return Ok(Vec::new());
         }
         let (m, n) = xs[0].shape();
-        let plan = Fft2d::new(m, n);
+        let plan = global_plan_cache().plan_2d(m, n);
         let out: Result<Vec<_>> = xs
             .iter()
-            .map(|x| if forward { plan.forward(x) } else { plan.inverse(x) })
+            .map(|x| {
+                if forward {
+                    plan.forward(x)
+                } else {
+                    plan.inverse(x)
+                }
+            })
             .collect();
-        let before = self.elapsed_seconds();
-        // Each core runs the full two-stage matrix-form transform of
-        // its own input: (W_M · x) · W_N — 3 passes per complex stage.
-        let work: Vec<()> = xs.iter().map(|_| ()).collect();
-        self.device.run_phase(work, |core, ()| {
-            core.charge_matmul_work(m, m, n, 3);
-            core.charge_matmul_work(m, n, n, 3);
+        let count = xs.len();
+        let dt = self.charge_region(|d| {
+            // Each core runs the full two-stage matrix-form transform
+            // of its own input: (W_M · x) · W_N — 3 passes per complex
+            // stage.
+            let work: Vec<()> = vec![(); count];
+            d.run_phase(work, |core, ()| {
+                core.charge_matmul_work(m, m, n, 3);
+                core.charge_matmul_work(m, n, n, 3);
+                Ok(())
+            })?;
+            // One batched reassembly collective per stage.
+            let shard_bytes = 16 * m * n;
+            d.charge_collective(shard_bytes);
+            d.charge_collective(shard_bytes);
             Ok(())
         })?;
-        // One batched reassembly collective per stage.
-        let shard_bytes = 16 * m * n;
-        self.extra_seconds += 2.0 * self.device.config().cross_replica_cost_s(shard_bytes);
-        let dt = self.elapsed_seconds() - before;
         self.stats.record(
             dt,
-            6.0 * 2.0 * ((m * m * n + m * n * n) * xs.len()) as f64,
-            32.0 * (m * n * xs.len()) as f64,
+            6.0 * 2.0 * ((m * m * n + m * n * n) * count) as f64,
+            32.0 * (m * n * count) as f64,
         );
         out
-    }
-
-    fn charge_sharded_elementwise(&mut self, label: &str, elems: usize) -> Result<f64> {
-        let before = self.elapsed_seconds();
-        let p = self.device.num_cores().min(elems.max(1));
-        let per = elems.div_ceil(p) as u64;
-        let work: Vec<u64> = (0..p).map(|_| per).collect();
-        self.device.run_phase(work, |core, e| {
-            core.charge_elementwise_work(label, e);
-            Ok(())
-        })?;
-        Ok(self.elapsed_seconds() - before)
     }
 }
 
 impl Accelerator for TpuAccel {
     fn name(&self) -> String {
-        format!(
-            "TPU (simulated v2, {} cores)",
-            self.device.num_cores()
-        )
+        format!("TPU (simulated v2, {} cores)", self.device.num_cores())
     }
 
-    fn matmul(&mut self, a: &Matrix<f64>, b: &Matrix<f64>) -> Result<Matrix<f64>> {
+    fn matmul(&self, a: &Matrix<f64>, b: &Matrix<f64>) -> Result<Matrix<f64>> {
         // Real numeric path: int8 quantisation, as §II-A prescribes.
         let qa = QuantizedMatrix::quantize_symmetric(a)?;
         let qb = QuantizedMatrix::quantize_symmetric(b)?;
@@ -191,68 +240,73 @@ impl Accelerator for TpuAccel {
 
         let (m, k) = a.shape();
         let n = b.cols();
-        let before = self.elapsed_seconds();
-        let p = self.device.num_cores().min(m);
-        let per_rows = m.div_ceil(p);
-        let work: Vec<usize> = (0..p)
-            .map(|i| per_rows.min(m.saturating_sub(i * per_rows)))
-            .filter(|&r| r > 0)
-            .collect();
-        self.device.run_phase(work, |core, rows| {
-            core.charge_matmul_work(rows, k, n, 1);
+        let dt = self.charge_region(|d| {
+            let p = d.num_cores().min(m);
+            let per_rows = m.div_ceil(p);
+            let work: Vec<usize> = (0..p)
+                .map(|i| per_rows.min(m.saturating_sub(i * per_rows)))
+                .filter(|&r| r > 0)
+                .collect();
+            d.run_phase(work, |core, rows| {
+                core.charge_matmul_work(rows, k, n, 1);
+                Ok(())
+            })?;
+            d.charge_collective(4 * per_rows * n);
             Ok(())
         })?;
-        let shard_bytes = 4 * per_rows * n;
-        self.extra_seconds += self.device.config().cross_replica_cost_s(shard_bytes);
-        let dt = self.elapsed_seconds() - before;
+        self.stats
+            .record(dt, 2.0 * (m * k * n) as f64, (m * k + k * n + m * n) as f64);
+        Ok(out)
+    }
+
+    fn fft2d(&self, x: &Matrix<Complex64>) -> Result<Matrix<Complex64>> {
+        let (m, n) = x.shape();
+        let out = global_plan_cache().plan_2d(m, n).forward(x)?;
+        let dt = self.charge_region(|d| charge_fft2d(d, m, n))?;
         self.stats.record(
             dt,
-            2.0 * (m * k * n) as f64,
-            (m * k + k * n + m * n) as f64,
+            6.0 * 2.0 * (m * m * n + m * n * n) as f64,
+            32.0 * (m * n) as f64,
         );
         Ok(out)
     }
 
-    fn fft2d(&mut self, x: &Matrix<Complex64>) -> Result<Matrix<Complex64>> {
+    fn ifft2d(&self, x: &Matrix<Complex64>) -> Result<Matrix<Complex64>> {
         let (m, n) = x.shape();
-        let out = Fft2d::new(m, n).forward(x)?;
-        let dt = self.charge_fft2d(m, n)?;
-        self.stats
-            .record(dt, 6.0 * 2.0 * (m * m * n + m * n * n) as f64, 32.0 * (m * n) as f64);
+        let out = global_plan_cache().plan_2d(m, n).inverse(x)?;
+        let dt = self.charge_region(|d| charge_fft2d(d, m, n))?;
+        self.stats.record(
+            dt,
+            6.0 * 2.0 * (m * m * n + m * n * n) as f64,
+            32.0 * (m * n) as f64,
+        );
         Ok(out)
     }
 
-    fn ifft2d(&mut self, x: &Matrix<Complex64>) -> Result<Matrix<Complex64>> {
-        let (m, n) = x.shape();
-        let out = Fft2d::new(m, n).inverse(x)?;
-        let dt = self.charge_fft2d(m, n)?;
-        self.stats
-            .record(dt, 6.0 * 2.0 * (m * m * n + m * n * n) as f64, 32.0 * (m * n) as f64);
-        Ok(out)
-    }
-
-    fn hadamard(&mut self, a: &Matrix<Complex64>, b: &Matrix<Complex64>) -> Result<Matrix<Complex64>> {
+    fn hadamard(&self, a: &Matrix<Complex64>, b: &Matrix<Complex64>) -> Result<Matrix<Complex64>> {
         let out = ops::hadamard(a, b)?;
-        let dt = self.charge_sharded_elementwise("hadamard", a.len())?;
-        self.stats.record(dt, 6.0 * a.len() as f64, 48.0 * a.len() as f64);
+        let dt = self.charge_region(|d| charge_sharded_elementwise(d, "hadamard", a.len()))?;
+        self.stats
+            .record(dt, 6.0 * a.len() as f64, 48.0 * a.len() as f64);
         Ok(out)
     }
 
     fn pointwise_div(
-        &mut self,
+        &self,
         a: &Matrix<Complex64>,
         b: &Matrix<Complex64>,
         policy: DivPolicy,
     ) -> Result<Matrix<Complex64>> {
         let out = ops::pointwise_div(a, b, policy)?;
-        let dt = self.charge_sharded_elementwise("pointwise-div", a.len())?;
-        self.stats.record(dt, 10.0 * a.len() as f64, 48.0 * a.len() as f64);
+        let dt = self.charge_region(|d| charge_sharded_elementwise(d, "pointwise-div", a.len()))?;
+        self.stats
+            .record(dt, 10.0 * a.len() as f64, 48.0 * a.len() as f64);
         Ok(out)
     }
 
-    fn sub(&mut self, a: &Matrix<f64>, b: &Matrix<f64>) -> Result<Matrix<f64>> {
+    fn sub(&self, a: &Matrix<f64>, b: &Matrix<f64>) -> Result<Matrix<f64>> {
         let out = ops::sub(a, b)?;
-        let dt = self.charge_sharded_elementwise("sub", a.len())?;
+        let dt = self.charge_region(|d| charge_sharded_elementwise(d, "sub", a.len()))?;
         self.stats.record(dt, a.len() as f64, 24.0 * a.len() as f64);
         Ok(out)
     }
@@ -260,75 +314,84 @@ impl Accelerator for TpuAccel {
     /// Multi-input parallelism (§III-D): each input's whole
     /// matrix-form transform runs on its own core; the reassembly is
     /// two collectives for the entire batch.
-    fn fft2d_batch(&mut self, xs: &[Matrix<Complex64>]) -> Result<Vec<Matrix<Complex64>>> {
+    fn fft2d_batch(&self, xs: &[Matrix<Complex64>]) -> Result<Vec<Matrix<Complex64>>> {
         self.batch_transform(xs, true)
     }
 
-    fn ifft2d_batch(&mut self, xs: &[Matrix<Complex64>]) -> Result<Vec<Matrix<Complex64>>> {
+    fn ifft2d_batch(&self, xs: &[Matrix<Complex64>]) -> Result<Vec<Matrix<Complex64>>> {
         self.batch_transform(xs, false)
     }
 
     fn hadamard_batch(
-        &mut self,
+        &self,
         xs: &[Matrix<Complex64>],
         k: &Matrix<Complex64>,
     ) -> Result<Vec<Matrix<Complex64>>> {
         let out: Result<Vec<_>> = xs.iter().map(|x| ops::hadamard(x, k)).collect();
         if let Some(first) = xs.first() {
             let elems = first.len();
-            let before = self.elapsed_seconds();
-            let work: Vec<u64> = xs.iter().map(|_| elems as u64).collect();
-            self.device.run_phase(work, |core, e| {
-                core.charge_elementwise_work("hadamard-batch", e);
+            let count = xs.len();
+            let dt = self.charge_region(|d| {
+                let work: Vec<u64> = vec![elems as u64; count];
+                d.run_phase(work, |core, e| {
+                    core.charge_elementwise_work("hadamard-batch", e);
+                    Ok(())
+                })?;
                 Ok(())
             })?;
-            let dt = self.elapsed_seconds() - before;
-            self.stats
-                .record(dt, 6.0 * (elems * xs.len()) as f64, 48.0 * (elems * xs.len()) as f64);
+            self.stats.record(
+                dt,
+                6.0 * (elems * count) as f64,
+                48.0 * (elems * count) as f64,
+            );
         }
         out
     }
 
-    fn sub_batch(&mut self, y: &Matrix<f64>, preds: &[Matrix<f64>]) -> Result<Vec<Matrix<f64>>> {
+    fn sub_batch(&self, y: &Matrix<f64>, preds: &[Matrix<f64>]) -> Result<Vec<Matrix<f64>>> {
         let out: Result<Vec<_>> = preds.iter().map(|p| ops::sub(y, p)).collect();
         if !preds.is_empty() {
             let elems = y.len();
-            let before = self.elapsed_seconds();
-            let work: Vec<u64> = preds.iter().map(|_| elems as u64).collect();
-            self.device.run_phase(work, |core, e| {
-                core.charge_elementwise_work("sub-batch", e);
+            let count = preds.len();
+            let dt = self.charge_region(|d| {
+                let work: Vec<u64> = vec![elems as u64; count];
+                d.run_phase(work, |core, e| {
+                    core.charge_elementwise_work("sub-batch", e);
+                    Ok(())
+                })?;
                 Ok(())
             })?;
-            let dt = self.elapsed_seconds() - before;
             self.stats
-                .record(dt, (elems * preds.len()) as f64, 24.0 * (elems * preds.len()) as f64);
+                .record(dt, (elems * count) as f64, 24.0 * (elems * count) as f64);
         }
         out
     }
 
-    fn charge_workload(&mut self, flops: f64, bytes: f64) {
-        let cfg = self.device.config();
-        // MACs at the device's aggregate int8 peak across all cores.
-        let macs = flops / 2.0;
-        let compute = macs / (cfg.peak_macs_per_sec() * cfg.cores as f64);
-        let memory = bytes / cfg.hbm_bytes_per_sec;
-        let dt = compute.max(memory);
-        self.extra_seconds += dt;
-        self.stats.record(dt, flops, bytes);
+    fn charge_workload(&self, flops: f64, bytes: f64) {
+        self.device.with(|d| {
+            let cfg = d.config();
+            // MACs at the device's aggregate int8 peak across all
+            // cores.
+            let macs = flops / 2.0;
+            let compute = macs / (cfg.peak_macs_per_sec() * cfg.cores as f64);
+            let memory = bytes / cfg.hbm_bytes_per_sec;
+            let dt = compute.max(memory);
+            d.charge_external_seconds(dt);
+            self.stats.record(dt, flops, bytes);
+        });
     }
 
     fn elapsed_seconds(&self) -> f64 {
-        self.device.wall_seconds() + self.extra_seconds
+        self.device.wall_seconds()
     }
 
     fn stats(&self) -> KernelStats {
-        self.stats
+        self.stats.stats()
     }
 
-    fn reset(&mut self) {
+    fn reset(&self) {
         self.device.reset();
-        self.stats = KernelStats::new();
-        self.extra_seconds = 0.0;
+        self.stats.reset();
     }
 }
 
@@ -339,8 +402,10 @@ mod tests {
 
     #[test]
     fn fft_numerics_are_exact() {
-        let mut tpu = TpuAccel::tpu_v2();
-        let x = Matrix::from_fn(8, 8, |r, c| ((r * 3 + c) % 5) as f64).unwrap().to_complex();
+        let tpu = TpuAccel::tpu_v2();
+        let x = Matrix::from_fn(8, 8, |r, c| ((r * 3 + c) % 5) as f64)
+            .unwrap()
+            .to_complex();
         let spec = tpu.fft2d(&x).unwrap();
         let reference = xai_fourier::fft2d(&x).unwrap();
         assert!(spec.max_abs_diff(&reference).unwrap() < 1e-12);
@@ -348,7 +413,7 @@ mod tests {
 
     #[test]
     fn matmul_carries_real_quantisation_error() {
-        let mut tpu = TpuAccel::tpu_v2();
+        let tpu = TpuAccel::tpu_v2();
         let a = Matrix::from_fn(8, 8, |r, c| ((r * 7 + c) % 9) as f64 / 9.0 - 0.5).unwrap();
         let exact = ops::matmul(&a, &a).unwrap();
         let got = tpu.matmul(&a, &a).unwrap();
@@ -360,10 +425,12 @@ mod tests {
     #[test]
     fn tpu_beats_gpu_beats_cpu_on_large_transform() {
         let n = 256;
-        let x = Matrix::from_fn(n, n, |r, c| ((r + c) % 13) as f64).unwrap().to_complex();
-        let mut cpu = CpuModel::i7_3700();
-        let mut gpu = GpuModel::gtx1080();
-        let mut tpu = TpuAccel::tpu_v2();
+        let x = Matrix::from_fn(n, n, |r, c| ((r + c) % 13) as f64)
+            .unwrap()
+            .to_complex();
+        let cpu = CpuModel::i7_3700();
+        let gpu = GpuModel::gtx1080();
+        let tpu = TpuAccel::tpu_v2();
         cpu.fft2d(&x).unwrap();
         gpu.fft2d(&x).unwrap();
         tpu.fft2d(&x).unwrap();
@@ -378,9 +445,11 @@ mod tests {
 
     #[test]
     fn more_cores_are_faster() {
-        let x = Matrix::from_fn(128, 128, |r, c| (r + c) as f64).unwrap().to_complex();
-        let mut one = TpuAccel::with_cores(1);
-        let mut many = TpuAccel::with_cores(64);
+        let x = Matrix::from_fn(128, 128, |r, c| (r + c) as f64)
+            .unwrap()
+            .to_complex();
+        let one = TpuAccel::with_cores(1);
+        let many = TpuAccel::with_cores(64);
         one.fft2d(&x).unwrap();
         many.fft2d(&x).unwrap();
         assert!(many.elapsed_seconds() < one.elapsed_seconds());
@@ -388,7 +457,7 @@ mod tests {
 
     #[test]
     fn charge_workload_roofline() {
-        let mut tpu = TpuAccel::tpu_v2();
+        let tpu = TpuAccel::tpu_v2();
         tpu.charge_workload(1e12, 0.0);
         assert!(tpu.elapsed_seconds() > 0.0);
         let t1 = tpu.elapsed_seconds();
@@ -398,7 +467,7 @@ mod tests {
 
     #[test]
     fn reset_clears_device_and_stats() {
-        let mut tpu = TpuAccel::tpu_v2();
+        let tpu = TpuAccel::tpu_v2();
         let a = Matrix::filled(8, 8, 0.5).unwrap();
         tpu.matmul(&a, &a).unwrap();
         tpu.reset();
@@ -408,10 +477,10 @@ mod tests {
 
     #[test]
     fn elementwise_is_cheap_relative_to_transforms() {
-        let mut tpu = TpuAccel::tpu_v2();
+        let tpu = TpuAccel::tpu_v2();
         let x = Matrix::filled(64, 64, Complex64::ONE).unwrap();
-        let (_, t_had) = crate::traits::time_region(&mut tpu, |a| a.hadamard(&x, &x)).unwrap();
-        let (_, t_fft) = crate::traits::time_region(&mut tpu, |a| a.fft2d(&x)).unwrap();
+        let (_, t_had) = crate::traits::time_region(&tpu, |a| a.hadamard(&x, &x)).unwrap();
+        let (_, t_fft) = crate::traits::time_region(&tpu, |a| a.fft2d(&x)).unwrap();
         assert!(t_had < t_fft);
     }
 
@@ -424,8 +493,8 @@ mod tests {
     fn bf16_precision_is_slower_but_present() {
         use xai_tpu::Precision;
         let a = Matrix::from_fn(64, 64, |r, c| ((r + c) % 7) as f64 / 7.0).unwrap();
-        let mut int8 = TpuAccel::with_precision(Precision::Int8);
-        let mut bf16 = TpuAccel::with_precision(Precision::Bf16);
+        let int8 = TpuAccel::with_precision(Precision::Int8);
+        let bf16 = TpuAccel::with_precision(Precision::Bf16);
         int8.matmul(&a, &a).unwrap();
         bf16.matmul(&a, &a).unwrap();
         // Same scheduling, half the MAC throughput ⇒ bf16 takes longer
@@ -433,9 +502,56 @@ mod tests {
         // array size, so equality is also acceptable; the devices must
         // at least both run).
         assert!(bf16.elapsed_seconds() >= int8.elapsed_seconds());
-        assert_eq!(
-            bf16.device().config().precision,
-            Precision::Bf16
-        );
+        assert_eq!(bf16.config().precision, Precision::Bf16);
+    }
+
+    #[test]
+    fn clone_is_an_independent_device() {
+        let tpu = TpuAccel::with_cores(4);
+        let a = Matrix::filled(8, 8, 0.5).unwrap();
+        tpu.matmul(&a, &a).unwrap();
+        let copy = tpu.clone();
+        assert_eq!(copy.elapsed_seconds(), tpu.elapsed_seconds());
+        copy.matmul(&a, &a).unwrap();
+        assert!(copy.elapsed_seconds() > tpu.elapsed_seconds());
+    }
+
+    #[test]
+    fn two_front_ends_share_one_device_clock() {
+        let a = TpuAccel::with_cores(4);
+        let b = TpuAccel::over_device(a.device());
+        let x = Matrix::filled(8, 8, 0.5).unwrap();
+        b.matmul(&x, &x).unwrap();
+        assert!(a.elapsed_seconds() > 0.0, "b's work advances a's clock");
+        assert_eq!(a.elapsed_seconds(), b.elapsed_seconds());
+    }
+
+    #[test]
+    fn concurrent_kernels_match_serial_results_and_time() {
+        use std::sync::Arc;
+        let x = Matrix::from_fn(16, 16, |r, c| ((r * 3 + c) % 5) as f64)
+            .unwrap()
+            .to_complex();
+        let reference = xai_fourier::fft2d(&x).unwrap();
+
+        let shared = Arc::new(TpuAccel::with_cores(4));
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let acc = Arc::clone(&shared);
+                let x = x.clone();
+                let reference = reference.clone();
+                scope.spawn(move || {
+                    let spec = acc.fft2d(&x).unwrap();
+                    assert!(spec.max_abs_diff(&reference).unwrap() < 1e-12);
+                });
+            }
+        });
+
+        let serial = TpuAccel::with_cores(4);
+        for _ in 0..4 {
+            serial.fft2d(&x).unwrap();
+        }
+        assert!((shared.elapsed_seconds() - serial.elapsed_seconds()).abs() < 1e-15);
+        assert_eq!(shared.stats().kernels, serial.stats().kernels);
     }
 }

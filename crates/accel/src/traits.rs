@@ -6,6 +6,13 @@
 //! proposed). This trait is that experiment harness: the explanation
 //! pipeline in `xai-core` is written once against `dyn Accelerator`
 //! and timed on each implementation.
+//!
+//! Kernel methods take `&self` and the trait requires `Send + Sync`:
+//! an accelerator is a *device handle*, shareable across worker
+//! threads as `Arc<dyn Accelerator>`. Simulated-time accounting lives
+//! behind interior mutability (see [`crate::Clock`]); numeric results
+//! are pure functions of the inputs, so concurrent and serial
+//! execution produce bit-identical values.
 
 use crate::stats::KernelStats;
 use xai_tensor::ops::DivPolicy;
@@ -16,8 +23,10 @@ use xai_tensor::{Complex64, Matrix, Result};
 ///
 /// Implementations compute *real* numeric results (tests compare them
 /// across platforms) while advancing an internal simulated clock
-/// according to their hardware cost model.
-pub trait Accelerator {
+/// according to their hardware cost model. All methods take `&self`:
+/// implementations keep their clocks behind interior mutability so a
+/// single device can serve many threads concurrently.
+pub trait Accelerator: Send + Sync {
     /// Human-readable platform name (e.g. `"TPU (simulated v2)"`).
     fn name(&self) -> String;
 
@@ -26,29 +35,28 @@ pub trait Accelerator {
     /// # Errors
     ///
     /// Shape mismatch of the inner dimensions.
-    fn matmul(&mut self, a: &Matrix<f64>, b: &Matrix<f64>) -> Result<Matrix<f64>>;
+    fn matmul(&self, a: &Matrix<f64>, b: &Matrix<f64>) -> Result<Matrix<f64>>;
 
     /// Forward 2-D DFT (backward normalisation).
     ///
     /// # Errors
     ///
     /// Construction errors only; the input is any non-empty matrix.
-    fn fft2d(&mut self, x: &Matrix<Complex64>) -> Result<Matrix<Complex64>>;
+    fn fft2d(&self, x: &Matrix<Complex64>) -> Result<Matrix<Complex64>>;
 
     /// Inverse 2-D DFT (backward normalisation: scales by `1/(MN)`).
     ///
     /// # Errors
     ///
     /// Construction errors only.
-    fn ifft2d(&mut self, x: &Matrix<Complex64>) -> Result<Matrix<Complex64>>;
+    fn ifft2d(&self, x: &Matrix<Complex64>) -> Result<Matrix<Complex64>>;
 
     /// Elementwise complex product (Equation 3 of the paper).
     ///
     /// # Errors
     ///
     /// Shape mismatch.
-    fn hadamard(&mut self, a: &Matrix<Complex64>, b: &Matrix<Complex64>)
-        -> Result<Matrix<Complex64>>;
+    fn hadamard(&self, a: &Matrix<Complex64>, b: &Matrix<Complex64>) -> Result<Matrix<Complex64>>;
 
     /// Elementwise complex division (Equation 4).
     ///
@@ -56,7 +64,7 @@ pub trait Accelerator {
     ///
     /// Shape mismatch; division by zero under [`DivPolicy::Strict`].
     fn pointwise_div(
-        &mut self,
+        &self,
         a: &Matrix<Complex64>,
         b: &Matrix<Complex64>,
         policy: DivPolicy,
@@ -68,7 +76,7 @@ pub trait Accelerator {
     /// # Errors
     ///
     /// Shape mismatch.
-    fn sub(&mut self, a: &Matrix<f64>, b: &Matrix<f64>) -> Result<Matrix<f64>>;
+    fn sub(&self, a: &Matrix<f64>, b: &Matrix<f64>) -> Result<Matrix<f64>>;
 
     /// Batched forward 2-D DFTs — the paper's §III-D multi-input
     /// parallelism. The default implementation loops; platform models
@@ -78,7 +86,7 @@ pub trait Accelerator {
     /// # Errors
     ///
     /// As [`Accelerator::fft2d`].
-    fn fft2d_batch(&mut self, xs: &[Matrix<Complex64>]) -> Result<Vec<Matrix<Complex64>>> {
+    fn fft2d_batch(&self, xs: &[Matrix<Complex64>]) -> Result<Vec<Matrix<Complex64>>> {
         xs.iter().map(|x| self.fft2d(x)).collect()
     }
 
@@ -87,7 +95,7 @@ pub trait Accelerator {
     /// # Errors
     ///
     /// As [`Accelerator::ifft2d`].
-    fn ifft2d_batch(&mut self, xs: &[Matrix<Complex64>]) -> Result<Vec<Matrix<Complex64>>> {
+    fn ifft2d_batch(&self, xs: &[Matrix<Complex64>]) -> Result<Vec<Matrix<Complex64>>> {
         xs.iter().map(|x| self.ifft2d(x)).collect()
     }
 
@@ -98,7 +106,7 @@ pub trait Accelerator {
     ///
     /// As [`Accelerator::hadamard`].
     fn hadamard_batch(
-        &mut self,
+        &self,
         xs: &[Matrix<Complex64>],
         k: &Matrix<Complex64>,
     ) -> Result<Vec<Matrix<Complex64>>> {
@@ -111,7 +119,7 @@ pub trait Accelerator {
     /// # Errors
     ///
     /// As [`Accelerator::sub`].
-    fn sub_batch(&mut self, y: &Matrix<f64>, preds: &[Matrix<f64>]) -> Result<Vec<Matrix<f64>>> {
+    fn sub_batch(&self, y: &Matrix<f64>, preds: &[Matrix<f64>]) -> Result<Vec<Matrix<f64>>> {
         preds.iter().map(|p| self.sub(y, p)).collect()
     }
 
@@ -119,20 +127,28 @@ pub trait Accelerator {
     /// `flops` arithmetic and `bytes` traffic (roofline charge). Used
     /// by the NN substrate to time training/inference of networks
     /// whose layers run outside this trait.
-    fn charge_workload(&mut self, flops: f64, bytes: f64);
+    fn charge_workload(&self, flops: f64, bytes: f64);
 
     /// Simulated seconds elapsed since construction or reset.
+    ///
+    /// When the accelerator is shared across threads this is the
+    /// device-wide total — every thread's kernels advance it.
     fn elapsed_seconds(&self) -> f64;
 
     /// Accumulated statistics.
     fn stats(&self) -> KernelStats;
 
     /// Zeroes the clock and statistics.
-    fn reset(&mut self);
+    fn reset(&self);
 }
 
 /// Times a closure on an accelerator, returning `(result, seconds)` —
 /// the elapsed *simulated* time of exactly that region.
+///
+/// On a device shared across threads, the measured window also
+/// includes any time other threads charge concurrently; time regions
+/// meant to isolate one workload should run on an exclusively-held
+/// device.
 ///
 /// # Errors
 ///
@@ -145,19 +161,52 @@ pub trait Accelerator {
 /// use xai_tensor::Matrix;
 ///
 /// # fn main() -> Result<(), xai_tensor::TensorError> {
-/// let mut cpu = CpuModel::i7_3700();
+/// let cpu = CpuModel::i7_3700();
 /// let a = Matrix::filled(32, 32, 1.0)?;
-/// let (product, seconds) = time_region(&mut cpu, |acc| acc.matmul(&a, &a))?;
+/// let (product, seconds) = time_region(&cpu, |acc| acc.matmul(&a, &a))?;
 /// assert_eq!(product[(0, 0)], 32.0);
 /// assert!(seconds > 0.0);
 /// # Ok(())
 /// # }
 /// ```
 pub fn time_region<A: Accelerator + ?Sized, R>(
-    acc: &mut A,
-    f: impl FnOnce(&mut A) -> Result<R>,
+    acc: &A,
+    f: impl FnOnce(&A) -> Result<R>,
 ) -> Result<(R, f64)> {
     let before = acc.elapsed_seconds();
     let value = f(acc)?;
     Ok((value, acc.elapsed_seconds() - before))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::host::CpuModel;
+    use crate::tpu_accel::TpuAccel;
+    use std::sync::Arc;
+
+    #[test]
+    fn trait_objects_are_send_sync() {
+        fn assert_send_sync<T: Send + Sync + ?Sized>() {}
+        assert_send_sync::<dyn Accelerator>();
+        assert_send_sync::<CpuModel>();
+        assert_send_sync::<TpuAccel>();
+    }
+
+    #[test]
+    fn arc_dyn_accelerator_usable_from_threads() {
+        let acc: Arc<dyn Accelerator> = Arc::new(CpuModel::i7_3700());
+        let a = Matrix::filled(8, 8, 1.0).unwrap();
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let acc = Arc::clone(&acc);
+                let a = a.clone();
+                scope.spawn(move || {
+                    let out = acc.matmul(&a, &a).unwrap();
+                    assert_eq!(out[(0, 0)], 8.0);
+                });
+            }
+        });
+        assert_eq!(acc.stats().kernels, 4);
+    }
 }

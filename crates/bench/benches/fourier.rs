@@ -69,7 +69,10 @@ fn bench_2d_decomposition(c: &mut Criterion) {
                 BenchmarkId::new(format!("row-column-{workers}w"), n),
                 &x,
                 |b, x| {
-                    b.iter(|| plan.forward_parallel(black_box(x), workers).expect("valid shape"));
+                    b.iter(|| {
+                        plan.forward_parallel(black_box(x), workers)
+                            .expect("valid shape")
+                    });
                 },
             );
         }

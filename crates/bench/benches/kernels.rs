@@ -26,7 +26,9 @@ fn bench_matmul(c: &mut Criterion) {
             b.iter(|| matmul(black_box(&a), black_box(&b_)).expect("shapes"));
         });
         group.bench_with_input(BenchmarkId::new("blocked", n), &n, |b, _| {
-            b.iter(|| matmul_blocked(black_box(&a), black_box(&b_), DEFAULT_BLOCK).expect("shapes"));
+            b.iter(|| {
+                matmul_blocked(black_box(&a), black_box(&b_), DEFAULT_BLOCK).expect("shapes")
+            });
         });
     }
     group.finish();

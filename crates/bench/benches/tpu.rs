@@ -9,8 +9,7 @@ use xai_tensor::Matrix;
 use xai_tpu::{SystolicArray, TpuConfig, TpuDevice};
 
 fn int_matrix(rows: usize, cols: usize) -> Matrix<i8> {
-    Matrix::from_fn(rows, cols, |r, c| (((r * 31 + c * 17) % 21) as i8) - 10)
-        .expect("dims > 0")
+    Matrix::from_fn(rows, cols, |r, c| (((r * 31 + c * 17) % 21) as i8) - 10).expect("dims > 0")
 }
 
 fn real_matrix(n: usize) -> Matrix<f64> {

@@ -13,8 +13,8 @@
 use std::time::Instant;
 use xai_bench::{fmt_seconds, fmt_speedup, TablePrinter};
 use xai_core::{
-    block_contributions, pairs_from_network, spearman_correlation, top1_agreement,
-    DistilledModel, LimeExplainer, Region, SolveStrategy,
+    block_contributions, pairs_from_network, spearman_correlation, top1_agreement, DistilledModel,
+    LimeExplainer, Region, SolveStrategy,
 };
 use xai_data::cifar::{as_training_pairs, ImageConfig, ImageDataset};
 use xai_nn::models::vgg_small;
@@ -35,7 +35,7 @@ fn main() -> Result<()> {
     })?;
     let images = ds.generate(16)?;
     let mut net = vgg_small(3, 12, 4, 3)?;
-    Trainer::new(0.05, 0.9, 8, 0).fit(&mut net, &as_training_pairs(&images), 8)?;
+    Trainer::new(0.05, 0.9, 8, 0).fit(&mut net, &as_training_pairs(&images), 16)?;
 
     // Region set: the 3x3 block grid of Figure 5.
     let block = 12 / 3;

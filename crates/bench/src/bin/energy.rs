@@ -28,30 +28,22 @@ fn main() -> Result<()> {
 
     let pairs = distillation_pairs(10, 64)?;
 
-    let mut cpu = CpuModel::i7_3700();
-    interpret_on(&mut cpu, &pairs, 4, SolveStrategy::default())?;
+    let cpu = CpuModel::i7_3700();
+    interpret_on(&cpu, &pairs, 4, SolveStrategy::default())?;
     let e_cpu = host_energy_joules(&cpu, 50.0, 10.0);
 
-    let mut gpu = GpuModel::gtx1080();
-    interpret_on(&mut gpu, &pairs, 4, SolveStrategy::default())?;
+    let gpu = GpuModel::gtx1080();
+    interpret_on(&gpu, &pairs, 4, SolveStrategy::default())?;
     let e_gpu = host_energy_joules(&gpu, 15.0, 8.0);
 
-    let mut tpu = TpuAccel::tpu_v2();
-    interpret_on(&mut tpu, &pairs, 4, SolveStrategy::default())?;
+    let tpu = TpuAccel::tpu_v2();
+    interpret_on(&tpu, &pairs, 4, SolveStrategy::default())?;
     // The simulator accounts MAC + HBM energy directly.
     let e_tpu = tpu.energy_pj() * 1e-12;
 
     let mut table = TablePrinter::new(&["platform", "energy (J)", "vs TPU"]);
-    table.row(&[
-        cpu.name(),
-        format!("{e_cpu:.4}"),
-        fmt_speedup(e_cpu, e_tpu),
-    ]);
-    table.row(&[
-        gpu.name(),
-        format!("{e_gpu:.4}"),
-        fmt_speedup(e_gpu, e_tpu),
-    ]);
+    table.row(&[cpu.name(), format!("{e_cpu:.4}"), fmt_speedup(e_cpu, e_tpu)]);
+    table.row(&[gpu.name(), format!("{e_gpu:.4}"), fmt_speedup(e_gpu, e_tpu)]);
     table.row(&[tpu.name(), format!("{e_tpu:.4}"), "1.0x".into()]);
     println!("{}", table.render());
 

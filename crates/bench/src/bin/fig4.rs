@@ -36,9 +36,7 @@ fn size_sweep() -> Result<()> {
         final_ratio = times[0] / times[2];
     }
     println!("{}", table.render());
-    println!(
-        "\n1024x1024: TPU is {final_ratio:.1}x faster than the CPU baseline (paper: >30x)."
-    );
+    println!("\n1024x1024: TPU is {final_ratio:.1}x faster than the CPU baseline (paper: >30x).");
     Ok(())
 }
 
@@ -48,16 +46,12 @@ fn core_sweep() -> Result<()> {
     let mut table = TablePrinter::new(&["cores", "time (256x256 round trip)", "vs 1 core"]);
     let mut one_core = 0.0;
     for cores in [1usize, 2, 4, 8, 16, 32, 64, 128] {
-        let mut tpu = TpuAccel::with_cores(cores);
-        let t = transform_roundtrip_seconds(&mut tpu, n)?;
+        let tpu = TpuAccel::with_cores(cores);
+        let t = transform_roundtrip_seconds(&tpu, n)?;
         if cores == 1 {
             one_core = t;
         }
-        table.row(&[
-            cores.to_string(),
-            fmt_seconds(t),
-            fmt_speedup(one_core, t),
-        ]);
+        table.row(&[cores.to_string(), fmt_seconds(t), fmt_speedup(one_core, t)]);
         let _ = tpu.elapsed_seconds();
     }
     println!("{}", table.render());

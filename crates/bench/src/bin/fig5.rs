@@ -27,7 +27,7 @@ fn main() -> Result<()> {
     let images = ds.generate(16)?;
     let mut net = vgg_small(3, 12, 4, 3)?;
     println!("training VGG-style classifier on synthetic CIFAR-like data…");
-    let reports = Trainer::new(0.05, 0.9, 8, 0).fit(&mut net, &as_training_pairs(&images), 8)?;
+    let reports = Trainer::new(0.05, 0.9, 8, 1).fit(&mut net, &as_training_pairs(&images), 16)?;
     println!(
         "training accuracy after {} epochs: {:.0}%\n",
         reports.len(),

@@ -3,13 +3,17 @@
 //! values — the executable summary of EXPERIMENTS.md.
 //!
 //! Run: `cargo run --release -p xai-bench --bin report`
+//!
+//! Pass `--json <path>` to additionally write the measured numbers as
+//! a machine-readable baseline (see `BENCH_baseline.json` at the repo
+//! root) so later optimisation PRs have a perf trajectory to beat.
 
 use std::time::Instant;
 use xai_accel::{Accelerator, CpuModel, GpuModel, TpuAccel};
 use xai_bench::{distillation_pairs, TablePrinter};
 use xai_core::{
-    block_contributions, interpret_on, transform_roundtrip_seconds, DistilledModel,
-    ImageExplainer, LimeExplainer, Region, SolveStrategy, TraceExplainer,
+    block_contributions, interpret_on, transform_roundtrip_seconds, DistilledModel, ImageExplainer,
+    LimeExplainer, Region, SolveStrategy, TraceExplainer,
 };
 use xai_data::cifar::{as_training_pairs, ImageConfig, ImageDataset};
 use xai_data::mirai::{TraceConfig, TraceDataset};
@@ -28,7 +32,12 @@ fn main() -> Result<()> {
     println!("== tpu-xai reproduction report ==\n");
     println!("Pan & Mishra, \"Hardware Acceleration of Explainable Machine");
     println!("Learning using Tensor Processing Units\", DATE 2022\n");
+    let json_path = {
+        let mut args = std::env::args();
+        args.find(|a| a == "--json").and_then(|_| args.next())
+    };
     let mut claims: Vec<Claim> = Vec::new();
+    let mut metrics: Vec<(&'static str, f64)> = Vec::new();
 
     // --- Equation 4: closed-form kernel recovery. --------------------
     {
@@ -38,6 +47,7 @@ fn main() -> Result<()> {
         let y = conv2d_circular(&x, &k)?;
         let model = DistilledModel::fit(&[(x, y)], SolveStrategy::default())?;
         let err = model.kernel().max_abs_diff(&k)?;
+        metrics.push(("eq4_kernel_recovery_max_error", err));
         claims.push(Claim {
             id: "Eq.4 closed-form solve",
             paper: "exact kernel recovery",
@@ -54,6 +64,8 @@ fn main() -> Result<()> {
         let tpu = 1.9e12_f64;
         let vs_cpu = tpu / cpu;
         let vs_gpu = tpu / gpu;
+        metrics.push(("table1_train_speedup_vs_cpu", vs_cpu));
+        metrics.push(("table1_train_speedup_vs_gpu", vs_gpu));
         claims.push(Claim {
             id: "Table I speedups",
             paper: "TPU 65x/25.7x vs CPU/GPU",
@@ -65,14 +77,17 @@ fn main() -> Result<()> {
     // --- Table II: interpretation speedups. --------------------------
     {
         let ps = distillation_pairs(4, 128)?;
-        let mut cpu = CpuModel::i7_3700();
-        let mut gpu = GpuModel::gtx1080();
-        let mut tpu = TpuAccel::tpu_v2();
-        let (_, rc) = interpret_on(&mut cpu, &ps, 4, SolveStrategy::default())?;
-        let (_, rg) = interpret_on(&mut gpu, &ps, 4, SolveStrategy::default())?;
-        let (_, rt) = interpret_on(&mut tpu, &ps, 4, SolveStrategy::default())?;
+        let cpu = CpuModel::i7_3700();
+        let gpu = GpuModel::gtx1080();
+        let tpu = TpuAccel::tpu_v2();
+        let (_, rc) = interpret_on(&cpu, &ps, 4, SolveStrategy::default())?;
+        let (_, rg) = interpret_on(&gpu, &ps, 4, SolveStrategy::default())?;
+        let (_, rt) = interpret_on(&tpu, &ps, 4, SolveStrategy::default())?;
         let vs_cpu = rc.total_s() / rt.total_s();
         let vs_gpu = rg.total_s() / rt.total_s();
+        metrics.push(("table2_interpret_speedup_vs_cpu", vs_cpu));
+        metrics.push(("table2_interpret_speedup_vs_gpu", vs_gpu));
+        metrics.push(("table2_tpu_interpret_seconds_4x128sq", rt.total_s()));
         claims.push(Claim {
             id: "Table II speedups",
             paper: "TPU ~39x/~13x vs CPU/GPU",
@@ -83,10 +98,13 @@ fn main() -> Result<()> {
 
     // --- Figure 4: scalability. ---------------------------------------
     {
-        let mut cpu = CpuModel::i7_3700();
-        let mut tpu = TpuAccel::tpu_v2();
-        let r512 = transform_roundtrip_seconds(&mut cpu, 512)?
-            / transform_roundtrip_seconds(&mut tpu, 512)?;
+        let cpu = CpuModel::i7_3700();
+        let tpu = TpuAccel::tpu_v2();
+        let t_cpu = transform_roundtrip_seconds(&cpu, 512)?;
+        let t_tpu = transform_roundtrip_seconds(&tpu, 512)?;
+        let r512 = t_cpu / t_tpu;
+        metrics.push(("fig4_tpu_roundtrip_seconds_512sq", t_tpu));
+        metrics.push(("fig4_speedup_vs_cpu_512sq", r512));
         claims.push(Claim {
             id: "Fig.4 scalability",
             paper: ">30x vs baseline at scale",
@@ -107,9 +125,10 @@ fn main() -> Result<()> {
         })?;
         let images = ds.generate(16)?;
         let mut net = vgg_small(3, 12, 4, 3)?;
-        Trainer::new(0.05, 0.9, 8, 0).fit(&mut net, &as_training_pairs(&images), 8)?;
+        Trainer::new(0.05, 0.9, 8, 0).fit(&mut net, &as_training_pairs(&images), 16)?;
         let explainer = ImageExplainer::fit(&mut net, &images, 3, SolveStrategy::default())?;
         let acc = explainer.localization_accuracy(&mut net, &images)?;
+        metrics.push(("fig5_block_localization_accuracy", acc));
         claims.push(Claim {
             id: "Fig.5 image saliency",
             paper: "crucial blocks identified",
@@ -134,6 +153,7 @@ fn main() -> Result<()> {
         Trainer::new(0.05, 0.9, 8, 0).fit(&mut net, &pairs, 6)?;
         let explainer = TraceExplainer::fit(&mut net, &traces, SolveStrategy::default())?;
         let acc = explainer.attack_localization_accuracy(&mut net, &traces)?;
+        metrics.push(("fig6_attack_localization_accuracy", acc));
         claims.push(Claim {
             id: "Fig.6 trace attribution",
             paper: "ATTACK_VECTOR cycle dominates",
@@ -162,6 +182,9 @@ fn main() -> Result<()> {
             lime.explain(score, x, &regions)?;
         }
         let slow = t0.elapsed().as_secs_f64();
+        metrics.push(("closed_form_wallclock_seconds", fast));
+        metrics.push(("lime_baseline_wallclock_seconds", slow));
+        metrics.push(("closed_form_speedup_vs_lime", slow / fast));
         claims.push(Claim {
             id: "§I vs iterative XAI",
             paper: "replaces iterative optimisation",
@@ -173,12 +196,13 @@ fn main() -> Result<()> {
     // --- §IV-B: energy. -------------------------------------------------
     {
         let ps = distillation_pairs(6, 64)?;
-        let mut cpu = CpuModel::i7_3700();
-        interpret_on(&mut cpu, &ps, 4, SolveStrategy::default())?;
+        let cpu = CpuModel::i7_3700();
+        interpret_on(&cpu, &ps, 4, SolveStrategy::default())?;
         let e_cpu = cpu.stats().ops * 50.0 + cpu.stats().bytes * 10.0;
-        let mut tpu = TpuAccel::tpu_v2();
-        interpret_on(&mut tpu, &ps, 4, SolveStrategy::default())?;
+        let tpu = TpuAccel::tpu_v2();
+        interpret_on(&tpu, &ps, 4, SolveStrategy::default())?;
         let e_tpu = tpu.energy_pj();
+        metrics.push(("energy_savings_vs_cpu", e_cpu / e_tpu));
         claims.push(Claim {
             id: "§IV-B energy savings",
             paper: "significant savings (qualitative)",
@@ -207,5 +231,45 @@ fn main() -> Result<()> {
             "SOME CLAIMS FAILED — see EXPERIMENTS.md"
         }
     );
+
+    if let Some(path) = json_path {
+        let json = render_json(&claims, &metrics, all_pass);
+        std::fs::write(&path, json).expect("baseline JSON must be writable");
+        println!("\nbaseline written to {path}");
+    }
     Ok(())
+}
+
+/// Hand-rolled JSON rendering (the workspace builds offline, without
+/// serde); keys and shape are the contract later perf PRs diff
+/// against.
+fn render_json(claims: &[Claim], metrics: &[(&'static str, f64)], all_pass: bool) -> String {
+    fn esc(s: &str) -> String {
+        s.replace('\\', "\\\\").replace('"', "\\\"")
+    }
+    let mut out = String::from("{\n");
+    out.push_str("  \"schema\": \"tpu-xai-bench-baseline/v1\",\n");
+    out.push_str("  \"generated_by\": \"crates/bench/src/bin/report.rs --json\",\n");
+    out.push_str(&format!("  \"all_claims_pass\": {all_pass},\n"));
+    out.push_str("  \"claims\": [\n");
+    for (i, c) in claims.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"id\": \"{}\", \"paper\": \"{}\", \"measured\": \"{}\", \"pass\": {}}}{}\n",
+            esc(c.id),
+            esc(c.paper),
+            esc(&c.measured),
+            c.pass,
+            if i + 1 < claims.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ],\n");
+    out.push_str("  \"metrics\": {\n");
+    for (i, (k, v)) in metrics.iter().enumerate() {
+        out.push_str(&format!(
+            "    \"{k}\": {v:e}{}\n",
+            if i + 1 < metrics.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  }\n}\n");
+    out
 }

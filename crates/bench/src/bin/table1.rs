@@ -102,12 +102,18 @@ fn main() -> Result<()> {
     ];
 
     let mut table = TablePrinter::new(&[
-        "bench", "platform", "accuracy", "train(10ep)", "test", "speedup/CPU", "speedup/GPU",
+        "bench",
+        "platform",
+        "accuracy",
+        "train(10ep)",
+        "test",
+        "speedup/CPU",
+        "speedup/GPU",
     ]);
 
     for ((workload, label), paper_row) in workloads.iter().zip(&paper) {
         let mut rows: Vec<(String, f64, f64, f64)> = Vec::new();
-        for (i, mut platform) in train_platforms().into_iter().enumerate() {
+        for (i, platform) in train_platforms().into_iter().enumerate() {
             let seed = 11 + i as u64;
             let accuracy = if *label == "VGG19" {
                 train_accuracy_vgg(seed)?

@@ -22,7 +22,13 @@ fn main() -> Result<()> {
     ];
 
     let mut table = TablePrinter::new(&[
-        "Model", "platform", "time (10 pairs)", "distill", "contrib", "Impro./CPU", "Impro./GPU",
+        "Model",
+        "platform",
+        "time (10 pairs)",
+        "distill",
+        "contrib",
+        "Impro./CPU",
+        "Impro./GPU",
     ]);
 
     for (label, size, grid, paper) in configs {

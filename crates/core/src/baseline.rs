@@ -215,7 +215,11 @@ mod tests {
         // The decisive region's weight dwarfs the others.
         for (i, w) in ex.weights.iter().enumerate() {
             if i != 3 {
-                assert!(ex.weights[3].abs() > w.abs() * 3.0, "weights {:?}", ex.weights);
+                assert!(
+                    ex.weights[3].abs() > w.abs() * 3.0,
+                    "weights {:?}",
+                    ex.weights
+                );
             }
         }
     }
@@ -223,10 +227,16 @@ mod tests {
     #[test]
     fn lime_is_deterministic_per_seed() {
         let x = Matrix::filled(8, 8, 1.0).unwrap();
-        let a = LimeExplainer::new(50, 7).explain(block_score, &x, &block_regions()).unwrap();
-        let b = LimeExplainer::new(50, 7).explain(block_score, &x, &block_regions()).unwrap();
+        let a = LimeExplainer::new(50, 7)
+            .explain(block_score, &x, &block_regions())
+            .unwrap();
+        let b = LimeExplainer::new(50, 7)
+            .explain(block_score, &x, &block_regions())
+            .unwrap();
         assert_eq!(a, b);
-        let c = LimeExplainer::new(50, 8).explain(block_score, &x, &block_regions()).unwrap();
+        let c = LimeExplainer::new(50, 8)
+            .explain(block_score, &x, &block_regions())
+            .unwrap();
         assert_ne!(a.weights, c.weights);
     }
 
@@ -258,9 +268,8 @@ mod tests {
         let fast = block_contributions(&model, &x, &y, 2).unwrap();
         let fast_flat: Vec<f64> = fast.as_slice().to_vec();
 
-        let score = |p: &Matrix<f64>| -> Result<f64> {
-            Ok(conv2d_circular(p, &k)?.frobenius_norm())
-        };
+        let score =
+            |p: &Matrix<f64>| -> Result<f64> { Ok(conv2d_circular(p, &k)?.frobenius_norm()) };
         let lime = LimeExplainer::new(150, 1);
         let slow = lime.explain(score, &x, &block_regions()).unwrap();
 

@@ -110,7 +110,7 @@ pub fn contribution(
 ///
 /// Propagates shape errors.
 pub fn contribution_on(
-    acc: &mut dyn Accelerator,
+    acc: &dyn Accelerator,
     model: &DistilledModel,
     x: &Matrix<f64>,
     y: &Matrix<f64>,
@@ -132,7 +132,7 @@ pub fn contribution_on(
 ///
 /// Propagates shape errors.
 pub fn contributions_batch_on(
-    acc: &mut dyn Accelerator,
+    acc: &dyn Accelerator,
     model: &DistilledModel,
     x: &Matrix<f64>,
     y: &Matrix<f64>,
@@ -202,12 +202,7 @@ pub fn block_contributions(
     let mut out = Matrix::zeros(grid, grid)?;
     for by in 0..grid {
         for bx in 0..grid {
-            out[(by, bx)] = contribution(
-                model,
-                x,
-                y,
-                Region::Block(by * bh, bx * bw, bh, bw),
-            )?;
+            out[(by, bx)] = contribution(model, x, y, Region::Block(by * bh, bx * bw, bh, bw))?;
         }
     }
     Ok(out)
@@ -345,9 +340,9 @@ mod tests {
     fn accelerated_contribution_matches_host() {
         use xai_accel::GpuModel;
         let (model, x, y) = model_and_pair();
-        let mut gpu = GpuModel::gtx1080();
+        let gpu = GpuModel::gtx1080();
         let host = contribution(&model, &x, &y, Region::Column(1)).unwrap();
-        let dev = contribution_on(&mut gpu, &model, &x, &y, Region::Column(1)).unwrap();
+        let dev = contribution_on(&gpu, &model, &x, &y, Region::Column(1)).unwrap();
         assert!((host - dev).abs() < 1e-9);
         assert!(gpu.elapsed_seconds() > 0.0);
     }

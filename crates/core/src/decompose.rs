@@ -16,10 +16,15 @@
 //! this module routes the *real numeric computation* through the
 //! simulated cores' `matmul_complex`, so the result and the timing
 //! both come from the device.
+//!
+//! Transforms take a [`SharedDevice`] handle: many pipeline threads
+//! can decompose onto one device concurrently, each whole transform
+//! (both stages and both collectives) scheduled atomically under the
+//! device lock.
 
 use xai_fourier::{dft_matrix, idft_matrix, Norm};
 use xai_tensor::{Complex64, Matrix, Result, TensorError};
-use xai_tpu::TpuDevice;
+use xai_tpu::{SharedDevice, TpuDevice};
 
 /// Splits `x` into at most `p` row shards of near-equal height.
 fn split_rows(x: &Matrix<Complex64>, p: usize) -> Result<Vec<Matrix<Complex64>>> {
@@ -43,8 +48,8 @@ fn split_rows(x: &Matrix<Complex64>, p: usize) -> Result<Vec<Matrix<Complex64>>>
 /// # Errors
 ///
 /// Propagates device and shape errors.
-pub fn fft2d_on_device(device: &mut TpuDevice, x: &Matrix<Complex64>) -> Result<Matrix<Complex64>> {
-    transform_on_device(device, x, true)
+pub fn fft2d_on_device(device: &SharedDevice, x: &Matrix<Complex64>) -> Result<Matrix<Complex64>> {
+    device.with(|d| transform_on_device(d, x, true))
 }
 
 /// Inverse 2-D DFT of `x` on `device` per Algorithm 1.
@@ -52,11 +57,8 @@ pub fn fft2d_on_device(device: &mut TpuDevice, x: &Matrix<Complex64>) -> Result<
 /// # Errors
 ///
 /// Propagates device and shape errors.
-pub fn ifft2d_on_device(
-    device: &mut TpuDevice,
-    x: &Matrix<Complex64>,
-) -> Result<Matrix<Complex64>> {
-    transform_on_device(device, x, false)
+pub fn ifft2d_on_device(device: &SharedDevice, x: &Matrix<Complex64>) -> Result<Matrix<Complex64>> {
+    device.with(|d| transform_on_device(d, x, false))
 }
 
 fn transform_on_device(
@@ -69,13 +71,17 @@ fn transform_on_device(
     let (w_rows, w_cols) = if forward {
         (dft_matrix(n, Norm::Backward), dft_matrix(m, Norm::Backward))
     } else {
-        (idft_matrix(n, Norm::Backward), idft_matrix(m, Norm::Backward))
+        (
+            idft_matrix(n, Norm::Backward),
+            idft_matrix(m, Norm::Backward),
+        )
     };
 
     // Stage 1 — row transforms: split M/p rows; each core computes
     // xᵢ · W_N (every row of the shard transformed independently).
     let shards = split_rows(x, p)?;
-    let transformed = device.run_phase(shards, |core, shard| core.matmul_complex(&shard, &w_rows))?;
+    let transformed =
+        device.run_phase(shards, |core, shard| core.matmul_complex(&shard, &w_rows))?;
     // Merge results (one reassembly collective).
     let x_prime = device.gather_rows(&transformed)?;
 
@@ -84,18 +90,13 @@ fn transform_on_device(
     // (identical arithmetic, contiguous memory).
     let xt = x_prime.transpose();
     let col_shards = split_rows(&xt, p)?;
-    let transformed =
-        device.run_phase(col_shards, |core, shard| core.matmul_complex(&shard, &w_cols))?;
+    let transformed = device.run_phase(col_shards, |core, shard| {
+        core.matmul_complex(&shard, &w_cols)
+    })?;
     let merged_t = device.gather_rows(&transformed)?;
-    let mut out = merged_t.transpose();
-
-    // Backward-norm inverse carries the 1/(M·N) scale.
-    if !forward {
-        // idft_matrix already applies 1/N per axis — nothing to do;
-        // kept as an explicit branch for readability.
-        let _ = &mut out;
-    }
-    Ok(out)
+    // Backward-norm inverse needs no extra scale: idft_matrix already
+    // applies 1/N per axis.
+    Ok(merged_t.transpose())
 }
 
 #[cfg(test)]
@@ -105,13 +106,16 @@ mod tests {
 
     fn test_matrix(m: usize, n: usize) -> Matrix<Complex64> {
         Matrix::from_fn(m, n, |r, c| {
-            Complex64::new(((r * 3 + c) % 7) as f64 - 3.0, ((r + 2 * c) % 5) as f64 * 0.5)
+            Complex64::new(
+                ((r * 3 + c) % 7) as f64 - 3.0,
+                ((r + 2 * c) % 5) as f64 * 0.5,
+            )
         })
         .unwrap()
     }
 
-    fn device(cores: usize) -> TpuDevice {
-        TpuDevice::with_cores(TpuConfig::small_test(), cores)
+    fn device(cores: usize) -> SharedDevice {
+        SharedDevice::with_cores(TpuConfig::small_test(), cores)
     }
 
     #[test]
@@ -119,8 +123,8 @@ mod tests {
         let x = test_matrix(8, 8);
         let reference = xai_fourier::fft2d(&x).unwrap();
         for cores in [1usize, 2, 3, 4, 8, 16] {
-            let mut dev = device(cores);
-            let got = fft2d_on_device(&mut dev, &x).unwrap();
+            let dev = device(cores);
+            let got = fft2d_on_device(&dev, &x).unwrap();
             assert!(
                 reference.max_abs_diff(&got).unwrap() < 1e-9,
                 "cores={cores}"
@@ -132,25 +136,25 @@ mod tests {
     fn rectangular_inputs() {
         let x = test_matrix(6, 10);
         let reference = xai_fourier::fft2d(&x).unwrap();
-        let mut dev = device(4);
-        let got = fft2d_on_device(&mut dev, &x).unwrap();
+        let dev = device(4);
+        let got = fft2d_on_device(&dev, &x).unwrap();
         assert!(reference.max_abs_diff(&got).unwrap() < 1e-9);
     }
 
     #[test]
     fn roundtrip_on_device() {
         let x = test_matrix(8, 8);
-        let mut dev = device(4);
-        let spec = fft2d_on_device(&mut dev, &x).unwrap();
-        let back = ifft2d_on_device(&mut dev, &spec).unwrap();
+        let dev = device(4);
+        let spec = fft2d_on_device(&dev, &x).unwrap();
+        let back = ifft2d_on_device(&dev, &spec).unwrap();
         assert!(x.max_abs_diff(&back).unwrap() < 1e-9);
     }
 
     #[test]
     fn charges_device_time_and_collectives() {
         let x = test_matrix(8, 8);
-        let mut dev = device(4);
-        fft2d_on_device(&mut dev, &x).unwrap();
+        let dev = device(4);
+        fft2d_on_device(&dev, &x).unwrap();
         assert!(dev.wall_seconds() > 0.0);
         // One gather per stage.
         assert_eq!(dev.collectives(), 2);
@@ -160,10 +164,10 @@ mod tests {
     #[test]
     fn more_cores_reduce_wall_time() {
         let x = test_matrix(16, 16);
-        let mut d1 = device(1);
-        fft2d_on_device(&mut d1, &x).unwrap();
-        let mut d8 = device(8);
-        fft2d_on_device(&mut d8, &x).unwrap();
+        let d1 = device(1);
+        fft2d_on_device(&d1, &x).unwrap();
+        let d8 = device(8);
+        fft2d_on_device(&d8, &x).unwrap();
         assert!(
             d8.wall_seconds() < d1.wall_seconds(),
             "8 cores {} vs 1 core {}",
@@ -175,8 +179,32 @@ mod tests {
     #[test]
     fn energy_is_accounted() {
         let x = test_matrix(8, 8);
-        let mut dev = device(2);
-        fft2d_on_device(&mut dev, &x).unwrap();
+        let dev = device(2);
+        fft2d_on_device(&dev, &x).unwrap();
         assert!(dev.energy_pj() > 0.0);
+    }
+
+    #[test]
+    fn concurrent_transforms_on_one_device_match_serial() {
+        let x = test_matrix(8, 8);
+        let reference = xai_fourier::fft2d(&x).unwrap();
+        let dev = device(4);
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let dev = dev.clone();
+                let x = x.clone();
+                let reference = reference.clone();
+                scope.spawn(move || {
+                    let got = fft2d_on_device(&dev, &x).unwrap();
+                    assert!(reference.max_abs_diff(&got).unwrap() < 1e-9);
+                });
+            }
+        });
+        let serial = device(4);
+        for _ in 0..4 {
+            fft2d_on_device(&serial, &x).unwrap();
+        }
+        assert!((dev.wall_seconds() - serial.wall_seconds()).abs() < 1e-15);
+        assert_eq!(dev.collectives(), serial.collectives());
     }
 }

@@ -102,7 +102,7 @@ impl DistilledModel {
     ///
     /// As [`DistilledModel::fit`].
     pub fn fit_on(
-        acc: &mut dyn Accelerator,
+        acc: &dyn Accelerator,
         pairs: &[(Matrix<f64>, Matrix<f64>)],
         strategy: SolveStrategy,
     ) -> Result<Self> {
@@ -148,7 +148,13 @@ impl DistilledModel {
                 let den = den
                     .expect("non-empty pairs")
                     .map(|z| z + Complex64::from_real(lambda));
-                acc.pointwise_div(&num, &den, DivPolicy::Clamp { floor: f64::MIN_POSITIVE })?
+                acc.pointwise_div(
+                    &num,
+                    &den,
+                    DivPolicy::Clamp {
+                        floor: f64::MIN_POSITIVE,
+                    },
+                )?
             }
         };
         let kernel = acc.ifft2d(&spectrum)?.to_real();
@@ -204,7 +210,13 @@ impl DistilledModel {
                     den = den.zip_with(&ops::hadamard(&fx, &fx.conj())?, |a, b| a + b)?;
                 }
                 let den = den.map(|z| z + Complex64::from_real(lambda));
-                ops::pointwise_div(&num, &den, DivPolicy::Clamp { floor: f64::MIN_POSITIVE })
+                ops::pointwise_div(
+                    &num,
+                    &den,
+                    DivPolicy::Clamp {
+                        floor: f64::MIN_POSITIVE,
+                    },
+                )
             }
         }
     }
@@ -261,7 +273,7 @@ impl DistilledModel {
     /// # Errors
     ///
     /// As [`DistilledModel::predict`].
-    pub fn predict_on(&self, acc: &mut dyn Accelerator, x: &Matrix<f64>) -> Result<Matrix<f64>> {
+    pub fn predict_on(&self, acc: &dyn Accelerator, x: &Matrix<f64>) -> Result<Matrix<f64>> {
         if x.shape() != self.shape() {
             return Err(TensorError::ShapeMismatch {
                 left: x.shape(),
@@ -461,7 +473,8 @@ mod tests {
             },
         );
         assert!(naive.is_err(), "strict naive must fail on nulls");
-        let wiener = DistilledModel::fit(&[(x.clone(), y.clone())], SolveStrategy::default()).unwrap();
+        let wiener =
+            DistilledModel::fit(&[(x.clone(), y.clone())], SolveStrategy::default()).unwrap();
         // Prediction must still map x ↦ y.
         let pred = wiener.predict(&x).unwrap();
         assert!(pred.max_abs_diff(&y).unwrap() < 1e-6);
@@ -544,8 +557,8 @@ mod tests {
             })
             .collect();
         let host = DistilledModel::fit(&pairs, SolveStrategy::default()).unwrap();
-        let mut cpu = CpuModel::i7_3700();
-        let accel = DistilledModel::fit_on(&mut cpu, &pairs, SolveStrategy::default()).unwrap();
+        let cpu = CpuModel::i7_3700();
+        let accel = DistilledModel::fit_on(&cpu, &pairs, SolveStrategy::default()).unwrap();
         assert!(host.kernel().max_abs_diff(accel.kernel()).unwrap() < 1e-9);
         assert!(cpu.elapsed_seconds() > 0.0, "fit must be timed");
     }
@@ -556,9 +569,9 @@ mod tests {
         let k = kernel_4x4();
         let x = input(2);
         let y = conv2d_circular(&x, &k).unwrap();
-        let mut cpu = CpuModel::i7_3700();
+        let cpu = CpuModel::i7_3700();
         let model = DistilledModel::fit_on(
-            &mut cpu,
+            &cpu,
             &[(x, y)],
             SolveStrategy::Naive {
                 policy: DivPolicy::Clamp { floor: 1e-12 },
@@ -611,12 +624,14 @@ mod tests {
         let mut inc = IncrementalDistiller::new(4, 4, 1e-9);
         for s in 0..4 {
             let x = input(s);
-            inc.add_pair(&x, &conv2d_circular(&x, &ka).unwrap()).unwrap();
+            inc.add_pair(&x, &conv2d_circular(&x, &ka).unwrap())
+                .unwrap();
         }
         inc.decay(1e-9);
         for s in 4..8 {
             let x = input(s);
-            inc.add_pair(&x, &conv2d_circular(&x, &kb).unwrap()).unwrap();
+            inc.add_pair(&x, &conv2d_circular(&x, &kb).unwrap())
+                .unwrap();
         }
         let model = inc.model().unwrap();
         assert!(model.kernel().max_abs_diff(&kb).unwrap() < 1e-4);
@@ -629,8 +644,8 @@ mod tests {
         let x = input(4);
         let y = conv2d_circular(&x, &k).unwrap();
         let model = DistilledModel::fit(&[(x.clone(), y)], SolveStrategy::default()).unwrap();
-        let mut tpu = TpuAccel::with_cores(4);
-        let on_tpu = model.predict_on(&mut tpu, &x).unwrap();
+        let tpu = TpuAccel::with_cores(4);
+        let on_tpu = model.predict_on(&tpu, &x).unwrap();
         let on_host = model.predict(&x).unwrap();
         assert!(on_tpu.max_abs_diff(&on_host).unwrap() < 1e-9);
     }

@@ -220,11 +220,7 @@ impl TraceExplainer {
     /// # Errors
     ///
     /// Propagates network and shape errors.
-    pub fn explain_registers(
-        &self,
-        net: &mut Network,
-        trace: &RegisterTrace,
-    ) -> Result<Vec<f64>> {
+    pub fn explain_registers(&self, net: &mut Network, trace: &RegisterTrace) -> Result<Vec<f64>> {
         let input = trace_input(trace);
         let logits = net.forward(&input)?;
         let y = embed_output(logits.as_slice(), trace.table.shape())?;
@@ -294,7 +290,9 @@ mod tests {
         let images = ds.generate(16).unwrap();
         let mut net = vgg_small(3, 12, 4, 3).unwrap();
         let pairs = as_training_pairs(&images);
-        Trainer::new(0.05, 0.9, 8, 0).fit(&mut net, &pairs, 8).unwrap();
+        Trainer::new(0.05, 0.9, 8, 0)
+            .fit(&mut net, &pairs, 16)
+            .unwrap();
         (net, ds, images)
     }
 
@@ -338,7 +336,9 @@ mod tests {
             .iter()
             .map(|t| (trace_input(t), t.label.class_index()))
             .collect();
-        Trainer::new(0.05, 0.9, 8, 0).fit(&mut net, &pairs, 6).unwrap();
+        Trainer::new(0.05, 0.9, 8, 0)
+            .fit(&mut net, &pairs, 6)
+            .unwrap();
         let explainer = TraceExplainer::fit(&mut net, &traces, SolveStrategy::default()).unwrap();
         let acc = explainer
             .attack_localization_accuracy(&mut net, &traces)

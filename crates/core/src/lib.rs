@@ -51,8 +51,8 @@ pub mod decompose;
 mod distill;
 pub mod explain;
 pub mod metrics;
-mod pipeline;
 pub mod parallel;
+mod pipeline;
 
 pub use adapter::{embed_output, extract_output, pairs_from_network, volume_to_matrix};
 pub use baseline::{spearman_correlation, top1_agreement, LimeExplainer, SurrogateExplanation};
@@ -64,5 +64,7 @@ pub use decompose::{fft2d_on_device, ifft2d_on_device};
 pub use distill::{DistilledModel, IncrementalDistiller, SolveStrategy};
 pub use explain::{ImageExplainer, ImageExplanation, TraceExplainer, TraceExplanation};
 pub use metrics::{deletion_auc, deletion_curve, gini_sparseness};
-pub use parallel::{explain_batch, explain_batch_parallel};
+pub use parallel::{
+    explain_batch, explain_batch_on, explain_batch_parallel, explain_batch_parallel_on,
+};
 pub use pipeline::{interpret_on, transform_roundtrip_seconds, InterpretationReport};

@@ -129,8 +129,7 @@ mod tests {
         };
         let good = [0.1, 0.1, 0.1, 9.0]; // region 3 = Block(4,4)
         let bad = [9.0, 0.1, 0.1, 0.05];
-        let auc_good =
-            deletion_auc(&deletion_curve(score, &x, &region_grid(), &good).unwrap());
+        let auc_good = deletion_auc(&deletion_curve(score, &x, &region_grid(), &good).unwrap());
         let auc_bad = deletion_auc(&deletion_curve(score, &x, &region_grid(), &bad).unwrap());
         assert!(
             auc_good < auc_bad,
@@ -156,11 +155,9 @@ mod tests {
         let scores = block_contributions(&model, &x, &y, 2).unwrap();
         let ranked: Vec<f64> = scores.as_slice().to_vec();
         let uniform = vec![1.0; 4];
-        let score = |m: &Matrix<f64>| -> Result<f64> {
-            Ok(conv2d_circular(m, &k)?.frobenius_norm())
-        };
-        let auc_model =
-            deletion_auc(&deletion_curve(score, &x, &region_grid(), &ranked).unwrap());
+        let score =
+            |m: &Matrix<f64>| -> Result<f64> { Ok(conv2d_circular(m, &k)?.frobenius_norm()) };
+        let auc_model = deletion_auc(&deletion_curve(score, &x, &region_grid(), &ranked).unwrap());
         let auc_uniform =
             deletion_auc(&deletion_curve(score, &x, &region_grid(), &uniform).unwrap());
         assert!(auc_model <= auc_uniform + 1e-9);

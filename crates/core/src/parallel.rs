@@ -4,11 +4,22 @@
 //! input–output pairs concurrently. On the simulated device this is
 //! [`xai_tpu::TpuDevice::run_phase`]; on the *host* it is real thread
 //! parallelism — this module shards a batch of explanation tasks
-//! across `crossbeam` scoped threads, which is what the wall-clock
+//! across `std::thread::scope` workers, which is what the wall-clock
 //! criterion benches measure.
+//!
+//! Two families are provided: the host-path [`explain_batch`] /
+//! [`explain_batch_parallel`] (pure CPU arithmetic, no simulated
+//! timing) and the accelerator-path [`explain_batch_on`] /
+//! [`explain_batch_parallel_on`], where **all worker threads drive
+//! one shared device** — the `&self` + `Send + Sync`
+//! [`Accelerator`] contract introduced for exactly this purpose.
+//! Numeric results are bit-identical between the serial and parallel
+//! variants: kernels are pure functions of their inputs, and only the
+//! simulated-time ledger is shared.
 
-use crate::contribution::block_contributions;
+use crate::contribution::{block_contributions, contributions_batch_on, Region};
 use crate::distill::DistilledModel;
+use xai_accel::Accelerator;
 use xai_tensor::{Matrix, Result, TensorError};
 
 /// Computes `grid × grid` block contribution maps for a batch of
@@ -33,6 +44,9 @@ pub fn explain_batch(
 /// host hardware. Results are identical to [`explain_batch`] and
 /// returned in input order.
 ///
+/// Worker panics propagate to the caller (the scope re-raises them);
+/// worker errors are returned as the first error in batch order.
+///
 /// # Errors
 ///
 /// Returns [`TensorError::EmptyDimension`] for `workers == 0`;
@@ -43,6 +57,118 @@ pub fn explain_batch_parallel(
     grid: usize,
     workers: usize,
 ) -> Result<Vec<Matrix<f64>>> {
+    run_sharded(batch, workers, |chunk| explain_batch(model, chunk, grid))
+}
+
+/// Computes `grid × grid` block contribution maps through an
+/// [`Accelerator`], serially — each pair's regions run as one §III-D
+/// batched kernel sequence, charging the device's simulated clock.
+///
+/// # Errors
+///
+/// Returns [`TensorError::ShapeMismatch`] when `grid` does not divide
+/// a pair's dimensions; propagates kernel errors.
+pub fn explain_batch_on(
+    acc: &dyn Accelerator,
+    model: &DistilledModel,
+    batch: &[(Matrix<f64>, Matrix<f64>)],
+    grid: usize,
+) -> Result<Vec<Matrix<f64>>> {
+    batch
+        .iter()
+        .map(|(x, y)| block_contributions_on(acc, model, x, y, grid))
+        .collect()
+}
+
+/// The accelerator-path batch explanation with the batch sharded
+/// across `workers` host threads, **all driving the same shared
+/// device**. This is the deployment shape the paper's heavy-traffic
+/// scenario implies: one accelerator, many request-handling threads.
+///
+/// Numeric results are bit-identical to [`explain_batch_on`] and
+/// returned in input order; the device's simulated clock accumulates
+/// every worker's kernels (order-independent: simulated time is a
+/// sum).
+///
+/// # Errors
+///
+/// Returns [`TensorError::EmptyDimension`] for `workers == 0`;
+/// propagates the first kernel/shape error in batch order.
+///
+/// # Examples
+///
+/// ```
+/// use std::sync::Arc;
+/// use xai_accel::{Accelerator, TpuAccel};
+/// use xai_core::{explain_batch_on, explain_batch_parallel_on, DistilledModel, SolveStrategy};
+/// use xai_tensor::{conv::conv2d_circular, Matrix};
+///
+/// # fn main() -> Result<(), xai_tensor::TensorError> {
+/// let k = Matrix::from_fn(8, 8, |r, c| ((r + c) % 3) as f64 * 0.3)?;
+/// let batch: Vec<_> = (0..6)
+///     .map(|s| {
+///         let x = Matrix::from_fn(8, 8, |r, c| ((r * 3 + c + s) % 7) as f64).unwrap();
+///         let y = conv2d_circular(&x, &k).unwrap();
+///         (x, y)
+///     })
+///     .collect();
+/// let model = DistilledModel::fit(&batch, SolveStrategy::default())?;
+/// let acc: Arc<dyn Accelerator> = Arc::new(TpuAccel::with_cores(4));
+/// let maps = explain_batch_parallel_on(&*acc, &model, &batch, 4, 3)?;
+/// assert_eq!(maps.len(), 6);
+/// # Ok(())
+/// # }
+/// ```
+pub fn explain_batch_parallel_on(
+    acc: &dyn Accelerator,
+    model: &DistilledModel,
+    batch: &[(Matrix<f64>, Matrix<f64>)],
+    grid: usize,
+    workers: usize,
+) -> Result<Vec<Matrix<f64>>> {
+    run_sharded(batch, workers, |chunk| {
+        explain_batch_on(acc, model, chunk, grid)
+    })
+}
+
+/// One pair's `grid × grid` map through the accelerator's batched
+/// kernels.
+fn block_contributions_on(
+    acc: &dyn Accelerator,
+    model: &DistilledModel,
+    x: &Matrix<f64>,
+    y: &Matrix<f64>,
+    grid: usize,
+) -> Result<Matrix<f64>> {
+    let (m, n) = x.shape();
+    if grid == 0 || m % grid != 0 || n % grid != 0 {
+        return Err(TensorError::ShapeMismatch {
+            left: (m, n),
+            right: (grid, grid),
+            op: "block grid must divide input",
+        });
+    }
+    let (bh, bw) = (m / grid, n / grid);
+    let regions: Vec<Region> = (0..grid)
+        .flat_map(|by| (0..grid).map(move |bx| Region::Block(by * bh, bx * bw, bh, bw)))
+        .collect();
+    let scores = contributions_batch_on(acc, model, x, y, &regions)?;
+    let mut out = Matrix::zeros(grid, grid)?;
+    for (i, score) in scores.into_iter().enumerate() {
+        out[(i / grid, i % grid)] = score;
+    }
+    Ok(out)
+}
+
+/// Shards `batch` into at most `workers` contiguous chunks, runs `f`
+/// on each from its own scoped thread, and reassembles the results in
+/// input order. Thread panics propagate; errors surface in batch
+/// order.
+fn run_sharded<T: Sync, R: Send>(
+    batch: &[T],
+    workers: usize,
+    f: impl Fn(&[T]) -> Result<Vec<R>> + Sync,
+) -> Result<Vec<R>> {
     if workers == 0 {
         return Err(TensorError::EmptyDimension);
     }
@@ -50,19 +176,21 @@ pub fn explain_batch_parallel(
         return Ok(Vec::new());
     }
     let chunk = batch.len().div_ceil(workers);
-    let mut results: Vec<Option<Result<Vec<Matrix<f64>>>>> =
+    let mut results: Vec<Option<Result<Vec<R>>>> =
         (0..batch.len().div_ceil(chunk)).map(|_| None).collect();
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         for (slot, work) in results.iter_mut().zip(batch.chunks(chunk)) {
-            scope.spawn(move |_| {
-                *slot = Some(explain_batch(model, work, grid));
+            let f = &f;
+            scope.spawn(move || {
+                *slot = Some(f(work));
             });
         }
-    })
-    .expect("worker thread panicked");
+        // The scope joins every worker on exit and re-raises any
+        // worker panic in the caller's thread.
+    });
     let mut out = Vec::with_capacity(batch.len());
     for slot in results {
-        out.extend(slot.expect("every chunk spawned")?);
+        out.extend(slot.expect("scope joined every worker")?);
     }
     Ok(out)
 }
@@ -71,6 +199,8 @@ pub fn explain_batch_parallel(
 mod tests {
     use super::*;
     use crate::distill::SolveStrategy;
+    use std::sync::Arc;
+    use xai_accel::TpuAccel;
     use xai_tensor::conv::conv2d_circular;
 
     type Setup = (DistilledModel, Vec<(Matrix<f64>, Matrix<f64>)>);
@@ -104,12 +234,58 @@ mod tests {
     #[test]
     fn empty_batch_is_fine() {
         let (model, _) = setup(1);
-        assert!(explain_batch_parallel(&model, &[], 4, 4).unwrap().is_empty());
+        assert!(explain_batch_parallel(&model, &[], 4, 4)
+            .unwrap()
+            .is_empty());
     }
 
     #[test]
     fn zero_workers_rejected() {
         let (model, batch) = setup(2);
         assert!(explain_batch_parallel(&model, &batch, 4, 0).is_err());
+        assert!(explain_batch_parallel_on(&TpuAccel::with_cores(2), &model, &batch, 4, 0).is_err());
+    }
+
+    #[test]
+    fn worker_errors_propagate_not_panic() {
+        let (model, mut batch) = setup(4);
+        // Poison one pair with a shape the grid cannot divide.
+        batch[2].0 = Matrix::zeros(6, 6).unwrap();
+        batch[2].1 = Matrix::zeros(6, 6).unwrap();
+        let err = explain_batch_parallel(&model, &batch, 4, 2);
+        assert!(err.is_err(), "bad shard must surface as Err, not panic");
+    }
+
+    #[test]
+    fn shared_accelerator_parallel_is_bit_identical_to_serial() {
+        let (model, batch) = setup(6);
+        let serial_acc = TpuAccel::with_cores(4);
+        let serial = explain_batch_on(&serial_acc, &model, &batch, 4).unwrap();
+
+        let shared: Arc<dyn xai_accel::Accelerator> = Arc::new(TpuAccel::with_cores(4));
+        for workers in [2usize, 3, 6] {
+            let parallel = explain_batch_parallel_on(&*shared, &model, &batch, 4, workers).unwrap();
+            assert_eq!(parallel.len(), serial.len());
+            for (a, b) in serial.iter().zip(&parallel) {
+                assert_eq!(
+                    a.as_slice(),
+                    b.as_slice(),
+                    "workers={workers}: must be bit-identical"
+                );
+            }
+        }
+        // Every worker charged the one shared device.
+        assert!(shared.elapsed_seconds() > 0.0);
+    }
+
+    #[test]
+    fn accelerator_path_matches_host_path() {
+        let (model, batch) = setup(3);
+        let host = explain_batch(&model, &batch, 4).unwrap();
+        let acc = TpuAccel::with_cores(2);
+        let dev = explain_batch_on(&acc, &model, &batch, 4).unwrap();
+        for (a, b) in host.iter().zip(&dev) {
+            assert!(a.max_abs_diff(b).unwrap() < 1e-9);
+        }
     }
 }

@@ -58,15 +58,15 @@ impl InterpretationReport {
 ///         (x, y)
 ///     })
 ///     .collect();
-/// let mut cpu = CpuModel::i7_3700();
-/// let (model, report) = interpret_on(&mut cpu, &pairs, 4, SolveStrategy::default())?;
+/// let cpu = CpuModel::i7_3700();
+/// let (model, report) = interpret_on(&cpu, &pairs, 4, SolveStrategy::default())?;
 /// assert!(report.total_s() > 0.0);
 /// assert!(model.fidelity_error(&pairs)? < 1e-6);
 /// # Ok(())
 /// # }
 /// ```
 pub fn interpret_on(
-    acc: &mut dyn Accelerator,
+    acc: &dyn Accelerator,
     pairs: &[(Matrix<f64>, Matrix<f64>)],
     grid: usize,
     strategy: SolveStrategy,
@@ -105,7 +105,7 @@ pub fn interpret_on(
 /// # Errors
 ///
 /// Propagates kernel errors.
-pub fn transform_roundtrip_seconds(acc: &mut dyn Accelerator, n: usize) -> Result<f64> {
+pub fn transform_roundtrip_seconds(acc: &dyn Accelerator, n: usize) -> Result<f64> {
     let x = Matrix::from_fn(n, n, |r, c| (((r * 31 + c * 17) % 97) as f64) / 97.0 - 0.5)?;
     let t0 = acc.elapsed_seconds();
     let spec = acc.fft2d(&x.to_complex())?;
@@ -124,9 +124,8 @@ mod tests {
         let k = Matrix::from_fn(size, size, |r, c| ((r * 2 + c) % 5) as f64 * 0.2).unwrap();
         (0..n)
             .map(|s| {
-                let x =
-                    Matrix::from_fn(size, size, |r, c| ((r * 7 + c * 3 + s) % 11) as f64 - 5.0)
-                        .unwrap();
+                let x = Matrix::from_fn(size, size, |r, c| ((r * 7 + c * 3 + s) % 11) as f64 - 5.0)
+                    .unwrap();
                 let y = conv2d_circular(&x, &k).unwrap();
                 (x, y)
             })
@@ -135,8 +134,8 @@ mod tests {
 
     #[test]
     fn report_accumulates_both_phases() {
-        let mut cpu = CpuModel::i7_3700();
-        let (_, report) = interpret_on(&mut cpu, &pairs(4, 8), 4, SolveStrategy::default()).unwrap();
+        let cpu = CpuModel::i7_3700();
+        let (_, report) = interpret_on(&cpu, &pairs(4, 8), 4, SolveStrategy::default()).unwrap();
         assert!(report.distill_s > 0.0);
         assert!(report.contribution_s > 0.0);
         assert_eq!(report.samples, 4);
@@ -148,31 +147,41 @@ mod tests {
     #[test]
     fn tpu_interpretation_is_fastest() {
         let ps = pairs(4, 64);
-        let mut cpu = CpuModel::i7_3700();
-        let mut gpu = GpuModel::gtx1080();
-        let mut tpu = TpuAccel::tpu_v2();
-        let (_, rc) = interpret_on(&mut cpu, &ps, 4, SolveStrategy::default()).unwrap();
-        let (_, rg) = interpret_on(&mut gpu, &ps, 4, SolveStrategy::default()).unwrap();
-        let (_, rt) = interpret_on(&mut tpu, &ps, 4, SolveStrategy::default()).unwrap();
-        assert!(rt.total_s() < rg.total_s(), "tpu {} gpu {}", rt.total_s(), rg.total_s());
-        assert!(rg.total_s() < rc.total_s(), "gpu {} cpu {}", rg.total_s(), rc.total_s());
+        let cpu = CpuModel::i7_3700();
+        let gpu = GpuModel::gtx1080();
+        let tpu = TpuAccel::tpu_v2();
+        let (_, rc) = interpret_on(&cpu, &ps, 4, SolveStrategy::default()).unwrap();
+        let (_, rg) = interpret_on(&gpu, &ps, 4, SolveStrategy::default()).unwrap();
+        let (_, rt) = interpret_on(&tpu, &ps, 4, SolveStrategy::default()).unwrap();
+        assert!(
+            rt.total_s() < rg.total_s(),
+            "tpu {} gpu {}",
+            rt.total_s(),
+            rg.total_s()
+        );
+        assert!(
+            rg.total_s() < rc.total_s(),
+            "gpu {} cpu {}",
+            rg.total_s(),
+            rc.total_s()
+        );
     }
 
     #[test]
     fn results_identical_across_platforms() {
         let ps = pairs(3, 8);
-        let mut cpu = CpuModel::i7_3700();
-        let mut tpu = TpuAccel::tpu_v2();
-        let (mc, _) = interpret_on(&mut cpu, &ps, 2, SolveStrategy::default()).unwrap();
-        let (mt, _) = interpret_on(&mut tpu, &ps, 2, SolveStrategy::default()).unwrap();
+        let cpu = CpuModel::i7_3700();
+        let tpu = TpuAccel::tpu_v2();
+        let (mc, _) = interpret_on(&cpu, &ps, 2, SolveStrategy::default()).unwrap();
+        let (mt, _) = interpret_on(&tpu, &ps, 2, SolveStrategy::default()).unwrap();
         assert!(mc.kernel().max_abs_diff(mt.kernel()).unwrap() < 1e-9);
     }
 
     #[test]
     fn transform_roundtrip_scales_with_size() {
-        let mut cpu = CpuModel::i7_3700();
-        let small = transform_roundtrip_seconds(&mut cpu, 16).unwrap();
-        let large = transform_roundtrip_seconds(&mut cpu, 64).unwrap();
+        let cpu = CpuModel::i7_3700();
+        let small = transform_roundtrip_seconds(&cpu, 16).unwrap();
+        let large = transform_roundtrip_seconds(&cpu, 64).unwrap();
         assert!(large > small);
     }
 }

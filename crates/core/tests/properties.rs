@@ -4,17 +4,15 @@
 //! Equation 5.
 
 use proptest::prelude::*;
-use xai_core::{
-    block_contributions, contribution, occlude, DistilledModel, Region, SolveStrategy,
-};
+use xai_core::{block_contributions, contribution, occlude, DistilledModel, Region, SolveStrategy};
 use xai_tensor::conv::conv2d_circular;
 use xai_tensor::Matrix;
 
 /// A delta-dominant input: spectrum bounded away from zero, so the
 /// closed-form solve is well-conditioned.
 fn conditioned_input(n: usize, values: &[f64]) -> Matrix<f64> {
-    let mut x = Matrix::from_fn(n, n, |r, c| values[(r * n + c) % values.len()] * 0.2)
-        .expect("n > 0");
+    let mut x =
+        Matrix::from_fn(n, n, |r, c| values[(r * n + c) % values.len()] * 0.2).expect("n > 0");
     x[(0, 0)] += 8.0;
     x
 }

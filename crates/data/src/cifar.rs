@@ -124,17 +124,24 @@ impl ImageDataset {
             let (by, bx) = self.class_block(label);
             let (y0, x0) = (by * block, bx * block);
             let noise = self.config.noise;
-            let mut image =
-                Tensor3::from_fn(self.config.channels, self.config.size, self.config.size, |_, _, _| {
-                    0.2 + noise * (rng.random::<f64>() - 0.5)
-                })?;
+            let mut image = Tensor3::from_fn(
+                self.config.channels,
+                self.config.size,
+                self.config.size,
+                |_, _, _| 0.2 + noise * (rng.random::<f64>() - 0.5),
+            )?;
             // Class-defining bright pattern: a filled block with a
             // channel-dependent chequer so channels differ.
             for c in 0..self.config.channels {
                 for dy in 0..block {
                     for dx in 0..block {
                         let chequer = if (dy + dx + c) % 2 == 0 { 0.9 } else { 0.7 };
-                        image.set(c, y0 + dy, x0 + dx, chequer + noise * (rng.random::<f64>() - 0.5));
+                        image.set(
+                            c,
+                            y0 + dy,
+                            x0 + dx,
+                            chequer + noise * (rng.random::<f64>() - 0.5),
+                        );
                     }
                 }
             }
@@ -152,7 +159,11 @@ impl ImageDataset {
     /// # Errors
     ///
     /// Propagates generation errors.
-    pub fn generate_split(&self, train: usize, test: usize) -> Result<(Vec<LabelledImage>, Vec<LabelledImage>)> {
+    pub fn generate_split(
+        &self,
+        train: usize,
+        test: usize,
+    ) -> Result<(Vec<LabelledImage>, Vec<LabelledImage>)> {
         let train_set = self.generate(train)?;
         let mut test_cfg = self.config;
         test_cfg.seed = self.config.seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
@@ -181,12 +192,21 @@ mod tests {
     #[test]
     fn validation_rejects_bad_configs() {
         // grid 3 does not divide 10
-        let c = ImageConfig { size: 10, ..ImageConfig::default() };
+        let c = ImageConfig {
+            size: 10,
+            ..ImageConfig::default()
+        };
         assert!(ImageDataset::new(c).is_err());
         // more classes than the 9 grid cells
-        let c = ImageConfig { classes: 100, ..ImageConfig::default() };
+        let c = ImageConfig {
+            classes: 100,
+            ..ImageConfig::default()
+        };
         assert!(ImageDataset::new(c).is_err());
-        let c = ImageConfig { channels: 0, ..ImageConfig::default() };
+        let c = ImageConfig {
+            channels: 0,
+            ..ImageConfig::default()
+        };
         assert!(ImageDataset::new(c).is_err());
     }
 
@@ -197,8 +217,7 @@ mod tests {
         assert_eq!(images[0].label, 0);
         assert_eq!(images[5].label, 1);
         // all 4 classes get distinct blocks
-        let blocks: std::collections::HashSet<_> =
-            (0..4).map(|l| ds.class_block(l)).collect();
+        let blocks: std::collections::HashSet<_> = (0..4).map(|l| ds.class_block(l)).collect();
         assert_eq!(blocks.len(), 4);
     }
 

@@ -129,9 +129,8 @@ pub fn parse_trace_table<R: Read>(mut reader: R) -> Result<RegisterTrace> {
         });
     }
     let raw = Matrix::from_fn(rows.len(), cols, |r, c| rows[r][c])?;
-    let attack_cycle = (0..cols).find(|&c| {
-        ATTACK_REGISTER < raw.rows() && raw[(ATTACK_REGISTER, c)] == ATTACK_SIGNATURE
-    });
+    let attack_cycle = (0..cols)
+        .find(|&c| ATTACK_REGISTER < raw.rows() && raw[(ATTACK_REGISTER, c)] == ATTACK_SIGNATURE);
     let table = raw.map(|v| v as f64 / 255.0);
     Ok(RegisterTrace {
         raw,

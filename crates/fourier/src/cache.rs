@@ -2,31 +2,42 @@
 //! bit-reversal permutations, Bluestein chirp filters) and the
 //! explanation pipeline transforms thousands of equally-shaped
 //! matrices — a cache keyed by shape amortises construction to zero.
+//!
+//! The cache is internally synchronised: every method takes `&self`,
+//! so one `PlanCache` (or the process-wide [`global_plan_cache`]) can
+//! be shared freely across the worker threads that batch explanation
+//! spawns, and plan construction is paid once per shape per process.
 
 use crate::fft2d::Fft2d;
 use crate::plan::FftPlan;
 use std::collections::HashMap;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex, OnceLock};
 
-/// A shape-keyed cache of 1-D and 2-D transform plans.
+/// A shape-keyed, thread-safe cache of 1-D and 2-D transform plans.
 ///
 /// Plans are returned as [`Arc`]s so callers can hold them across
-/// cache mutations; the cache itself is not synchronised — wrap it in
-/// a lock (or keep one per thread) for concurrent use.
+/// cache mutations (and across threads) without holding any lock. The
+/// internal lock is only held while looking up or inserting a plan —
+/// never while a transform executes.
 ///
 /// # Examples
 ///
 /// ```
 /// use xai_fourier::PlanCache;
 ///
-/// let mut cache = PlanCache::new();
+/// let cache = PlanCache::new();
 /// let a = cache.plan_2d(64, 64);
 /// let b = cache.plan_2d(64, 64);
 /// assert!(std::sync::Arc::ptr_eq(&a, &b)); // built once
 /// assert_eq!(cache.len(), 1);
 /// ```
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Default)]
 pub struct PlanCache {
+    inner: Mutex<PlanMaps>,
+}
+
+#[derive(Debug, Default)]
+struct PlanMaps {
     plans_1d: HashMap<usize, Arc<FftPlan>>,
     plans_2d: HashMap<(usize, usize), Arc<Fft2d>>,
 }
@@ -41,10 +52,12 @@ impl PlanCache {
     ///
     /// # Panics
     ///
-    /// Panics if `n == 0` (as [`FftPlan::new`]).
-    pub fn plan_1d(&mut self, n: usize) -> Arc<FftPlan> {
+    /// Panics if `n == 0` (as [`FftPlan::new`]), or if a previous
+    /// panic poisoned the cache lock.
+    pub fn plan_1d(&self, n: usize) -> Arc<FftPlan> {
+        let mut maps = self.inner.lock().expect("plan cache lock poisoned");
         Arc::clone(
-            self.plans_1d
+            maps.plans_1d
                 .entry(n)
                 .or_insert_with(|| Arc::new(FftPlan::new(n))),
         )
@@ -54,10 +67,12 @@ impl PlanCache {
     ///
     /// # Panics
     ///
-    /// Panics if either dimension is 0 (as [`Fft2d::new`]).
-    pub fn plan_2d(&mut self, rows: usize, cols: usize) -> Arc<Fft2d> {
+    /// Panics if either dimension is 0 (as [`Fft2d::new`]), or if a
+    /// previous panic poisoned the cache lock.
+    pub fn plan_2d(&self, rows: usize, cols: usize) -> Arc<Fft2d> {
+        let mut maps = self.inner.lock().expect("plan cache lock poisoned");
         Arc::clone(
-            self.plans_2d
+            maps.plans_2d
                 .entry((rows, cols))
                 .or_insert_with(|| Arc::new(Fft2d::new(rows, cols))),
         )
@@ -65,19 +80,30 @@ impl PlanCache {
 
     /// Number of distinct cached plans (1-D + 2-D).
     pub fn len(&self) -> usize {
-        self.plans_1d.len() + self.plans_2d.len()
+        let maps = self.inner.lock().expect("plan cache lock poisoned");
+        maps.plans_1d.len() + maps.plans_2d.len()
     }
 
     /// `true` when nothing has been cached yet.
     pub fn is_empty(&self) -> bool {
-        self.plans_1d.is_empty() && self.plans_2d.is_empty()
+        self.len() == 0
     }
 
-    /// Drops all cached plans.
-    pub fn clear(&mut self) {
-        self.plans_1d.clear();
-        self.plans_2d.clear();
+    /// Drops all cached plans (plans still referenced through their
+    /// [`Arc`]s stay alive and usable).
+    pub fn clear(&self) {
+        let mut maps = self.inner.lock().expect("plan cache lock poisoned");
+        maps.plans_1d.clear();
+        maps.plans_2d.clear();
     }
+}
+
+/// The process-wide plan cache shared by every accelerator and worker
+/// thread: plan construction for a given shape happens exactly once
+/// per process, no matter how many threads transform that shape.
+pub fn global_plan_cache() -> &'static PlanCache {
+    static CACHE: OnceLock<PlanCache> = OnceLock::new();
+    CACHE.get_or_init(PlanCache::new)
 }
 
 #[cfg(test)]
@@ -88,7 +114,7 @@ mod tests {
 
     #[test]
     fn caches_by_shape() {
-        let mut cache = PlanCache::new();
+        let cache = PlanCache::new();
         let a = cache.plan_1d(32);
         let b = cache.plan_1d(32);
         let c = cache.plan_1d(64);
@@ -102,12 +128,9 @@ mod tests {
 
     #[test]
     fn cached_plans_compute_correctly() {
-        let mut cache = PlanCache::new();
+        let cache = PlanCache::new();
         let plan = cache.plan_2d(4, 4);
-        let x = Matrix::from_fn(4, 4, |r, c| {
-            Complex64::new((r * 4 + c) as f64, 0.0)
-        })
-        .unwrap();
+        let x = Matrix::from_fn(4, 4, |r, c| Complex64::new((r * 4 + c) as f64, 0.0)).unwrap();
         let via_cache = plan.forward(&x).unwrap();
         let direct = crate::fft2d::fft2d(&x).unwrap();
         assert!(via_cache.max_abs_diff(&direct).unwrap() < 1e-12);
@@ -123,7 +146,7 @@ mod tests {
 
     #[test]
     fn clear_empties() {
-        let mut cache = PlanCache::new();
+        let cache = PlanCache::new();
         assert!(cache.is_empty());
         cache.plan_1d(16);
         assert!(!cache.is_empty());
@@ -133,12 +156,34 @@ mod tests {
 
     #[test]
     fn plans_survive_cache_clear_via_arc() {
-        let mut cache = PlanCache::new();
+        let cache = PlanCache::new();
         let plan = cache.plan_1d(16);
         cache.clear();
         // The Arc keeps the plan alive and usable.
         let mut buf = vec![Complex64::ONE; 16];
         plan.forward(&mut buf, Norm::Backward);
         assert!((buf[0].re - 16.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn shared_across_threads_builds_each_plan_once() {
+        let cache = PlanCache::new();
+        let plans: Vec<Arc<Fft2d>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..4)
+                .map(|_| scope.spawn(|| cache.plan_2d(16, 16)))
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        assert_eq!(cache.len(), 1);
+        for p in &plans[1..] {
+            assert!(Arc::ptr_eq(&plans[0], p));
+        }
+    }
+
+    #[test]
+    fn global_cache_is_shared() {
+        let a = global_plan_cache().plan_2d(3, 5);
+        let b = global_plan_cache().plan_2d(3, 5);
+        assert!(Arc::ptr_eq(&a, &b));
     }
 }

@@ -159,7 +159,9 @@ mod tests {
     #[test]
     fn circular_shift_multiplies_by_phase() {
         // DFT(x shifted by s)[k] = DFT(x)[k] · e^{-2πiks/N}
-        let x: Vec<Complex64> = (0..6).map(|i| Complex64::new(i as f64 + 1.0, 0.0)).collect();
+        let x: Vec<Complex64> = (0..6)
+            .map(|i| Complex64::new(i as f64 + 1.0, 0.0))
+            .collect();
         let shifted: Vec<Complex64> = (0..6).map(|i| x[(i + 5) % 6]).collect(); // shift by 1
         let fx = dft(&x, Norm::Backward);
         let fs = dft(&shifted, Norm::Backward);

@@ -33,7 +33,10 @@ impl Radix2Plan {
     /// Panics if `n` is not a power of two — length selection is the
     /// caller's (i.e. [`crate::plan::FftPlan`]'s) responsibility.
     pub fn new(n: usize) -> Self {
-        assert!(is_power_of_two(n), "radix-2 FFT requires power-of-two length, got {n}");
+        assert!(
+            is_power_of_two(n),
+            "radix-2 FFT requires power-of-two length, got {n}"
+        );
         let bits = n.trailing_zeros();
         let rev = (0..n as u32)
             .map(|i| i.reverse_bits() >> (32 - bits.max(1)))

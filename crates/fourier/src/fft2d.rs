@@ -21,6 +21,14 @@ pub struct Fft2d {
 }
 
 impl Fft2d {
+    /// Complex-MAC counts of one length-`cols` row transform and one
+    /// length-`rows` column transform — the cost figures accelerator
+    /// models charge, exposed here so they need not build duplicate
+    /// 1-D plans just to read them.
+    pub fn op_counts(&self) -> (u64, u64) {
+        (self.row_plan.op_count(), self.col_plan.op_count())
+    }
+
     /// Builds a plan for `rows × cols` matrices.
     ///
     /// # Panics
@@ -68,7 +76,11 @@ impl Fft2d {
     ///
     /// Returns [`TensorError::ShapeMismatch`] for a shape mismatch and
     /// [`TensorError::EmptyDimension`] if `workers == 0`.
-    pub fn forward_parallel(&self, x: &Matrix<Complex64>, workers: usize) -> Result<Matrix<Complex64>> {
+    pub fn forward_parallel(
+        &self,
+        x: &Matrix<Complex64>,
+        workers: usize,
+    ) -> Result<Matrix<Complex64>> {
         if workers == 0 {
             return Err(TensorError::EmptyDimension);
         }
@@ -81,14 +93,23 @@ impl Fft2d {
     ///
     /// Returns [`TensorError::ShapeMismatch`] for a shape mismatch and
     /// [`TensorError::EmptyDimension`] if `workers == 0`.
-    pub fn inverse_parallel(&self, x: &Matrix<Complex64>, workers: usize) -> Result<Matrix<Complex64>> {
+    pub fn inverse_parallel(
+        &self,
+        x: &Matrix<Complex64>,
+        workers: usize,
+    ) -> Result<Matrix<Complex64>> {
         if workers == 0 {
             return Err(TensorError::EmptyDimension);
         }
         self.transform(x, false, workers)
     }
 
-    fn transform(&self, x: &Matrix<Complex64>, fwd: bool, workers: usize) -> Result<Matrix<Complex64>> {
+    fn transform(
+        &self,
+        x: &Matrix<Complex64>,
+        fwd: bool,
+        workers: usize,
+    ) -> Result<Matrix<Complex64>> {
         if x.shape() != (self.rows, self.cols) {
             return Err(TensorError::ShapeMismatch {
                 left: (self.rows, self.cols),
@@ -251,7 +272,10 @@ mod tests {
         let serial = plan.forward(&x).unwrap();
         for workers in [1, 2, 3, 4, 16, 64] {
             let par = plan.forward_parallel(&x, workers).unwrap();
-            assert!(serial.max_abs_diff(&par).unwrap() < 1e-10, "workers={workers}");
+            assert!(
+                serial.max_abs_diff(&par).unwrap() < 1e-10,
+                "workers={workers}"
+            );
         }
     }
 

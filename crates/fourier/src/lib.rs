@@ -44,7 +44,7 @@ mod plan;
 pub mod real;
 
 pub use bluestein::BluesteinPlan;
-pub use cache::PlanCache;
+pub use cache::{global_plan_cache, PlanCache};
 pub use dft::{dft, dft_real, idft};
 pub use fft::Radix2Plan;
 pub use fft2d::{convolve2d_fft, fft2d, fft2d_real, ifft2d, Fft2d};

@@ -48,10 +48,7 @@ mod tests {
         for norm in [Norm::Backward, Norm::Ortho, Norm::Forward] {
             for n in [1usize, 2, 16, 1000] {
                 let product = norm.forward_scale(n) * norm.inverse_scale(n);
-                assert!(
-                    (product - 1.0 / n as f64).abs() < 1e-15,
-                    "{norm:?} n={n}"
-                );
+                assert!((product - 1.0 / n as f64).abs() < 1e-15, "{norm:?} n={n}");
             }
         }
     }

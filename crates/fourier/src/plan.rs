@@ -130,7 +130,9 @@ mod tests {
     #[test]
     fn both_paths_agree_with_naive() {
         for n in [8usize, 12] {
-            let x: Vec<Complex64> = (0..n).map(|i| Complex64::new(i as f64, -(i as f64))).collect();
+            let x: Vec<Complex64> = (0..n)
+                .map(|i| Complex64::new(i as f64, -(i as f64)))
+                .collect();
             let expect = dft(&x, Norm::Ortho);
             let mut got = x.clone();
             FftPlan::new(n).forward(&mut got, Norm::Ortho);

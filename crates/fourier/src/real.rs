@@ -25,7 +25,10 @@ impl RealFftPlan {
     /// Panics when `n` is zero or odd (the packing trick requires an
     /// even length; pad or use [`FftPlan`] otherwise).
     pub fn new(n: usize) -> Self {
-        assert!(n > 0 && n.is_multiple_of(2), "real FFT requires even non-zero length, got {n}");
+        assert!(
+            n > 0 && n.is_multiple_of(2),
+            "real FFT requires even non-zero length, got {n}"
+        );
         RealFftPlan {
             n,
             half: FftPlan::new(n / 2),

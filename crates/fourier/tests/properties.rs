@@ -3,15 +3,16 @@
 //! must hold on random data.
 
 use proptest::prelude::*;
-use xai_fourier::{
-    convolve2d_fft, dft, fft2d, fft2d_via_matmul, idft, ifft2d, FftPlan, Norm,
-};
+use xai_fourier::{convolve2d_fft, dft, fft2d, fft2d_via_matmul, idft, ifft2d, FftPlan, Norm};
 use xai_tensor::conv::conv2d_circular;
 use xai_tensor::{Complex64, Matrix};
 
 fn complex_vec(n: usize) -> impl Strategy<Value = Vec<Complex64>> {
-    proptest::collection::vec((-50.0f64..50.0, -50.0f64..50.0), n)
-        .prop_map(|v| v.into_iter().map(|(re, im)| Complex64::new(re, im)).collect())
+    proptest::collection::vec((-50.0f64..50.0, -50.0f64..50.0), n).prop_map(|v| {
+        v.into_iter()
+            .map(|(re, im)| Complex64::new(re, im))
+            .collect()
+    })
 }
 
 fn real_matrix(rows: usize, cols: usize) -> impl Strategy<Value = Matrix<f64>> {

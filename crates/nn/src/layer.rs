@@ -59,11 +59,7 @@ pub trait Layer: Send {
 /// # Errors
 ///
 /// Propagates layer errors.
-pub fn finite_difference_check(
-    layer: &mut dyn Layer,
-    input: &Tensor3,
-    eps: f64,
-) -> Result<f64> {
+pub fn finite_difference_check(layer: &mut dyn Layer, input: &Tensor3, eps: f64) -> Result<f64> {
     // Probe vector fixed to pseudo-random ±1 pattern.
     let out = layer.forward(input)?;
     let probe = Tensor3::from_fn(out.channels(), out.height(), out.width(), |c, y, x| {

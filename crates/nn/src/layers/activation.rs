@@ -420,8 +420,8 @@ mod tests {
     fn relu_fd_check_away_from_kink() {
         let mut relu = Relu::new(1, 3, 3);
         // Keep values away from 0 so finite differences are valid.
-        let x = Tensor3::from_fn(1, 3, 3, |_, y, x| if (y + x) % 2 == 0 { 1.5 } else { -1.5 })
-            .unwrap();
+        let x =
+            Tensor3::from_fn(1, 3, 3, |_, y, x| if (y + x) % 2 == 0 { 1.5 } else { -1.5 }).unwrap();
         let err = finite_difference_check(&mut relu, &x, 1e-5).unwrap();
         assert!(err < 1e-7);
     }

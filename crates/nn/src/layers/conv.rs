@@ -103,7 +103,12 @@ impl Layer for Conv2d {
     fn name(&self) -> String {
         format!(
             "conv {}→{} {}x{} s{} p{}",
-            self.in_channels, self.out_channels, self.kernel, self.kernel, self.stride, self.padding
+            self.in_channels,
+            self.out_channels,
+            self.kernel,
+            self.kernel,
+            self.stride,
+            self.padding
         )
     }
 
@@ -181,12 +186,7 @@ impl Layer for Conv2d {
                                 let wi = self.w_index(oc, ic, ky, kx);
                                 self.grad_weights[wi] +=
                                     g * input.get(ic, sy as usize, sx as usize);
-                                grad_in.add_at(
-                                    ic,
-                                    sy as usize,
-                                    sx as usize,
-                                    g * self.weights[wi],
-                                );
+                                grad_in.add_at(ic, sy as usize, sx as usize, g * self.weights[wi]);
                             }
                         }
                     }
@@ -199,7 +199,8 @@ impl Layer for Conv2d {
     fn apply_gradients(&mut self, lr: f64, momentum: f64, batch: usize) {
         let scale = 1.0 / batch.max(1) as f64;
         for i in 0..self.weights.len() {
-            self.vel_weights[i] = momentum * self.vel_weights[i] - lr * self.grad_weights[i] * scale;
+            self.vel_weights[i] =
+                momentum * self.vel_weights[i] - lr * self.grad_weights[i] * scale;
             self.weights[i] += self.vel_weights[i];
             self.grad_weights[i] = 0.0;
         }
@@ -222,9 +223,7 @@ impl Layer for Conv2d {
     fn bytes_per_sample(&self) -> u64 {
         let (oh, ow) = self.out_hw();
         let (_, ih, iw) = self.in_shape;
-        8 * (self.in_channels * ih * iw
-            + self.weights.len()
-            + self.out_channels * oh * ow) as u64
+        8 * (self.in_channels * ih * iw + self.weights.len() + self.out_channels * oh * ow) as u64
     }
 
     fn output_shape(&self) -> (usize, usize, usize) {
@@ -344,12 +343,14 @@ mod tests {
         let x = Tensor3::from_vec(1, 1, 1, vec![1.0]).unwrap();
         // Two identical steps with momentum: second step moves farther.
         conv.forward(&x).unwrap();
-        conv.backward(&Tensor3::from_vec(1, 1, 1, vec![1.0]).unwrap()).unwrap();
+        conv.backward(&Tensor3::from_vec(1, 1, 1, vec![1.0]).unwrap())
+            .unwrap();
         let w0 = conv.weights[0];
         conv.apply_gradients(0.1, 0.9, 1);
         let d1 = (conv.weights[0] - w0).abs();
         conv.forward(&x).unwrap();
-        conv.backward(&Tensor3::from_vec(1, 1, 1, vec![1.0]).unwrap()).unwrap();
+        conv.backward(&Tensor3::from_vec(1, 1, 1, vec![1.0]).unwrap())
+            .unwrap();
         let w1 = conv.weights[0];
         conv.apply_gradients(0.1, 0.9, 1);
         let d2 = (conv.weights[0] - w1).abs();

@@ -119,7 +119,8 @@ impl Layer for Dense {
     fn apply_gradients(&mut self, lr: f64, momentum: f64, batch: usize) {
         let scale = 1.0 / batch.max(1) as f64;
         for i in 0..self.weights.len() {
-            self.vel_weights[i] = momentum * self.vel_weights[i] - lr * self.grad_weights[i] * scale;
+            self.vel_weights[i] =
+                momentum * self.vel_weights[i] - lr * self.grad_weights[i] * scale;
             self.weights[i] += self.vel_weights[i];
             self.grad_weights[i] = 0.0;
         }
@@ -183,7 +184,9 @@ mod tests {
         let mut d = Dense::new(8, 3, 1).unwrap();
         let x = Tensor3::zeros(2, 2, 2).unwrap();
         d.forward(&x).unwrap();
-        let gin = d.backward(&Tensor3::from_features(vec![1.0, 0.0, 0.0]).unwrap()).unwrap();
+        let gin = d
+            .backward(&Tensor3::from_features(vec![1.0, 0.0, 0.0]).unwrap())
+            .unwrap();
         assert_eq!(gin.shape(), (2, 2, 2));
     }
 

@@ -26,13 +26,7 @@ impl Dropout {
     ///
     /// Returns [`TensorError::InvalidQuantRange`] when `p` is outside
     /// `[0, 1)`.
-    pub fn new(
-        channels: usize,
-        height: usize,
-        width: usize,
-        p: f64,
-        seed: u64,
-    ) -> Result<Self> {
+    pub fn new(channels: usize, height: usize, width: usize, p: f64, seed: u64) -> Result<Self> {
         if !(0.0..1.0).contains(&p) {
             return Err(TensorError::InvalidQuantRange { min: 0.0, max: p });
         }

@@ -97,8 +97,8 @@ impl Layer for Residual {
 mod tests {
     use super::*;
     use crate::layer::finite_difference_check;
-    use crate::layers::conv::Conv2d;
     use crate::layers::activation::Relu;
+    use crate::layers::conv::Conv2d;
 
     fn block() -> Residual {
         let conv1 = Conv2d::new(2, 2, 3, 1, 1, 4, 4, 11).unwrap();
@@ -122,9 +122,10 @@ mod tests {
         let w = out.get(0, 0, 0);
         let mut res_conv = Conv2d::new(1, 1, 1, 1, 0, 2, 2, 0).unwrap();
         let _ = w; // weight value only used to confirm conv works
-        // manually craft: use the public API — simpler to test with conv weights set
-        // via a fresh layer trained is overkill; instead verify residual adds skip:
-        let mut block = Residual::new(vec![Box::new(res_conv.clone_as_layer())], (1, 2, 2)).unwrap();
+                   // manually craft: use the public API — simpler to test with conv weights set
+                   // via a fresh layer trained is overkill; instead verify residual adds skip:
+        let mut block =
+            Residual::new(vec![Box::new(res_conv.clone_as_layer())], (1, 2, 2)).unwrap();
         probe.set(0, 0, 0, 3.0);
         let y = block.forward(&probe).unwrap();
         let inner = res_conv.forward(&probe).unwrap();

@@ -24,9 +24,20 @@ pub fn vgg_small(channels: usize, size: usize, classes: usize, seed: u64) -> Res
     let f1 = 8; // first block filters
     let f2 = 16; // second block filters
     let mut net = Network::new();
-    net.push(Box::new(Conv2d::new(channels, f1, 3, 1, 1, size, size, seed)?));
+    net.push(Box::new(Conv2d::new(
+        channels, f1, 3, 1, 1, size, size, seed,
+    )?));
     net.push(Box::new(Relu::new(f1, size, size)));
-    net.push(Box::new(Conv2d::new(f1, f1, 3, 1, 1, size, size, seed + 1)?));
+    net.push(Box::new(Conv2d::new(
+        f1,
+        f1,
+        3,
+        1,
+        1,
+        size,
+        size,
+        seed + 1,
+    )?));
     net.push(Box::new(Relu::new(f1, size, size)));
     net.push(Box::new(MaxPool2::new(f1, size, size)?));
     let s2 = size / 2;
@@ -54,7 +65,9 @@ pub fn resnet_small(channels: usize, size: usize, classes: usize, seed: u64) -> 
     let f = 8;
     let mut net = Network::new();
     // Stem.
-    net.push(Box::new(Conv2d::new(channels, f, 3, 1, 1, size, size, seed)?));
+    net.push(Box::new(Conv2d::new(
+        channels, f, 3, 1, 1, size, size, seed,
+    )?));
     net.push(Box::new(Relu::new(f, size, size)));
     // Two residual blocks.
     for b in 0..2u64 {

@@ -1,0 +1,317 @@
+//! A minimal, dependency-free stand-in for the `proptest` crate.
+//!
+//! The build environment has no network access to crates.io, so the
+//! workspace vendors the subset of proptest's API its property tests
+//! use: numeric range strategies, [`collection::vec`], `prop_map`,
+//! the [`proptest!`] macro with `#![proptest_config]`, and the
+//! `prop_assert!` / `prop_assert_eq!` / `prop_assume!` macros.
+//!
+//! Unlike real proptest there is no shrinking: a failing case panics
+//! with the deterministic case index, which — because generation is
+//! seeded per test name and case — reproduces exactly on re-run.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Test-runner configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct ProptestConfig {
+    /// Number of generated cases per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// The deterministic value source handed to strategies.
+#[derive(Debug)]
+pub struct Gen {
+    rng: StdRng,
+}
+
+impl Gen {
+    /// Creates a generator for one test case.
+    pub fn new(test_name: &str, case: u64) -> Self {
+        // Stable seed: FNV-1a of the test name mixed with the case
+        // index, so every case reproduces independently of execution
+        // order.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in test_name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        Gen {
+            rng: StdRng::seed_from_u64(h ^ case.wrapping_mul(0x9E37_79B9_7F4A_7C15)),
+        }
+    }
+
+    /// Uniform `f64` in `[lo, hi)`.
+    pub fn f64_in(&mut self, lo: f64, hi: f64) -> f64 {
+        lo + (hi - lo) * self.rng.random::<f64>()
+    }
+
+    /// Uniform integer in `[lo, hi)`.
+    pub fn u64_in(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(lo < hi, "empty range");
+        self.rng.random_range(lo..hi)
+    }
+}
+
+/// A recipe for generating test values.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Produces one value.
+    fn generate(&self, gen: &mut Gen) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<U, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// The strategy returned by [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+
+    fn generate(&self, gen: &mut Gen) -> U {
+        (self.f)(self.inner.generate(gen))
+    }
+}
+
+impl Strategy for std::ops::Range<f64> {
+    type Value = f64;
+
+    fn generate(&self, gen: &mut Gen) -> f64 {
+        gen.f64_in(self.start, self.end)
+    }
+}
+
+macro_rules! impl_int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, gen: &mut Gen) -> $t {
+                gen.u64_in(self.start as u64, self.end as u64) as $t
+            }
+        }
+    )*};
+}
+
+impl_int_range_strategy!(usize, u64, u32, u16, u8);
+
+macro_rules! impl_signed_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, gen: &mut Gen) -> $t {
+                assert!(self.start < self.end, "empty range");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                (self.start as i128 + gen.u64_in(0, span) as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_signed_range_strategy!(isize, i64, i32, i16, i8);
+
+macro_rules! impl_tuple_strategy {
+    ($($s:ident : $idx:tt),*) => {
+        impl<$($s: Strategy),*> Strategy for ($($s,)*) {
+            type Value = ($($s::Value,)*);
+
+            fn generate(&self, gen: &mut Gen) -> Self::Value {
+                ($(self.$idx.generate(gen),)*)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A: 0, B: 1);
+impl_tuple_strategy!(A: 0, B: 1, C: 2);
+impl_tuple_strategy!(A: 0, B: 1, C: 2, D: 3);
+
+/// Collection strategies (mirrors `proptest::collection`).
+pub mod collection {
+    use super::{Gen, Strategy};
+
+    /// Lengths accepted by [`vec`]: a fixed `usize` or a `usize`
+    /// range.
+    pub trait IntoLen {
+        /// Picks a concrete length.
+        fn pick(&self, gen: &mut Gen) -> usize;
+    }
+
+    impl IntoLen for usize {
+        fn pick(&self, _gen: &mut Gen) -> usize {
+            *self
+        }
+    }
+
+    impl IntoLen for std::ops::Range<usize> {
+        fn pick(&self, gen: &mut Gen) -> usize {
+            gen.u64_in(self.start as u64, self.end as u64) as usize
+        }
+    }
+
+    /// The strategy returned by [`vec`].
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S, L> {
+        elem: S,
+        len: L,
+    }
+
+    impl<S: Strategy, L: IntoLen> Strategy for VecStrategy<S, L> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, gen: &mut Gen) -> Vec<S::Value> {
+            let n = self.len.pick(gen);
+            (0..n).map(|_| self.elem.generate(gen)).collect()
+        }
+    }
+
+    /// A `Vec` of values from `elem`, with length drawn from `len`.
+    pub fn vec<S: Strategy, L: IntoLen>(elem: S, len: L) -> VecStrategy<S, L> {
+        VecStrategy { elem, len }
+    }
+}
+
+/// The glob-import module (mirrors `proptest::prelude`).
+pub mod prelude {
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assume, proptest, Gen, ProptestConfig, Strategy,
+    };
+}
+
+/// Runs one property body for every generated case.
+pub fn run_cases(test_name: &str, config: ProptestConfig, body: impl Fn(&mut Gen)) {
+    for case in 0..config.cases as u64 {
+        let mut gen = Gen::new(test_name, case);
+        body(&mut gen);
+    }
+}
+
+/// Declares property tests: each `fn name(arg in strategy, ...)` body
+/// runs once per generated case.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($cfg:expr)]
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($arg:ident in $strat:expr),* $(,)?) $body:block
+        )*
+    ) => {
+        $(
+            // Callers write `#[test]` themselves (as with real
+            // proptest); all attributes pass through untouched.
+            $(#[$meta])*
+            fn $name() {
+                $crate::run_cases(stringify!($name), $cfg, |gen| {
+                    $(let $arg = $crate::Strategy::generate(&($strat), gen);)*
+                    $body
+                });
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest! {
+            #![proptest_config($crate::ProptestConfig::default())]
+            $($rest)*
+        }
+    };
+}
+
+/// Asserts a condition inside a property body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Asserts equality inside a property body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Skips the current case when its precondition does not hold.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return;
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic_per_case() {
+        let mut a = Gen::new("t", 3);
+        let mut b = Gen::new("t", 3);
+        assert_eq!(a.f64_in(0.0, 1.0), b.f64_in(0.0, 1.0));
+        let mut c = Gen::new("t", 4);
+        assert_ne!(a.f64_in(0.0, 1.0), c.f64_in(0.0, 1.0));
+    }
+
+    #[test]
+    fn ranges_and_vec_respect_bounds() {
+        let mut gen = Gen::new("bounds", 0);
+        for _ in 0..100 {
+            let v = (2usize..10).generate(&mut gen);
+            assert!((2..10).contains(&v));
+            let xs = collection::vec(-1.0f64..1.0, 3usize..7).generate(&mut gen);
+            assert!((3..7).contains(&xs.len()));
+            assert!(xs.iter().all(|x| (-1.0..1.0).contains(x)));
+        }
+    }
+
+    #[test]
+    fn prop_map_transforms() {
+        let mut gen = Gen::new("map", 0);
+        let doubled = (1usize..5).prop_map(|v| v * 2);
+        let v = doubled.generate(&mut gen);
+        assert!(v % 2 == 0 && (2..10).contains(&v));
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn the_macro_itself_works(a in 0usize..10, b in -1.0f64..1.0) {
+            prop_assume!(a > 0);
+            prop_assert!(a < 10);
+            prop_assert_eq!(a, a);
+            prop_assert!((-1.0..1.0).contains(&b));
+        }
+    }
+}

@@ -1,0 +1,250 @@
+//! A minimal, dependency-free stand-in for the `rand` crate.
+//!
+//! The build environment has no network access to crates.io, so the
+//! workspace vendors the subset of rand's API it uses: a seedable
+//! [`rngs::StdRng`] (xoshiro256++ seeded through SplitMix64),
+//! [`RngExt::random`] / [`RngExt::random_range`], and
+//! [`seq::SliceRandom::shuffle`]. All output is fully deterministic
+//! for a given seed, which the workspace's synthetic data generators
+//! and tests rely on.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+/// Construction of a generator from a small seed.
+pub trait SeedableRng: Sized {
+    /// Builds a deterministic generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Named generators (mirrors `rand::rngs`).
+pub mod rngs {
+    /// The workspace's standard PRNG: xoshiro256++ (Blackman &
+    /// Vigna), seeded via SplitMix64. Fast, small, and deterministic —
+    /// statistical quality is far beyond what the synthetic data
+    /// generators need.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl StdRng {
+        /// Next raw 64 random bits.
+        pub fn next_u64(&mut self) -> u64 {
+            let result = self.s[0]
+                .wrapping_add(self.s[3])
+                .rotate_left(23)
+                .wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+
+    impl super::SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            // SplitMix64 expansion of the seed into the 256-bit state.
+            let mut sm = seed;
+            let mut next = || {
+                sm = sm.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = sm;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^ (z >> 31)
+            };
+            StdRng {
+                s: [next(), next(), next(), next()],
+            }
+        }
+    }
+}
+
+/// Types producible uniformly at random by [`RngExt::random`].
+pub trait Standard: Sized {
+    /// Draws one uniform value.
+    fn draw(rng: &mut rngs::StdRng) -> Self;
+}
+
+impl Standard for f64 {
+    /// Uniform in `[0, 1)` with 53 bits of precision.
+    fn draw(rng: &mut rngs::StdRng) -> f64 {
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for bool {
+    fn draw(rng: &mut rngs::StdRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Standard for u64 {
+    fn draw(rng: &mut rngs::StdRng) -> u64 {
+        rng.next_u64()
+    }
+}
+
+/// Integer types usable with [`RngExt::random_range`].
+pub trait SampleUniform: Copy + PartialOrd {
+    /// Uniform draw from the inclusive range `[lo, hi]`.
+    fn draw_inclusive(rng: &mut rngs::StdRng, lo: Self, hi: Self) -> Self;
+}
+
+macro_rules! impl_sample_uniform {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn draw_inclusive(rng: &mut rngs::StdRng, lo: Self, hi: Self) -> Self {
+                assert!(lo <= hi, "empty sample range");
+                let span = (hi as i128) - (lo as i128) + 1;
+                let v = (rng.next_u64() as i128).rem_euclid(span);
+                (lo as i128 + v) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
+
+/// Ranges accepted by [`RngExt::random_range`].
+pub trait SampleRange<T> {
+    /// Draws one value from the range.
+    fn sample(self, rng: &mut rngs::StdRng) -> T;
+}
+
+impl<T: SampleUniform + HasPredecessor> SampleRange<T> for std::ops::Range<T> {
+    fn sample(self, rng: &mut rngs::StdRng) -> T {
+        assert!(self.start < self.end, "empty sample range");
+        T::draw_inclusive(rng, self.start, self.end.predecessor())
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for std::ops::RangeInclusive<T> {
+    fn sample(self, rng: &mut rngs::StdRng) -> T {
+        T::draw_inclusive(rng, *self.start(), *self.end())
+    }
+}
+
+/// Integers with a well-defined `value - 1` (for half-open ranges).
+pub trait HasPredecessor {
+    /// The previous representable value.
+    fn predecessor(self) -> Self;
+}
+
+macro_rules! impl_has_predecessor {
+    ($($t:ty),*) => {$(
+        impl HasPredecessor for $t {
+            fn predecessor(self) -> Self {
+                self - 1
+            }
+        }
+    )*};
+}
+
+impl_has_predecessor!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
+
+/// Convenience sampling methods (mirrors `rand::Rng`).
+pub trait RngExt {
+    /// One uniform value of type `T`.
+    fn random<T: Standard>(&mut self) -> T;
+    /// One uniform value from `range`.
+    fn random_range<T: SampleUniform, R: SampleRange<T>>(&mut self, range: R) -> T;
+}
+
+impl RngExt for rngs::StdRng {
+    fn random<T: Standard>(&mut self) -> T {
+        T::draw(self)
+    }
+
+    fn random_range<T: SampleUniform, R: SampleRange<T>>(&mut self, range: R) -> T {
+        range.sample(self)
+    }
+}
+
+/// Slice utilities (mirrors `rand::seq`).
+pub mod seq {
+    use super::{rngs::StdRng, SampleUniform};
+
+    /// In-place random reordering.
+    pub trait SliceRandom {
+        /// Fisher–Yates shuffle driven by `rng`.
+        fn shuffle(&mut self, rng: &mut StdRng);
+    }
+
+    impl<T> SliceRandom for [T] {
+        fn shuffle(&mut self, rng: &mut StdRng) {
+            for i in (1..self.len()).rev() {
+                let j = usize::draw_inclusive(rng, 0, i);
+                self.swap(i, j);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::seq::SliceRandom;
+    use super::*;
+
+    #[test]
+    fn deterministic_for_seed() {
+        let mut a = rngs::StdRng::seed_from_u64(42);
+        let mut b = rngs::StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = rngs::StdRng::seed_from_u64(43);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn f64_in_unit_interval() {
+        let mut rng = rngs::StdRng::seed_from_u64(7);
+        let mut sum = 0.0;
+        for _ in 0..10_000 {
+            let v: f64 = rng.random();
+            assert!((0.0..1.0).contains(&v));
+            sum += v;
+        }
+        // Mean of U[0,1) over 10k draws is tightly near 0.5.
+        assert!((sum / 10_000.0 - 0.5).abs() < 0.02);
+    }
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut rng = rngs::StdRng::seed_from_u64(3);
+        let mut seen_lo = false;
+        let mut seen_hi = false;
+        for _ in 0..1000 {
+            let v: i16 = rng.random_range(0..8i16);
+            assert!((0..8).contains(&v));
+            let w: i64 = rng.random_range(-2..=2i64);
+            assert!((-2..=2).contains(&w));
+            seen_lo |= w == -2;
+            seen_hi |= w == 2;
+        }
+        assert!(seen_lo && seen_hi, "inclusive bounds must be reachable");
+    }
+
+    #[test]
+    fn shuffle_permutes() {
+        let mut rng = rngs::StdRng::seed_from_u64(1);
+        let mut v: Vec<usize> = (0..50).collect();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        assert_ne!(v, sorted, "50 elements virtually never shuffle to identity");
+    }
+
+    #[test]
+    #[should_panic(expected = "empty sample range")]
+    fn empty_range_panics() {
+        let mut rng = rngs::StdRng::seed_from_u64(1);
+        let _: usize = rng.random_range(3..3usize);
+    }
+}

@@ -190,8 +190,7 @@ pub fn cross_correlate_valid(
 /// and cross-correlation conventions.
 pub fn flip180(k: &Matrix<f64>) -> Matrix<f64> {
     let (m, n) = k.shape();
-    Matrix::from_fn(m, n, |r, c| k[(m - 1 - r, n - 1 - c)])
-        .expect("shape preserved, dims non-zero")
+    Matrix::from_fn(m, n, |r, c| k[(m - 1 - r, n - 1 - c)]).expect("shape preserved, dims non-zero")
 }
 
 #[cfg(test)]
@@ -213,7 +212,10 @@ mod tests {
         let mut delta = Matrix::zeros(2, 2).unwrap();
         delta[(1, 0)] = 1.0;
         let y = conv2d_circular(&x, &delta).unwrap();
-        assert_eq!(y, Matrix::from_rows(&[vec![3.0, 4.0], vec![1.0, 2.0]]).unwrap());
+        assert_eq!(
+            y,
+            Matrix::from_rows(&[vec![3.0, 4.0], vec![1.0, 2.0]]).unwrap()
+        );
     }
 
     #[test]

@@ -311,7 +311,9 @@ impl<T: Scalar> Matrix<T> {
     /// Panics if `c >= self.cols()`.
     pub fn col(&self, c: usize) -> Vec<T> {
         assert!(c < self.cols, "col index {c} out of bounds ({})", self.cols);
-        (0..self.rows).map(|r| self.data[r * self.cols + c]).collect()
+        (0..self.rows)
+            .map(|r| self.data[r * self.cols + c])
+            .collect()
     }
 
     /// Iterates over rows as slices.
@@ -396,7 +398,11 @@ impl<T: Scalar> Matrix<T> {
         for r in r0..r0 + h {
             data.extend_from_slice(&self.data[r * self.cols + c0..r * self.cols + c0 + w]);
         }
-        Ok(Matrix { rows: h, cols: w, data })
+        Ok(Matrix {
+            rows: h,
+            cols: w,
+            data,
+        })
     }
 
     /// Writes `block` into this matrix with its top-left corner at

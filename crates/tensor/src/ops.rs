@@ -69,11 +69,7 @@ pub fn matmul<T: Scalar>(a: &Matrix<T>, b: &Matrix<T>) -> Result<Matrix<T>> {
 ///
 /// Returns [`TensorError::ShapeMismatch`] unless `a.cols() == b.rows()`,
 /// and [`TensorError::EmptyDimension`] if `block == 0`.
-pub fn matmul_blocked<T: Scalar>(
-    a: &Matrix<T>,
-    b: &Matrix<T>,
-    block: usize,
-) -> Result<Matrix<T>> {
+pub fn matmul_blocked<T: Scalar>(a: &Matrix<T>, b: &Matrix<T>, block: usize) -> Result<Matrix<T>> {
     if block == 0 {
         return Err(TensorError::EmptyDimension);
     }
@@ -315,7 +311,10 @@ mod tests {
         let naive = matmul(&a, &b).unwrap();
         for block in [1, 2, 3, 8, 64, 100] {
             let blocked = matmul_blocked(&a, &b, block).unwrap();
-            assert!(naive.max_abs_diff(&blocked).unwrap() < 1e-9, "block={block}");
+            assert!(
+                naive.max_abs_diff(&blocked).unwrap() < 1e-9,
+                "block={block}"
+            );
         }
     }
 

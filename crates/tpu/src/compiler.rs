@@ -86,11 +86,27 @@ pub fn compile_distillation(policy: DivPolicy) -> Program {
         10,
         vec![
             // F(X)
-            Instruction::MatMul { a: w, b: x, dst: t0 },
-            Instruction::MatMul { a: t0, b: w, dst: fx },
+            Instruction::MatMul {
+                a: w,
+                b: x,
+                dst: t0,
+            },
+            Instruction::MatMul {
+                a: t0,
+                b: w,
+                dst: fx,
+            },
             // F(Y)
-            Instruction::MatMul { a: w, b: y, dst: t0 },
-            Instruction::MatMul { a: t0, b: w, dst: fy },
+            Instruction::MatMul {
+                a: w,
+                b: y,
+                dst: t0,
+            },
+            Instruction::MatMul {
+                a: t0,
+                b: w,
+                dst: fy,
+            },
             // F(K) = F(Y) ⊘ F(X)
             Instruction::PointwiseDiv {
                 a: fy,
@@ -99,8 +115,16 @@ pub fn compile_distillation(policy: DivPolicy) -> Program {
                 policy,
             },
             // K = F⁻¹(F(K))
-            Instruction::MatMul { a: w_inv, b: fk, dst: t1 },
-            Instruction::MatMul { a: t1, b: w_inv, dst: k_out },
+            Instruction::MatMul {
+                a: w_inv,
+                b: fk,
+                dst: t1,
+            },
+            Instruction::MatMul {
+                a: t1,
+                b: w_inv,
+                dst: k_out,
+            },
         ],
         k_out,
     )
@@ -117,15 +141,31 @@ pub fn compile_contribution() -> Program {
     Program::new(
         11,
         vec![
-            Instruction::MatMul { a: w, b: x_occluded, dst: t0 },
-            Instruction::MatMul { a: t0, b: w, dst: fx },
+            Instruction::MatMul {
+                a: w,
+                b: x_occluded,
+                dst: t0,
+            },
+            Instruction::MatMul {
+                a: t0,
+                b: w,
+                dst: fx,
+            },
             Instruction::Hadamard {
                 a: fx,
                 b: f_kernel,
                 dst: prod,
             },
-            Instruction::MatMul { a: w_inv, b: prod, dst: t1 },
-            Instruction::MatMul { a: t1, b: w_inv, dst: pred },
+            Instruction::MatMul {
+                a: w_inv,
+                b: prod,
+                dst: t1,
+            },
+            Instruction::MatMul {
+                a: t1,
+                b: w_inv,
+                dst: pred,
+            },
             Instruction::Sub {
                 a: y_ref,
                 b: pred,
@@ -173,7 +213,11 @@ mod tests {
         let got = core
             .execute(
                 &program,
-                &[(0, x.clone()), (1, dft_matrix(n, false)), (2, dft_matrix(n, false))],
+                &[
+                    (0, x.clone()),
+                    (1, dft_matrix(n, false)),
+                    (2, dft_matrix(n, false)),
+                ],
             )
             .unwrap();
         // Reference: definition-based 2-D DFT.
@@ -266,7 +310,9 @@ mod tests {
     #[test]
     fn compiled_programs_validate() {
         assert!(compile_fft2d(Fft2dSlots::default()).validate().is_ok());
-        assert!(compile_distillation(DivPolicy::default()).validate().is_ok());
+        assert!(compile_distillation(DivPolicy::default())
+            .validate()
+            .is_ok());
         assert!(compile_contribution().validate().is_ok());
     }
 }

@@ -292,8 +292,7 @@ impl TpuCore {
         self.cycles += total;
         self.memory.record_read(((m * k + k * n) as u64) * elem);
         self.memory.record_write((m * n) as u64 * 4);
-        self.memory
-            .record_working_set(bytes, &self.cfg.clone());
+        self.memory.record_working_set(bytes, &self.cfg.clone());
         let energy_factor = (self.cfg.precision.bytes() * self.cfg.precision.bytes()) as f64;
         self.energy_pj += macs as f64 * self.cfg.pj_per_mac * energy_factor
             + bytes as f64 * self.cfg.pj_per_hbm_byte;
@@ -413,11 +412,12 @@ mod tests {
         let b = Matrix::filled(4, 4, Complex64::new(3.0, 0.0)).unwrap();
         let h = core.hadamard(&a, &b).unwrap();
         assert_eq!(h[(0, 0)], Complex64::new(6.0, 0.0));
-        let d = core
-            .pointwise_div(&a, &b, DivPolicy::default())
-            .unwrap();
+        let d = core.pointwise_div(&a, &b, DivPolicy::default()).unwrap();
         assert!((d[(0, 0)].re - 2.0 / 3.0).abs() < 1e-12);
-        assert_eq!(core.trace().cycles_of(OpKind::Elementwise), core.elapsed_cycles());
+        assert_eq!(
+            core.trace().cycles_of(OpKind::Elementwise),
+            core.elapsed_cycles()
+        );
     }
 
     #[test]

@@ -195,10 +195,7 @@ impl TpuDevice {
     ///
     /// Returns [`TensorError::EmptyDimension`] for no partials and
     /// [`TensorError::ShapeMismatch`] for inconsistent shapes.
-    pub fn cross_replica_sum<T: Scalar>(
-        &mut self,
-        partials: &[Matrix<T>],
-    ) -> Result<Matrix<T>> {
+    pub fn cross_replica_sum<T: Scalar>(&mut self, partials: &[Matrix<T>]) -> Result<Matrix<T>> {
         let first = partials.first().ok_or(TensorError::EmptyDimension)?;
         let mut acc = first.clone();
         for p in &partials[1..] {
@@ -239,6 +236,27 @@ impl TpuDevice {
         batches: Vec<Vec<(crate::Slot, Matrix<Complex64>)>>,
     ) -> Result<Vec<Matrix<Complex64>>> {
         self.run_phase(batches, |core, inputs| core.execute(program, &inputs))
+    }
+
+    /// Charges one `cross_replica_sum`-shaped collective of `bytes`
+    /// without materialising a result — used by schedulers that model
+    /// the reassembly traffic of a transform whose numeric result is
+    /// computed on the fast host path.
+    pub fn charge_collective(&mut self, bytes: usize) {
+        let cost = self.cfg.cross_replica_cost_s(bytes);
+        self.comm_seconds += cost;
+        self.wall_seconds += cost;
+        self.collectives += 1;
+        self.last_phase.comm_s += cost;
+    }
+
+    /// Advances the device wall clock by externally-accounted work
+    /// (e.g. a roofline charge for layers running outside the core
+    /// model). Negative durations are ignored.
+    pub fn charge_external_seconds(&mut self, seconds: f64) {
+        if seconds > 0.0 {
+            self.wall_seconds += seconds;
+        }
     }
 
     /// Convenience: gathers row shards from cores (Algorithm 1's
@@ -290,9 +308,7 @@ mod tests {
     fn run_phase_distributes_round_robin() {
         let mut dev = TpuDevice::new(TpuConfig::small_test());
         let work: Vec<Matrix<f64>> = (0..4).map(|i| shard(i as f64 * 0.1)).collect();
-        let results = dev
-            .run_phase(work, |core, w| core.matmul(&w, &w))
-            .unwrap();
+        let results = dev.run_phase(work, |core, w| core.matmul(&w, &w)).unwrap();
         assert_eq!(results.len(), 4);
         // Both cores must have been used (2 items each).
         assert!(dev.cores()[0].elapsed_cycles() > 0);
@@ -333,9 +349,7 @@ mod tests {
         let mut dev = TpuDevice::new(TpuConfig::small_test());
         let partials = vec![shard(1.0), Matrix::filled(3, 3, 1.0).unwrap()];
         assert!(dev.cross_replica_sum(&partials).is_err());
-        assert!(dev
-            .cross_replica_sum::<f64>(&[])
-            .is_err());
+        assert!(dev.cross_replica_sum::<f64>(&[]).is_err());
     }
 
     #[test]
@@ -351,7 +365,14 @@ mod tests {
 
     #[test]
     fn more_cores_reduce_phase_time() {
-        let work = |n: usize| -> Vec<Matrix<f64>> { (0..8).map(|_| shard(0.5)).collect::<Vec<_>>().into_iter().take(n).collect() };
+        let work = |n: usize| -> Vec<Matrix<f64>> {
+            (0..8)
+                .map(|_| shard(0.5))
+                .collect::<Vec<_>>()
+                .into_iter()
+                .take(n)
+                .collect()
+        };
         let mut d2 = TpuDevice::with_cores(TpuConfig::small_test(), 2);
         d2.run_phase(work(8), |c, w| c.matmul(&w, &w)).unwrap();
         let mut d8 = TpuDevice::with_cores(TpuConfig::small_test(), 8);
@@ -375,11 +396,7 @@ mod tests {
     fn execute_batch_runs_program_per_input() {
         use crate::isa::{Instruction, Program};
         // out = a ◦ a for each input, on whichever core gets it.
-        let program = Program::new(
-            2,
-            vec![Instruction::Hadamard { a: 0, b: 0, dst: 1 }],
-            1,
-        );
+        let program = Program::new(2, vec![Instruction::Hadamard { a: 0, b: 0, dst: 1 }], 1);
         let mut dev = TpuDevice::new(TpuConfig::small_test());
         let batches: Vec<Vec<(usize, Matrix<Complex64>)>> = (1..=4)
             .map(|i| {

@@ -50,6 +50,7 @@ mod core;
 mod device;
 mod isa;
 pub mod memory;
+mod shared;
 pub mod systolic;
 pub mod trace;
 
@@ -59,5 +60,6 @@ pub use core::{bf16_round, TpuCore};
 pub use device::{PhaseTime, TpuDevice};
 pub use isa::{Instruction, Program, Slot};
 pub use memory::MemoryModel;
+pub use shared::SharedDevice;
 pub use systolic::{tile_stream_cycles, weight_load_cycles, SystolicArray, TileResult};
 pub use trace::{Event, OpKind, Trace};

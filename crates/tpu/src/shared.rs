@@ -1,0 +1,206 @@
+//! A shareable, thread-safe front-end over [`TpuDevice`].
+//!
+//! The simulator core mutates per-core cycle counters on every op, so
+//! [`TpuDevice`] methods take `&mut self`. Concurrent callers — the
+//! worker threads of `explain_batch_parallel`, or several pipelines
+//! racing one device — instead hold a [`SharedDevice`]: a cheaply
+//! cloneable handle (an [`Arc`]`<`[`Mutex`]`<TpuDevice>>`) whose
+//! methods take `&self` and serialise access per call. Simulated time
+//! accumulates exactly as if the callers had taken turns, which is
+//! the device-sharing semantics the paper's multi-input parallelism
+//! (§III-D) assumes: one device, many enqueued workloads.
+
+use crate::config::TpuConfig;
+use crate::device::TpuDevice;
+use std::sync::{Arc, Mutex, MutexGuard};
+
+/// A cloneable, `Send + Sync` handle to one simulated TPU.
+///
+/// All clones refer to the *same* device: cycles, collectives and
+/// energy accumulate globally across every handle, matching how a
+/// physical accelerator is shared between host threads.
+///
+/// # Examples
+///
+/// ```
+/// use xai_tpu::{SharedDevice, TpuConfig};
+/// use xai_tensor::Matrix;
+///
+/// # fn main() -> Result<(), xai_tensor::TensorError> {
+/// let dev = SharedDevice::new(TpuConfig::small_test());
+/// let handle = dev.clone(); // same device
+/// let shards: Vec<Matrix<f64>> = (0..2)
+///     .map(|i| Matrix::filled(4, 4, i as f64 + 0.5))
+///     .collect::<Result<_, _>>()?;
+/// handle.run_phase(shards, |core, s| core.matmul(&s, &s))?;
+/// assert!(dev.wall_seconds() > 0.0); // visible through every handle
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct SharedDevice {
+    inner: Arc<Mutex<TpuDevice>>,
+}
+
+impl SharedDevice {
+    /// Creates a new device with `cfg.cores` cores.
+    pub fn new(cfg: TpuConfig) -> Self {
+        Self::from_device(TpuDevice::new(cfg))
+    }
+
+    /// Creates a device overriding the configured core count.
+    pub fn with_cores(cfg: TpuConfig, cores: usize) -> Self {
+        Self::from_device(TpuDevice::with_cores(cfg, cores))
+    }
+
+    /// Wraps an existing device.
+    pub fn from_device(device: TpuDevice) -> Self {
+        SharedDevice {
+            inner: Arc::new(Mutex::new(device)),
+        }
+    }
+
+    /// Runs `f` with exclusive access to the device. The lock is held
+    /// for the whole closure, so a multi-step schedule (phase +
+    /// collective) is timed atomically even under concurrency.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a previous panic poisoned the device lock.
+    pub fn with<R>(&self, f: impl FnOnce(&mut TpuDevice) -> R) -> R {
+        f(&mut self.lock())
+    }
+
+    /// Convenience forward of [`TpuDevice::run_phase`] under the lock.
+    ///
+    /// # Errors
+    ///
+    /// As [`TpuDevice::run_phase`].
+    pub fn run_phase<W, R>(
+        &self,
+        work: Vec<W>,
+        f: impl FnMut(&mut crate::TpuCore, W) -> xai_tensor::Result<R>,
+    ) -> xai_tensor::Result<Vec<R>> {
+        self.lock().run_phase(work, f)
+    }
+
+    /// Device configuration (cloned snapshot).
+    pub fn config(&self) -> TpuConfig {
+        self.lock().config().clone()
+    }
+
+    /// Number of cores.
+    pub fn num_cores(&self) -> usize {
+        self.lock().num_cores()
+    }
+
+    /// Accumulated wall time across all phases, seconds.
+    pub fn wall_seconds(&self) -> f64 {
+        self.lock().wall_seconds()
+    }
+
+    /// Accumulated collective-communication time, seconds.
+    pub fn comm_seconds(&self) -> f64 {
+        self.lock().comm_seconds()
+    }
+
+    /// Number of collectives issued.
+    pub fn collectives(&self) -> u64 {
+        self.lock().collectives()
+    }
+
+    /// Total energy across cores, picojoules.
+    pub fn energy_pj(&self) -> f64 {
+        self.lock().energy_pj()
+    }
+
+    /// Zeroes all core counters and device clocks.
+    pub fn reset(&self) {
+        self.lock().reset();
+    }
+
+    /// `true` when both handles refer to the same device.
+    pub fn same_device(&self, other: &SharedDevice) -> bool {
+        Arc::ptr_eq(&self.inner, &other.inner)
+    }
+
+    fn lock(&self) -> MutexGuard<'_, TpuDevice> {
+        self.inner.lock().expect("TPU device lock poisoned")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xai_tensor::Matrix;
+
+    fn shard(v: f64) -> Matrix<f64> {
+        Matrix::filled(4, 4, v).unwrap()
+    }
+
+    #[test]
+    fn clones_share_one_clock() {
+        let dev = SharedDevice::new(TpuConfig::small_test());
+        let other = dev.clone();
+        assert!(dev.same_device(&other));
+        other
+            .run_phase(vec![shard(1.0)], |core, s| core.matmul(&s, &s))
+            .unwrap();
+        assert!(dev.wall_seconds() > 0.0);
+        assert_eq!(dev.wall_seconds(), other.wall_seconds());
+    }
+
+    #[test]
+    fn with_gives_atomic_multi_step_access() {
+        let dev = SharedDevice::new(TpuConfig::small_test());
+        let (sum, dt) = dev
+            .with(|d| {
+                let before = d.wall_seconds();
+                let parts =
+                    d.run_phase(vec![shard(1.0), shard(2.0)], |core, s| core.matmul(&s, &s))?;
+                let sum = d.cross_replica_sum(&parts)?;
+                Ok::<_, xai_tensor::TensorError>((sum, d.wall_seconds() - before))
+            })
+            .unwrap();
+        assert_eq!(sum.shape(), (4, 4));
+        assert!(dt > 0.0);
+        assert_eq!(dev.collectives(), 1);
+    }
+
+    #[test]
+    fn concurrent_phases_accumulate_deterministically() {
+        let dev = SharedDevice::new(TpuConfig::small_test());
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let handle = dev.clone();
+                scope.spawn(move || {
+                    handle
+                        .run_phase(vec![shard(0.5)], |core, s| core.matmul(&s, &s))
+                        .unwrap();
+                });
+            }
+        });
+        // Four identical one-shard phases, serialised by the lock:
+        // total wall time is exactly 4x one phase regardless of
+        // interleaving.
+        let serial = SharedDevice::new(TpuConfig::small_test());
+        for _ in 0..4 {
+            serial
+                .run_phase(vec![shard(0.5)], |core, s| core.matmul(&s, &s))
+                .unwrap();
+        }
+        assert!((dev.wall_seconds() - serial.wall_seconds()).abs() < 1e-15);
+    }
+
+    #[test]
+    fn reset_visible_through_all_handles() {
+        let dev = SharedDevice::with_cores(TpuConfig::small_test(), 4);
+        assert_eq!(dev.num_cores(), 4);
+        dev.run_phase(vec![shard(0.1)], |core, s| core.matmul(&s, &s))
+            .unwrap();
+        let other = dev.clone();
+        other.reset();
+        assert_eq!(dev.wall_seconds(), 0.0);
+        assert_eq!(dev.energy_pj(), 0.0);
+    }
+}

@@ -138,11 +138,7 @@ impl SystolicArray {
                     };
                     // Partial sum arrives from the north (zero at r == 0).
                     let p_in = if r == 0 { 0 } else { psum_prev[r - 1][c] };
-                    let mac = if valid {
-                        a * weights[(r, c)] as i32
-                    } else {
-                        0
-                    };
+                    let mac = if valid { a * weights[(r, c)] as i32 } else { 0 };
                     act_now[r][c] = a;
                     act_valid_now[r][c] = valid;
                     psum_now[r][c] = p_in + mac;

@@ -126,10 +126,8 @@ impl Trace {
             OpKind::Collective,
             OpKind::Host,
         ];
-        let mut lanes: Vec<(OpKind, Vec<char>)> = kinds
-            .iter()
-            .map(|&k| (k, vec!['.'; width]))
-            .collect();
+        let mut lanes: Vec<(OpKind, Vec<char>)> =
+            kinds.iter().map(|&k| (k, vec!['.'; width])).collect();
         let mut cursor: u64 = 0;
         for e in &self.events {
             let start = (cursor * width as u64 / total) as usize;
@@ -144,7 +142,11 @@ impl Trace {
         let mut out = format!("timeline ({} cycles):\n", self.total_cycles());
         for (kind, lane) in &lanes {
             if lane.contains(&'#') {
-                out.push_str(&format!("  {:<12} {}\n", kind.to_string(), lane.iter().collect::<String>()));
+                out.push_str(&format!(
+                    "  {:<12} {}\n",
+                    kind.to_string(),
+                    lane.iter().collect::<String>()
+                ));
             }
         }
         out
@@ -153,7 +155,12 @@ impl Trace {
 
 impl fmt::Display for Trace {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "trace: {} events, {} cycles", self.len(), self.total_cycles())?;
+        writeln!(
+            f,
+            "trace: {} events, {} cycles",
+            self.len(),
+            self.total_cycles()
+        )?;
         for e in &self.events {
             writeln!(
                 f,

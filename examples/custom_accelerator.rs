@@ -3,11 +3,18 @@
 //! against the paper's three platforms on the interpretation
 //! pipeline.
 //!
+//! The trait takes `&self` everywhere — mutable state (the simulated
+//! clock) lives behind interior mutability, here the ready-made
+//! [`Clock`] ledger — so the finished model is `Send + Sync` and can
+//! be shared across worker threads as `Arc<dyn Accelerator>` with no
+//! further work, as the final section demonstrates.
+//!
 //! Run: `cargo run --release --example custom_accelerator`
 
-use tpu_xai::accel::{Accelerator, CpuModel, GpuModel, KernelStats, TpuAccel};
-use tpu_xai::core::{interpret_on, SolveStrategy};
-use tpu_xai::fourier::Fft2d;
+use std::sync::Arc;
+use tpu_xai::accel::{Accelerator, Clock, CpuModel, GpuModel, KernelStats, TpuAccel};
+use tpu_xai::core::{explain_batch_parallel_on, interpret_on, SolveStrategy};
+use tpu_xai::fourier::global_plan_cache;
 use tpu_xai::tensor::ops::{self, DivPolicy};
 use tpu_xai::tensor::{conv::conv2d_circular, Complex64, Matrix, Result};
 
@@ -16,18 +23,16 @@ use tpu_xai::tensor::{conv::conv2d_circular, Complex64, Matrix, Result};
 /// (tightly-coupled command queue).
 #[derive(Debug, Clone, Default)]
 struct EdgeNpu {
-    seconds: f64,
-    stats: KernelStats,
+    clock: Clock,
 }
 
 impl EdgeNpu {
     const FLOPS: f64 = 2.5e11;
     const BYTES: f64 = 2.5e10;
 
-    fn charge(&mut self, flops: f64, bytes: f64) {
+    fn charge(&self, flops: f64, bytes: f64) {
         let dt = (flops / Self::FLOPS).max(bytes / Self::BYTES);
-        self.seconds += dt;
-        self.stats.record(dt, flops, bytes);
+        self.clock.record(dt, flops, bytes);
     }
 }
 
@@ -36,17 +41,20 @@ impl Accelerator for EdgeNpu {
         "EdgeNPU (hypothetical 2 W part)".to_string()
     }
 
-    fn matmul(&mut self, a: &Matrix<f64>, b: &Matrix<f64>) -> Result<Matrix<f64>> {
+    fn matmul(&self, a: &Matrix<f64>, b: &Matrix<f64>) -> Result<Matrix<f64>> {
         let out = ops::matmul_blocked(a, b, ops::DEFAULT_BLOCK)?;
         let (m, k) = a.shape();
         let n = b.cols();
-        self.charge(2.0 * (m * k * n) as f64, 8.0 * (m * k + k * n + m * n) as f64);
+        self.charge(
+            2.0 * (m * k * n) as f64,
+            8.0 * (m * k + k * n + m * n) as f64,
+        );
         Ok(out)
     }
 
-    fn fft2d(&mut self, x: &Matrix<Complex64>) -> Result<Matrix<Complex64>> {
+    fn fft2d(&self, x: &Matrix<Complex64>) -> Result<Matrix<Complex64>> {
         let (m, n) = x.shape();
-        let out = Fft2d::new(m, n).forward(x)?;
+        let out = global_plan_cache().plan_2d(m, n).forward(x)?;
         self.charge(
             6.0 * (m * n) as f64 * ((m * n) as f64).log2(),
             64.0 * (m * n) as f64,
@@ -54,9 +62,9 @@ impl Accelerator for EdgeNpu {
         Ok(out)
     }
 
-    fn ifft2d(&mut self, x: &Matrix<Complex64>) -> Result<Matrix<Complex64>> {
+    fn ifft2d(&self, x: &Matrix<Complex64>) -> Result<Matrix<Complex64>> {
         let (m, n) = x.shape();
-        let out = Fft2d::new(m, n).inverse(x)?;
+        let out = global_plan_cache().plan_2d(m, n).inverse(x)?;
         self.charge(
             6.0 * (m * n) as f64 * ((m * n) as f64).log2(),
             64.0 * (m * n) as f64,
@@ -64,14 +72,14 @@ impl Accelerator for EdgeNpu {
         Ok(out)
     }
 
-    fn hadamard(&mut self, a: &Matrix<Complex64>, b: &Matrix<Complex64>) -> Result<Matrix<Complex64>> {
+    fn hadamard(&self, a: &Matrix<Complex64>, b: &Matrix<Complex64>) -> Result<Matrix<Complex64>> {
         let out = ops::hadamard(a, b)?;
         self.charge(6.0 * a.len() as f64, 48.0 * a.len() as f64);
         Ok(out)
     }
 
     fn pointwise_div(
-        &mut self,
+        &self,
         a: &Matrix<Complex64>,
         b: &Matrix<Complex64>,
         policy: DivPolicy,
@@ -81,27 +89,26 @@ impl Accelerator for EdgeNpu {
         Ok(out)
     }
 
-    fn sub(&mut self, a: &Matrix<f64>, b: &Matrix<f64>) -> Result<Matrix<f64>> {
+    fn sub(&self, a: &Matrix<f64>, b: &Matrix<f64>) -> Result<Matrix<f64>> {
         let out = ops::sub(a, b)?;
         self.charge(a.len() as f64, 24.0 * a.len() as f64);
         Ok(out)
     }
 
-    fn charge_workload(&mut self, flops: f64, bytes: f64) {
+    fn charge_workload(&self, flops: f64, bytes: f64) {
         self.charge(flops, bytes);
     }
 
     fn elapsed_seconds(&self) -> f64 {
-        self.seconds
+        self.clock.seconds()
     }
 
     fn stats(&self) -> KernelStats {
-        self.stats
+        self.clock.stats()
     }
 
-    fn reset(&mut self) {
-        self.seconds = 0.0;
-        self.stats = KernelStats::new();
+    fn reset(&self) {
+        self.clock.reset();
     }
 }
 
@@ -117,15 +124,15 @@ fn main() -> Result<()> {
         })
         .collect();
 
-    let mut platforms: Vec<Box<dyn Accelerator>> = vec![
+    let platforms: Vec<Box<dyn Accelerator>> = vec![
         Box::new(CpuModel::i7_3700()),
         Box::new(GpuModel::gtx1080()),
         Box::new(TpuAccel::tpu_v2()),
         Box::new(EdgeNpu::default()),
     ];
     println!("interpretation of 6 pairs (64x64, 4x4 blocks):\n");
-    for p in &mut platforms {
-        let (model, report) = interpret_on(p.as_mut(), &pairs, 4, SolveStrategy::default())?;
+    for p in &platforms {
+        let (model, report) = interpret_on(p.as_ref(), &pairs, 4, SolveStrategy::default())?;
         println!(
             "{:38} {:10.1} µs   (fidelity err {:.1e})",
             p.name(),
@@ -133,6 +140,21 @@ fn main() -> Result<()> {
             model.fidelity_error(&pairs)?
         );
     }
+
+    // Because the trait is `&self` + `Send + Sync`, the custom model
+    // is immediately shareable: four host threads explain the batch
+    // through ONE EdgeNpu, and the results match serial execution.
+    let model = tpu_xai::core::DistilledModel::fit(&pairs, SolveStrategy::default())?;
+    let shared: Arc<dyn Accelerator> = Arc::new(EdgeNpu::default());
+    let maps = explain_batch_parallel_on(&*shared, &model, &pairs, 4, 4)?;
+    println!(
+        "\n4 threads sharing one EdgeNpu explained {} inputs \
+         ({} kernels, {:.1} µs simulated)",
+        maps.len(),
+        shared.stats().kernels,
+        shared.elapsed_seconds() * 1e6
+    );
+
     println!("\nAny platform that can run matmul/FFT/elementwise kernels plugs into");
     println!("the same pipeline — implement the Accelerator trait and race it.");
     Ok(())

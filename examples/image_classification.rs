@@ -27,7 +27,7 @@ fn main() -> Result<(), TensorError> {
     // Train the VGG-style classifier (paper benchmark 1 at toy scale).
     let mut net = vgg_small(3, 12, 4, 3)?;
     println!("training {} parameters…", net.parameter_count());
-    let reports = Trainer::new(0.05, 0.9, 8, 0).fit(&mut net, &as_training_pairs(&train), 8)?;
+    let reports = Trainer::new(0.05, 0.9, 8, 0).fit(&mut net, &as_training_pairs(&train), 16)?;
     println!(
         "train accuracy {:.0}%, test accuracy {:.0}%",
         reports.last().map(|r| r.accuracy).unwrap_or(0.0) * 100.0,
@@ -46,6 +46,9 @@ fn main() -> Result<(), TensorError> {
     }
 
     let acc = explainer.localization_accuracy(&mut net, &test)?;
-    println!("\nexplanation localization accuracy on held-out images: {:.0}%", acc * 100.0);
+    println!(
+        "\nexplanation localization accuracy on held-out images: {:.0}%",
+        acc * 100.0
+    );
     Ok(())
 }

@@ -3,9 +3,7 @@
 //!
 //! Run: `cargo run --example quickstart`
 
-use tpu_xai::core::{
-    block_contributions, DistilledModel, SolveStrategy,
-};
+use tpu_xai::core::{block_contributions, DistilledModel, SolveStrategy};
 use tpu_xai::tensor::{conv::conv2d_circular, Matrix, TensorError};
 
 fn main() -> Result<(), TensorError> {

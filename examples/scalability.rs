@@ -1,24 +1,32 @@
 //! The paper's Figure 4 experiment as an example: sweep matrix sizes
 //! across the three hardware models and watch the TPU's advantage
-//! grow, then run Algorithm 1 on the simulated device directly.
+//! grow, then run Algorithm 1 on the simulated device directly, and
+//! finally share one device between host worker threads (§III-D).
 //!
 //! Run: `cargo run --release --example scalability`
 
-use tpu_xai::accel::{CpuModel, GpuModel, TpuAccel};
-use tpu_xai::core::{fft2d_on_device, transform_roundtrip_seconds};
-use tpu_xai::tensor::{Complex64, Matrix, TensorError};
-use tpu_xai::tpu::{TpuConfig, TpuDevice};
+use std::sync::Arc;
+use tpu_xai::accel::{Accelerator, CpuModel, GpuModel, TpuAccel};
+use tpu_xai::core::{
+    explain_batch_on, explain_batch_parallel_on, fft2d_on_device, transform_roundtrip_seconds,
+    DistilledModel, SolveStrategy,
+};
+use tpu_xai::tensor::{conv::conv2d_circular, Complex64, Matrix, TensorError};
+use tpu_xai::tpu::{SharedDevice, TpuConfig};
 
 fn main() -> Result<(), TensorError> {
     println!("transform-solve-inverse round trip, simulated seconds:\n");
-    println!("{:>10} {:>12} {:>12} {:>12} {:>9}", "size", "CPU", "GPU", "TPU", "TPU/CPU");
+    println!(
+        "{:>10} {:>12} {:>12} {:>12} {:>9}",
+        "size", "CPU", "GPU", "TPU", "TPU/CPU"
+    );
     for n in [64usize, 128, 256, 512] {
-        let mut cpu = CpuModel::i7_3700();
-        let mut gpu = GpuModel::gtx1080();
-        let mut tpu = TpuAccel::tpu_v2();
-        let tc = transform_roundtrip_seconds(&mut cpu, n)?;
-        let tg = transform_roundtrip_seconds(&mut gpu, n)?;
-        let tt = transform_roundtrip_seconds(&mut tpu, n)?;
+        let cpu = CpuModel::i7_3700();
+        let gpu = GpuModel::gtx1080();
+        let tpu = TpuAccel::tpu_v2();
+        let tc = transform_roundtrip_seconds(&cpu, n)?;
+        let tg = transform_roundtrip_seconds(&gpu, n)?;
+        let tt = transform_roundtrip_seconds(&tpu, n)?;
         println!(
             "{n:>8}² {:>10.1}µs {:>10.1}µs {:>10.1}µs {:>8.1}x",
             tc * 1e6,
@@ -35,8 +43,8 @@ fn main() -> Result<(), TensorError> {
         Complex64::new(((r * 3 + c) % 7) as f64, ((r + c) % 5) as f64)
     })?;
     for cores in [1usize, 4, 16] {
-        let mut device = TpuDevice::with_cores(TpuConfig::tpu_v2(), cores);
-        let spectrum = fft2d_on_device(&mut device, &x)?;
+        let device = SharedDevice::with_cores(TpuConfig::tpu_v2(), cores);
+        let spectrum = fft2d_on_device(&device, &x)?;
         let reference = tpu_xai::fourier::fft2d(&x)?;
         println!(
             "  {cores:>3} cores: wall {:.3} µs, comm {:.3} µs, {} collectives, max |Δ| vs host FFT = {:.1e}",
@@ -46,5 +54,40 @@ fn main() -> Result<(), TensorError> {
             spectrum.max_abs_diff(&reference)?
         );
     }
+
+    // §III-D on the host: many worker threads, ONE shared accelerator.
+    // The kernels take &self, so the device handle crosses thread
+    // boundaries as Arc<dyn Accelerator>; results are bit-identical
+    // to serial execution.
+    let k = Matrix::from_fn(32, 32, |r, c| ((r * 2 + c) % 5) as f64 * 0.2)?;
+    let batch: Vec<_> = (0..12)
+        .map(|s| {
+            let x = Matrix::from_fn(32, 32, |r, c| (((r * 7 + c * 3 + s) % 11) as f64) - 5.0)
+                .expect("valid dims");
+            let y = conv2d_circular(&x, &k).expect("same shape");
+            (x, y)
+        })
+        .collect();
+    let model = DistilledModel::fit(&batch, SolveStrategy::default())?;
+    let shared: Arc<dyn Accelerator> = Arc::new(TpuAccel::tpu_v2());
+    println!("\nbatch explanation, one shared TPU, host worker threads:");
+    for workers in [1usize, 2, 4, 8] {
+        shared.reset();
+        let maps = explain_batch_parallel_on(&*shared, &model, &batch, 4, workers)?;
+        println!(
+            "  {workers:>2} workers: {} maps, {} kernels on the shared device, {:.1} µs simulated",
+            maps.len(),
+            shared.stats().kernels,
+            shared.elapsed_seconds() * 1e6
+        );
+    }
+    let serial_acc = TpuAccel::tpu_v2();
+    let serial = explain_batch_on(&serial_acc, &model, &batch, 4)?;
+    let parallel = explain_batch_parallel_on(&*shared, &model, &batch, 4, 4)?;
+    let identical = serial
+        .iter()
+        .zip(&parallel)
+        .all(|(a, b)| a.as_slice() == b.as_slice());
+    println!("  parallel == serial, bit for bit: {identical}");
     Ok(())
 }

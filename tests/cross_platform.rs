@@ -21,10 +21,12 @@ fn pairs(n: usize, size: usize) -> Vec<(Matrix<f64>, Matrix<f64>)> {
 
 #[test]
 fn all_platforms_compute_identical_spectral_results() {
-    let x = Matrix::from_fn(16, 16, |r, c| ((r * 3 + c) % 9) as f64).unwrap().to_complex();
-    let mut cpu = CpuModel::i7_3700();
-    let mut gpu = GpuModel::gtx1080();
-    let mut tpu = TpuAccel::tpu_v2();
+    let x = Matrix::from_fn(16, 16, |r, c| ((r * 3 + c) % 9) as f64)
+        .unwrap()
+        .to_complex();
+    let cpu = CpuModel::i7_3700();
+    let gpu = GpuModel::gtx1080();
+    let tpu = TpuAccel::tpu_v2();
     let sc = cpu.fft2d(&x).unwrap();
     let sg = gpu.fft2d(&x).unwrap();
     let st = tpu.fft2d(&x).unwrap();
@@ -36,12 +38,12 @@ fn all_platforms_compute_identical_spectral_results() {
 fn interpretation_ordering_holds_across_sizes() {
     for size in [32usize, 64] {
         let ps = pairs(4, size);
-        let mut cpu = CpuModel::i7_3700();
-        let mut gpu = GpuModel::gtx1080();
-        let mut tpu = TpuAccel::tpu_v2();
-        let (_, rc) = interpret_on(&mut cpu, &ps, 4, SolveStrategy::default()).unwrap();
-        let (_, rg) = interpret_on(&mut gpu, &ps, 4, SolveStrategy::default()).unwrap();
-        let (_, rt) = interpret_on(&mut tpu, &ps, 4, SolveStrategy::default()).unwrap();
+        let cpu = CpuModel::i7_3700();
+        let gpu = GpuModel::gtx1080();
+        let tpu = TpuAccel::tpu_v2();
+        let (_, rc) = interpret_on(&cpu, &ps, 4, SolveStrategy::default()).unwrap();
+        let (_, rg) = interpret_on(&gpu, &ps, 4, SolveStrategy::default()).unwrap();
+        let (_, rt) = interpret_on(&tpu, &ps, 4, SolveStrategy::default()).unwrap();
         assert!(
             rt.total_s() < rg.total_s() && rg.total_s() < rc.total_s(),
             "size {size}: tpu {} gpu {} cpu {}",
@@ -57,23 +59,29 @@ fn tpu_advantage_grows_with_matrix_size() {
     // Figure 4's shape: the CPU/TPU ratio must increase monotonically.
     let mut last_ratio = 0.0;
     for n in [64usize, 128, 256] {
-        let mut cpu = CpuModel::i7_3700();
-        let mut tpu = TpuAccel::tpu_v2();
-        let tc = transform_roundtrip_seconds(&mut cpu, n).unwrap();
-        let tt = transform_roundtrip_seconds(&mut tpu, n).unwrap();
+        let cpu = CpuModel::i7_3700();
+        let tpu = TpuAccel::tpu_v2();
+        let tc = transform_roundtrip_seconds(&cpu, n).unwrap();
+        let tt = transform_roundtrip_seconds(&tpu, n).unwrap();
         let ratio = tc / tt;
-        assert!(ratio > last_ratio, "ratio not growing at {n}: {ratio} vs {last_ratio}");
+        assert!(
+            ratio > last_ratio,
+            "ratio not growing at {n}: {ratio} vs {last_ratio}"
+        );
         last_ratio = ratio;
     }
-    assert!(last_ratio > 10.0, "TPU must win by an order of magnitude at 256²");
+    assert!(
+        last_ratio > 10.0,
+        "TPU must win by an order of magnitude at 256²"
+    );
 }
 
 #[test]
 fn time_region_isolates_a_phase() {
-    let mut cpu = CpuModel::i7_3700();
+    let cpu = CpuModel::i7_3700();
     let x = Matrix::filled(32, 32, 0.5).unwrap();
-    let (_, warmup) = time_region(&mut cpu, |a| a.matmul(&x, &x)).unwrap();
-    let (_, second) = time_region(&mut cpu, |a| a.matmul(&x, &x)).unwrap();
+    let (_, warmup) = time_region(&cpu, |a| a.matmul(&x, &x)).unwrap();
+    let (_, second) = time_region(&cpu, |a| a.matmul(&x, &x)).unwrap();
     assert!(warmup > 0.0);
     // A deterministic cost model: identical kernels cost identical time.
     assert!((warmup - second).abs() < 1e-12);

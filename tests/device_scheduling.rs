@@ -5,13 +5,16 @@
 use tpu_xai::core::{fft2d_on_device, ifft2d_on_device};
 use tpu_xai::tensor::{Complex64, Matrix};
 use tpu_xai::tpu::{
-    Instruction, Program, SystolicArray, TpuConfig, TpuCore, TpuDevice,
+    Instruction, Program, SharedDevice, SystolicArray, TpuConfig, TpuCore, TpuDevice,
 };
 use xai_tensor::ops::DivPolicy;
 
 fn spectrum_input(m: usize, n: usize) -> Matrix<Complex64> {
     Matrix::from_fn(m, n, |r, c| {
-        Complex64::new(((r * 7 + c) % 9) as f64 - 4.0, ((r + c * 5) % 7) as f64 * 0.5)
+        Complex64::new(
+            ((r * 7 + c) % 9) as f64 - 4.0,
+            ((r + c * 5) % 7) as f64 * 0.5,
+        )
     })
     .unwrap()
 }
@@ -21,10 +24,10 @@ fn algorithm1_is_exact_for_every_core_count() {
     let x = spectrum_input(12, 12);
     let host = tpu_xai::fourier::fft2d(&x).unwrap();
     for cores in [1usize, 2, 3, 5, 12, 64] {
-        let mut device = TpuDevice::with_cores(TpuConfig::small_test(), cores);
-        let dev = fft2d_on_device(&mut device, &x).unwrap();
+        let device = SharedDevice::with_cores(TpuConfig::small_test(), cores);
+        let dev = fft2d_on_device(&device, &x).unwrap();
         assert!(host.max_abs_diff(&dev).unwrap() < 1e-9, "cores={cores}");
-        let back = ifft2d_on_device(&mut device, &dev).unwrap();
+        let back = ifft2d_on_device(&device, &dev).unwrap();
         assert!(x.max_abs_diff(&back).unwrap() < 1e-9, "cores={cores}");
     }
 }
@@ -76,7 +79,9 @@ fn communication_cost_scales_with_payload() {
     device.cross_replica_sum(&small).unwrap();
     let t_small = device.comm_seconds();
     device.reset();
-    let large: Vec<Matrix<f64>> = (0..4).map(|_| Matrix::filled(64, 64, 1.0).unwrap()).collect();
+    let large: Vec<Matrix<f64>> = (0..4)
+        .map(|_| Matrix::filled(64, 64, 1.0).unwrap())
+        .collect();
     device.cross_replica_sum(&large).unwrap();
     assert!(device.comm_seconds() > t_small);
 }
@@ -85,10 +90,10 @@ fn communication_cost_scales_with_payload() {
 fn device_energy_scales_with_work() {
     let x_small = spectrum_input(8, 8);
     let x_large = spectrum_input(16, 16);
-    let mut d1 = TpuDevice::with_cores(TpuConfig::small_test(), 2);
-    fft2d_on_device(&mut d1, &x_small).unwrap();
+    let d1 = SharedDevice::with_cores(TpuConfig::small_test(), 2);
+    fft2d_on_device(&d1, &x_small).unwrap();
     let e_small = d1.energy_pj();
-    let mut d2 = TpuDevice::with_cores(TpuConfig::small_test(), 2);
-    fft2d_on_device(&mut d2, &x_large).unwrap();
+    let d2 = SharedDevice::with_cores(TpuConfig::small_test(), 2);
+    fft2d_on_device(&d2, &x_large).unwrap();
     assert!(d2.energy_pj() > e_small);
 }

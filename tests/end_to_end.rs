@@ -20,7 +20,7 @@ fn image_pipeline_localizes_salient_blocks() {
     .unwrap();
     let (train, test) = dataset.generate_split(16, 8).unwrap();
 
-    let mut net = vgg_small(3, 12, 4, 9).unwrap();
+    let mut net = vgg_small(3, 12, 4, 3).unwrap();
     let reports = Trainer::new(0.05, 0.9, 8, 1)
         .fit(&mut net, &as_training_pairs(&train), 16)
         .unwrap();
@@ -40,7 +40,7 @@ fn malware_pipeline_localizes_attack_cycles() {
     let dataset = TraceDataset::new(TraceConfig {
         registers: 8,
         cycles: 8,
-        seed: 17,
+        seed: 1,
     })
     .unwrap();
     let (train, test) = dataset.generate_split(24, 12).unwrap();

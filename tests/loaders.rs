@@ -4,9 +4,9 @@
 use tpu_xai::core::{SolveStrategy, TraceExplainer};
 use tpu_xai::data::io::{parse_cifar, parse_trace_table, CifarFormat, CIFAR_SIZE};
 use tpu_xai::data::mirai::{TraceLabel, ATTACK_REGISTER, ATTACK_SIGNATURE};
+use tpu_xai::nn::layers::{Dense, Relu};
 use tpu_xai::nn::models::resnet_small;
 use tpu_xai::nn::{Network, Tensor3, Trainer};
-use tpu_xai::nn::layers::{Dense, Relu};
 
 /// Builds a CIFAR-format byte stream with two visually separable
 /// classes (bright top half vs bright bottom half).
@@ -40,11 +40,10 @@ fn cifar_bytes_train_a_classifier() {
     net.push(Box::new(Dense::new(3 * 32 * 32, 16, 0).unwrap()));
     net.push(Box::new(Relu::new(16, 1, 1)));
     net.push(Box::new(Dense::new(16, 2, 1).unwrap()));
-    let pairs: Vec<(Tensor3, usize)> = records
-        .iter()
-        .map(|r| (r.image.clone(), r.label))
-        .collect();
-    Trainer::new(0.05, 0.9, 4, 0).fit(&mut net, &pairs, 6).unwrap();
+    let pairs: Vec<(Tensor3, usize)> = records.iter().map(|r| (r.image.clone(), r.label)).collect();
+    Trainer::new(0.05, 0.9, 4, 0)
+        .fit(&mut net, &pairs, 6)
+        .unwrap();
     let acc = net.accuracy(&pairs).unwrap();
     assert!(acc >= 0.9, "accuracy on parsed CIFAR bytes: {acc}");
 }
@@ -74,18 +73,30 @@ fn trace_text_roundtrips_into_the_explainer() {
     // pipeline on them.
     let traces: Vec<_> = (0..12)
         .map(|i| {
-            let attack = if i % 2 == 1 { Some(1 + (i * 3) % 6) } else { None };
+            let attack = if i % 2 == 1 {
+                Some(1 + (i * 3) % 6)
+            } else {
+                None
+            };
             parse_trace_table(trace_text(attack).as_bytes()).unwrap()
         })
         .collect();
-    assert_eq!(traces.iter().filter(|t| t.label == TraceLabel::Malicious).count(), 6);
+    assert_eq!(
+        traces
+            .iter()
+            .filter(|t| t.label == TraceLabel::Malicious)
+            .count(),
+        6
+    );
 
     let pairs: Vec<_> = traces
         .iter()
         .map(|t| (Tensor3::from_matrix(&t.table), t.label.class_index()))
         .collect();
     let mut net = resnet_small(1, 8, 2, 4).unwrap();
-    Trainer::new(0.05, 0.9, 6, 0).fit(&mut net, &pairs, 5).unwrap();
+    Trainer::new(0.05, 0.9, 6, 0)
+        .fit(&mut net, &pairs, 5)
+        .unwrap();
 
     let explainer = TraceExplainer::fit(&mut net, &traces, SolveStrategy::default()).unwrap();
     let acc = explainer

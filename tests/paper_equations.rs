@@ -7,8 +7,7 @@ use tpu_xai::tensor::ops::{hadamard, matvec, pointwise_div, sub, DivPolicy};
 use tpu_xai::tensor::{conv::conv2d_circular, Complex64, Matrix};
 
 fn test_input(seed: usize) -> Matrix<f64> {
-    let mut x =
-        Matrix::from_fn(6, 6, |r, c| ((r * 5 + c * 3 + seed) % 11) as f64 * 0.1).unwrap();
+    let mut x = Matrix::from_fn(6, 6, |r, c| ((r * 5 + c * 3 + seed) % 11) as f64 * 0.1).unwrap();
     x[(0, 0)] += 4.0; // keep the spectrum away from zero
     x
 }
@@ -70,8 +69,7 @@ fn equation_5_contribution_factor() {
     let region = Region::Element(2, 3);
     let x_prime = occlude(&x, region).unwrap();
     // con via the library
-    let via_library =
-        tpu_xai::core::contribution(&model, &x, &y, region).unwrap();
+    let via_library = tpu_xai::core::contribution(&model, &x, &y, region).unwrap();
     // con by the equation, literally
     let literal = sub(&y, &conv2d_circular(&x_prime, model.kernel()).unwrap())
         .unwrap()

@@ -29,14 +29,17 @@ fn pairs(n: usize, size: usize) -> Vec<(Matrix<f64>, Matrix<f64>)> {
 /// claim follows; the fig4 binary prints the full sweep).
 #[test]
 fn figure4_tpu_beats_cpu_by_over_30x_at_scale() {
-    let mut cpu = CpuModel::i7_3700();
-    let mut tpu = TpuAccel::tpu_v2();
-    let t256 = transform_roundtrip_seconds(&mut cpu, 256).unwrap()
-        / transform_roundtrip_seconds(&mut tpu, 256).unwrap();
-    let t512 = transform_roundtrip_seconds(&mut cpu, 512).unwrap()
-        / transform_roundtrip_seconds(&mut tpu, 512).unwrap();
+    let cpu = CpuModel::i7_3700();
+    let tpu = TpuAccel::tpu_v2();
+    let t256 = transform_roundtrip_seconds(&cpu, 256).unwrap()
+        / transform_roundtrip_seconds(&tpu, 256).unwrap();
+    let t512 = transform_roundtrip_seconds(&cpu, 512).unwrap()
+        / transform_roundtrip_seconds(&tpu, 512).unwrap();
     assert!(t512 > t256, "advantage must grow with size");
-    assert!(t512 > 30.0, "paper claims >30x; measured {t512:.1}x at 512²");
+    assert!(
+        t512 > 30.0,
+        "paper claims >30x; measured {t512:.1}x at 512²"
+    );
 }
 
 /// Table II's ordering and order-of-magnitude claims on the
@@ -44,12 +47,12 @@ fn figure4_tpu_beats_cpu_by_over_30x_at_scale() {
 #[test]
 fn table2_interpretation_speedups_in_paper_band() {
     let ps = pairs(4, 128);
-    let mut cpu = CpuModel::i7_3700();
-    let mut gpu = GpuModel::gtx1080();
-    let mut tpu = TpuAccel::tpu_v2();
-    let (_, rc) = interpret_on(&mut cpu, &ps, 4, SolveStrategy::default()).unwrap();
-    let (_, rg) = interpret_on(&mut gpu, &ps, 4, SolveStrategy::default()).unwrap();
-    let (_, rt) = interpret_on(&mut tpu, &ps, 4, SolveStrategy::default()).unwrap();
+    let cpu = CpuModel::i7_3700();
+    let gpu = GpuModel::gtx1080();
+    let tpu = TpuAccel::tpu_v2();
+    let (_, rc) = interpret_on(&cpu, &ps, 4, SolveStrategy::default()).unwrap();
+    let (_, rg) = interpret_on(&gpu, &ps, 4, SolveStrategy::default()).unwrap();
+    let (_, rt) = interpret_on(&tpu, &ps, 4, SolveStrategy::default()).unwrap();
     let vs_cpu = rc.total_s() / rt.total_s();
     let vs_gpu = rg.total_s() / rt.total_s();
     // Paper: 39.5x / 13.6x on ResNet50-shaped inputs. Accept the same
@@ -99,7 +102,7 @@ fn closed_form_beats_iterative_baseline_in_wall_clock() {
 /// error is bounded.
 #[test]
 fn quantisation_error_is_bounded_on_tpu_matmul() {
-    let mut tpu = TpuAccel::tpu_v2();
+    let tpu = TpuAccel::tpu_v2();
     let a = Matrix::from_fn(32, 32, |r, c| (((r * 7 + c * 3) % 17) as f64) / 17.0 - 0.5).unwrap();
     let exact = tpu_xai::tensor::ops::matmul(&a, &a).unwrap();
     let got = tpu.matmul(&a, &a).unwrap();
@@ -112,12 +115,12 @@ fn quantisation_error_is_bounded_on_tpu_matmul() {
 #[test]
 fn tpu_is_most_energy_efficient() {
     let ps = pairs(6, 64);
-    let mut cpu = CpuModel::i7_3700();
-    interpret_on(&mut cpu, &ps, 4, SolveStrategy::default()).unwrap();
+    let cpu = CpuModel::i7_3700();
+    interpret_on(&cpu, &ps, 4, SolveStrategy::default()).unwrap();
     let e_cpu = cpu.stats().ops * 50.0 + cpu.stats().bytes * 10.0;
 
-    let mut tpu = TpuAccel::tpu_v2();
-    interpret_on(&mut tpu, &ps, 4, SolveStrategy::default()).unwrap();
+    let tpu = TpuAccel::tpu_v2();
+    interpret_on(&tpu, &ps, 4, SolveStrategy::default()).unwrap();
     let e_tpu = tpu.energy_pj();
     assert!(
         e_tpu < e_cpu,
