@@ -7,7 +7,7 @@
 //! lock is never held while numeric work executes.
 
 use crate::stats::KernelStats;
-use std::sync::Mutex;
+use std::sync::{Mutex, PoisonError};
 
 /// An interior-mutable clock + statistics ledger.
 ///
@@ -51,8 +51,12 @@ impl Clock {
         *self.lock() = KernelStats::new();
     }
 
+    /// Locks the ledger, recovering from poisoning: every update is a
+    /// plain numeric accumulation, so the ledger is internally
+    /// consistent even if another thread panicked mid-kernel — one
+    /// crashed worker must not freeze timing for the whole process.
     fn lock(&self) -> std::sync::MutexGuard<'_, KernelStats> {
-        self.inner.lock().expect("clock lock poisoned")
+        self.inner.lock().unwrap_or_else(PoisonError::into_inner)
     }
 }
 
@@ -87,6 +91,24 @@ mod tests {
         clock.record(1.0, 1.0, 1.0);
         assert_eq!(clock.seconds(), 2.0);
         assert_eq!(snap.seconds(), 1.0);
+    }
+
+    #[test]
+    fn poisoned_clock_recovers_and_keeps_recording() {
+        use std::sync::Arc;
+        let clock = Arc::new(Clock::new());
+        clock.record(0.5, 1.0, 1.0);
+        let crashing = Arc::clone(&clock);
+        let handle = std::thread::spawn(move || {
+            let _guard = crashing.inner.lock().unwrap();
+            panic!("worker crash while holding the clock lock");
+        });
+        assert!(handle.join().is_err());
+        assert!(clock.inner.is_poisoned());
+        // The ledger still reads and records.
+        assert_eq!(clock.seconds(), 0.5);
+        clock.record(0.25, 1.0, 1.0);
+        assert_eq!(clock.seconds(), 0.75);
     }
 
     #[test]

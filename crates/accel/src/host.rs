@@ -180,16 +180,13 @@ impl GpuModel {
         }
         let (m, n) = xs[0].shape();
         let plan = global_plan_cache().plan_2d(m, n);
-        let out: Result<Vec<_>> = xs
-            .iter()
-            .map(|x| {
-                if forward {
-                    plan.forward(x)
-                } else {
-                    plan.inverse(x)
-                }
-            })
-            .collect();
+        // Fused batch path: one row pass + one column pass over the
+        // whole batch (bit-identical to per-matrix transforms).
+        let out = if forward {
+            plan.forward_batch(xs)
+        } else {
+            plan.inverse_batch(xs)
+        };
         let (row_ops, col_ops) = plan.op_counts();
         let b = xs.len() as f64;
         self.inner.charge(

@@ -1,0 +1,98 @@
+//! Perf gate: compares a fresh `report --json` run against the
+//! committed `BENCH_baseline.json` and exits non-zero when a claim
+//! stopped passing or a metric regressed beyond tolerance.
+//!
+//! Run: `cargo run --release -p xai-bench --bin compare_baseline -- \
+//!       BENCH_baseline.json report.json [tolerance]`
+//!
+//! `tolerance` is the allowed fractional regression (default `0.10`).
+//! Real-wall-clock metrics (see `xai_bench::compare::WALLCLOCK_METRICS`)
+//! are reported but never gate; metrics new to the candidate are
+//! ignored until the baseline is refreshed.
+
+use xai_bench::compare::{
+    compare_metrics, lower_is_better, parse_all_claims_pass, parse_metrics, WALLCLOCK_METRICS,
+};
+use xai_bench::TablePrinter;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (baseline_path, candidate_path) = match (args.first(), args.get(1)) {
+        (Some(b), Some(c)) => (b.clone(), c.clone()),
+        _ => {
+            eprintln!("usage: compare_baseline <baseline.json> <candidate.json> [tolerance]");
+            std::process::exit(2);
+        }
+    };
+    let tolerance: f64 = args
+        .get(2)
+        .map(|t| t.parse().expect("tolerance must be a number"))
+        .unwrap_or(0.10);
+
+    let baseline = std::fs::read_to_string(&baseline_path)
+        .unwrap_or_else(|e| panic!("cannot read {baseline_path}: {e}"));
+    let candidate = std::fs::read_to_string(&candidate_path)
+        .unwrap_or_else(|e| panic!("cannot read {candidate_path}: {e}"));
+
+    let mut failed = false;
+    match parse_all_claims_pass(&candidate) {
+        Some(true) => println!("all_claims_pass: true"),
+        Some(false) => {
+            println!("all_claims_pass: FALSE — a reproduced paper claim no longer holds");
+            failed = true;
+        }
+        None => {
+            println!("all_claims_pass missing from {candidate_path}");
+            failed = true;
+        }
+    }
+
+    let base_metrics = parse_metrics(&baseline);
+    let cand_metrics = parse_metrics(&candidate);
+    let comparisons = compare_metrics(&base_metrics, &cand_metrics, tolerance);
+    if comparisons.is_empty() {
+        println!("no comparable metrics found — is the baseline stale?");
+        failed = true;
+    }
+
+    let mut table = TablePrinter::new(&["metric", "baseline", "candidate", "change", "verdict"]);
+    for c in &comparisons {
+        let change = if c.baseline != 0.0 {
+            format!("{:+.1}%", (c.candidate / c.baseline - 1.0) * 100.0)
+        } else {
+            "n/a".into()
+        };
+        let verdict = if c.regressed {
+            failed = true;
+            "REGRESSED".to_string()
+        } else {
+            format!(
+                "ok ({})",
+                if lower_is_better(&c.key) {
+                    "↓"
+                } else {
+                    "↑"
+                }
+            )
+        };
+        table.row(&[
+            c.key.clone(),
+            format!("{:.6e}", c.baseline),
+            format!("{:.6e}", c.candidate),
+            change,
+            verdict,
+        ]);
+    }
+    println!("{}", table.render());
+    println!(
+        "(tolerance {:.0}%; wall-clock metrics not gated: {})",
+        tolerance * 100.0,
+        WALLCLOCK_METRICS.join(", ")
+    );
+
+    if failed {
+        eprintln!("perf gate FAILED against {baseline_path}");
+        std::process::exit(1);
+    }
+    println!("perf gate passed against {baseline_path}");
+}

@@ -1,0 +1,206 @@
+//! Baseline comparison for `report --json` output: the perf gate CI
+//! runs on every PR.
+//!
+//! The repo commits `BENCH_baseline.json` (written by the `report`
+//! binary); the `compare_baseline` binary re-runs the report and
+//! fails the build when a claim stopped passing or a metric regressed
+//! beyond tolerance. Parsing is hand-rolled against the report's own
+//! fixed JSON shape (the workspace builds offline, without serde).
+
+/// Metrics measured in *real* wall-clock on the CI host rather than
+/// simulated time — excluded from the regression gate because their
+/// run-to-run noise swamps any 10% tolerance.
+pub const WALLCLOCK_METRICS: &[&str] = &[
+    "closed_form_wallclock_seconds",
+    "lime_baseline_wallclock_seconds",
+    "closed_form_speedup_vs_lime",
+];
+
+/// One metric's baseline-vs-candidate verdict.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricComparison {
+    /// Metric key, as emitted by `report --json`.
+    pub key: String,
+    /// Committed baseline value.
+    pub baseline: f64,
+    /// Freshly measured value.
+    pub candidate: f64,
+    /// `true` when the candidate is worse than the baseline by more
+    /// than the tolerance, in the metric's "better" direction.
+    pub regressed: bool,
+}
+
+/// Extracts the top-level `"all_claims_pass"` flag.
+pub fn parse_all_claims_pass(json: &str) -> Option<bool> {
+    let idx = json.find("\"all_claims_pass\"")?;
+    let rest = json[idx..].split_once(':')?.1.trim_start();
+    if rest.starts_with("true") {
+        Some(true)
+    } else if rest.starts_with("false") {
+        Some(false)
+    } else {
+        None
+    }
+}
+
+/// Extracts the flat `"metrics"` object as `(key, value)` pairs, in
+/// file order. Unparseable entries are skipped.
+pub fn parse_metrics(json: &str) -> Vec<(String, f64)> {
+    let Some(idx) = json.find("\"metrics\"") else {
+        return Vec::new();
+    };
+    let Some(open) = json[idx..].find('{') else {
+        return Vec::new();
+    };
+    let body = &json[idx + open + 1..];
+    let end = body.find('}').unwrap_or(body.len());
+    let mut out = Vec::new();
+    for entry in body[..end].split(',') {
+        let Some((key, value)) = entry.split_once(':') else {
+            continue;
+        };
+        let key = key.trim().trim_matches('"');
+        if key.is_empty() {
+            continue;
+        }
+        if let Ok(v) = value.trim().parse::<f64>() {
+            out.push((key.to_string(), v));
+        }
+    }
+    out
+}
+
+/// `true` when smaller values of this metric are better (times and
+/// errors); larger is better otherwise (speedups, accuracies,
+/// throughputs, savings).
+pub fn lower_is_better(key: &str) -> bool {
+    key.contains("seconds") || key.contains("error")
+}
+
+/// Compares every metric present in **both** sets, skipping
+/// [`WALLCLOCK_METRICS`]. `tolerance` is the allowed fractional
+/// regression (0.10 = a metric may be up to 10% worse than baseline).
+/// New metrics absent from the baseline are not compared — committing
+/// a refreshed baseline picks them up.
+pub fn compare_metrics(
+    baseline: &[(String, f64)],
+    candidate: &[(String, f64)],
+    tolerance: f64,
+) -> Vec<MetricComparison> {
+    baseline
+        .iter()
+        .filter(|(k, _)| !WALLCLOCK_METRICS.contains(&k.as_str()))
+        .filter_map(|(key, b)| {
+            let c = candidate.iter().find(|(k, _)| k == key)?.1;
+            let regressed = if lower_is_better(key) {
+                c > b * (1.0 + tolerance)
+            } else {
+                c < b * (1.0 - tolerance)
+            };
+            Some(MetricComparison {
+                key: key.clone(),
+                baseline: *b,
+                candidate: c,
+                regressed,
+            })
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = r#"{
+  "schema": "tpu-xai-bench-baseline/v1",
+  "all_claims_pass": true,
+  "claims": [
+    {"id": "x", "paper": "y", "measured": "z", "pass": true}
+  ],
+  "metrics": {
+    "some_speedup_vs_cpu": 6.3e1,
+    "roundtrip_seconds_512sq": 3.6e-5,
+    "kernel_recovery_max_error": 7.1e-9,
+    "closed_form_wallclock_seconds": 5.9e-4
+  }
+}"#;
+
+    #[test]
+    fn parses_flag_and_metrics() {
+        assert_eq!(parse_all_claims_pass(SAMPLE), Some(true));
+        assert_eq!(
+            parse_all_claims_pass(&SAMPLE.replace("true,", "false,")),
+            Some(false)
+        );
+        let metrics = parse_metrics(SAMPLE);
+        assert_eq!(metrics.len(), 4);
+        assert_eq!(metrics[0].0, "some_speedup_vs_cpu");
+        assert!((metrics[1].1 - 3.6e-5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn direction_heuristic() {
+        assert!(lower_is_better("fig4_tpu_roundtrip_seconds_512sq"));
+        assert!(lower_is_better("eq4_kernel_recovery_max_error"));
+        assert!(!lower_is_better("table2_interpret_speedup_vs_cpu"));
+        assert!(!lower_is_better("serving_explanations_per_sec_batched_8w"));
+        assert!(!lower_is_better("fig5_block_localization_accuracy"));
+    }
+
+    #[test]
+    fn regression_detection_respects_direction_and_tolerance() {
+        let baseline = parse_metrics(SAMPLE);
+        // Within tolerance: nothing regresses.
+        let same = compare_metrics(&baseline, &baseline, 0.10);
+        assert_eq!(same.len(), 3, "wall-clock metric must be skipped");
+        assert!(same.iter().all(|c| !c.regressed));
+        // A 50% slower roundtrip and a 50% smaller speedup both trip.
+        let worse: Vec<(String, f64)> = baseline
+            .iter()
+            .map(|(k, v)| {
+                let v = if k == "roundtrip_seconds_512sq" {
+                    v * 1.5
+                } else if k == "some_speedup_vs_cpu" {
+                    v * 0.5
+                } else {
+                    *v
+                };
+                (k.clone(), v)
+            })
+            .collect();
+        let cmp = compare_metrics(&baseline, &worse, 0.10);
+        let regressed: Vec<&str> = cmp
+            .iter()
+            .filter(|c| c.regressed)
+            .map(|c| c.key.as_str())
+            .collect();
+        assert_eq!(
+            regressed,
+            vec!["some_speedup_vs_cpu", "roundtrip_seconds_512sq"]
+        );
+        // Wall-clock noise never regresses the gate.
+        let mut noisy = baseline.clone();
+        for (k, v) in &mut noisy {
+            if k == "closed_form_wallclock_seconds" {
+                *v *= 100.0;
+            }
+        }
+        assert!(compare_metrics(&baseline, &noisy, 0.10)
+            .iter()
+            .all(|c| !c.regressed));
+    }
+
+    #[test]
+    fn metrics_missing_from_either_side_are_skipped() {
+        let baseline = vec![("a_speedup".to_string(), 2.0)];
+        let candidate = vec![("b_speedup".to_string(), 1.0)];
+        assert!(compare_metrics(&baseline, &candidate, 0.1).is_empty());
+    }
+
+    #[test]
+    fn malformed_json_degrades_gracefully() {
+        assert_eq!(parse_all_claims_pass("{}"), None);
+        assert!(parse_metrics("not json at all").is_empty());
+        assert!(parse_metrics("{\"metrics\": {}}").is_empty());
+    }
+}

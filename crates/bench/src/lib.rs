@@ -17,6 +17,8 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod compare;
+
 use xai_accel::{Accelerator, CpuModel, GpuModel, TpuAccel};
 use xai_tensor::conv::conv2d_circular;
 use xai_tensor::{Matrix, Result};

@@ -90,6 +90,14 @@ pub fn explain_batch_on(
 /// every worker's kernels (order-independent: simulated time is a
 /// sum).
 ///
+/// When the accelerator batches cross-request work (e.g.
+/// `TpuAccel::with_batching`), the per-worker transform batches
+/// issued here additionally coalesce at the device into shared
+/// flights: N workers explaining N inputs trigger O(phases) device
+/// dispatches instead of O(N·phases), with one reassembly collective
+/// per transform stage for the whole fleet. Numerics are unchanged —
+/// only the simulated schedule (and the clock) improves.
+///
 /// # Errors
 ///
 /// Returns [`TensorError::EmptyDimension`] for `workers == 0`;
@@ -276,6 +284,23 @@ mod tests {
         }
         // Every worker charged the one shared device.
         assert!(shared.elapsed_seconds() > 0.0);
+    }
+
+    #[test]
+    fn batching_accelerator_routes_through_queue_with_identical_results() {
+        use std::time::Duration;
+        let (model, batch) = setup(4);
+        let serial = explain_batch_on(&TpuAccel::with_cores(8), &model, &batch, 4).unwrap();
+        // 4 workers × one pair × 16 regions per queued kernel.
+        let lanes = 4 * 16;
+        let batching: Arc<TpuAccel> =
+            Arc::new(TpuAccel::with_cores(8).with_batching(Duration::from_secs(60), lanes));
+        let parallel = explain_batch_parallel_on(&*batching, &model, &batch, 4, 4).unwrap();
+        for (a, b) in serial.iter().zip(&parallel) {
+            assert_eq!(a.as_slice(), b.as_slice());
+        }
+        // One forward + one inverse flight for the whole fleet.
+        assert_eq!(batching.device().collectives(), 4);
     }
 
     #[test]

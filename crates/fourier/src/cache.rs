@@ -11,14 +11,22 @@
 use crate::fft2d::Fft2d;
 use crate::plan::FftPlan;
 use std::collections::HashMap;
-use std::sync::{Arc, Mutex, OnceLock};
+use std::sync::{Arc, Mutex, MutexGuard, OnceLock, PoisonError};
 
 /// A shape-keyed, thread-safe cache of 1-D and 2-D transform plans.
 ///
 /// Plans are returned as [`Arc`]s so callers can hold them across
 /// cache mutations (and across threads) without holding any lock. The
 /// internal lock is only held while looking up or inserting a plan —
-/// never while a transform executes.
+/// never while a plan is *built* and never while a transform
+/// executes: construction happens outside the lock with a
+/// double-checked re-lookup on insert, so the first builder of a
+/// large shape does not serialise every other thread.
+///
+/// The cache also survives panicking workers: the guarded state is a
+/// pure map of immutable plans, so a lock poisoned by a panic
+/// elsewhere is recovered rather than propagated — one crashed
+/// request must not wedge the process-wide [`global_plan_cache`].
 ///
 /// # Examples
 ///
@@ -50,37 +58,43 @@ impl PlanCache {
 
     /// Returns (building on first use) the 1-D plan for length `n`.
     ///
+    /// The plan is built *outside* the cache lock; when two threads
+    /// race to build the same length, one build is discarded and both
+    /// receive the same [`Arc`] (pointer-identical).
+    ///
     /// # Panics
     ///
-    /// Panics if `n == 0` (as [`FftPlan::new`]), or if a previous
-    /// panic poisoned the cache lock.
+    /// Panics if `n == 0` (as [`FftPlan::new`]).
     pub fn plan_1d(&self, n: usize) -> Arc<FftPlan> {
-        let mut maps = self.inner.lock().expect("plan cache lock poisoned");
-        Arc::clone(
-            maps.plans_1d
-                .entry(n)
-                .or_insert_with(|| Arc::new(FftPlan::new(n))),
-        )
+        if let Some(plan) = self.lock().plans_1d.get(&n) {
+            return Arc::clone(plan);
+        }
+        let built = Arc::new(FftPlan::new(n));
+        // Double-checked insert: a racing thread may have landed its
+        // plan while ours was under construction — the first insert
+        // wins so every caller sees one canonical Arc.
+        Arc::clone(self.lock().plans_1d.entry(n).or_insert(built))
     }
 
     /// Returns (building on first use) the 2-D plan for `rows × cols`.
     ///
+    /// Built outside the cache lock with a double-checked insert, as
+    /// [`PlanCache::plan_1d`].
+    ///
     /// # Panics
     ///
-    /// Panics if either dimension is 0 (as [`Fft2d::new`]), or if a
-    /// previous panic poisoned the cache lock.
+    /// Panics if either dimension is 0 (as [`Fft2d::new`]).
     pub fn plan_2d(&self, rows: usize, cols: usize) -> Arc<Fft2d> {
-        let mut maps = self.inner.lock().expect("plan cache lock poisoned");
-        Arc::clone(
-            maps.plans_2d
-                .entry((rows, cols))
-                .or_insert_with(|| Arc::new(Fft2d::new(rows, cols))),
-        )
+        if let Some(plan) = self.lock().plans_2d.get(&(rows, cols)) {
+            return Arc::clone(plan);
+        }
+        let built = Arc::new(Fft2d::new(rows, cols));
+        Arc::clone(self.lock().plans_2d.entry((rows, cols)).or_insert(built))
     }
 
     /// Number of distinct cached plans (1-D + 2-D).
     pub fn len(&self) -> usize {
-        let maps = self.inner.lock().expect("plan cache lock poisoned");
+        let maps = self.lock();
         maps.plans_1d.len() + maps.plans_2d.len()
     }
 
@@ -92,9 +106,16 @@ impl PlanCache {
     /// Drops all cached plans (plans still referenced through their
     /// [`Arc`]s stay alive and usable).
     pub fn clear(&self) {
-        let mut maps = self.inner.lock().expect("plan cache lock poisoned");
+        let mut maps = self.lock();
         maps.plans_1d.clear();
         maps.plans_2d.clear();
+    }
+
+    /// Locks the plan maps, recovering from poisoning: the maps only
+    /// ever hold fully-constructed plans, so state behind a lock
+    /// poisoned by a panicking thread is still consistent.
+    fn lock(&self) -> MutexGuard<'_, PlanMaps> {
+        self.inner.lock().unwrap_or_else(PoisonError::into_inner)
     }
 }
 
@@ -185,5 +206,48 @@ mod tests {
         let a = global_plan_cache().plan_2d(3, 5);
         let b = global_plan_cache().plan_2d(3, 5);
         assert!(Arc::ptr_eq(&a, &b));
+    }
+
+    #[test]
+    fn racing_builders_still_converge_on_one_arc() {
+        // Both threads may miss and build concurrently (construction
+        // is outside the lock); the double-checked insert must hand
+        // every caller the same canonical plan.
+        for round in 0..8 {
+            let cache = PlanCache::new();
+            let shape = 16 + round; // avoid radix-2-only shapes too
+            let plans: Vec<Arc<Fft2d>> = std::thread::scope(|scope| {
+                let handles: Vec<_> = (0..4)
+                    .map(|_| scope.spawn(|| cache.plan_2d(shape, shape)))
+                    .collect();
+                handles.into_iter().map(|h| h.join().unwrap()).collect()
+            });
+            assert_eq!(cache.len(), 1, "round {round}");
+            for p in &plans[1..] {
+                assert!(Arc::ptr_eq(&plans[0], p), "round {round}");
+            }
+        }
+    }
+
+    #[test]
+    fn poisoned_lock_recovers_and_cache_keeps_serving() {
+        let cache = Arc::new(PlanCache::new());
+        let warm = cache.plan_2d(8, 8);
+        // A worker panics while actually HOLDING the cache lock —
+        // the worst case — which poisons the mutex. The poison must
+        // not wedge the cache for subsequent requests.
+        let crashing = Arc::clone(&cache);
+        let handle = std::thread::spawn(move || {
+            let _guard = crashing.inner.lock().unwrap();
+            panic!("simulated worker crash while holding the lock");
+        });
+        assert!(handle.join().is_err(), "worker must have panicked");
+        assert!(cache.inner.is_poisoned(), "lock must actually be poisoned");
+        // Subsequent requests serve, and cached state is intact.
+        let after = cache.plan_2d(8, 8);
+        assert!(Arc::ptr_eq(&warm, &after));
+        assert_eq!(cache.len(), 1);
+        let x = Matrix::from_fn(8, 8, |r, c| Complex64::new((r + c) as f64, 0.0)).unwrap();
+        assert!(after.forward(&x).is_ok());
     }
 }

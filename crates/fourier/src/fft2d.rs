@@ -104,6 +104,63 @@ impl Fft2d {
         self.transform(x, false, workers)
     }
 
+    /// Batched forward transform: one fused row pass and one fused
+    /// column pass over the whole batch, reusing this plan and a
+    /// single scratch transpose — the §III-D multi-input parallelism
+    /// realised at the transform level. Results are bit-identical to
+    /// calling [`Fft2d::forward`] on each matrix.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] when any matrix does not
+    /// match the planned shape. An empty batch yields an empty vector.
+    pub fn forward_batch(&self, xs: &[Matrix<Complex64>]) -> Result<Vec<Matrix<Complex64>>> {
+        self.transform_batch(xs, true, 1)
+    }
+
+    /// Batched inverse transform (see [`Fft2d::forward_batch`]).
+    ///
+    /// # Errors
+    ///
+    /// As [`Fft2d::forward_batch`].
+    pub fn inverse_batch(&self, xs: &[Matrix<Complex64>]) -> Result<Vec<Matrix<Complex64>>> {
+        self.transform_batch(xs, false, 1)
+    }
+
+    /// Batched forward transform with both fused passes sharded across
+    /// `workers` host threads (clamped to the available row count).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::EmptyDimension`] if `workers == 0` and
+    /// [`TensorError::ShapeMismatch`] for any shape mismatch.
+    pub fn forward_batch_parallel(
+        &self,
+        xs: &[Matrix<Complex64>],
+        workers: usize,
+    ) -> Result<Vec<Matrix<Complex64>>> {
+        if workers == 0 {
+            return Err(TensorError::EmptyDimension);
+        }
+        self.transform_batch(xs, true, workers)
+    }
+
+    /// Batched inverse transform sharded across `workers` host threads.
+    ///
+    /// # Errors
+    ///
+    /// As [`Fft2d::forward_batch_parallel`].
+    pub fn inverse_batch_parallel(
+        &self,
+        xs: &[Matrix<Complex64>],
+        workers: usize,
+    ) -> Result<Vec<Matrix<Complex64>>> {
+        if workers == 0 {
+            return Err(TensorError::EmptyDimension);
+        }
+        self.transform_batch(xs, false, workers)
+    }
+
     fn transform(
         &self,
         x: &Matrix<Complex64>,
@@ -127,9 +184,53 @@ impl Fft2d {
         Ok(t.transpose())
     }
 
+    fn transform_batch(
+        &self,
+        xs: &[Matrix<Complex64>],
+        fwd: bool,
+        workers: usize,
+    ) -> Result<Vec<Matrix<Complex64>>> {
+        for x in xs {
+            if x.shape() != (self.rows, self.cols) {
+                return Err(TensorError::ShapeMismatch {
+                    left: (self.rows, self.cols),
+                    right: x.shape(),
+                    op: "fft2d_batch",
+                });
+            }
+        }
+        if xs.is_empty() {
+            return Ok(Vec::new());
+        }
+        let (b, m, n) = (xs.len(), self.rows, self.cols);
+        // Stage 1: ONE fused row pass over every row of every matrix,
+        // stacked into a single (b·m) × n buffer.
+        let mut stacked = Matrix::vstack(xs)?;
+        self.run_rows(&mut stacked, &self.row_plan, fwd, workers);
+        // Stage 2: ONE fused column pass. Each matrix's block is
+        // transposed into a single (b·n) × m scratch so the column
+        // transforms run as contiguous rows, then transposed back.
+        let mut scratch = Matrix::filled(b * n, m, Complex64::ZERO)?;
+        for i in 0..b {
+            for r in 0..m {
+                for c in 0..n {
+                    scratch[(i * n + c, r)] = stacked[(i * m + r, c)];
+                }
+            }
+        }
+        self.run_rows(&mut scratch, &self.col_plan, fwd, workers);
+        (0..b)
+            .map(|i| Matrix::from_fn(m, n, |r, c| scratch[(i * n + c, r)]))
+            .collect()
+    }
+
     fn run_rows(&self, m: &mut Matrix<Complex64>, plan: &FftPlan, fwd: bool, workers: usize) {
         let norm = Norm::Backward; // scale handled per-axis by plan norm below
         let cols = m.cols();
+        let rows = m.rows();
+        // Clamp to the row count: more workers than rows would only
+        // spawn degenerate threads with nothing to transform.
+        let workers = workers.min(rows).max(1);
         let run = |chunk: &mut [Complex64]| {
             for row in chunk.chunks_exact_mut(cols) {
                 if fwd {
@@ -142,7 +243,6 @@ impl Fft2d {
         if workers <= 1 {
             run(m.as_mut_slice());
         } else {
-            let rows = m.rows();
             let rows_per = rows.div_ceil(workers);
             let chunk_len = rows_per * cols;
             std::thread::scope(|s| {
@@ -180,6 +280,34 @@ pub fn fft2d(x: &Matrix<Complex64>) -> Result<Matrix<Complex64>> {
 /// Infallible for non-empty matrices; propagates construction errors.
 pub fn ifft2d(x: &Matrix<Complex64>) -> Result<Matrix<Complex64>> {
     Fft2d::new(x.rows(), x.cols()).inverse(x)
+}
+
+/// One-shot batched forward 2-D DFTs: every matrix must share one
+/// shape; one plan is built and both fused passes run over the whole
+/// batch (see [`Fft2d::forward_batch`]).
+///
+/// # Errors
+///
+/// Returns [`TensorError::ShapeMismatch`] when the batch mixes
+/// shapes. An empty batch yields an empty vector.
+pub fn fft2d_batch(xs: &[Matrix<Complex64>]) -> Result<Vec<Matrix<Complex64>>> {
+    match xs.first() {
+        None => Ok(Vec::new()),
+        Some(first) => Fft2d::new(first.rows(), first.cols()).forward_batch(xs),
+    }
+}
+
+/// One-shot batched inverse 2-D DFTs (backward norm; see
+/// [`fft2d_batch`]).
+///
+/// # Errors
+///
+/// As [`fft2d_batch`].
+pub fn ifft2d_batch(xs: &[Matrix<Complex64>]) -> Result<Vec<Matrix<Complex64>>> {
+    match xs.first() {
+        None => Ok(Vec::new()),
+        Some(first) => Fft2d::new(first.rows(), first.cols()).inverse_batch(xs),
+    }
 }
 
 /// Forward 2-D DFT of a real matrix.
@@ -292,8 +420,88 @@ mod tests {
     fn zero_workers_rejected() {
         let x = test_matrix(4, 4);
         let plan = Fft2d::new(4, 4);
-        assert!(plan.forward_parallel(&x, 0).is_err());
-        assert!(plan.inverse_parallel(&x, 0).is_err());
+        assert!(matches!(
+            plan.forward_parallel(&x, 0).unwrap_err(),
+            TensorError::EmptyDimension
+        ));
+        assert!(matches!(
+            plan.inverse_parallel(&x, 0).unwrap_err(),
+            TensorError::EmptyDimension
+        ));
+        assert!(matches!(
+            plan.forward_batch_parallel(std::slice::from_ref(&x), 0)
+                .unwrap_err(),
+            TensorError::EmptyDimension
+        ));
+        assert!(matches!(
+            plan.inverse_batch_parallel(&[x], 0).unwrap_err(),
+            TensorError::EmptyDimension
+        ));
+    }
+
+    #[test]
+    fn oversubscribed_workers_match_serial() {
+        // workers ≫ rows must clamp, not spawn empty-chunk threads.
+        let x = test_matrix(3, 8);
+        let plan = Fft2d::new(3, 8);
+        let serial = plan.forward(&x).unwrap();
+        let over = plan.forward_parallel(&x, 64).unwrap();
+        assert_eq!(serial.as_slice(), over.as_slice());
+    }
+
+    #[test]
+    fn batch_is_bit_identical_to_per_matrix() {
+        let plan = Fft2d::new(6, 10);
+        let xs: Vec<_> = (0..4)
+            .map(|s| {
+                Matrix::from_fn(6, 10, |r, c| {
+                    Complex64::new(((r * 3 + c + s) % 7) as f64 - 2.0, (c % 3) as f64 * 0.4)
+                })
+                .unwrap()
+            })
+            .collect();
+        let per: Vec<_> = xs.iter().map(|x| plan.forward(x).unwrap()).collect();
+        let batch = plan.forward_batch(&xs).unwrap();
+        for (a, b) in per.iter().zip(&batch) {
+            assert_eq!(a.as_slice(), b.as_slice());
+        }
+        let per_inv: Vec<_> = per.iter().map(|x| plan.inverse(x).unwrap()).collect();
+        let batch_inv = plan.inverse_batch(&batch).unwrap();
+        for (a, b) in per_inv.iter().zip(&batch_inv) {
+            assert_eq!(a.as_slice(), b.as_slice());
+        }
+    }
+
+    #[test]
+    fn batch_edge_cases() {
+        let plan = Fft2d::new(4, 4);
+        assert!(plan.forward_batch(&[]).unwrap().is_empty());
+        let x = test_matrix(4, 4);
+        let one = plan.forward_batch(std::slice::from_ref(&x)).unwrap();
+        assert_eq!(one.len(), 1);
+        assert_eq!(one[0].as_slice(), plan.forward(&x).unwrap().as_slice());
+        // A mismatched member anywhere in the batch is rejected.
+        let bad = vec![x.clone(), test_matrix(4, 5)];
+        assert!(matches!(
+            plan.forward_batch(&bad).unwrap_err(),
+            TensorError::ShapeMismatch { .. }
+        ));
+    }
+
+    #[test]
+    fn free_batch_functions_roundtrip() {
+        let xs: Vec<_> = (0..3)
+            .map(|s| test_matrix(5, 7).map(|z| z * Complex64::from_real(1.0 + s as f64)))
+            .collect();
+        let spectra = fft2d_batch(&xs).unwrap();
+        let back = ifft2d_batch(&spectra).unwrap();
+        for (x, b) in xs.iter().zip(&back) {
+            assert!(x.max_abs_diff(b).unwrap() < 1e-9);
+        }
+        assert!(fft2d_batch(&[]).unwrap().is_empty());
+        assert!(ifft2d_batch(&[]).unwrap().is_empty());
+        let mixed = vec![test_matrix(4, 4), test_matrix(5, 4)];
+        assert!(fft2d_batch(&mixed).is_err());
     }
 
     #[test]

@@ -3,7 +3,9 @@
 //! must hold on random data.
 
 use proptest::prelude::*;
-use xai_fourier::{convolve2d_fft, dft, fft2d, fft2d_via_matmul, idft, ifft2d, FftPlan, Norm};
+use xai_fourier::{
+    convolve2d_fft, dft, fft2d, fft2d_batch, fft2d_via_matmul, idft, ifft2d, Fft2d, FftPlan, Norm,
+};
 use xai_tensor::conv::conv2d_circular;
 use xai_tensor::{Complex64, Matrix};
 
@@ -90,6 +92,49 @@ proptest! {
         let fb = dft(&b, Norm::Backward);
         let rhs: Vec<Complex64> = fa.iter().zip(&fb).map(|(&x, &y)| x + y.scale(s)).collect();
         prop_assert!(max_diff(&lhs, &rhs) < 1e-7);
+    }
+
+    #[test]
+    fn batch_transform_bit_identical_to_per_matrix(
+        m in 1usize..9,
+        n in 1usize..9,
+        b in 0usize..5,
+        workers in 1usize..6,
+        seed_data in proptest::collection::vec((-10.0f64..10.0, -10.0f64..10.0), 8 * 8 * 4),
+    ) {
+        // Random shapes (radix-2 and Bluestein lengths), batch sizes
+        // including 0 and 1, and worker counts up to well past the
+        // row count: the fused batch passes must reproduce per-matrix
+        // transforms BIT for bit.
+        let xs: Vec<Matrix<Complex64>> = (0..b)
+            .map(|i| {
+                Matrix::from_fn(m, n, |r, c| {
+                    let (re, im) = seed_data[(i * m * n + r * n + c) % seed_data.len()];
+                    Complex64::new(re, im)
+                })
+                .unwrap()
+            })
+            .collect();
+        let plan = Fft2d::new(m, n);
+        let per: Vec<_> = xs.iter().map(|x| plan.forward(x).unwrap()).collect();
+        let fused = plan.forward_batch(&xs).unwrap();
+        let sharded = plan.forward_batch_parallel(&xs, workers).unwrap();
+        prop_assert_eq!(fused.len(), xs.len());
+        for ((a, f), s) in per.iter().zip(&fused).zip(&sharded) {
+            prop_assert_eq!(a.as_slice(), f.as_slice());
+            prop_assert_eq!(a.as_slice(), s.as_slice());
+        }
+        // The one-shot free function agrees too.
+        let free = fft2d_batch(&xs).unwrap();
+        for (a, f) in per.iter().zip(&free) {
+            prop_assert_eq!(a.as_slice(), f.as_slice());
+        }
+        // And the inverse path.
+        let per_inv: Vec<_> = per.iter().map(|x| plan.inverse(x).unwrap()).collect();
+        let inv = plan.inverse_batch_parallel(&per, workers).unwrap();
+        for (a, i) in per_inv.iter().zip(&inv) {
+            prop_assert_eq!(a.as_slice(), i.as_slice());
+        }
     }
 
     #[test]

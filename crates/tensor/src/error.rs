@@ -43,6 +43,14 @@ pub enum TensorError {
         /// Upper bound supplied.
         max: f64,
     },
+    /// A cooperating worker thread panicked while executing a shared
+    /// operation (e.g. the leader of a coalesced device batch), so
+    /// this request's result never materialised. The shared state
+    /// itself recovers; only the in-flight requests are lost.
+    WorkerPanicked {
+        /// Name of the shared operation that crashed.
+        op: &'static str,
+    },
 }
 
 impl fmt::Display for TensorError {
@@ -63,6 +71,9 @@ impl fmt::Display for TensorError {
             }
             TensorError::InvalidQuantRange { min, max } => {
                 write!(f, "invalid quantisation range [{min}, {max}]")
+            }
+            TensorError::WorkerPanicked { op } => {
+                write!(f, "a cooperating worker panicked during {op}")
             }
         }
     }

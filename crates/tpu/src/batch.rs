@@ -1,0 +1,448 @@
+//! Cross-request batching: a submission queue that coalesces work
+//! arriving from concurrent threads into single device dispatches.
+//!
+//! The paper's §III-D multi-input parallelism assumes the batch is
+//! already assembled. In a serving deployment it is not: N request
+//! threads each show up with their own handful of transforms, and
+//! dispatching them per-request issues O(N·phases) device phases and
+//! collectives. [`BatchQueue`] closes that gap with a leader/follower
+//! protocol: the first submitter of a *flight* becomes its leader,
+//! waits a bounded batching window for peers (dispatching immediately
+//! once [`BatchQueue::max_lanes`] work items are pending), then runs
+//! the caller-supplied dispatch once over the coalesced batch —
+//! typically one [`crate::TpuDevice::run_phase`] with each item on
+//! its own core lane and one `cross_replica_sum` per transform stage.
+//! Followers block until the flight lands and receive exactly their
+//! items' results, in submission order.
+//!
+//! The queue is deliberately generic over work/result types so the
+//! accelerator layer can route forward *and* inverse transforms (and
+//! later kernels) through one queue without this crate knowing about
+//! plan caches or cost models.
+
+use crate::shared::SharedDevice;
+use std::collections::HashMap;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::{Condvar, Mutex, MutexGuard, PoisonError};
+use std::time::{Duration, Instant};
+use xai_tensor::{Result, TensorError};
+
+/// A coalescing submission queue in front of one [`SharedDevice`].
+///
+/// Cheap to share behind an `Arc`; see the [module docs](self) for
+/// the protocol. Three knobs govern a flight:
+///
+/// * `window` — how long a leader waits for peers before dispatching
+///   whatever is pending (a zero window dispatches immediately, which
+///   disables cross-thread coalescing but keeps the code path);
+/// * `max_lanes` — a flight dispatches as soon as this many work
+///   items are pending, without waiting out the window. Sizing it to
+///   the device core count fills every lane of one phase.
+///
+/// # Examples
+///
+/// ```
+/// use std::time::Duration;
+/// use xai_tpu::{BatchQueue, SharedDevice, TpuConfig};
+///
+/// let dev = SharedDevice::new(TpuConfig::small_test());
+/// let queue: BatchQueue<u64, u64> = BatchQueue::new(dev, Duration::ZERO, 2);
+/// let doubled = queue
+///     .submit(vec![1, 2, 3], |_device, items| {
+///         Ok(items.into_iter().map(|v| v * 2).collect())
+///     })
+///     .unwrap();
+/// assert_eq!(doubled, vec![2, 4, 6]);
+/// ```
+#[derive(Debug)]
+pub struct BatchQueue<W, R> {
+    device: SharedDevice,
+    window: Duration,
+    max_lanes: usize,
+    state: Mutex<QueueState<W, R>>,
+    /// Wakes the current leader when followers add lanes.
+    arrivals: Condvar,
+    /// Wakes followers when a flight lands.
+    completions: Condvar,
+}
+
+#[derive(Debug)]
+struct QueueState<W, R> {
+    /// Id of the flight currently forming.
+    generation: u64,
+    /// Work items of the forming flight, in submission order.
+    pending: Vec<W>,
+    /// Submissions participating in the forming flight.
+    submissions: usize,
+    /// Whether the forming flight already has a leader.
+    has_leader: bool,
+    /// Completed flights awaiting collection, keyed by generation.
+    landed: HashMap<u64, Landing<R>>,
+}
+
+#[derive(Debug)]
+struct Landing<R> {
+    /// Per-item result slots (taken once each) or the flight's error.
+    outcome: Result<Vec<Option<R>>>,
+    /// Submissions that still have to collect from this landing.
+    outstanding: usize,
+}
+
+impl<W: Send, R: Send> BatchQueue<W, R> {
+    /// Creates a queue over `device` with the given batching `window`
+    /// and early-dispatch threshold (`max_lanes` is clamped to ≥ 1).
+    pub fn new(device: SharedDevice, window: Duration, max_lanes: usize) -> Self {
+        BatchQueue {
+            device,
+            window,
+            max_lanes: max_lanes.max(1),
+            state: Mutex::new(QueueState {
+                generation: 0,
+                pending: Vec::new(),
+                submissions: 0,
+                has_leader: false,
+                landed: HashMap::new(),
+            }),
+            arrivals: Condvar::new(),
+            completions: Condvar::new(),
+        }
+    }
+
+    /// The device this queue dispatches to.
+    pub fn device(&self) -> &SharedDevice {
+        &self.device
+    }
+
+    /// The batching window a leader waits for peers.
+    pub fn window(&self) -> Duration {
+        self.window
+    }
+
+    /// The lane count that triggers dispatch before the window ends.
+    pub fn max_lanes(&self) -> usize {
+        self.max_lanes
+    }
+
+    /// Submits `items` and blocks until their results are available,
+    /// returning them in the order given. One submitter per flight —
+    /// the leader — executes `dispatch` over the *whole* coalesced
+    /// batch; every submitter passes an equivalent closure so it does
+    /// not matter who wins. An empty submission returns immediately.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the flight's dispatch error to every participating
+    /// submitter, [`TensorError::DataLength`] when `dispatch` returns
+    /// a result count that does not match the batch, and
+    /// [`TensorError::WorkerPanicked`] to followers whose leader
+    /// panicked mid-dispatch (the panic itself resumes on the
+    /// leader's thread).
+    pub fn submit(
+        &self,
+        items: Vec<W>,
+        dispatch: impl FnOnce(&SharedDevice, Vec<W>) -> Result<Vec<R>>,
+    ) -> Result<Vec<R>> {
+        if items.is_empty() {
+            return Ok(Vec::new());
+        }
+        let mut st = self.lock();
+        let generation = st.generation;
+        let offset = st.pending.len();
+        let count = items.len();
+        st.pending.extend(items);
+        st.submissions += 1;
+        if st.has_leader {
+            // Follower: wake the leader in case our lanes crossed the
+            // early-dispatch threshold, then wait for the landing.
+            self.arrivals.notify_all();
+        } else {
+            st.has_leader = true;
+            st = self.run_flight(st, generation, dispatch);
+        }
+        self.collect(st, generation, offset, count)
+    }
+
+    /// Leader path: waits out the batching window (or `max_lanes`),
+    /// closes the flight, runs `dispatch` outside the queue lock and
+    /// publishes the landing.
+    fn run_flight<'q>(
+        &'q self,
+        mut st: MutexGuard<'q, QueueState<W, R>>,
+        generation: u64,
+        dispatch: impl FnOnce(&SharedDevice, Vec<W>) -> Result<Vec<R>>,
+    ) -> MutexGuard<'q, QueueState<W, R>> {
+        let deadline = Instant::now() + self.window;
+        while st.pending.len() < self.max_lanes {
+            let now = Instant::now();
+            if now >= deadline {
+                break;
+            }
+            let (guard, timeout) = self
+                .arrivals
+                .wait_timeout(st, deadline - now)
+                .unwrap_or_else(PoisonError::into_inner);
+            st = guard;
+            if timeout.timed_out() {
+                break;
+            }
+        }
+        // Close the flight: later submitters start the next one.
+        let batch = std::mem::take(&mut st.pending);
+        let submissions = std::mem::replace(&mut st.submissions, 0);
+        let lanes = batch.len();
+        st.generation += 1;
+        st.has_leader = false;
+        drop(st);
+
+        // Dispatch outside the lock so new flights can form while the
+        // device runs. A panicking dispatch still lands an error for
+        // the followers (then resumes on this thread) — otherwise one
+        // crashed leader would strand every follower forever.
+        let outcome = match catch_unwind(AssertUnwindSafe(|| dispatch(&self.device, batch))) {
+            Ok(Ok(results)) if results.len() == lanes => {
+                Ok(results.into_iter().map(Some).collect())
+            }
+            Ok(Ok(results)) => Err(TensorError::DataLength {
+                expected: lanes,
+                actual: results.len(),
+            }),
+            Ok(Err(e)) => Err(e),
+            Err(payload) => {
+                // The leader never collects after a panic, so only
+                // land an error entry when followers are waiting.
+                if submissions > 1 {
+                    let mut st = self.lock();
+                    st.landed.insert(
+                        generation,
+                        Landing {
+                            outcome: Err(TensorError::WorkerPanicked {
+                                op: "batch queue dispatch",
+                            }),
+                            outstanding: submissions - 1,
+                        },
+                    );
+                    self.completions.notify_all();
+                    drop(st);
+                }
+                resume_unwind(payload);
+            }
+        };
+        let mut st = self.lock();
+        st.landed.insert(
+            generation,
+            Landing {
+                outcome,
+                outstanding: submissions,
+            },
+        );
+        self.completions.notify_all();
+        st
+    }
+
+    /// Takes this submission's slice of its flight's results, waiting
+    /// for the landing if necessary.
+    fn collect(
+        &self,
+        mut st: MutexGuard<'_, QueueState<W, R>>,
+        generation: u64,
+        offset: usize,
+        count: usize,
+    ) -> Result<Vec<R>> {
+        loop {
+            if let Some(landing) = st.landed.get_mut(&generation) {
+                let taken = match &mut landing.outcome {
+                    Ok(slots) => Ok(slots[offset..offset + count]
+                        .iter_mut()
+                        .map(|s| s.take().expect("each result slot is taken exactly once"))
+                        .collect()),
+                    Err(e) => Err(e.clone()),
+                };
+                landing.outstanding -= 1;
+                if landing.outstanding == 0 {
+                    st.landed.remove(&generation);
+                }
+                return taken;
+            }
+            st = self
+                .completions
+                .wait(st)
+                .unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+
+    fn lock(&self) -> MutexGuard<'_, QueueState<W, R>> {
+        self.state.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::TpuConfig;
+    use std::sync::Arc;
+
+    fn queue(window_ms: u64, max_lanes: usize) -> BatchQueue<u64, u64> {
+        BatchQueue::new(
+            SharedDevice::new(TpuConfig::small_test()),
+            Duration::from_millis(window_ms),
+            max_lanes,
+        )
+    }
+
+    #[test]
+    fn empty_submission_returns_without_dispatch() {
+        let q = queue(0, 4);
+        let out = q
+            .submit(vec![], |_, _| panic!("must not dispatch an empty flight"))
+            .unwrap();
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn single_submitter_results_in_order() {
+        let q = queue(0, 8);
+        let out = q
+            .submit(vec![3, 1, 4, 1, 5], |_, items| {
+                Ok(items.into_iter().map(|v| v * 10).collect())
+            })
+            .unwrap();
+        assert_eq!(out, vec![30, 10, 40, 10, 50]);
+    }
+
+    #[test]
+    fn dispatch_errors_propagate() {
+        let q = queue(0, 8);
+        let err = q
+            .submit(vec![1], |_, _| {
+                Err::<Vec<u64>, _>(TensorError::EmptyDimension)
+            })
+            .unwrap_err();
+        assert_eq!(err, TensorError::EmptyDimension);
+        // The queue still serves after an errored flight.
+        assert_eq!(q.submit(vec![2], |_, v| Ok(v)).unwrap(), vec![2]);
+    }
+
+    #[test]
+    fn wrong_result_arity_is_an_error_not_a_hang() {
+        let q = queue(0, 8);
+        let err = q.submit(vec![1, 2], |_, _| Ok(vec![7])).unwrap_err();
+        assert!(matches!(
+            err,
+            TensorError::DataLength {
+                expected: 2,
+                actual: 1
+            }
+        ));
+    }
+
+    #[test]
+    fn concurrent_submissions_coalesce_into_one_flight() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let threads = 4usize;
+        let lanes_per = 3usize;
+        // max_lanes equals the total, so the flight dispatches the
+        // moment everyone has submitted — deterministic coalescing
+        // (the long window is only the straggler guard).
+        let q = Arc::new(queue(60_000, threads * lanes_per));
+        let dispatches = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..threads as u64)
+                .map(|t| {
+                    let q = Arc::clone(&q);
+                    let dispatches = &dispatches;
+                    scope.spawn(move || {
+                        let items: Vec<u64> = (0..lanes_per as u64).map(|i| t * 100 + i).collect();
+                        let expect: Vec<u64> = items.iter().map(|v| v + 1).collect();
+                        let got = q
+                            .submit(items, |_, batch| {
+                                dispatches.fetch_add(1, Ordering::SeqCst);
+                                Ok(batch.into_iter().map(|v| v + 1).collect())
+                            })
+                            .unwrap();
+                        assert_eq!(got, expect, "each submitter gets exactly its own results");
+                    })
+                })
+                .collect();
+            for h in handles {
+                h.join().unwrap();
+            }
+        });
+        assert_eq!(
+            dispatches.load(Ordering::SeqCst),
+            1,
+            "all submissions must ride one coalesced flight"
+        );
+    }
+
+    #[test]
+    fn leader_panic_fails_followers_instead_of_stranding_them() {
+        let q = Arc::new(queue(60_000, 2));
+        let results = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..2)
+                .map(|i| {
+                    let q = Arc::clone(&q);
+                    scope.spawn(move || {
+                        // Stagger so thread 0 reliably leads.
+                        if i == 1 {
+                            std::thread::sleep(Duration::from_millis(50));
+                        }
+                        q.submit(vec![i], |_, _| panic!("leader crash"))
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().map_err(|_| ()))
+                .collect::<Vec<_>>()
+        });
+        // Exactly one thread led the flight and re-raised the panic;
+        // the other observed WorkerPanicked instead of hanging.
+        let panicked = results.iter().filter(|r| r.is_err()).count();
+        assert_eq!(panicked, 1, "exactly one leader panics: {results:?}");
+        let follower = results
+            .into_iter()
+            .find_map(|r| r.ok())
+            .expect("one follower result");
+        assert!(matches!(
+            follower.unwrap_err(),
+            TensorError::WorkerPanicked { .. }
+        ));
+        // And the queue recovers for the next flight (two lanes so
+        // the early-dispatch threshold fires instead of the window).
+        assert_eq!(q.submit(vec![8, 9], |_, v| Ok(v)).unwrap(), vec![8, 9]);
+    }
+
+    #[test]
+    fn sequential_flights_advance_generations() {
+        let q = queue(0, 1);
+        for round in 0..5u64 {
+            let out = q.submit(vec![round], |_, v| Ok(v)).unwrap();
+            assert_eq!(out, vec![round]);
+        }
+    }
+
+    #[test]
+    fn dispatch_sees_the_shared_device() {
+        let dev = SharedDevice::new(TpuConfig::small_test());
+        let q: BatchQueue<f64, f64> = BatchQueue::new(dev.clone(), Duration::ZERO, 4);
+        let out = q
+            .submit(vec![0.5, 1.5], |device, items| {
+                use xai_tensor::Matrix;
+                let shards: Vec<Matrix<f64>> = items
+                    .iter()
+                    .map(|&v| Matrix::filled(4, 4, v).unwrap())
+                    .collect();
+                let sums = device.run_phase(shards, |core, s| core.matmul(&s, &s))?;
+                Ok(sums.iter().map(|m| m[(0, 0)]).collect())
+            })
+            .unwrap();
+        // The core's matmul carries real int8 quantisation error, so
+        // compare approximately.
+        assert!(
+            (out[0] - 1.0).abs() < 0.05 && (out[1] - 9.0).abs() < 0.05,
+            "{out:?}"
+        );
+        assert!(dev.wall_seconds() > 0.0, "dispatch charged the device");
+        assert!(q.device().same_device(&dev));
+    }
+}

@@ -44,6 +44,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod batch;
 mod compiler;
 mod config;
 mod core;
@@ -54,6 +55,7 @@ mod shared;
 pub mod systolic;
 pub mod trace;
 
+pub use batch::BatchQueue;
 pub use compiler::{compile_contribution, compile_distillation, compile_fft2d, Fft2dSlots};
 pub use config::{Precision, TpuConfig};
 pub use core::{bf16_round, TpuCore};

@@ -110,6 +110,69 @@ fn one_plan_cache_shared_by_worker_threads_builds_each_plan_once() {
 }
 
 #[test]
+fn batch_queue_coalesces_concurrent_explanations_bit_identically() {
+    use std::time::Duration;
+    // 8 request threads, one pair each, grid 4 → 16 regions per
+    // request. With the cross-request queue sized to the full lane
+    // count, the 8 forward (and 8 inverse) submissions coalesce into
+    // ONE device flight each.
+    let pairs = batch(8, 16);
+    let model = DistilledModel::fit(&pairs, SolveStrategy::default()).unwrap();
+    let lanes = 8 * 16;
+
+    let serial_acc = TpuAccel::with_cores(lanes);
+    let serial = explain_batch_on(&serial_acc, &model, &pairs, 4).unwrap();
+
+    // Per-request dispatch: every request pays its own phases and
+    // collectives on the shared device.
+    let per_request: Arc<TpuAccel> = Arc::new(TpuAccel::with_cores(lanes));
+    explain_batch_parallel_on(&*per_request, &model, &pairs, 4, 8).unwrap();
+
+    // Coalesced dispatch through the batching queue.
+    let batched: Arc<TpuAccel> =
+        Arc::new(TpuAccel::with_cores(lanes).with_batching(Duration::from_secs(60), lanes));
+    let maps = explain_batch_parallel_on(&*batched, &model, &pairs, 4, 8).unwrap();
+
+    assert_eq!(maps.len(), serial.len());
+    for (a, b) in serial.iter().zip(&maps) {
+        assert_eq!(
+            a.as_slice(),
+            b.as_slice(),
+            "coalescing must not change numerics"
+        );
+    }
+    // O(phases) device dispatches, not O(requests·phases): one
+    // forward flight + one inverse flight → 2 collectives each.
+    assert_eq!(batched.device().collectives(), 4);
+    assert_eq!(per_request.device().collectives(), 8 * 4);
+    let speedup = per_request.elapsed_seconds() / batched.elapsed_seconds();
+    assert!(
+        speedup >= 2.0,
+        "coalesced serving must be ≥2x faster on the device clock, got {speedup:.2}x"
+    );
+}
+
+#[test]
+fn panicked_worker_does_not_wedge_shared_device() {
+    // One request crashing mid-schedule poisons the device lock; the
+    // ledger stays consistent, so every later request must still be
+    // served — the serving process must not turn one bad request
+    // into a total outage.
+    let pairs = batch(4, 16);
+    let model = DistilledModel::fit(&pairs, SolveStrategy::default()).unwrap();
+    let shared: Arc<TpuAccel> = Arc::new(TpuAccel::with_cores(4));
+
+    let crashing = shared.device();
+    let handle = std::thread::spawn(move || crashing.with(|_| panic!("simulated bad request")));
+    assert!(handle.join().is_err(), "the bad request must have panicked");
+
+    // Subsequent requests — serial and multi-threaded — still serve.
+    let after = explain_batch_parallel_on(&*shared, &model, &pairs, 4, 2).unwrap();
+    assert_eq!(after.len(), pairs.len());
+    assert!(shared.elapsed_seconds() > 0.0);
+}
+
+#[test]
 fn many_threads_and_platforms_hammer_the_global_plan_cache() {
     // CPU, GPU and TPU front-ends all pull 2-D plans from the global
     // cache concurrently; every result must equal the single-threaded
