@@ -15,6 +15,20 @@ use std::sync::{Mutex, PoisonError};
 /// (clones do **not** share time); to share one clock across threads,
 /// share the accelerator that owns it (e.g. through an
 /// [`std::sync::Arc`]).
+///
+/// # Examples
+///
+/// ```
+/// use xai_accel::Clock;
+///
+/// let clock = Clock::new();
+/// clock.record(0.5, 100.0, 40.0); // seconds, flops, bytes
+/// clock.record(0.25, 50.0, 20.0);
+/// assert_eq!(clock.seconds(), 0.75);
+/// assert_eq!(clock.stats().kernels, 2);
+/// clock.reset();
+/// assert_eq!(clock.seconds(), 0.0);
+/// ```
 #[derive(Debug, Default)]
 pub struct Clock {
     inner: Mutex<KernelStats>,

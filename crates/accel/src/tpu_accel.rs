@@ -31,7 +31,7 @@ use xai_fourier::global_plan_cache;
 use xai_tensor::ops::{self, DivPolicy};
 use xai_tensor::quant::QuantizedMatrix;
 use xai_tensor::{Complex64, Matrix, Result};
-use xai_tpu::{BatchQueue, SharedDevice, TpuConfig, TpuDevice};
+use xai_tpu::{BatchQueue, DevicePool, LaneCost, SharedDevice, TpuConfig, TpuDevice};
 
 /// One queued transform request: a matrix plus its direction, so one
 /// cross-request queue can coalesce forward and inverse work.
@@ -48,7 +48,10 @@ struct FftJob {
 /// to drive **one** device from many threads, share the `TpuAccel`
 /// itself (e.g. `Arc<TpuAccel>` / `Arc<dyn Accelerator>`) or
 /// construct several with [`TpuAccel::over_device`] on one
-/// [`SharedDevice`].
+/// [`SharedDevice`]. [`TpuAccel::with_batching`] coalesces transforms
+/// from concurrent threads into shared device flights, and
+/// [`TpuAccel::with_pool`] additionally shards those flights across a
+/// pool of simulated chips ([`xai_tpu::DevicePool`]).
 ///
 /// # Examples
 ///
@@ -74,14 +77,25 @@ pub struct TpuAccel {
     /// through this cross-request queue and dispatched as coalesced
     /// device flights (see [`TpuAccel::with_batching`]).
     fft_queue: Option<BatchQueue<FftJob, Matrix<Complex64>>>,
+    /// When present, coalesced flights additionally shard across this
+    /// pool of simulated chips (see [`TpuAccel::with_pool`]);
+    /// `device` aliases the pool's primary device and carries the
+    /// non-sharded kernels, while the pool's merged timeline is the
+    /// accelerator's clock.
+    pool: Option<DevicePool>,
 }
 
 impl Clone for TpuAccel {
-    /// Deep copy: the clone gets an independent device with the same
+    /// Deep copy: the clone gets an independent device — or, when
+    /// pooled, an independent pool of devices — with the same
     /// configuration and current counters (and, when batching is
-    /// enabled, its own queue over the cloned device).
+    /// enabled, its own queue over the cloned primary device).
     fn clone(&self) -> Self {
-        let device = SharedDevice::from_device(self.device.with(|d| d.clone()));
+        let pool = self.pool.as_ref().map(DevicePool::deep_clone);
+        let device = match &pool {
+            Some(p) => p.primary().clone(),
+            None => SharedDevice::from_device(self.device.with(|d| d.clone())),
+        };
         TpuAccel {
             fft_queue: self
                 .fft_queue
@@ -89,6 +103,7 @@ impl Clone for TpuAccel {
                 .map(|q| BatchQueue::new(device.clone(), q.window(), q.max_lanes())),
             device,
             stats: self.stats.clone(),
+            pool,
         }
     }
 }
@@ -130,7 +145,60 @@ impl TpuAccel {
             device,
             stats: Clock::new(),
             fft_queue: None,
+            pool: None,
         }
+    }
+
+    /// An accelerator over a pool of `n_devices` simulated TPUv2
+    /// chips with cross-request batching enabled: transforms from
+    /// concurrent workers coalesce into flights (see
+    /// [`TpuAccel::with_batching`] for `window`/`max_lanes`), and
+    /// every multi-lane flight is sharded across the chips by the
+    /// pool's placement strategy, executed concurrently, and merged
+    /// with one inter-chip gather per flight
+    /// ([`xai_tpu::DevicePool::run_sharded`]).
+    ///
+    /// Results stay bit-identical to single-device execution; only
+    /// the simulated schedule (and therefore the clock) changes.
+    /// Non-transform kernels run on the pool's primary chip and are
+    /// merged into the same timeline, so
+    /// [`TpuAccel::elapsed_seconds`] remains one coherent clock.
+    pub fn with_pool(n_devices: usize, window: Duration, max_lanes: usize) -> Self {
+        Self::over_pool(
+            DevicePool::new(TpuConfig::tpu_v2(), n_devices),
+            window,
+            max_lanes,
+        )
+    }
+
+    /// An accelerator over an existing [`DevicePool`] (custom chip
+    /// configurations, core counts or placement strategy), with
+    /// cross-request batching enabled as in [`TpuAccel::with_pool`].
+    pub fn over_pool(pool: DevicePool, window: Duration, max_lanes: usize) -> Self {
+        let device = pool.primary().clone();
+        TpuAccel {
+            fft_queue: Some(BatchQueue::new(device.clone(), window, max_lanes)),
+            device,
+            stats: Clock::new(),
+            pool: Some(pool),
+        }
+    }
+
+    /// `true` when this accelerator shards flights across a device
+    /// pool.
+    pub fn is_pooled(&self) -> bool {
+        self.pool.is_some()
+    }
+
+    /// The device pool, when sharding is enabled.
+    pub fn pool(&self) -> Option<&DevicePool> {
+        self.pool.as_ref()
+    }
+
+    /// Number of simulated chips this accelerator drives (1 when not
+    /// pooled).
+    pub fn num_devices(&self) -> usize {
+        self.pool.as_ref().map_or(1, DevicePool::num_devices)
     }
 
     /// Enables cross-request batching: 2-D transforms submitted by
@@ -166,20 +234,30 @@ impl TpuAccel {
         self.device.config()
     }
 
-    /// Total simulated energy, picojoules.
+    /// Total simulated energy, picojoules (summed over every chip
+    /// when pooled).
     pub fn energy_pj(&self) -> f64 {
-        self.device.energy_pj()
+        match &self.pool {
+            Some(pool) => pool.energy_pj(),
+            None => self.device.energy_pj(),
+        }
     }
 
     /// Runs `charge` with exclusive device access and returns the
     /// simulated seconds it advanced the wall clock — the atomic
-    /// charge-and-measure step behind every kernel.
+    /// charge-and-measure step behind every kernel. When pooled, the
+    /// primary device carries the charge and the delta is merged into
+    /// the pool's timeline so the accelerator keeps one clock.
     fn charge_region(&self, charge: impl FnOnce(&mut TpuDevice) -> Result<()>) -> Result<f64> {
-        self.device.with(|d| {
+        let dt = self.device.with(|d| {
             let before = d.wall_seconds();
             charge(d)?;
             Ok(d.wall_seconds() - before)
-        })
+        })?;
+        if let Some(pool) = &self.pool {
+            pool.advance_external(dt);
+        }
+        Ok(dt)
     }
 }
 
@@ -208,6 +286,71 @@ fn charge_fft2d(d: &mut TpuDevice, m: usize, n: usize) -> Result<()> {
     // Stage 2: X'(m×n) · W_N(n×n), sharded over X''s rows — same
     // cost structure with roles swapped.
     charge_sharded_complex_matmul(d, n, m)
+}
+
+/// The per-device charge of one transform flight: one phase with
+/// every `(m, n)` lane a whole two-stage transform on its own core,
+/// plus one reassembly collective per transform stage. Used verbatim
+/// by the single-device flight path and by each chip of a pooled
+/// flight, so the two cost models can never drift apart.
+fn charge_transform_shard(d: &mut TpuDevice, shapes: &[(usize, usize)]) -> Result<()> {
+    d.run_phase(shapes.to_vec(), |core, (m, n)| {
+        core.charge_matmul_work(m, m, n, 3);
+        core.charge_matmul_work(m, n, n, 3);
+        Ok(())
+    })?;
+    let shard_bytes = shapes.iter().map(|&(m, n)| 16 * m * n).max().unwrap_or(0);
+    d.charge_collective(shard_bytes);
+    d.charge_collective(shard_bytes);
+    Ok(())
+}
+
+/// Total (flops, bytes) of a flight of 2-D transforms, for the
+/// kernel-statistics ledger.
+fn flight_ops_bytes(shapes: &[(usize, usize)]) -> (f64, f64) {
+    let (ops, bytes) = shapes.iter().fold((0usize, 0usize), |(o, b), &(m, n)| {
+        (o + m * m * n + m * n * n, b + m * n)
+    });
+    (6.0 * 2.0 * ops as f64, 32.0 * bytes as f64)
+}
+
+/// Fused numeric path of one flight: lanes grouped by (shape,
+/// direction), each group transformed with one fused row pass + one
+/// fused column pass (bit-identical to per-matrix transforms),
+/// results returned in lane order. Pure host arithmetic — no
+/// simulated-time charging.
+fn flight_numerics(flight: Vec<FftJob>) -> Result<Vec<Matrix<Complex64>>> {
+    // Requests from concurrent explanation workers are homogeneous,
+    // but neither the queue nor the pool requires it.
+    let mut groups: Vec<((usize, usize, bool), Vec<usize>)> = Vec::new();
+    for (i, job) in flight.iter().enumerate() {
+        let key = (job.x.rows(), job.x.cols(), job.forward);
+        match groups.iter_mut().find(|(k, _)| *k == key) {
+            Some((_, lanes)) => lanes.push(i),
+            None => groups.push((key, vec![i])),
+        }
+    }
+    let mut slots: Vec<Option<Matrix<Complex64>>> = (0..flight.len()).map(|_| None).collect();
+    let mut jobs: Vec<Option<FftJob>> = flight.into_iter().map(Some).collect();
+    for ((m, n, forward), lanes) in &groups {
+        let plan = global_plan_cache().plan_2d(*m, *n);
+        let xs: Vec<Matrix<Complex64>> = lanes
+            .iter()
+            .map(|&i| jobs[i].take().expect("each lane consumed once").x)
+            .collect();
+        let outs = if *forward {
+            plan.forward_batch(&xs)?
+        } else {
+            plan.inverse_batch(&xs)?
+        };
+        for (&i, out) in lanes.iter().zip(outs) {
+            slots[i] = Some(out);
+        }
+    }
+    Ok(slots
+        .into_iter()
+        .map(|s| s.expect("every lane produced a result"))
+        .collect())
 }
 
 fn charge_sharded_elementwise(d: &mut TpuDevice, label: &'static str, elems: usize) -> Result<()> {
@@ -252,22 +395,9 @@ impl TpuAccel {
     /// shared by the per-request batch path and the cross-request
     /// queue, so the two can never drift apart.
     fn charge_transform_flight(&self, shapes: &[(usize, usize)]) -> Result<()> {
-        let dt = self.charge_region(|d| {
-            d.run_phase(shapes.to_vec(), |core, (m, n)| {
-                core.charge_matmul_work(m, m, n, 3);
-                core.charge_matmul_work(m, n, n, 3);
-                Ok(())
-            })?;
-            let shard_bytes = shapes.iter().map(|&(m, n)| 16 * m * n).max().unwrap_or(0);
-            d.charge_collective(shard_bytes);
-            d.charge_collective(shard_bytes);
-            Ok(())
-        })?;
-        let (ops, bytes) = shapes.iter().fold((0usize, 0usize), |(o, b), &(m, n)| {
-            (o + m * m * n + m * n * n, b + m * n)
-        });
-        self.stats
-            .record(dt, 6.0 * 2.0 * ops as f64, 32.0 * bytes as f64);
+        let dt = self.charge_region(|d| charge_transform_shard(d, shapes))?;
+        let (ops, bytes) = flight_ops_bytes(shapes);
+        self.stats.record(dt, ops, bytes);
         Ok(())
     }
 
@@ -295,51 +425,74 @@ impl TpuAccel {
         queue.submit(jobs, |_, flight| self.dispatch_fft_flight(flight))
     }
 
-    /// Executes one coalesced flight: the fused transform per
-    /// (shape, direction) group, then a single device phase with one
-    /// transform per core lane and one reassembly collective per
-    /// transform stage for the whole flight.
+    /// Executes one coalesced flight. On a single device: the fused
+    /// transform per (shape, direction) group, then a single device
+    /// phase with one transform per core lane and one reassembly
+    /// collective per transform stage for the whole flight. Over a
+    /// pool with more than one chip, the flight's lanes are sharded
+    /// across the chips instead (see
+    /// [`TpuAccel::dispatch_pooled_flight`]).
     fn dispatch_fft_flight(&self, flight: Vec<FftJob>) -> Result<Vec<Matrix<Complex64>>> {
+        if let Some(pool) = &self.pool {
+            if pool.num_devices() > 1 && flight.len() > 1 {
+                return self.dispatch_pooled_flight(pool, flight);
+            }
+        }
         let shapes: Vec<(usize, usize)> = flight.iter().map(|j| j.x.shape()).collect();
-        // Group lanes by (shape, direction); requests from concurrent
-        // explanation workers are homogeneous, but the queue does not
-        // require it.
-        let mut groups: Vec<((usize, usize, bool), Vec<usize>)> = Vec::new();
-        for (i, job) in flight.iter().enumerate() {
-            let key = (job.x.rows(), job.x.cols(), job.forward);
-            match groups.iter_mut().find(|(k, _)| *k == key) {
-                Some((_, lanes)) => lanes.push(i),
-                None => groups.push((key, vec![i])),
-            }
-        }
-        let mut slots: Vec<Option<Matrix<Complex64>>> = (0..flight.len()).map(|_| None).collect();
-        let mut jobs: Vec<Option<FftJob>> = flight.into_iter().map(Some).collect();
-        for ((m, n, forward), lanes) in &groups {
-            let plan = global_plan_cache().plan_2d(*m, *n);
-            let xs: Vec<Matrix<Complex64>> = lanes
-                .iter()
-                .map(|&i| jobs[i].take().expect("each lane consumed once").x)
-                .collect();
-            let outs = if *forward {
-                plan.forward_batch(&xs)?
-            } else {
-                plan.inverse_batch(&xs)?
-            };
-            for (&i, out) in lanes.iter().zip(outs) {
-                slots[i] = Some(out);
-            }
-        }
+        let out = flight_numerics(flight)?;
         self.charge_transform_flight(&shapes)?;
-        Ok(slots
-            .into_iter()
-            .map(|s| s.expect("every lane produced a result"))
-            .collect())
+        Ok(out)
+    }
+
+    /// Executes one coalesced flight sharded across the pool's chips:
+    /// the shard planner splits the lanes, each chip concurrently
+    /// runs its shard as a full flight (fused numerics + the same
+    /// per-device charge as the single-chip path, self-measured
+    /// atomically under the chip's lock), and the pool merges the
+    /// slowest shard's charge plus one inter-chip gather into its
+    /// timeline. Results are bit-identical to the single-device
+    /// flight: lanes are pure functions of their inputs regardless of
+    /// placement.
+    fn dispatch_pooled_flight(
+        &self,
+        pool: &DevicePool,
+        flight: Vec<FftJob>,
+    ) -> Result<Vec<Matrix<Complex64>>> {
+        let shapes: Vec<(usize, usize)> = flight.iter().map(|j| j.x.shape()).collect();
+        let run = pool.run_sharded(
+            flight,
+            |job| {
+                let (m, n) = job.x.shape();
+                LaneCost {
+                    // Two complex matmul stages per lane: m²n + mn².
+                    compute: (m * m * n + m * n * n) as f64,
+                    // 16-byte complex elements shipped by the gather.
+                    gather_bytes: 16 * m * n,
+                }
+            },
+            |device, jobs| {
+                let shard_shapes: Vec<(usize, usize)> = jobs.iter().map(|j| j.x.shape()).collect();
+                let outs = flight_numerics(jobs)?;
+                let ((), dt) = device.timed(|d| charge_transform_shard(d, &shard_shapes))?;
+                Ok((outs, dt))
+            },
+        )?;
+        let (ops, bytes) = flight_ops_bytes(&shapes);
+        self.stats.record(run.seconds, ops, bytes);
+        Ok(run.results)
     }
 }
 
 impl Accelerator for TpuAccel {
     fn name(&self) -> String {
-        format!("TPU (simulated v2, {} cores)", self.device.num_cores())
+        match &self.pool {
+            Some(pool) => format!(
+                "TPU pool (simulated v2, {} x {} cores)",
+                pool.num_devices(),
+                self.device.num_cores()
+            ),
+            None => format!("TPU (simulated v2, {} cores)", self.device.num_cores()),
+        }
     }
 
     fn matmul(&self, a: &Matrix<f64>, b: &Matrix<f64>) -> Result<Matrix<f64>> {
@@ -494,7 +647,7 @@ impl Accelerator for TpuAccel {
     }
 
     fn charge_workload(&self, flops: f64, bytes: f64) {
-        self.device.with(|d| {
+        let dt = self.device.with(|d| {
             let cfg = d.config();
             // MACs at the device's aggregate int8 peak across all
             // cores.
@@ -504,11 +657,18 @@ impl Accelerator for TpuAccel {
             let dt = compute.max(memory);
             d.charge_external_seconds(dt);
             self.stats.record(dt, flops, bytes);
+            dt
         });
+        if let Some(pool) = &self.pool {
+            pool.advance_external(dt);
+        }
     }
 
     fn elapsed_seconds(&self) -> f64 {
-        self.device.wall_seconds()
+        match &self.pool {
+            Some(pool) => pool.wall_seconds(),
+            None => self.device.wall_seconds(),
+        }
     }
 
     fn stats(&self) -> KernelStats {
@@ -516,7 +676,10 @@ impl Accelerator for TpuAccel {
     }
 
     fn reset(&self) {
-        self.device.reset();
+        match &self.pool {
+            Some(pool) => pool.reset(),
+            None => self.device.reset(),
+        }
         self.stats.reset();
     }
 }
@@ -738,6 +901,113 @@ mod tests {
         b.fft2d(&x).unwrap();
         assert!(b.elapsed_seconds() > 0.0);
         assert_eq!(a.elapsed_seconds(), 0.0);
+    }
+
+    #[test]
+    fn pooled_flights_are_bit_identical_to_single_device() {
+        use xai_tpu::DevicePool;
+        let xs: Vec<Matrix<Complex64>> = (0..12)
+            .map(|s| {
+                Matrix::from_fn(10, 10, |r, c| ((r * 7 + c * 3 + s) % 11) as f64 - 5.0)
+                    .unwrap()
+                    .to_complex()
+            })
+            .collect();
+        let plain = TpuAccel::with_cores(4);
+        let reference = plain.fft2d_batch(&xs).unwrap();
+        for n_devices in [1usize, 2, 4] {
+            let pooled = TpuAccel::over_pool(
+                DevicePool::with_cores(TpuConfig::tpu_v2(), n_devices, 4),
+                Duration::ZERO,
+                4,
+            );
+            assert!(pooled.is_pooled());
+            assert_eq!(pooled.num_devices(), n_devices);
+            let out = pooled.fft2d_batch(&xs).unwrap();
+            for (a, b) in reference.iter().zip(&out) {
+                assert_eq!(a.as_slice(), b.as_slice(), "n_devices={n_devices}");
+            }
+            let back = pooled.ifft2d_batch(&out).unwrap();
+            let back_ref = plain.ifft2d_batch(&reference).unwrap();
+            for (a, b) in back_ref.iter().zip(&back) {
+                assert_eq!(a.as_slice(), b.as_slice(), "n_devices={n_devices}");
+            }
+            assert!(pooled.elapsed_seconds() > 0.0);
+        }
+    }
+
+    #[test]
+    fn four_chip_pool_beats_one_oversubscribed_chip() {
+        use std::sync::Arc;
+        use xai_tpu::DevicePool;
+        let cores = 4usize;
+        let lanes = 4 * cores * 4; // 4 lanes per core on a single chip
+        let x = Matrix::from_fn(8, 8, |r, c| ((r * 3 + c) % 5) as f64)
+            .unwrap()
+            .to_complex();
+
+        let single =
+            Arc::new(TpuAccel::with_cores(cores).with_batching(Duration::from_secs(60), lanes));
+        let pooled = Arc::new(TpuAccel::over_pool(
+            DevicePool::with_cores(TpuConfig::tpu_v2(), 4, cores),
+            Duration::from_secs(60),
+            lanes,
+        ));
+        for acc in [&single, &pooled] {
+            let acc = Arc::clone(acc);
+            let x = x.clone();
+            std::thread::scope(|scope| {
+                for _ in 0..4 {
+                    let acc = Arc::clone(&acc);
+                    let xs = vec![x.clone(); lanes / 4];
+                    scope.spawn(move || acc.fft2d_batch(&xs).unwrap());
+                }
+            });
+        }
+        assert!(
+            pooled.elapsed_seconds() < single.elapsed_seconds(),
+            "4-chip pool {} s must beat one chip {} s",
+            pooled.elapsed_seconds(),
+            single.elapsed_seconds()
+        );
+        assert_eq!(pooled.pool().unwrap().sharded_flights(), 1);
+        assert!(pooled.pool().unwrap().gather_seconds() > 0.0);
+    }
+
+    #[test]
+    fn pooled_non_transform_kernels_share_the_merged_clock() {
+        let pooled = TpuAccel::with_pool(2, Duration::ZERO, 4);
+        let a = Matrix::filled(8, 8, 0.5).unwrap();
+        pooled.matmul(&a, &a).unwrap();
+        assert!(
+            pooled.elapsed_seconds() > 0.0,
+            "primary-chip kernels must advance the pool timeline"
+        );
+        let t = pooled.elapsed_seconds();
+        pooled.charge_workload(1e12, 0.0);
+        assert!(pooled.elapsed_seconds() > t);
+        pooled.reset();
+        assert_eq!(pooled.elapsed_seconds(), 0.0);
+        assert_eq!(pooled.stats().kernels, 0);
+    }
+
+    #[test]
+    fn pooled_clone_is_independent() {
+        let a = TpuAccel::with_pool(2, Duration::ZERO, 2);
+        let x = Matrix::filled(4, 4, Complex64::ONE).unwrap();
+        a.fft2d(&x).unwrap();
+        let b = a.clone();
+        assert!(b.is_pooled() && b.is_batching());
+        assert_eq!(b.elapsed_seconds(), a.elapsed_seconds());
+        b.fft2d_batch(&vec![x.clone(); 4]).unwrap();
+        assert!(b.elapsed_seconds() > a.elapsed_seconds());
+        assert!(!a.device().same_device(&b.device()));
+    }
+
+    #[test]
+    fn pool_name_mentions_chip_count() {
+        let acc = TpuAccel::with_pool(4, Duration::ZERO, 8);
+        assert!(acc.name().contains("4 x"), "{}", acc.name());
     }
 
     #[test]

@@ -26,6 +26,33 @@ use xai_tensor::{Complex64, Matrix, Result};
 /// according to their hardware cost model. All methods take `&self`:
 /// implementations keep their clocks behind interior mutability so a
 /// single device can serve many threads concurrently.
+///
+/// # Examples
+///
+/// One shared device handle, driven from several worker threads —
+/// numeric results are bit-identical to serial execution while the
+/// clock accumulates every worker's kernels:
+///
+/// ```
+/// use std::sync::Arc;
+/// use xai_accel::{Accelerator, TpuAccel};
+/// use xai_tensor::Matrix;
+///
+/// # fn main() -> Result<(), xai_tensor::TensorError> {
+/// let acc: Arc<dyn Accelerator> = Arc::new(TpuAccel::with_cores(4));
+/// let x = Matrix::from_fn(8, 8, |r, c| (r + c) as f64)?.to_complex();
+/// std::thread::scope(|scope| {
+///     for _ in 0..4 {
+///         let acc = Arc::clone(&acc);
+///         let x = x.clone();
+///         scope.spawn(move || acc.fft2d(&x).unwrap());
+///     }
+/// });
+/// assert_eq!(acc.stats().kernels, 4);
+/// assert!(acc.elapsed_seconds() > 0.0);
+/// # Ok(())
+/// # }
+/// ```
 pub trait Accelerator: Send + Sync {
     /// Human-readable platform name (e.g. `"TPU (simulated v2)"`).
     fn name(&self) -> String;

@@ -7,11 +7,15 @@
 //!
 //! `tolerance` is the allowed fractional regression (default `0.10`).
 //! Real-wall-clock metrics (see `xai_bench::compare::WALLCLOCK_METRICS`)
-//! are reported but never gate; metrics new to the candidate are
-//! ignored until the baseline is refreshed.
+//! are reported but never gate; metrics new to the candidate (added
+//! by the PR under test) are reported as informational rows and never
+//! gate either — a metric-adding PR must not fail its own perf gate.
+//! Baseline metrics missing from the candidate are flagged as a
+//! stale-baseline warning.
 
 use xai_bench::compare::{
-    compare_metrics, lower_is_better, parse_all_claims_pass, parse_metrics, WALLCLOCK_METRICS,
+    compare_metrics, lower_is_better, missing_metrics, new_metrics, parse_all_claims_pass,
+    parse_metrics, WALLCLOCK_METRICS,
 };
 use xai_bench::TablePrinter;
 
@@ -55,6 +59,9 @@ fn main() {
         failed = true;
     }
 
+    let fresh = new_metrics(&base_metrics, &cand_metrics);
+    let stale = missing_metrics(&base_metrics, &cand_metrics);
+
     let mut table = TablePrinter::new(&["metric", "baseline", "candidate", "change", "verdict"]);
     for c in &comparisons {
         let change = if c.baseline != 0.0 {
@@ -83,7 +90,24 @@ fn main() {
             verdict,
         ]);
     }
+    // New metrics ride along informationally: they have no baseline
+    // to regress against, so they can never fail this gate.
+    for (key, value) in &fresh {
+        table.row(&[
+            key.clone(),
+            "(new)".into(),
+            format!("{value:.6e}"),
+            "n/a".into(),
+            "info".into(),
+        ]);
+    }
     println!("{}", table.render());
+    if !stale.is_empty() {
+        println!(
+            "warning: baseline metrics missing from the candidate (stale baseline?): {}",
+            stale.join(", ")
+        );
+    }
     println!(
         "(tolerance {:.0}%; wall-clock metrics not gated: {})",
         tolerance * 100.0,

@@ -77,11 +77,36 @@ pub fn lower_is_better(key: &str) -> bool {
     key.contains("seconds") || key.contains("error")
 }
 
+/// Metrics present in the candidate but absent from the baseline —
+/// typically added by the PR under test. These are **informational**:
+/// a metric-adding PR must not fail its own perf gate before the
+/// refreshed baseline is committed, so callers report them without
+/// gating on them.
+pub fn new_metrics(baseline: &[(String, f64)], candidate: &[(String, f64)]) -> Vec<(String, f64)> {
+    candidate
+        .iter()
+        .filter(|(k, _)| !baseline.iter().any(|(b, _)| b == k))
+        .cloned()
+        .collect()
+}
+
+/// Metrics present in the baseline but missing from the candidate —
+/// a sign the baseline is stale (a metric was renamed or removed).
+/// Reported as a warning, not a failure: refreshing the committed
+/// baseline resolves it.
+pub fn missing_metrics(baseline: &[(String, f64)], candidate: &[(String, f64)]) -> Vec<String> {
+    baseline
+        .iter()
+        .filter(|(k, _)| !candidate.iter().any(|(c, _)| c == k))
+        .map(|(k, _)| k.clone())
+        .collect()
+}
+
 /// Compares every metric present in **both** sets, skipping
 /// [`WALLCLOCK_METRICS`]. `tolerance` is the allowed fractional
 /// regression (0.10 = a metric may be up to 10% worse than baseline).
-/// New metrics absent from the baseline are not compared — committing
-/// a refreshed baseline picks them up.
+/// New metrics absent from the baseline are not compared — see
+/// [`new_metrics`]; committing a refreshed baseline picks them up.
 pub fn compare_metrics(
     baseline: &[(String, f64)],
     candidate: &[(String, f64)],
@@ -195,6 +220,35 @@ mod tests {
         let baseline = vec![("a_speedup".to_string(), 2.0)];
         let candidate = vec![("b_speedup".to_string(), 1.0)];
         assert!(compare_metrics(&baseline, &candidate, 0.1).is_empty());
+    }
+
+    #[test]
+    fn new_metrics_are_informational_not_compared() {
+        let baseline = vec![("a_speedup".to_string(), 2.0)];
+        let candidate = vec![
+            ("a_speedup".to_string(), 2.0),
+            // A terrible-looking value: still must never gate, only
+            // surface as informational.
+            ("sharded_speedup_4_devices".to_string(), 0.001),
+        ];
+        let cmp = compare_metrics(&baseline, &candidate, 0.1);
+        assert_eq!(cmp.len(), 1);
+        assert!(cmp.iter().all(|c| !c.regressed));
+        let new = new_metrics(&baseline, &candidate);
+        assert_eq!(new.len(), 1);
+        assert_eq!(new[0].0, "sharded_speedup_4_devices");
+        assert!(missing_metrics(&baseline, &candidate).is_empty());
+    }
+
+    #[test]
+    fn stale_baseline_metrics_are_reported_missing() {
+        let baseline = vec![
+            ("a_speedup".to_string(), 2.0),
+            ("renamed_away".to_string(), 1.0),
+        ];
+        let candidate = vec![("a_speedup".to_string(), 2.0)];
+        assert_eq!(missing_metrics(&baseline, &candidate), vec!["renamed_away"]);
+        assert!(new_metrics(&baseline, &candidate).is_empty());
     }
 
     #[test]

@@ -160,7 +160,7 @@ impl_tuple_strategy!(A: 0, B: 1, C: 2, D: 3);
 pub mod collection {
     use super::{Gen, Strategy};
 
-    /// Lengths accepted by [`vec`]: a fixed `usize` or a `usize`
+    /// Lengths accepted by [`vec()`]: a fixed `usize` or a `usize`
     /// range.
     pub trait IntoLen {
         /// Picks a concrete length.
@@ -179,7 +179,7 @@ pub mod collection {
         }
     }
 
-    /// The strategy returned by [`vec`].
+    /// The strategy returned by [`vec()`].
     #[derive(Debug, Clone)]
     pub struct VecStrategy<S, L> {
         elem: S,

@@ -18,7 +18,12 @@
 //! * [`TpuDevice`] — 128 cores with `cross_replica_sum` collectives
 //!   costed at `α + β·bytes` (§III-D of the paper);
 //! * [`Program`] — a compact ISA so the whole distillation pipeline
-//!   runs as one device program.
+//!   runs as one device program;
+//! * [`SharedDevice`] / [`BatchQueue`] / [`DevicePool`] — the serving
+//!   stack: a thread-safe device handle, a cross-request coalescing
+//!   queue, and a multi-chip pool that shards coalesced flights
+//!   across simulated devices and merges their clocks into one
+//!   timeline.
 //!
 //! ## Example
 //!
@@ -51,6 +56,7 @@ mod core;
 mod device;
 mod isa;
 pub mod memory;
+pub mod pool;
 mod shared;
 pub mod systolic;
 pub mod trace;
@@ -62,6 +68,7 @@ pub use core::{bf16_round, TpuCore};
 pub use device::{PhaseTime, TpuDevice};
 pub use isa::{Instruction, Program, Slot};
 pub use memory::MemoryModel;
+pub use pool::{DevicePool, LaneCost, ShardOutcome, ShardPlan, ShardStrategy, ShardedRun};
 pub use shared::SharedDevice;
 pub use systolic::{tile_stream_cycles, weight_load_cycles, SystolicArray, TileResult};
 pub use trace::{Event, OpKind, Trace};

@@ -1,0 +1,871 @@
+//! Multi-device sharding: a pool of simulated chips that splits one
+//! batch of work across devices and merges their clocks into a single
+//! coherent timeline.
+//!
+//! The paper's §III-D sizes batches for multi-chip execution and its
+//! cost model already prices inter-chip traffic
+//! ([`crate::TpuConfig::cross_replica_cost_s`]); this module supplies
+//! the missing runtime piece. A [`DevicePool`] owns several
+//! [`SharedDevice`]s, plans a [`ShardPlan`] over a flight's lanes
+//! (round-robin or cost-aware placement, see [`ShardStrategy`]),
+//! executes the shards concurrently from `std::thread::scope` workers
+//! — real host parallelism, one thread per chip — and charges one
+//! inter-chip gather collective for the reassembly stage.
+//!
+//! Timing semantics mirror [`crate::TpuDevice::run_phase`] one level
+//! up: chips run concurrently, so a sharded execution advances the
+//! pool's merged timeline by the *slowest device's* clock delta plus
+//! the gather cost, while each device's own clock only records its
+//! shard. Numeric results are pure functions of the inputs, so a
+//! sharded execution is bit-identical to running the same lanes on
+//! one device.
+
+use crate::config::TpuConfig;
+use crate::device::TpuDevice;
+use crate::shared::SharedDevice;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Mutex, MutexGuard, PoisonError};
+use xai_tensor::{Result, TensorError};
+
+/// How a [`ShardPlan`] places lanes onto devices.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ShardStrategy {
+    /// Lane `i` goes to device `i % devices` — oblivious to lane
+    /// cost, but preserves locality of consecutive lanes and is the
+    /// cheapest plan to compute.
+    RoundRobin,
+    /// Longest-processing-time-first: lanes are placed heaviest-first
+    /// onto the currently least-loaded device, which minimises the
+    /// makespan (the slowest chip's busy time — exactly what the
+    /// merged timeline charges) for heterogeneous lanes. Ties break
+    /// on lane order and device index, so the plan is deterministic.
+    #[default]
+    CostAware,
+}
+
+/// Per-lane cost description consumed by the shard planner.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LaneCost {
+    /// Relative compute cost of the lane (any consistent unit; the
+    /// planner only compares sums).
+    pub compute: f64,
+    /// Bytes of this lane's result that the inter-chip gather must
+    /// move when the lane lands on a non-primary device.
+    pub gather_bytes: usize,
+}
+
+/// The placement of a flight's lanes onto a pool's devices.
+///
+/// # Examples
+///
+/// ```
+/// use xai_tpu::{LaneCost, ShardPlan, ShardStrategy};
+///
+/// let lanes: Vec<LaneCost> = [4.0, 1.0, 3.0, 2.0]
+///     .iter()
+///     .map(|&compute| LaneCost { compute, gather_bytes: 64 })
+///     .collect();
+/// let plan = ShardPlan::plan(&lanes, 2, ShardStrategy::CostAware);
+/// // Heaviest-first onto the least-loaded device: {4.0, 1.0} | {3.0, 2.0}.
+/// assert_eq!(plan.assignments(), &[vec![0, 1], vec![2, 3]]);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardPlan {
+    /// `assignments[d]` lists the lane indices placed on device `d`,
+    /// in dispatch order.
+    assignments: Vec<Vec<usize>>,
+}
+
+impl ShardPlan {
+    /// Plans `lanes` onto `devices` chips under `strategy`. With one
+    /// device (or one lane) every lane lands on device 0.
+    pub fn plan(lanes: &[LaneCost], devices: usize, strategy: ShardStrategy) -> ShardPlan {
+        let devices = devices.max(1);
+        let mut assignments: Vec<Vec<usize>> = (0..devices).map(|_| Vec::new()).collect();
+        match strategy {
+            ShardStrategy::RoundRobin => {
+                for i in 0..lanes.len() {
+                    assignments[i % devices].push(i);
+                }
+            }
+            ShardStrategy::CostAware => {
+                // LPT: heaviest lane first (stable on lane index), to
+                // whichever device is least loaded (stable on device
+                // index).
+                let mut order: Vec<usize> = (0..lanes.len()).collect();
+                order.sort_by(|&a, &b| {
+                    lanes[b]
+                        .compute
+                        .partial_cmp(&lanes[a].compute)
+                        .unwrap_or(std::cmp::Ordering::Equal)
+                        .then(a.cmp(&b))
+                });
+                let mut load = vec![0.0f64; devices];
+                for i in order {
+                    let d = load
+                        .iter()
+                        .enumerate()
+                        .min_by(|(_, a), (_, b)| {
+                            a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal)
+                        })
+                        .map(|(d, _)| d)
+                        .unwrap_or(0);
+                    load[d] += lanes[i].compute;
+                    assignments[d].push(i);
+                }
+            }
+        }
+        ShardPlan { assignments }
+    }
+
+    /// Lane indices per device, in dispatch order.
+    pub fn assignments(&self) -> &[Vec<usize>] {
+        &self.assignments
+    }
+
+    /// Number of devices that received at least one lane.
+    pub fn occupied_devices(&self) -> usize {
+        self.assignments.iter().filter(|a| !a.is_empty()).count()
+    }
+
+    /// The gather's per-shard payload: the largest single lane's
+    /// `gather_bytes`. The inter-chip gather follows the same §III-D
+    /// convention as [`crate::TpuDevice::cross_replica_sum`] —
+    /// participants ship their shards over parallel links, so the
+    /// collective is priced at `α + β·bytes` of **one** shard (the
+    /// largest), not the summed traffic.
+    pub fn gather_shard_bytes(&self, lanes: &[LaneCost]) -> usize {
+        self.assignments
+            .iter()
+            .flatten()
+            .map(|&i| lanes[i].gather_bytes)
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+/// One shard's return value: its lanes' results in order, plus the
+/// simulated seconds the shard charged its chip (measured atomically,
+/// e.g. via [`SharedDevice::timed`]).
+pub type ShardOutcome<R> = Result<(Vec<R>, f64)>;
+
+/// The outcome of one [`DevicePool::run_sharded`] execution.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardedRun<R> {
+    /// Per-lane results, in the caller's lane order.
+    pub results: Vec<R>,
+    /// This execution's exact contribution to the merged timeline:
+    /// the slowest shard's self-reported charge plus the inter-chip
+    /// gather (zero when only one chip was occupied).
+    pub seconds: f64,
+}
+
+/// The pool's merged simulated timeline.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+struct PoolTimeline {
+    /// Merged wall time, seconds: slowest-chip deltas plus gathers
+    /// plus externally-charged kernels.
+    wall_s: f64,
+    /// Inter-chip gather time, seconds.
+    gather_s: f64,
+    /// Number of sharded executions that actually fanned out to more
+    /// than one chip.
+    sharded_flights: u64,
+}
+
+/// A pool of simulated TPU chips behind one merged clock.
+///
+/// The pool is `Send + Sync`: shard execution uses scoped threads
+/// internally, and all mutable state (the per-device simulators and
+/// the merged timeline) lives behind locks that recover from
+/// poisoning, so one panicking shard can never wedge the pool — the
+/// failing execution surfaces [`TensorError::WorkerPanicked`] and the
+/// next one serves normally.
+///
+/// # Examples
+///
+/// ```
+/// use xai_tpu::{DevicePool, LaneCost, TpuConfig};
+/// use xai_tensor::Matrix;
+///
+/// # fn main() -> Result<(), xai_tensor::TensorError> {
+/// let pool = DevicePool::new(TpuConfig::small_test(), 4);
+/// let work: Vec<Matrix<f64>> = (0..8)
+///     .map(|i| Matrix::filled(4, 4, 0.1 * (i + 1) as f64))
+///     .collect::<Result<_, _>>()?;
+/// let run = pool.run_sharded(
+///     work,
+///     |m| LaneCost { compute: m.len() as f64, gather_bytes: 8 * m.len() },
+///     // Each shard charges its chip and reports the exact delta,
+///     // measured atomically under the device lock.
+///     |device, shard| device.timed(|d| d.run_phase(shard, |core, s| core.matmul(&s, &s))),
+/// )?;
+/// assert_eq!(run.results.len(), 8);
+/// // Chips ran concurrently: the merged timeline advanced by the
+/// // slowest shard plus the inter-chip gather.
+/// assert_eq!(pool.wall_seconds(), run.seconds);
+/// assert!(pool.gather_seconds() > 0.0); // inter-chip reassembly
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct DevicePool {
+    devices: Vec<SharedDevice>,
+    strategy: ShardStrategy,
+    /// Config snapshot used to price inter-chip gathers.
+    cfg: TpuConfig,
+    timeline: Mutex<PoolTimeline>,
+}
+
+impl DevicePool {
+    /// Creates a pool of `n_devices` chips, each configured as `cfg`,
+    /// with the default [`ShardStrategy::CostAware`] planner.
+    /// `n_devices` is clamped to ≥ 1.
+    pub fn new(cfg: TpuConfig, n_devices: usize) -> Self {
+        Self::from_devices(
+            (0..n_devices.max(1))
+                .map(|_| SharedDevice::new(cfg.clone()))
+                .collect(),
+        )
+    }
+
+    /// Creates a pool of `n_devices` chips overriding each chip's core
+    /// count — the multi-chip analogue of [`TpuDevice::with_cores`].
+    pub fn with_cores(cfg: TpuConfig, n_devices: usize, cores_per_device: usize) -> Self {
+        Self::from_devices(
+            (0..n_devices.max(1))
+                .map(|_| {
+                    SharedDevice::from_device(TpuDevice::with_cores(cfg.clone(), cores_per_device))
+                })
+                .collect(),
+        )
+    }
+
+    /// Wraps existing device handles into a pool. Device 0 is the
+    /// *primary* device: non-sharded kernels run there and its
+    /// configuration prices the inter-chip gathers.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `devices` is empty — a pool needs at least one
+    /// chip.
+    pub fn from_devices(devices: Vec<SharedDevice>) -> Self {
+        assert!(
+            !devices.is_empty(),
+            "a DevicePool needs at least one device"
+        );
+        let cfg = devices[0].config();
+        DevicePool {
+            devices,
+            strategy: ShardStrategy::default(),
+            cfg,
+            timeline: Mutex::new(PoolTimeline::default()),
+        }
+    }
+
+    /// Replaces the shard-placement strategy (builder style).
+    pub fn with_strategy(mut self, strategy: ShardStrategy) -> Self {
+        self.strategy = strategy;
+        self
+    }
+
+    /// The shard-placement strategy in use.
+    pub fn strategy(&self) -> ShardStrategy {
+        self.strategy
+    }
+
+    /// Number of chips in the pool.
+    pub fn num_devices(&self) -> usize {
+        self.devices.len()
+    }
+
+    /// All device handles, primary first.
+    pub fn devices(&self) -> &[SharedDevice] {
+        &self.devices
+    }
+
+    /// The primary device (device 0): non-sharded kernels run here.
+    pub fn primary(&self) -> &SharedDevice {
+        &self.devices[0]
+    }
+
+    /// One device handle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.num_devices()`.
+    pub fn device(&self, i: usize) -> &SharedDevice {
+        &self.devices[i]
+    }
+
+    /// The merged simulated wall clock, seconds: every sharded
+    /// execution contributes its slowest chip's delta plus the
+    /// inter-chip gather, and [`DevicePool::advance_external`]
+    /// contributions (non-sharded kernels on the primary device) add
+    /// directly.
+    pub fn wall_seconds(&self) -> f64 {
+        self.lock_timeline().wall_s
+    }
+
+    /// Accumulated inter-chip gather time, seconds.
+    pub fn gather_seconds(&self) -> f64 {
+        self.lock_timeline().gather_s
+    }
+
+    /// Number of executions that fanned out to more than one chip.
+    pub fn sharded_flights(&self) -> u64 {
+        self.lock_timeline().sharded_flights
+    }
+
+    /// Total simulated energy across every chip, picojoules.
+    pub fn energy_pj(&self) -> f64 {
+        self.devices.iter().map(SharedDevice::energy_pj).sum()
+    }
+
+    /// Zeroes every chip's counters and the merged timeline.
+    pub fn reset(&self) {
+        for d in &self.devices {
+            d.reset();
+        }
+        *self.lock_timeline() = PoolTimeline::default();
+    }
+
+    /// Merges externally-measured simulated seconds into the pool
+    /// timeline — used for kernels that run on the primary device
+    /// outside [`DevicePool::run_sharded`], so one clock stays
+    /// coherent across sharded and non-sharded work.
+    pub fn advance_external(&self, seconds: f64) {
+        if seconds > 0.0 {
+            self.lock_timeline().wall_s += seconds;
+        }
+    }
+
+    /// Deep copy: every chip is cloned into an independent simulator
+    /// and the timeline snapshot is carried over. The clone shares no
+    /// state with `self`.
+    pub fn deep_clone(&self) -> Self {
+        DevicePool {
+            devices: self
+                .devices
+                .iter()
+                .map(|d| SharedDevice::from_device(d.with(|dev| dev.clone())))
+                .collect(),
+            strategy: self.strategy,
+            cfg: self.cfg.clone(),
+            timeline: Mutex::new(*self.lock_timeline()),
+        }
+    }
+
+    /// Executes `work` sharded across the pool's chips and returns
+    /// the results in lane order, together with the execution's exact
+    /// contribution to the merged timeline ([`ShardedRun::seconds`]).
+    ///
+    /// `lane` describes each item's relative compute cost (consumed
+    /// by the planner) and gather payload; `shard` runs one device's
+    /// lanes — it receives the device handle and its items in lane
+    /// order and must return one result per item **plus the simulated
+    /// seconds it charged its chip**, measured atomically under the
+    /// device lock (use [`SharedDevice::timed`]). Shards execute
+    /// concurrently on scoped host threads, one per occupied chip.
+    ///
+    /// Accounting: the merged timeline advances by the slowest
+    /// shard's self-reported charge (chips run concurrently) plus —
+    /// when more than one chip was occupied — one inter-chip gather
+    /// priced at [`TpuConfig::cross_replica_cost_s`] over the largest
+    /// single lane's gather payload (the same per-shard
+    /// parallel-links convention as
+    /// [`crate::TpuDevice::cross_replica_sum`]). Because every shard
+    /// measures its own charge under its device lock, concurrent
+    /// flights and concurrent [`DevicePool::advance_external`]
+    /// charges never pollute each other's deltas, and the timeline
+    /// lock is only held for the final O(1) merge — never across
+    /// shard execution.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::WorkerPanicked`] when any shard
+    /// panicked (the pool recovers: devices are unwedged and the next
+    /// execution serves normally; charges reported by surviving
+    /// shards still merge into the timeline), the first shard error
+    /// in device order otherwise, and [`TensorError::DataLength`]
+    /// when a shard returns the wrong number of results.
+    pub fn run_sharded<W, R>(
+        &self,
+        work: Vec<W>,
+        lane: impl Fn(&W) -> LaneCost,
+        shard: impl Fn(&SharedDevice, Vec<W>) -> ShardOutcome<R> + Sync,
+    ) -> Result<ShardedRun<R>>
+    where
+        W: Send,
+        R: Send,
+    {
+        if work.is_empty() {
+            return Ok(ShardedRun {
+                results: Vec::new(),
+                seconds: 0.0,
+            });
+        }
+        let lanes: Vec<LaneCost> = work.iter().map(&lane).collect();
+        let plan = ShardPlan::plan(&lanes, self.devices.len(), self.strategy);
+        let gather_bytes = plan.gather_shard_bytes(&lanes);
+
+        // Bin the work per device. `lane_maps[s]` remembers which
+        // lanes shard `s` carries so results reassemble in lane order.
+        let mut slots: Vec<Option<W>> = work.into_iter().map(Some).collect();
+        let total = slots.len();
+        let mut lane_maps: Vec<&[usize]> = Vec::new();
+        let mut shard_work: Vec<(usize, Vec<W>)> = Vec::new();
+        for (d, assigned) in plan.assignments().iter().enumerate() {
+            if assigned.is_empty() {
+                continue;
+            }
+            lane_maps.push(assigned);
+            shard_work.push((
+                d,
+                assigned
+                    .iter()
+                    .map(|&i| slots[i].take().expect("each lane binned exactly once"))
+                    .collect(),
+            ));
+        }
+        let n_shards = shard_work.len();
+
+        let mut outcomes: Vec<Option<std::thread::Result<ShardOutcome<R>>>> =
+            (0..n_shards).map(|_| None).collect();
+        if n_shards == 1 {
+            // One occupied chip: no fan-out threads, no gather.
+            let (d, items) = shard_work.pop().expect("one shard");
+            outcomes[0] = Some(catch_unwind(AssertUnwindSafe(|| {
+                shard(&self.devices[d], items)
+            })));
+        } else {
+            std::thread::scope(|scope| {
+                for (slot, (d, items)) in outcomes.iter_mut().zip(shard_work) {
+                    let device = &self.devices[d];
+                    let shard = &shard;
+                    scope.spawn(move || {
+                        // A panicking shard is caught here so the
+                        // scope's implicit join never re-raises: the
+                        // pool reports WorkerPanicked instead of
+                        // tearing down every sibling shard's caller.
+                        *slot = Some(catch_unwind(AssertUnwindSafe(|| shard(device, items))));
+                    });
+                }
+            });
+        }
+
+        let mut per_shard: Vec<Vec<R>> = Vec::with_capacity(n_shards);
+        let mut slowest = 0.0f64;
+        let mut panicked = false;
+        let mut first_err: Option<TensorError> = None;
+        for outcome in outcomes {
+            match outcome.expect("scope joined every shard") {
+                Ok(Ok((results, seconds))) => {
+                    slowest = slowest.max(seconds);
+                    per_shard.push(results);
+                }
+                Ok(Err(e)) => {
+                    if first_err.is_none() {
+                        first_err = Some(e);
+                    }
+                    per_shard.push(Vec::new());
+                }
+                Err(_) => {
+                    panicked = true;
+                    per_shard.push(Vec::new());
+                }
+            }
+        }
+
+        // Merge the timeline even for failed flights: whatever the
+        // surviving shards charged is real simulated work, and the
+        // ledger is monotone either way. The gather only happens for
+        // flights that actually complete across several chips.
+        let all_ok = !panicked && first_err.is_none();
+        let gather_s = if all_ok && n_shards > 1 {
+            self.cfg.cross_replica_cost_s(gather_bytes)
+        } else {
+            0.0
+        };
+        let seconds = slowest + gather_s;
+        {
+            let mut timeline = self.lock_timeline();
+            timeline.wall_s += seconds;
+            timeline.gather_s += gather_s;
+            if all_ok && n_shards > 1 {
+                timeline.sharded_flights += 1;
+            }
+        }
+
+        if panicked {
+            return Err(TensorError::WorkerPanicked {
+                op: "device pool shard",
+            });
+        }
+        if let Some(e) = first_err {
+            return Err(e);
+        }
+
+        let mut out: Vec<Option<R>> = (0..total).map(|_| None).collect();
+        for (assigned, results) in lane_maps.iter().zip(per_shard) {
+            if results.len() != assigned.len() {
+                return Err(TensorError::DataLength {
+                    expected: assigned.len(),
+                    actual: results.len(),
+                });
+            }
+            for (&i, r) in assigned.iter().zip(results) {
+                out[i] = Some(r);
+            }
+        }
+        Ok(ShardedRun {
+            results: out
+                .into_iter()
+                .map(|r| r.expect("every lane produced a result"))
+                .collect(),
+            seconds,
+        })
+    }
+
+    fn lock_timeline(&self) -> MutexGuard<'_, PoolTimeline> {
+        // Same policy as SharedDevice: the timeline is a monotone
+        // ledger, so recover from poisoning rather than wedging the
+        // pool.
+        self.timeline.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xai_tensor::Matrix;
+
+    fn lane(compute: f64) -> LaneCost {
+        LaneCost {
+            compute,
+            gather_bytes: 128,
+        }
+    }
+
+    fn shard_mat(v: f64) -> Matrix<f64> {
+        Matrix::filled(4, 4, v).unwrap()
+    }
+
+    fn matmul_shard(
+        device: &SharedDevice,
+        items: Vec<Matrix<f64>>,
+    ) -> Result<(Vec<Matrix<f64>>, f64)> {
+        device.timed(|d| d.run_phase(items, |core, s| core.matmul(&s, &s)))
+    }
+
+    /// A shard for pure-data tests: no device work, zero charge.
+    fn uncharged<R>(v: Vec<R>) -> Result<(Vec<R>, f64)> {
+        Ok((v, 0.0))
+    }
+
+    #[test]
+    fn round_robin_interleaves() {
+        let lanes: Vec<LaneCost> = (0..5).map(|_| lane(1.0)).collect();
+        let plan = ShardPlan::plan(&lanes, 2, ShardStrategy::RoundRobin);
+        assert_eq!(plan.assignments(), &[vec![0, 2, 4], vec![1, 3]]);
+        assert_eq!(plan.occupied_devices(), 2);
+    }
+
+    #[test]
+    fn cost_aware_balances_heterogeneous_lanes() {
+        let lanes: Vec<LaneCost> = [8.0, 1.0, 1.0, 1.0, 1.0, 4.0]
+            .iter()
+            .map(|&c| lane(c))
+            .collect();
+        let plan = ShardPlan::plan(&lanes, 2, ShardStrategy::CostAware);
+        // LPT: 8 | 4, then the 1s fill the lighter side.
+        let load = |d: usize| {
+            plan.assignments()[d]
+                .iter()
+                .map(|&i| lanes[i].compute)
+                .sum::<f64>()
+        };
+        assert_eq!((load(0) - load(1)).abs(), 0.0);
+        // Round-robin would be lopsided here: {8,1,1}=10 vs {1,1,4}=6.
+        let rr = ShardPlan::plan(&lanes, 2, ShardStrategy::RoundRobin);
+        let rr_load = |d: usize| {
+            rr.assignments()[d]
+                .iter()
+                .map(|&i| lanes[i].compute)
+                .sum::<f64>()
+        };
+        assert!((rr_load(0) - rr_load(1)).abs() > (load(0) - load(1)).abs());
+    }
+
+    #[test]
+    fn plan_is_deterministic_and_exhaustive() {
+        let lanes: Vec<LaneCost> = (0..17).map(|i| lane((i % 5) as f64 + 1.0)).collect();
+        for strategy in [ShardStrategy::RoundRobin, ShardStrategy::CostAware] {
+            let a = ShardPlan::plan(&lanes, 4, strategy);
+            let b = ShardPlan::plan(&lanes, 4, strategy);
+            assert_eq!(a, b, "{strategy:?} must be deterministic");
+            let mut seen: Vec<usize> = a.assignments().iter().flatten().copied().collect();
+            seen.sort_unstable();
+            assert_eq!(seen, (0..17).collect::<Vec<_>>(), "every lane placed once");
+        }
+    }
+
+    #[test]
+    fn gather_shard_bytes_is_largest_single_lane() {
+        let lanes = vec![
+            LaneCost {
+                compute: 1.0,
+                gather_bytes: 100,
+            },
+            LaneCost {
+                compute: 1.0,
+                gather_bytes: 300,
+            },
+            LaneCost {
+                compute: 1.0,
+                gather_bytes: 200,
+            },
+        ];
+        let plan = ShardPlan::plan(&lanes, 2, ShardStrategy::RoundRobin);
+        // Per-shard pricing: lanes ship over parallel links, so the
+        // collective costs one (largest) shard, as in
+        // TpuDevice::cross_replica_sum.
+        assert_eq!(plan.gather_shard_bytes(&lanes), 300);
+    }
+
+    #[test]
+    fn sharded_results_arrive_in_lane_order() {
+        let pool = DevicePool::new(TpuConfig::small_test(), 3);
+        for strategy in [ShardStrategy::RoundRobin, ShardStrategy::CostAware] {
+            let pool = pool.deep_clone().with_strategy(strategy);
+            let run = pool
+                .run_sharded(
+                    (0..7u64).collect(),
+                    |_| lane(1.0),
+                    |_, items| uncharged(items.into_iter().map(|v| v * 10).collect()),
+                )
+                .unwrap();
+            assert_eq!(run.results, vec![0, 10, 20, 30, 40, 50, 60], "{strategy:?}");
+        }
+    }
+
+    #[test]
+    fn empty_work_is_a_noop() {
+        let pool = DevicePool::new(TpuConfig::small_test(), 2);
+        let run = pool
+            .run_sharded(vec![], |_: &u64| lane(1.0), |_, v: Vec<u64>| uncharged(v))
+            .unwrap();
+        assert!(run.results.is_empty());
+        assert_eq!(run.seconds, 0.0);
+        assert_eq!(pool.wall_seconds(), 0.0);
+    }
+
+    #[test]
+    fn pool_of_four_beats_one_device_on_oversubscribed_batch() {
+        // 8 equal matmul lanes on 1-core chips: one chip serialises
+        // all 8, four chips run 2 each concurrently.
+        let work = || -> Vec<Matrix<f64>> { (0..8).map(|_| shard_mat(0.5)).collect() };
+        let single = DevicePool::with_cores(TpuConfig::small_test(), 1, 1);
+        single
+            .run_sharded(work(), |m| lane(m.len() as f64), matmul_shard)
+            .unwrap();
+        let pool = DevicePool::with_cores(TpuConfig::small_test(), 4, 1);
+        pool.run_sharded(work(), |m| lane(m.len() as f64), matmul_shard)
+            .unwrap();
+        assert!(
+            pool.wall_seconds() < single.wall_seconds(),
+            "4 chips {} s must beat 1 chip {} s",
+            pool.wall_seconds(),
+            single.wall_seconds()
+        );
+        assert_eq!(pool.sharded_flights(), 1);
+        assert_eq!(single.sharded_flights(), 0, "one chip cannot shard");
+        assert!(pool.gather_seconds() > 0.0);
+        assert_eq!(single.gather_seconds(), 0.0);
+    }
+
+    #[test]
+    fn merged_timeline_is_slowest_chip_plus_gather() {
+        let pool = DevicePool::with_cores(TpuConfig::small_test(), 2, 1);
+        let run = pool
+            .run_sharded(
+                vec![shard_mat(1.0), shard_mat(2.0)],
+                |m| lane(m.len() as f64),
+                matmul_shard,
+            )
+            .unwrap();
+        // Nothing else charged these fresh chips, so each chip's wall
+        // clock equals its shard's self-reported delta.
+        let slowest = pool
+            .devices()
+            .iter()
+            .map(SharedDevice::wall_seconds)
+            .fold(0.0f64, f64::max);
+        let expect = slowest + pool.gather_seconds();
+        assert!((pool.wall_seconds() - expect).abs() < 1e-15);
+        assert!((run.seconds - expect).abs() < 1e-15);
+    }
+
+    #[test]
+    fn single_device_pool_charges_no_gather() {
+        let pool = DevicePool::new(TpuConfig::small_test(), 1);
+        pool.run_sharded(
+            vec![shard_mat(1.0), shard_mat(2.0)],
+            |m| lane(m.len() as f64),
+            matmul_shard,
+        )
+        .unwrap();
+        assert!(pool.wall_seconds() > 0.0);
+        assert_eq!(pool.gather_seconds(), 0.0);
+        assert_eq!(pool.sharded_flights(), 0);
+    }
+
+    #[test]
+    fn shard_errors_propagate_without_wedging() {
+        let pool = DevicePool::new(TpuConfig::small_test(), 2);
+        let err = pool
+            .run_sharded(
+                vec![1u64, 2, 3, 4],
+                |_| lane(1.0),
+                |_, _| Err::<(Vec<u64>, f64), _>(TensorError::EmptyDimension),
+            )
+            .unwrap_err();
+        assert_eq!(err, TensorError::EmptyDimension);
+        // The pool still serves.
+        let run = pool
+            .run_sharded(vec![5u64, 6], |_| lane(1.0), |_, v: Vec<u64>| uncharged(v))
+            .unwrap();
+        assert_eq!(run.results, vec![5, 6]);
+    }
+
+    #[test]
+    fn panicking_shard_reports_worker_panicked_and_pool_recovers() {
+        let pool = DevicePool::new(TpuConfig::small_test(), 4);
+        let err = pool
+            .run_sharded(
+                (0..8u64).collect(),
+                |_| lane(1.0),
+                |device, items| {
+                    // Exactly the shard carrying lane 0 crashes, while
+                    // holding the device lock — the worst case.
+                    if items.contains(&0) {
+                        device.with(|_| panic!("chip firmware crash"));
+                    }
+                    uncharged(items)
+                },
+            )
+            .unwrap_err();
+        assert!(matches!(err, TensorError::WorkerPanicked { .. }));
+        // No wedged devices: every chip still serves, including the
+        // one whose lock the panicking shard poisoned.
+        let run = pool
+            .run_sharded(
+                (0..8u64).collect(),
+                |_| lane(1.0),
+                |device, items| {
+                    let (_, dt) = device.timed(|d| {
+                        d.run_phase(vec![shard_mat(0.5)], |core, s| core.matmul(&s, &s))
+                    })?;
+                    Ok((items, dt))
+                },
+            )
+            .unwrap();
+        assert_eq!(run.results, (0..8).collect::<Vec<_>>());
+        assert!(run.seconds > 0.0);
+    }
+
+    #[test]
+    fn wrong_shard_arity_is_an_error_not_a_hang() {
+        let pool = DevicePool::new(TpuConfig::small_test(), 2);
+        let err = pool
+            .run_sharded(
+                vec![1u64, 2, 3],
+                |_| lane(1.0),
+                |_, _| uncharged(vec![7u64]),
+            )
+            .unwrap_err();
+        assert!(matches!(err, TensorError::DataLength { .. }));
+    }
+
+    #[test]
+    fn concurrent_external_charges_do_not_double_count() {
+        let pool = DevicePool::new(TpuConfig::small_test(), 2);
+        let run = pool
+            .run_sharded(
+                vec![1u64, 2],
+                |_| lane(1.0),
+                |device, items| {
+                    // An unrelated kernel lands on this chip mid-flight
+                    // and merges its own time via advance_external (as
+                    // TpuAccel's non-transform kernels do). The flight
+                    // must not absorb it: shards self-report only what
+                    // they charged inside their timed region.
+                    device.with(|d| d.charge_external_seconds(5.0));
+                    pool.advance_external(5.0);
+                    device.timed(|d| {
+                        d.run_phase(vec![shard_mat(0.5)], |core, s| core.matmul(&s, &s))?;
+                        Ok(items)
+                    })
+                },
+            )
+            .unwrap();
+        // Two shards → 10.0 s of external charges, plus exactly the
+        // flight's own contribution. Double counting would add the
+        // 5.0 s external charges into the flight deltas again.
+        let expect = 10.0 + run.seconds;
+        assert!(
+            (pool.wall_seconds() - expect).abs() < 1e-12,
+            "wall {} must equal external 10.0 + flight {}",
+            pool.wall_seconds(),
+            run.seconds
+        );
+        assert!(run.seconds > 0.0 && run.seconds < 5.0);
+    }
+
+    #[test]
+    fn advance_external_merges_into_timeline() {
+        let pool = DevicePool::new(TpuConfig::small_test(), 2);
+        pool.advance_external(0.25);
+        pool.advance_external(-1.0); // ignored
+        assert_eq!(pool.wall_seconds(), 0.25);
+        pool.reset();
+        assert_eq!(pool.wall_seconds(), 0.0);
+    }
+
+    #[test]
+    fn deep_clone_shares_nothing() {
+        let pool = DevicePool::new(TpuConfig::small_test(), 2);
+        pool.advance_external(1.0);
+        let copy = pool.deep_clone();
+        assert_eq!(copy.wall_seconds(), 1.0);
+        copy.run_sharded(
+            vec![shard_mat(1.0), shard_mat(2.0)],
+            |m| lane(m.len() as f64),
+            matmul_shard,
+        )
+        .unwrap();
+        assert!(copy.wall_seconds() > 1.0);
+        assert_eq!(pool.wall_seconds(), 1.0, "original untouched");
+        assert!(!pool.primary().same_device(copy.primary()));
+    }
+
+    #[test]
+    fn reset_zeroes_every_chip_and_the_timeline() {
+        let pool = DevicePool::new(TpuConfig::small_test(), 3);
+        pool.run_sharded(
+            (0..6).map(|i| shard_mat(i as f64 * 0.1)).collect(),
+            |m| lane(m.len() as f64),
+            matmul_shard,
+        )
+        .unwrap();
+        assert!(pool.energy_pj() > 0.0);
+        pool.reset();
+        assert_eq!(pool.wall_seconds(), 0.0);
+        assert_eq!(pool.gather_seconds(), 0.0);
+        assert_eq!(pool.sharded_flights(), 0);
+        assert_eq!(pool.energy_pj(), 0.0);
+        for d in pool.devices() {
+            assert_eq!(d.wall_seconds(), 0.0);
+        }
+    }
+}

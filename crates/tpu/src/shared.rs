@@ -72,6 +72,26 @@ impl SharedDevice {
         f(&mut self.lock())
     }
 
+    /// Runs `f` with exclusive access and returns its value together
+    /// with the simulated seconds it advanced this device's wall
+    /// clock — an atomic charge-and-measure step. Because the lock is
+    /// held across both the charge and the measurement, the delta is
+    /// exact even when other threads charge this device concurrently.
+    ///
+    /// # Errors
+    ///
+    /// Propagates `f`'s error.
+    pub fn timed<R>(
+        &self,
+        f: impl FnOnce(&mut TpuDevice) -> xai_tensor::Result<R>,
+    ) -> xai_tensor::Result<(R, f64)> {
+        self.with(|d| {
+            let before = d.wall_seconds();
+            let value = f(d)?;
+            Ok((value, d.wall_seconds() - before))
+        })
+    }
+
     /// Convenience forward of [`TpuDevice::run_phase`] under the lock.
     ///
     /// # Errors
@@ -153,6 +173,22 @@ mod tests {
             .unwrap();
         assert!(dev.wall_seconds() > 0.0);
         assert_eq!(dev.wall_seconds(), other.wall_seconds());
+    }
+
+    #[test]
+    fn timed_measures_exactly_its_own_charge() {
+        let dev = SharedDevice::new(TpuConfig::small_test());
+        let (out, dt) = dev
+            .timed(|d| d.run_phase(vec![shard(1.0)], |core, s| core.matmul(&s, &s)))
+            .unwrap();
+        assert_eq!(out.len(), 1);
+        assert!(dt > 0.0);
+        assert_eq!(dev.wall_seconds(), dt);
+        // A second timed region measures only its own delta.
+        let (_, dt2) = dev
+            .timed(|d| d.run_phase(vec![shard(2.0)], |core, s| core.matmul(&s, &s)))
+            .unwrap();
+        assert!((dev.wall_seconds() - dt - dt2).abs() < 1e-18);
     }
 
     #[test]

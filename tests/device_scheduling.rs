@@ -1,11 +1,20 @@
 //! Integration tests of Algorithm 1 and the device-level scheduling:
 //! the simulated TPU must produce host-identical numerics while its
-//! clocks behave like hardware.
+//! clocks behave like hardware — on one chip, and sharded across a
+//! multi-chip [`DevicePool`].
 
-use tpu_xai::core::{fft2d_on_device, ifft2d_on_device};
-use tpu_xai::tensor::{Complex64, Matrix};
+use proptest::prelude::*;
+use std::sync::Arc;
+use std::time::Duration;
+use tpu_xai::accel::{Accelerator, TpuAccel};
+use tpu_xai::core::{
+    explain_batch_on, explain_batch_parallel_on, fft2d_on_device, ifft2d_on_device, DistilledModel,
+    SolveStrategy,
+};
+use tpu_xai::tensor::{conv::conv2d_circular, Complex64, Matrix, TensorError};
 use tpu_xai::tpu::{
-    Instruction, Program, SharedDevice, SystolicArray, TpuConfig, TpuCore, TpuDevice,
+    BatchQueue, DevicePool, Instruction, LaneCost, Program, SharedDevice, SystolicArray, TpuConfig,
+    TpuCore, TpuDevice,
 };
 use xai_tensor::ops::DivPolicy;
 
@@ -84,6 +93,152 @@ fn communication_cost_scales_with_payload() {
         .collect();
     device.cross_replica_sum(&large).unwrap();
     assert!(device.comm_seconds() > t_small);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+    /// Sharding §III-D explanation batches across 1, 2 or 4 simulated
+    /// chips must be bit-identical to the single-device path: lanes
+    /// are pure functions of their inputs, wherever they are placed.
+    #[test]
+    fn pooled_explanations_bit_identical_across_device_counts(
+        seed in proptest::collection::vec(-4.0f64..4.0, 8 * 8 * 4),
+    ) {
+        let k = Matrix::from_fn(8, 8, |r, c| ((r + c * 3) % 5) as f64 * 0.25).unwrap();
+        let pairs: Vec<(Matrix<f64>, Matrix<f64>)> = seed
+            .chunks(64)
+            .map(|chunk| {
+                let x = Matrix::from_fn(8, 8, |r, c| chunk[r * 8 + c]).unwrap();
+                let y = conv2d_circular(&x, &k).unwrap();
+                (x, y)
+            })
+            .collect();
+        let model = DistilledModel::fit(&pairs, SolveStrategy::default()).unwrap();
+        let reference =
+            explain_batch_on(&TpuAccel::with_cores(4), &model, &pairs, 4).unwrap();
+        for n_devices in [1usize, 2, 4] {
+            let acc = TpuAccel::over_pool(
+                DevicePool::with_cores(TpuConfig::tpu_v2(), n_devices, 4),
+                Duration::ZERO,
+                8,
+            );
+            let maps =
+                explain_batch_parallel_on(&acc, &model, &pairs, 4, pairs.len()).unwrap();
+            prop_assert_eq!(maps.len(), reference.len());
+            for (a, b) in reference.iter().zip(&maps) {
+                prop_assert_eq!(
+                    a.as_slice(),
+                    b.as_slice(),
+                    "n_devices={} must be bit-identical",
+                    n_devices
+                );
+            }
+            prop_assert!(acc.elapsed_seconds() > 0.0);
+        }
+    }
+}
+
+/// A shard that panics mid-flight (while holding its chip's lock —
+/// the worst case) must fail that flight with `WorkerPanicked` for
+/// every queue participant, and leave neither the pool nor any chip
+/// wedged.
+#[test]
+fn pool_recovers_from_panicking_shard_and_fails_followers() {
+    let pool = Arc::new(DevicePool::new(TpuConfig::small_test(), 2));
+    let queue: Arc<BatchQueue<u64, u64>> = Arc::new(BatchQueue::new(
+        pool.primary().clone(),
+        Duration::from_secs(60),
+        2,
+    ));
+    let run_sharded = |items: Vec<u64>, crash: bool| {
+        pool.run_sharded(
+            items,
+            |_| LaneCost {
+                compute: 1.0,
+                gather_bytes: 8,
+            },
+            move |device, lanes| {
+                if crash && lanes.contains(&0) {
+                    device.with(|_| panic!("chip firmware crash mid-shard"));
+                }
+                Ok((lanes, 0.0))
+            },
+        )
+        .map(|run| run.results)
+    };
+    let outcomes: Vec<_> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..2u64)
+            .map(|i| {
+                let queue = Arc::clone(&queue);
+                let run_sharded = &run_sharded;
+                scope.spawn(move || {
+                    // Stagger so thread 0 reliably leads the flight.
+                    if i == 1 {
+                        std::thread::sleep(Duration::from_millis(50));
+                    }
+                    queue.submit(vec![i], |_, flight| run_sharded(flight, true))
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    // The pool catches the shard panic, so no submitter panics: the
+    // leader's dispatch lands an error and *every* participant —
+    // followers included — observes WorkerPanicked.
+    for outcome in outcomes {
+        assert!(matches!(
+            outcome.unwrap_err(),
+            TensorError::WorkerPanicked { .. }
+        ));
+    }
+    // No wedged devices: the next flight shards across every chip,
+    // including the one whose lock the panicking shard poisoned.
+    let served = queue
+        .submit(vec![7, 8], |_, flight| run_sharded(flight, false))
+        .unwrap();
+    assert_eq!(served, vec![7, 8]);
+    for device in pool.devices() {
+        device
+            .run_phase(vec![Matrix::filled(4, 4, 0.5).unwrap()], |core, s| {
+                core.matmul(&s, &s)
+            })
+            .unwrap();
+    }
+}
+
+/// The pool's merged timeline shows the strong-scaling win: the same
+/// oversubscribed explanation fleet finishes faster on four chips
+/// than on one, while producing identical maps.
+#[test]
+fn four_chips_explain_faster_than_one() {
+    let k = Matrix::from_fn(16, 16, |r, c| ((r * 3 + c) % 7) as f64 * 0.2).unwrap();
+    let pairs: Vec<(Matrix<f64>, Matrix<f64>)> = (0..8)
+        .map(|s| {
+            let x = Matrix::from_fn(16, 16, |r, c| ((r * 5 + c + s) % 9) as f64 - 4.0).unwrap();
+            let y = conv2d_circular(&x, &k).unwrap();
+            (x, y)
+        })
+        .collect();
+    let model = DistilledModel::fit(&pairs, SolveStrategy::default()).unwrap();
+    let lanes = pairs.len() * 16;
+    let run = |n_devices: usize| {
+        let acc = TpuAccel::over_pool(
+            DevicePool::with_cores(TpuConfig::tpu_v2(), n_devices, 2),
+            Duration::from_secs(60),
+            lanes,
+        );
+        let maps = explain_batch_parallel_on(&acc, &model, &pairs, 4, pairs.len()).unwrap();
+        (maps, acc.elapsed_seconds())
+    };
+    let (maps_one, t_one) = run(1);
+    let (maps_four, t_four) = run(4);
+    for (a, b) in maps_one.iter().zip(&maps_four) {
+        assert_eq!(a.as_slice(), b.as_slice());
+    }
+    assert!(
+        t_four < t_one,
+        "4 chips ({t_four} s) must beat 1 chip ({t_one} s)"
+    );
 }
 
 #[test]
