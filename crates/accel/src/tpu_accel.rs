@@ -24,22 +24,19 @@
 //! numeric work runs outside it.
 
 use crate::clock::Clock;
+use crate::roofline::cost;
 use crate::stats::KernelStats;
 use crate::traits::Accelerator;
+use std::sync::Arc;
 use std::time::Duration;
 use xai_fourier::global_plan_cache;
 use xai_tensor::ops::{self, DivPolicy};
 use xai_tensor::quant::QuantizedMatrix;
 use xai_tensor::{Complex64, Matrix, Result};
-use xai_tpu::{BatchQueue, DevicePool, LaneCost, SharedDevice, TpuConfig, TpuDevice};
-
-/// One queued transform request: a matrix plus its direction, so one
-/// cross-request queue can coalesce forward and inverse work.
-#[derive(Debug)]
-struct FftJob {
-    x: Matrix<Complex64>,
-    forward: bool,
-}
+use xai_tpu::{
+    BatchQueue, DevicePool, KernelJob, KernelResult, LaneCost, ShardPlan, SharedDevice, TpuConfig,
+    TpuDevice,
+};
 
 /// TPU-based accelerator (the "Proposed Approach" column of the
 /// paper's tables).
@@ -48,10 +45,11 @@ struct FftJob {
 /// to drive **one** device from many threads, share the `TpuAccel`
 /// itself (e.g. `Arc<TpuAccel>` / `Arc<dyn Accelerator>`) or
 /// construct several with [`TpuAccel::over_device`] on one
-/// [`SharedDevice`]. [`TpuAccel::with_batching`] coalesces transforms
-/// from concurrent threads into shared device flights, and
-/// [`TpuAccel::with_pool`] additionally shards those flights across a
-/// pool of simulated chips ([`xai_tpu::DevicePool`]).
+/// [`SharedDevice`]. [`TpuAccel::with_batching`] coalesces kernels of
+/// every kind from concurrent threads into shared (possibly
+/// mixed-kind) device flights, and [`TpuAccel::with_pool`]
+/// additionally shards those flights across a pool of simulated chips
+/// ([`xai_tpu::DevicePool`]).
 ///
 /// # Examples
 ///
@@ -73,14 +71,15 @@ struct FftJob {
 pub struct TpuAccel {
     device: SharedDevice,
     stats: Clock,
-    /// When present, 2-D transforms from every thread are funnelled
-    /// through this cross-request queue and dispatched as coalesced
-    /// device flights (see [`TpuAccel::with_batching`]).
-    fft_queue: Option<BatchQueue<FftJob, Matrix<Complex64>>>,
+    /// When present, *every* kernel from every thread — transforms,
+    /// elementwise work and matmuls alike — is funnelled through this
+    /// cross-request queue and dispatched as coalesced, possibly
+    /// mixed-kind device flights (see [`TpuAccel::with_batching`]).
+    queue: Option<BatchQueue<KernelJob, KernelResult>>,
     /// When present, coalesced flights additionally shard across this
     /// pool of simulated chips (see [`TpuAccel::with_pool`]);
-    /// `device` aliases the pool's primary device and carries the
-    /// non-sharded kernels, while the pool's merged timeline is the
+    /// `device` aliases the pool's primary device and carries
+    /// single-lane flights, while the pool's merged timeline is the
     /// accelerator's clock.
     pool: Option<DevicePool>,
 }
@@ -97,8 +96,8 @@ impl Clone for TpuAccel {
             None => SharedDevice::from_device(self.device.with(|d| d.clone())),
         };
         TpuAccel {
-            fft_queue: self
-                .fft_queue
+            queue: self
+                .queue
                 .as_ref()
                 .map(|q| BatchQueue::new(device.clone(), q.window(), q.max_lanes())),
             device,
@@ -144,23 +143,24 @@ impl TpuAccel {
         TpuAccel {
             device,
             stats: Clock::new(),
-            fft_queue: None,
+            queue: None,
             pool: None,
         }
     }
 
     /// An accelerator over a pool of `n_devices` simulated TPUv2
-    /// chips with cross-request batching enabled: transforms from
-    /// concurrent workers coalesce into flights (see
+    /// chips with cross-request batching enabled: kernels of *every*
+    /// kind from concurrent workers coalesce into flights (see
     /// [`TpuAccel::with_batching`] for `window`/`max_lanes`), and
-    /// every multi-lane flight is sharded across the chips by the
+    /// every multi-lane flight — transforms, elementwise work and
+    /// matmuls, mixed freely — is sharded across the chips by the
     /// pool's placement strategy, executed concurrently, and merged
     /// with one inter-chip gather per flight
     /// ([`xai_tpu::DevicePool::run_sharded`]).
     ///
     /// Results stay bit-identical to single-device execution; only
     /// the simulated schedule (and therefore the clock) changes.
-    /// Non-transform kernels run on the pool's primary chip and are
+    /// Single-lane flights run on the pool's primary chip and are
     /// merged into the same timeline, so
     /// [`TpuAccel::elapsed_seconds`] remains one coherent clock.
     pub fn with_pool(n_devices: usize, window: Duration, max_lanes: usize) -> Self {
@@ -177,7 +177,7 @@ impl TpuAccel {
     pub fn over_pool(pool: DevicePool, window: Duration, max_lanes: usize) -> Self {
         let device = pool.primary().clone();
         TpuAccel {
-            fft_queue: Some(BatchQueue::new(device.clone(), window, max_lanes)),
+            queue: Some(BatchQueue::new(device.clone(), window, max_lanes)),
             device,
             stats: Clock::new(),
             pool: Some(pool),
@@ -201,26 +201,47 @@ impl TpuAccel {
         self.pool.as_ref().map_or(1, DevicePool::num_devices)
     }
 
-    /// Enables cross-request batching: 2-D transforms submitted by
+    /// Enables cross-request batching: kernels submitted by
     /// concurrent worker threads within `window` coalesce into one
-    /// device flight (dispatched early once `max_lanes` transforms
-    /// are pending — size it to the core count to fill one phase).
-    /// One flight issues one `run_phase` over per-core lanes and one
-    /// `cross_replica_sum` per transform stage, instead of a phase
-    /// and two collectives per request.
+    /// device flight (dispatched early once `max_lanes` lanes are
+    /// pending — size it to the core count to fill one phase). One
+    /// flight may mix kernel kinds: its transform lanes issue one
+    /// `run_phase` over per-core lanes and one `cross_replica_sum`
+    /// per transform stage for the whole flight, its elementwise
+    /// lanes split their elements across the vector units, and its
+    /// matmul lanes run the row-sharded MXU schedule — instead of a
+    /// phase and collectives per request.
     ///
     /// Numeric results are bit-identical to the unbatched path; only
     /// the simulated schedule (and therefore the clock) changes, so
     /// enable this for serving-throughput scenarios rather than for
     /// the paper's single-stream latency tables.
+    ///
+    /// **Window sizing**: a flight leader waits out `window` in *real
+    /// time* whenever fewer than `max_lanes` lanes arrive — and every
+    /// kernel rides the queue, so a lone `matmul` on an otherwise
+    /// idle accelerator stalls for the whole window. Use
+    /// milliseconds-scale windows for live serving; the benches' long
+    /// windows are straggler guards behind fleets sized to always hit
+    /// `max_lanes`, and `Duration::ZERO` keeps the code path with no
+    /// cross-thread coalescing (and no waiting).
+    ///
+    /// **Error granularity**: a flight fails as a unit. One lane's
+    /// data-dependent error (e.g. a
+    /// [`DivPolicy::Strict`](xai_tensor::ops::DivPolicy) division by
+    /// zero) or panic surfaces to *every* request coalesced into that
+    /// flight, matching [`xai_tpu::BatchQueue`]'s documented
+    /// dispatch-error and `WorkerPanicked` semantics. Callers needing
+    /// per-request error isolation should not share an accelerator's
+    /// batching window across fault domains.
     pub fn with_batching(mut self, window: Duration, max_lanes: usize) -> Self {
-        self.fft_queue = Some(BatchQueue::new(self.device.clone(), window, max_lanes));
+        self.queue = Some(BatchQueue::new(self.device.clone(), window, max_lanes));
         self
     }
 
     /// `true` when cross-request batching is enabled.
     pub fn is_batching(&self) -> bool {
-        self.fft_queue.is_some()
+        self.queue.is_some()
     }
 
     /// A handle to the underlying simulated device (shares the
@@ -305,38 +326,116 @@ fn charge_transform_shard(d: &mut TpuDevice, shapes: &[(usize, usize)]) -> Resul
     Ok(())
 }
 
+/// The kernel-statistics ledger entry of one whole 2-D transform
+/// over an `m × n` input: complex flops of the two-stage matrix form
+/// and bytes moved. The single source shared by the direct transform
+/// paths, the unqueued batch path and the flight dispatch, so the
+/// ledger can never disagree between them.
+fn transform_ops_bytes(m: usize, n: usize) -> (f64, f64) {
+    (
+        6.0 * 2.0 * (m * m * n + m * n * n) as f64,
+        32.0 * (m * n) as f64,
+    )
+}
+
 /// Total (flops, bytes) of a flight of 2-D transforms, for the
 /// kernel-statistics ledger.
 fn flight_ops_bytes(shapes: &[(usize, usize)]) -> (f64, f64) {
-    let (ops, bytes) = shapes.iter().fold((0usize, 0usize), |(o, b), &(m, n)| {
-        (o + m * m * n + m * n * n, b + m * n)
-    });
-    (6.0 * 2.0 * ops as f64, 32.0 * bytes as f64)
+    shapes.iter().fold((0.0, 0.0), |(o, b), &(m, n)| {
+        let (ops, bytes) = transform_ops_bytes(m, n);
+        (o + ops, b + bytes)
+    })
 }
 
-/// Fused numeric path of one flight: lanes grouped by (shape,
-/// direction), each group transformed with one fused row pass + one
-/// fused column pass (bit-identical to per-matrix transforms),
-/// results returned in lane order. Pure host arithmetic — no
-/// simulated-time charging.
-fn flight_numerics(flight: Vec<FftJob>) -> Result<Vec<Matrix<Complex64>>> {
-    // Requests from concurrent explanation workers are homogeneous,
-    // but neither the queue nor the pool requires it.
-    let mut groups: Vec<((usize, usize, bool), Vec<usize>)> = Vec::new();
-    for (i, job) in flight.iter().enumerate() {
-        let key = (job.x.rows(), job.x.cols(), job.forward);
-        match groups.iter_mut().find(|(k, _)| *k == key) {
-            Some((_, lanes)) => lanes.push(i),
-            None => groups.push((key, vec![i])),
+/// Ledger (flops, bytes) of one kernel lane — the same per-kernel
+/// formulas the direct (unqueued) paths record, and the single source
+/// of per-lane flops for the shard planner, so the statistics ledger
+/// and the placement/fan-out decisions can never drift apart.
+fn kernel_ops_bytes(job: &KernelJob) -> (f64, f64) {
+    match job {
+        KernelJob::Transform { x, .. } => {
+            let (m, n) = x.shape();
+            transform_ops_bytes(m, n)
+        }
+        KernelJob::Hadamard { a, .. } => (6.0 * a.len() as f64, 48.0 * a.len() as f64),
+        KernelJob::PointwiseDiv { a, .. } => (10.0 * a.len() as f64, 48.0 * a.len() as f64),
+        KernelJob::Sub { a, .. } => (a.len() as f64, 24.0 * a.len() as f64),
+        KernelJob::Matmul { a, b } => {
+            let (m, k) = a.shape();
+            let n = b.cols();
+            (cost::matmul_flops(m, k, n), cost::matmul_bytes(m, k, n))
         }
     }
-    let mut slots: Vec<Option<Matrix<Complex64>>> = (0..flight.len()).map(|_| None).collect();
-    let mut jobs: Vec<Option<FftJob>> = flight.into_iter().map(Some).collect();
+}
+
+/// Total (flops, bytes) of one kernel-generic flight, for the
+/// kernel-statistics ledger.
+fn flight_stats(jobs: &[KernelJob]) -> (f64, f64) {
+    jobs.iter().fold((0.0, 0.0), |(ops_acc, bytes_acc), job| {
+        let (o, b) = kernel_ops_bytes(job);
+        (ops_acc + o, bytes_acc + b)
+    })
+}
+
+/// The shard planner's view of one lane: relative compute in flops
+/// ([`kernel_ops_bytes`] — consistent across kernel kinds, so the LPT
+/// planner can balance a mixed flight) and the bytes its *result*
+/// ships over the inter-chip gather (16 per complex element, 8 per
+/// real — a different quantity than the ledger's traffic estimate).
+fn kernel_lane_cost(job: &KernelJob) -> LaneCost {
+    let gather_bytes = match job {
+        KernelJob::Transform { x, .. } => 16 * x.len(),
+        KernelJob::Hadamard { a, .. } | KernelJob::PointwiseDiv { a, .. } => 16 * a.len(),
+        KernelJob::Sub { a, .. } => 8 * a.len(),
+        KernelJob::Matmul { a, b } => 8 * a.rows() * b.cols(),
+    };
+    LaneCost {
+        compute: kernel_ops_bytes(job).0,
+        gather_bytes,
+    }
+}
+
+/// Numeric path of one kernel-generic flight, in lane order. Pure
+/// host arithmetic — no simulated-time charging. Transform lanes are
+/// grouped by (shape, direction) and run as fused batch transforms
+/// (bit-identical to per-matrix); elementwise and matmul lanes are
+/// pure per-lane functions of their inputs, so the flight's numerics
+/// are placement-independent by construction.
+fn flight_numerics(flight: Vec<KernelJob>) -> Result<Vec<KernelResult>> {
+    // Requests from concurrent explanation workers are homogeneous,
+    // but neither the queue nor the pool requires it.
+    let mut slots: Vec<Option<KernelResult>> = (0..flight.len()).map(|_| None).collect();
+    let mut groups: Vec<((usize, usize, bool), Vec<usize>)> = Vec::new();
+    let mut transforms: Vec<Option<Matrix<Complex64>>> = (0..flight.len()).map(|_| None).collect();
+    for (i, job) in flight.into_iter().enumerate() {
+        match job {
+            KernelJob::Transform { x, forward } => {
+                let key = (x.rows(), x.cols(), forward);
+                match groups.iter_mut().find(|(k, _)| *k == key) {
+                    Some((_, lanes)) => lanes.push(i),
+                    None => groups.push((key, vec![i])),
+                }
+                transforms[i] = Some(x);
+            }
+            KernelJob::Hadamard { a, b } => {
+                slots[i] = Some(KernelResult::Complex(ops::hadamard(&a, &b)?));
+            }
+            KernelJob::PointwiseDiv { a, b, policy } => {
+                slots[i] = Some(KernelResult::Complex(ops::pointwise_div(&a, &b, policy)?));
+            }
+            KernelJob::Sub { a, b } => {
+                slots[i] = Some(KernelResult::Real(ops::sub(&a, &b)?));
+            }
+            KernelJob::Matmul { a, b } => {
+                slots[i] = Some(KernelResult::Real(matmul_numerics(&a, &b)?));
+            }
+        }
+    }
     for ((m, n, forward), lanes) in &groups {
         let plan = global_plan_cache().plan_2d(*m, *n);
         let xs: Vec<Matrix<Complex64>> = lanes
             .iter()
-            .map(|&i| jobs[i].take().expect("each lane consumed once").x)
+            .map(|&i| transforms[i].take().expect("each lane consumed once"))
             .collect();
         let outs = if *forward {
             plan.forward_batch(&xs)?
@@ -344,13 +443,21 @@ fn flight_numerics(flight: Vec<FftJob>) -> Result<Vec<Matrix<Complex64>>> {
             plan.inverse_batch(&xs)?
         };
         for (&i, out) in lanes.iter().zip(outs) {
-            slots[i] = Some(out);
+            slots[i] = Some(KernelResult::Complex(out));
         }
     }
     Ok(slots
         .into_iter()
         .map(|s| s.expect("every lane produced a result"))
         .collect())
+}
+
+/// The real matmul numeric path: int8 quantisation, as §II-A
+/// prescribes — shared by the direct kernel and the flight dispatch.
+fn matmul_numerics(a: &Matrix<f64>, b: &Matrix<f64>) -> Result<Matrix<f64>> {
+    let qa = QuantizedMatrix::quantize_symmetric(a)?;
+    let qb = QuantizedMatrix::quantize_symmetric(b)?;
+    qa.matmul_dequant(&qb)
 }
 
 fn charge_sharded_elementwise(d: &mut TpuDevice, label: &'static str, elems: usize) -> Result<()> {
@@ -361,6 +468,84 @@ fn charge_sharded_elementwise(d: &mut TpuDevice, label: &'static str, elems: usi
         core.charge_elementwise_work(label, e);
         Ok(())
     })?;
+    Ok(())
+}
+
+/// Charges one row-sharded real matmul `m×k · k×n` across the
+/// device's cores plus the row-gather collective — the direct-path
+/// matmul cost model, reused verbatim by each chip of a flight so the
+/// two can never drift apart.
+fn charge_rowsharded_matmul(d: &mut TpuDevice, m: usize, k: usize, n: usize) -> Result<()> {
+    let p = d.num_cores().min(m.max(1));
+    let per_rows = m.div_ceil(p);
+    let work: Vec<usize> = (0..p)
+        .map(|i| per_rows.min(m.saturating_sub(i * per_rows)))
+        .filter(|&r| r > 0)
+        .collect();
+    d.run_phase(work, |core, rows| {
+        core.charge_matmul_work(rows, k, n, 1);
+        Ok(())
+    })?;
+    d.charge_collective(4 * per_rows * n);
+    Ok(())
+}
+
+/// The charge-relevant summary of one flight shard, grouped by kernel
+/// kind: computed *before* the numerics consume the jobs, charged
+/// atomically afterwards.
+#[derive(Debug, Default)]
+struct ShardCharges {
+    /// Transform lanes' shapes, in lane order.
+    transforms: Vec<(usize, usize)>,
+    /// Total elements per elementwise kernel label, in first-seen
+    /// order.
+    elementwise: Vec<(&'static str, usize)>,
+    /// Matmul lanes' `(m, k, n)`, in lane order.
+    matmuls: Vec<(usize, usize, usize)>,
+}
+
+/// Summarises a shard's lanes for [`charge_kernel_shard`].
+fn shard_charges<'a>(jobs: impl IntoIterator<Item = &'a KernelJob>) -> ShardCharges {
+    let mut charges = ShardCharges::default();
+    let bump = |charges: &mut ShardCharges, label: &'static str, elems: usize| match charges
+        .elementwise
+        .iter_mut()
+        .find(|(l, _)| *l == label)
+    {
+        Some((_, total)) => *total += elems,
+        None => charges.elementwise.push((label, elems)),
+    };
+    for job in jobs {
+        match job {
+            KernelJob::Transform { x, .. } => charges.transforms.push(x.shape()),
+            KernelJob::Hadamard { a, .. } => bump(&mut charges, "hadamard", a.len()),
+            KernelJob::PointwiseDiv { a, .. } => bump(&mut charges, "pointwise-div", a.len()),
+            KernelJob::Sub { a, .. } => bump(&mut charges, "sub", a.len()),
+            KernelJob::Matmul { a, b } => charges.matmuls.push((a.rows(), a.cols(), b.cols())),
+        }
+    }
+    charges
+}
+
+/// The per-device charge of one kernel-generic flight shard: the
+/// shard's transform lanes pay [`charge_transform_shard`] (one phase,
+/// a whole transform per core lane, one collective per stage), its
+/// elementwise lanes pay [`charge_sharded_elementwise`] per kernel
+/// label (elements split across the vector units), and each matmul
+/// lane pays the row-sharded MXU schedule
+/// ([`charge_rowsharded_matmul`]). Simulated time is a sum, so the
+/// per-kind order is immaterial; every sub-charge is the same cost
+/// function the direct (unqueued) kernel path uses.
+fn charge_kernel_shard(d: &mut TpuDevice, charges: &ShardCharges) -> Result<()> {
+    if !charges.transforms.is_empty() {
+        charge_transform_shard(d, &charges.transforms)?;
+    }
+    for &(label, elems) in &charges.elementwise {
+        charge_sharded_elementwise(d, label, elems)?;
+    }
+    for &(m, k, n) in &charges.matmuls {
+        charge_rowsharded_matmul(d, m, k, n)?;
+    }
     Ok(())
 }
 
@@ -401,83 +586,127 @@ impl TpuAccel {
         Ok(())
     }
 
-    /// Routes transforms through the cross-request queue: this call
+    /// Routes kernel lanes through the cross-request queue: this call
     /// blocks until its flight lands and returns exactly its own
-    /// results. Called only when batching is enabled.
+    /// results, in lane order. Called only when batching is enabled.
     ///
     /// Each matrix is cloned once into its job: the submitter's
-    /// borrowed slice cannot be lent across threads to a flight
+    /// borrowed operands cannot be lent across threads to a flight
     /// leader under safe Rust, and one copy is second-order next to
-    /// the O(mn·(m+n)) transform it ships.
-    fn queued_transform(
-        &self,
-        xs: &[Matrix<Complex64>],
-        forward: bool,
-    ) -> Result<Vec<Matrix<Complex64>>> {
-        let queue = self.fft_queue.as_ref().expect("batching enabled");
-        let jobs: Vec<FftJob> = xs
-            .iter()
-            .map(|x| FftJob {
-                x: x.clone(),
-                forward,
-            })
-            .collect();
-        queue.submit(jobs, |_, flight| self.dispatch_fft_flight(flight))
+    /// the kernel work it ships.
+    fn queued(&self, jobs: Vec<KernelJob>) -> Result<Vec<KernelResult>> {
+        let queue = self.queue.as_ref().expect("batching enabled");
+        queue.submit(jobs, |_, flight| self.dispatch_flight(flight))
     }
 
-    /// Executes one coalesced flight. On a single device: the fused
-    /// transform per (shape, direction) group, then a single device
-    /// phase with one transform per core lane and one reassembly
-    /// collective per transform stage for the whole flight. Over a
-    /// pool with more than one chip, the flight's lanes are sharded
+    /// Submits a single-lane kernel through the queue and unwraps its
+    /// one result.
+    fn queued_one(&self, job: KernelJob) -> Result<KernelResult> {
+        let mut out = self.queued(vec![job])?;
+        Ok(out.pop().expect("one lane, one result"))
+    }
+
+    /// Executes one coalesced flight, possibly mixing kernel kinds.
+    /// On a single device: the flight's numerics (fused per
+    /// (shape, direction) transform group, per-lane elementwise and
+    /// matmul work), then one atomic charge region applying each
+    /// kind's direct-path cost model ([`charge_kernel_shard`]). Over
+    /// a pool with more than one chip, the flight's lanes are sharded
     /// across the chips instead (see
     /// [`TpuAccel::dispatch_pooled_flight`]).
-    fn dispatch_fft_flight(&self, flight: Vec<FftJob>) -> Result<Vec<Matrix<Complex64>>> {
+    fn dispatch_flight(&self, flight: Vec<KernelJob>) -> Result<Vec<KernelResult>> {
+        let charges = shard_charges(&flight);
         if let Some(pool) = &self.pool {
             if pool.num_devices() > 1 && flight.len() > 1 {
-                return self.dispatch_pooled_flight(pool, flight);
+                if let Some((plan, gather_bytes)) = self.fanout_plan(pool, &flight, &charges) {
+                    return self.dispatch_pooled_flight(pool, flight, &plan, gather_bytes);
+                }
             }
         }
-        let shapes: Vec<(usize, usize)> = flight.iter().map(|j| j.x.shape()).collect();
+        let (ops, bytes) = flight_stats(&flight);
         let out = flight_numerics(flight)?;
-        self.charge_transform_flight(&shapes)?;
+        let dt = self.charge_region(|d| charge_kernel_shard(d, &charges))?;
+        self.stats.record(dt, ops, bytes);
         Ok(out)
     }
 
-    /// Executes one coalesced flight sharded across the pool's chips:
-    /// the shard planner splits the lanes, each chip concurrently
-    /// runs its shard as a full flight (fused numerics + the same
-    /// per-device charge as the single-chip path, self-measured
-    /// atomically under the chip's lock), and the pool merges the
-    /// slowest shard's charge plus one inter-chip gather into its
-    /// timeline. Results are bit-identical to the single-device
-    /// flight: lanes are pure functions of their inputs regardless of
-    /// placement.
+    /// Decides whether fanning a flight out across the pool's chips
+    /// beats keeping it on the primary device, by *dry-running* the
+    /// cost model: the per-kind charges are replayed on scratch
+    /// simulators — once as if the whole flight ran on the primary
+    /// chip, once per planned shard, each scratch chip mirroring the
+    /// real chip's configuration and core count (pools may be
+    /// heterogeneous) — and the sharded makespan plus the inter-chip
+    /// gather is compared against the single-chip wall time. Because
+    /// the dry run calls the exact charge functions the real dispatch
+    /// uses, the decision can never drift from the cost model it
+    /// optimises; it touches no real chip's clock. On a win the plan
+    /// and gather payload are returned so the pooled dispatch reuses
+    /// them instead of planning again.
+    ///
+    /// Transform-heavy flights fan out (MXU work dwarfs the gather);
+    /// small elementwise flights stay on the primary chip, where the
+    /// vector units finish them faster than the inter-chip link could
+    /// even start the reassembly. Heavily oversubscribed elementwise
+    /// flights cross the threshold and shard like transforms do.
+    fn fanout_plan(
+        &self,
+        pool: &DevicePool,
+        flight: &[KernelJob],
+        whole_flight_charges: &ShardCharges,
+    ) -> Option<(ShardPlan, usize)> {
+        let lanes: Vec<LaneCost> = flight.iter().map(kernel_lane_cost).collect();
+        let plan = ShardPlan::plan(&lanes, pool.num_devices(), pool.strategy());
+        if plan.occupied_devices() < 2 {
+            return None;
+        }
+        // An unchargeable probe (empty phase) means the real dispatch
+        // would fail identically on either path; prefer the simpler
+        // primary-chip path.
+        let probe = |device: &SharedDevice, charges: &ShardCharges| -> Option<f64> {
+            let mut scratch = TpuDevice::with_cores(device.config(), device.num_cores());
+            charge_kernel_shard(&mut scratch, charges).ok()?;
+            Some(scratch.wall_seconds())
+        };
+        let single = probe(&self.device, whole_flight_charges)?;
+        let mut slowest = 0.0f64;
+        for (d, assigned) in plan.assignments().iter().enumerate() {
+            if assigned.is_empty() {
+                continue;
+            }
+            let charges = shard_charges(assigned.iter().map(|&i| &flight[i]));
+            slowest = slowest.max(probe(pool.device(d), &charges)?);
+        }
+        let gather_bytes = plan.gather_shard_bytes(&lanes);
+        let gather = self.device.config().cross_replica_cost_s(gather_bytes);
+        (slowest + gather < single).then_some((plan, gather_bytes))
+    }
+
+    /// Executes one coalesced flight sharded across the pool's chips
+    /// under the plan [`TpuAccel::fanout_plan`] already computed —
+    /// transform, elementwise and matmul lanes placed by one
+    /// flops-consistent cost — each chip concurrently runs its shard
+    /// as a full flight (numerics + the same per-device charges as
+    /// the single-chip path,
+    /// self-measured atomically under the chip's lock via
+    /// [`SharedDevice::timed`]), and the pool merges the slowest
+    /// shard's charge plus one inter-chip gather into its timeline.
+    /// Results are bit-identical to the single-device flight: lanes
+    /// are pure functions of their inputs regardless of placement.
     fn dispatch_pooled_flight(
         &self,
         pool: &DevicePool,
-        flight: Vec<FftJob>,
-    ) -> Result<Vec<Matrix<Complex64>>> {
-        let shapes: Vec<(usize, usize)> = flight.iter().map(|j| j.x.shape()).collect();
-        let run = pool.run_sharded(
-            flight,
-            |job| {
-                let (m, n) = job.x.shape();
-                LaneCost {
-                    // Two complex matmul stages per lane: m²n + mn².
-                    compute: (m * m * n + m * n * n) as f64,
-                    // 16-byte complex elements shipped by the gather.
-                    gather_bytes: 16 * m * n,
-                }
-            },
-            |device, jobs| {
-                let shard_shapes: Vec<(usize, usize)> = jobs.iter().map(|j| j.x.shape()).collect();
-                let outs = flight_numerics(jobs)?;
-                let ((), dt) = device.timed(|d| charge_transform_shard(d, &shard_shapes))?;
-                Ok((outs, dt))
-            },
-        )?;
-        let (ops, bytes) = flight_ops_bytes(&shapes);
+        flight: Vec<KernelJob>,
+        plan: &ShardPlan,
+        gather_bytes: usize,
+    ) -> Result<Vec<KernelResult>> {
+        let (ops, bytes) = flight_stats(&flight);
+        let run = pool.run_planned(plan, gather_bytes, flight, |device, jobs| {
+            let charges = shard_charges(&jobs);
+            let outs = flight_numerics(jobs)?;
+            let ((), dt) = device.timed(|d| charge_kernel_shard(d, &charges))?;
+            Ok((outs, dt))
+        })?;
         self.stats.record(run.seconds, ops, bytes);
         Ok(run.results)
     }
@@ -496,65 +725,63 @@ impl Accelerator for TpuAccel {
     }
 
     fn matmul(&self, a: &Matrix<f64>, b: &Matrix<f64>) -> Result<Matrix<f64>> {
+        if self.queue.is_some() {
+            let out = self.queued_one(KernelJob::Matmul {
+                a: a.clone(),
+                b: b.clone(),
+            })?;
+            return Ok(out.into_real());
+        }
         // Real numeric path: int8 quantisation, as §II-A prescribes.
-        let qa = QuantizedMatrix::quantize_symmetric(a)?;
-        let qb = QuantizedMatrix::quantize_symmetric(b)?;
-        let out = qa.matmul_dequant(&qb)?;
-
+        let out = matmul_numerics(a, b)?;
         let (m, k) = a.shape();
         let n = b.cols();
-        let dt = self.charge_region(|d| {
-            let p = d.num_cores().min(m);
-            let per_rows = m.div_ceil(p);
-            let work: Vec<usize> = (0..p)
-                .map(|i| per_rows.min(m.saturating_sub(i * per_rows)))
-                .filter(|&r| r > 0)
-                .collect();
-            d.run_phase(work, |core, rows| {
-                core.charge_matmul_work(rows, k, n, 1);
-                Ok(())
-            })?;
-            d.charge_collective(4 * per_rows * n);
-            Ok(())
-        })?;
+        let dt = self.charge_region(|d| charge_rowsharded_matmul(d, m, k, n))?;
         self.stats
-            .record(dt, 2.0 * (m * k * n) as f64, (m * k + k * n + m * n) as f64);
+            .record(dt, cost::matmul_flops(m, k, n), cost::matmul_bytes(m, k, n));
         Ok(out)
     }
 
     fn fft2d(&self, x: &Matrix<Complex64>) -> Result<Matrix<Complex64>> {
-        if self.fft_queue.is_some() {
-            let mut out = self.queued_transform(std::slice::from_ref(x), true)?;
-            return Ok(out.pop().expect("one lane, one result"));
+        if self.queue.is_some() {
+            let out = self.queued_one(KernelJob::Transform {
+                x: x.clone(),
+                forward: true,
+            })?;
+            return Ok(out.into_complex());
         }
         let (m, n) = x.shape();
         let out = global_plan_cache().plan_2d(m, n).forward(x)?;
         let dt = self.charge_region(|d| charge_fft2d(d, m, n))?;
-        self.stats.record(
-            dt,
-            6.0 * 2.0 * (m * m * n + m * n * n) as f64,
-            32.0 * (m * n) as f64,
-        );
+        let (ops, bytes) = transform_ops_bytes(m, n);
+        self.stats.record(dt, ops, bytes);
         Ok(out)
     }
 
     fn ifft2d(&self, x: &Matrix<Complex64>) -> Result<Matrix<Complex64>> {
-        if self.fft_queue.is_some() {
-            let mut out = self.queued_transform(std::slice::from_ref(x), false)?;
-            return Ok(out.pop().expect("one lane, one result"));
+        if self.queue.is_some() {
+            let out = self.queued_one(KernelJob::Transform {
+                x: x.clone(),
+                forward: false,
+            })?;
+            return Ok(out.into_complex());
         }
         let (m, n) = x.shape();
         let out = global_plan_cache().plan_2d(m, n).inverse(x)?;
         let dt = self.charge_region(|d| charge_fft2d(d, m, n))?;
-        self.stats.record(
-            dt,
-            6.0 * 2.0 * (m * m * n + m * n * n) as f64,
-            32.0 * (m * n) as f64,
-        );
+        let (ops, bytes) = transform_ops_bytes(m, n);
+        self.stats.record(dt, ops, bytes);
         Ok(out)
     }
 
     fn hadamard(&self, a: &Matrix<Complex64>, b: &Matrix<Complex64>) -> Result<Matrix<Complex64>> {
+        if self.queue.is_some() {
+            let out = self.queued_one(KernelJob::Hadamard {
+                a: a.clone(),
+                b: Arc::new(b.clone()),
+            })?;
+            return Ok(out.into_complex());
+        }
         let out = ops::hadamard(a, b)?;
         let dt = self.charge_region(|d| charge_sharded_elementwise(d, "hadamard", a.len()))?;
         self.stats
@@ -568,6 +795,14 @@ impl Accelerator for TpuAccel {
         b: &Matrix<Complex64>,
         policy: DivPolicy,
     ) -> Result<Matrix<Complex64>> {
+        if self.queue.is_some() {
+            let out = self.queued_one(KernelJob::PointwiseDiv {
+                a: a.clone(),
+                b: b.clone(),
+                policy,
+            })?;
+            return Ok(out.into_complex());
+        }
         let out = ops::pointwise_div(a, b, policy)?;
         let dt = self.charge_region(|d| charge_sharded_elementwise(d, "pointwise-div", a.len()))?;
         self.stats
@@ -576,6 +811,13 @@ impl Accelerator for TpuAccel {
     }
 
     fn sub(&self, a: &Matrix<f64>, b: &Matrix<f64>) -> Result<Matrix<f64>> {
+        if self.queue.is_some() {
+            let out = self.queued_one(KernelJob::Sub {
+                a: Arc::new(a.clone()),
+                b: b.clone(),
+            })?;
+            return Ok(out.into_real());
+        }
         let out = ops::sub(a, b)?;
         let dt = self.charge_region(|d| charge_sharded_elementwise(d, "sub", a.len()))?;
         self.stats.record(dt, a.len() as f64, 24.0 * a.len() as f64);
@@ -588,15 +830,31 @@ impl Accelerator for TpuAccel {
     /// [`TpuAccel::with_batching`], batches from concurrent request
     /// threads additionally coalesce into shared flights.
     fn fft2d_batch(&self, xs: &[Matrix<Complex64>]) -> Result<Vec<Matrix<Complex64>>> {
-        if self.fft_queue.is_some() && !xs.is_empty() {
-            return self.queued_transform(xs, true);
+        if self.queue.is_some() && !xs.is_empty() {
+            let jobs = xs
+                .iter()
+                .map(|x| KernelJob::Transform {
+                    x: x.clone(),
+                    forward: true,
+                })
+                .collect();
+            let out = self.queued(jobs)?;
+            return Ok(out.into_iter().map(KernelResult::into_complex).collect());
         }
         self.batch_transform(xs, true)
     }
 
     fn ifft2d_batch(&self, xs: &[Matrix<Complex64>]) -> Result<Vec<Matrix<Complex64>>> {
-        if self.fft_queue.is_some() && !xs.is_empty() {
-            return self.queued_transform(xs, false);
+        if self.queue.is_some() && !xs.is_empty() {
+            let jobs = xs
+                .iter()
+                .map(|x| KernelJob::Transform {
+                    x: x.clone(),
+                    forward: false,
+                })
+                .collect();
+            let out = self.queued(jobs)?;
+            return Ok(out.into_iter().map(KernelResult::into_complex).collect());
         }
         self.batch_transform(xs, false)
     }
@@ -606,6 +864,20 @@ impl Accelerator for TpuAccel {
         xs: &[Matrix<Complex64>],
         k: &Matrix<Complex64>,
     ) -> Result<Vec<Matrix<Complex64>>> {
+        if self.queue.is_some() && !xs.is_empty() {
+            // The filter broadcasts across every lane: ship one copy
+            // per flight, not one per lane.
+            let k = Arc::new(k.clone());
+            let jobs = xs
+                .iter()
+                .map(|x| KernelJob::Hadamard {
+                    a: x.clone(),
+                    b: Arc::clone(&k),
+                })
+                .collect();
+            let out = self.queued(jobs)?;
+            return Ok(out.into_iter().map(KernelResult::into_complex).collect());
+        }
         let out: Result<Vec<_>> = xs.iter().map(|x| ops::hadamard(x, k)).collect();
         if let Some(first) = xs.first() {
             let elems = first.len();
@@ -628,6 +900,20 @@ impl Accelerator for TpuAccel {
     }
 
     fn sub_batch(&self, y: &Matrix<f64>, preds: &[Matrix<f64>]) -> Result<Vec<Matrix<f64>>> {
+        if self.queue.is_some() && !preds.is_empty() {
+            // The observed output broadcasts against every prediction:
+            // one copy per flight, not one per lane.
+            let y = Arc::new(y.clone());
+            let jobs = preds
+                .iter()
+                .map(|p| KernelJob::Sub {
+                    a: Arc::clone(&y),
+                    b: p.clone(),
+                })
+                .collect();
+            let out = self.queued(jobs)?;
+            return Ok(out.into_iter().map(KernelResult::into_real).collect());
+        }
         let out: Result<Vec<_>> = preds.iter().map(|p| ops::sub(y, p)).collect();
         if !preds.is_empty() {
             let elems = y.len();
@@ -972,6 +1258,157 @@ mod tests {
         );
         assert_eq!(pooled.pool().unwrap().sharded_flights(), 1);
         assert!(pooled.pool().unwrap().gather_seconds() > 0.0);
+    }
+
+    #[test]
+    fn queued_kernels_are_bit_identical_to_direct_paths() {
+        // Every kernel kind — not just transforms — must produce
+        // bit-identical results whether it runs direct, through the
+        // queue, or sharded over a pool.
+        let a = Matrix::from_fn(12, 12, |r, c| ((r * 7 + c) % 9) as f64 / 9.0 - 0.5).unwrap();
+        let b = Matrix::from_fn(12, 12, |r, c| ((r + c * 3) % 7) as f64 / 7.0 - 0.5).unwrap();
+        let ca = a.to_complex();
+        let cb = b.to_complex();
+        let plain = TpuAccel::with_cores(4);
+        for acc in [
+            TpuAccel::with_cores(4).with_batching(Duration::ZERO, 4),
+            TpuAccel::over_pool(
+                DevicePool::with_cores(TpuConfig::tpu_v2(), 2, 4),
+                Duration::ZERO,
+                4,
+            ),
+        ] {
+            assert_eq!(
+                acc.matmul(&a, &b).unwrap().as_slice(),
+                plain.matmul(&a, &b).unwrap().as_slice()
+            );
+            assert_eq!(
+                acc.hadamard(&ca, &cb).unwrap().as_slice(),
+                plain.hadamard(&ca, &cb).unwrap().as_slice()
+            );
+            assert_eq!(
+                acc.sub(&a, &b).unwrap().as_slice(),
+                plain.sub(&a, &b).unwrap().as_slice()
+            );
+            let policy = DivPolicy::Clamp { floor: 1e-9 };
+            assert_eq!(
+                acc.pointwise_div(&ca, &cb, policy).unwrap().as_slice(),
+                plain.pointwise_div(&ca, &cb, policy).unwrap().as_slice()
+            );
+            assert!(acc.elapsed_seconds() > 0.0);
+        }
+    }
+
+    #[test]
+    fn pooled_elementwise_and_matmul_batches_are_bit_identical() {
+        let xs: Vec<Matrix<Complex64>> = (0..12)
+            .map(|s| {
+                Matrix::from_fn(10, 10, |r, c| ((r * 5 + c + s) % 11) as f64 - 5.0)
+                    .unwrap()
+                    .to_complex()
+            })
+            .collect();
+        let k = Matrix::from_fn(10, 10, |r, c| ((r + c) % 4) as f64 * 0.5)
+            .unwrap()
+            .to_complex();
+        let y = Matrix::from_fn(10, 10, |r, c| ((r * 3 + c) % 6) as f64).unwrap();
+        let preds: Vec<Matrix<f64>> = (0..12)
+            .map(|s| Matrix::from_fn(10, 10, |r, c| ((r + c + s) % 5) as f64).unwrap())
+            .collect();
+        let plain = TpuAccel::with_cores(4);
+        let had_ref = plain.hadamard_batch(&xs, &k).unwrap();
+        let sub_ref = plain.sub_batch(&y, &preds).unwrap();
+        for n_devices in [1usize, 2, 4] {
+            let pooled = TpuAccel::over_pool(
+                DevicePool::with_cores(TpuConfig::tpu_v2(), n_devices, 4),
+                Duration::ZERO,
+                12,
+            );
+            let had = pooled.hadamard_batch(&xs, &k).unwrap();
+            for (r, o) in had_ref.iter().zip(&had) {
+                assert_eq!(r.as_slice(), o.as_slice(), "hadamard n_devices={n_devices}");
+            }
+            let sub = pooled.sub_batch(&y, &preds).unwrap();
+            for (r, o) in sub_ref.iter().zip(&sub) {
+                assert_eq!(r.as_slice(), o.as_slice(), "sub n_devices={n_devices}");
+            }
+            assert!(pooled.elapsed_seconds() > 0.0);
+        }
+    }
+
+    #[test]
+    fn heavy_elementwise_flights_fan_out_and_strong_scale() {
+        // 2048 Hadamard lanes of 32² on single-core chips: the fleet
+        // is so oversubscribed that the fan-out win dwarfs the
+        // inter-chip gather, so the cost-model oracle shards the
+        // flight — the residual Amdahl term of pinning elementwise
+        // work to the primary chip is gone.
+        let xs: Vec<Matrix<Complex64>> = (0..2048)
+            .map(|_| Matrix::filled(32, 32, Complex64::ONE).unwrap())
+            .collect();
+        let k = Matrix::filled(32, 32, Complex64::I).unwrap();
+        let time = |n_devices: usize| {
+            let acc = TpuAccel::over_pool(
+                DevicePool::with_cores(TpuConfig::tpu_v2(), n_devices, 1),
+                Duration::ZERO,
+                xs.len(),
+            );
+            acc.hadamard_batch(&xs, &k).unwrap();
+            if n_devices > 1 {
+                assert_eq!(acc.pool().unwrap().sharded_flights(), 1);
+                assert!(acc.pool().unwrap().gather_seconds() > 0.0);
+            }
+            acc.elapsed_seconds()
+        };
+        let (t4, t1) = (time(4), time(1));
+        assert!(
+            t4 < t1,
+            "4 chips {t4} s must beat 1 chip {t1} s on a heavy elementwise flight"
+        );
+    }
+
+    #[test]
+    fn light_elementwise_flights_stay_on_the_primary_chip() {
+        // A small Hadamard batch costs less on one chip's vector units
+        // than the inter-chip gather alone: the cost-model oracle must
+        // keep it on the primary chip instead of sharding at a loss.
+        let xs: Vec<Matrix<Complex64>> = (0..8)
+            .map(|_| Matrix::filled(16, 16, Complex64::ONE).unwrap())
+            .collect();
+        let k = Matrix::filled(16, 16, Complex64::I).unwrap();
+        let acc = TpuAccel::with_pool(4, Duration::ZERO, 8);
+        acc.hadamard_batch(&xs, &k).unwrap();
+        let pool = acc.pool().unwrap();
+        assert_eq!(pool.sharded_flights(), 0);
+        assert_eq!(pool.gather_seconds(), 0.0);
+        assert!(acc.elapsed_seconds() > 0.0, "still charged on the primary");
+    }
+
+    #[test]
+    fn concurrent_matmuls_coalesce_and_shard_across_chips() {
+        use std::sync::Arc;
+        let a = Matrix::from_fn(128, 128, |r, c| ((r * 3 + c) % 11) as f64 / 11.0 - 0.5).unwrap();
+        let reference = TpuAccel::with_cores(4).matmul(&a, &a).unwrap();
+        let acc = Arc::new(TpuAccel::over_pool(
+            DevicePool::with_cores(TpuConfig::tpu_v2(), 4, 4),
+            Duration::from_secs(60),
+            4,
+        ));
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let acc = Arc::clone(&acc);
+                let a = a.clone();
+                let reference = reference.clone();
+                scope.spawn(move || {
+                    let out = acc.matmul(&a, &a).unwrap();
+                    assert_eq!(out.as_slice(), reference.as_slice());
+                });
+            }
+        });
+        // All four requests rode one flight, sharded one matmul per
+        // chip by the cost-model oracle.
+        assert_eq!(acc.pool().unwrap().sharded_flights(), 1);
+        assert!(acc.pool().unwrap().gather_seconds() > 0.0);
     }
 
     #[test]

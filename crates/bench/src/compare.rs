@@ -16,6 +16,15 @@ pub const WALLCLOCK_METRICS: &[&str] = &[
     "closed_form_speedup_vs_lime",
 ];
 
+/// Relative delta below which two metric values count as *equal*.
+/// Simulated metrics are deterministic, but once flights coalesce and
+/// shard, floating-point reductions run in a different (still
+/// deterministic) order than the committed baseline's, so the last
+/// few bits of a metric can differ without any real change. A metric
+/// sitting exactly on the tolerance boundary must not flip the gate
+/// on that jitter.
+pub const METRIC_JITTER_EPSILON: f64 = 1e-9;
+
 /// One metric's baseline-vs-candidate verdict.
 #[derive(Debug, Clone, PartialEq)]
 pub struct MetricComparison {
@@ -105,6 +114,9 @@ pub fn missing_metrics(baseline: &[(String, f64)], candidate: &[(String, f64)]) 
 /// Compares every metric present in **both** sets, skipping
 /// [`WALLCLOCK_METRICS`]. `tolerance` is the allowed fractional
 /// regression (0.10 = a metric may be up to 10% worse than baseline).
+/// Deltas within [`METRIC_JITTER_EPSILON`] (relative) are treated as
+/// equal, so reordered-but-deterministic floating-point reductions
+/// can never flip the gate on a metric sitting at the boundary.
 /// New metrics absent from the baseline are not compared — see
 /// [`new_metrics`]; committing a refreshed baseline picks them up.
 pub fn compare_metrics(
@@ -117,11 +129,13 @@ pub fn compare_metrics(
         .filter(|(k, _)| !WALLCLOCK_METRICS.contains(&k.as_str()))
         .filter_map(|(key, b)| {
             let c = candidate.iter().find(|(k, _)| k == key)?.1;
-            let regressed = if lower_is_better(key) {
-                c > b * (1.0 + tolerance)
-            } else {
-                c < b * (1.0 - tolerance)
-            };
+            let jitter = (c - b).abs() <= METRIC_JITTER_EPSILON * b.abs().max(c.abs());
+            let regressed = !jitter
+                && if lower_is_better(key) {
+                    c > b * (1.0 + tolerance)
+                } else {
+                    c < b * (1.0 - tolerance)
+                };
             Some(MetricComparison {
                 key: key.clone(),
                 baseline: *b,
@@ -213,6 +227,27 @@ mod tests {
         assert!(compare_metrics(&baseline, &noisy, 0.10)
             .iter()
             .all(|c| !c.regressed));
+    }
+
+    #[test]
+    fn float_jitter_below_epsilon_never_regresses() {
+        let baseline = vec![("a_speedup".to_string(), 2.6253129175433445)];
+        // Last-bits jitter from a reordered (but deterministic)
+        // floating-point reduction...
+        let jittered = vec![("a_speedup".to_string(), 2.6253129175433467)];
+        // ...must not trip the gate even with ZERO tolerance, where
+        // any strict comparison would flip on the ulps alone.
+        let cmp = compare_metrics(&baseline, &jittered, 0.0);
+        assert_eq!(cmp.len(), 1);
+        assert!(!cmp[0].regressed, "sub-epsilon delta must count as equal");
+        // A real regression still trips at the same tolerance.
+        let worse = vec![("a_speedup".to_string(), 2.0)];
+        assert!(compare_metrics(&baseline, &worse, 0.1)[0].regressed);
+        // The epsilon is relative, so it also covers seconds-scale
+        // metrics whose absolute values are tiny.
+        let b = vec![("t_seconds".to_string(), 3.667245714285715e-5)];
+        let j = vec![("t_seconds".to_string(), 3.667245714285716e-5)];
+        assert!(!compare_metrics(&b, &j, 0.0)[0].regressed);
     }
 
     #[test]

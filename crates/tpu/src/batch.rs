@@ -16,16 +16,129 @@
 //! items' results, in submission order.
 //!
 //! The queue is deliberately generic over work/result types so the
-//! accelerator layer can route forward *and* inverse transforms (and
-//! later kernels) through one queue without this crate knowing about
-//! plan caches or cost models.
+//! accelerator layer can route *every* kernel kind through one queue
+//! without this crate knowing about plan caches or cost models.
+//! [`KernelJob`]/[`KernelResult`] are the ready-made payload for that:
+//! one flight can mix transform, elementwise and matmul lanes, and the
+//! whole mixed flight shards across a [`crate::DevicePool`] exactly
+//! like a homogeneous one.
 
 use crate::shared::SharedDevice;
 use std::collections::HashMap;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
-use std::sync::{Condvar, Mutex, MutexGuard, PoisonError};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::time::{Duration, Instant};
-use xai_tensor::{Result, TensorError};
+use xai_tensor::ops::DivPolicy;
+use xai_tensor::{Complex64, Matrix, Result, TensorError};
+
+/// One lane of a kernel-generic flight: the work-item type an
+/// accelerator layer routes through a single [`BatchQueue`] so one
+/// coalesced dispatch can mix kernel kinds — 2-D transforms,
+/// elementwise vector work and real matmuls ride the same flight and
+/// shard across a [`crate::DevicePool`] together.
+///
+/// This type is a pure data carrier: numerics, plan caches and cost
+/// models stay in the accelerator layer, so this crate keeps no
+/// opinion on *how* a lane executes — only on how lanes coalesce,
+/// dispatch and shard. Broadcast operands — the filter of a Hadamard
+/// batch, the minuend of a difference batch — are behind [`Arc`] so a
+/// whole batch ships one copy per flight, not one per lane.
+#[derive(Debug, Clone)]
+pub enum KernelJob {
+    /// A whole 2-D Fourier transform of `x` (forward or inverse).
+    Transform {
+        /// The matrix to transform.
+        x: Matrix<Complex64>,
+        /// `true` for the forward transform, `false` for the inverse.
+        forward: bool,
+    },
+    /// An elementwise Hadamard product `a ∘ b` on the vector units.
+    Hadamard {
+        /// Left operand (per-lane).
+        a: Matrix<Complex64>,
+        /// Right operand — typically a filter broadcast across every
+        /// lane of a batch, hence shared.
+        b: Arc<Matrix<Complex64>>,
+    },
+    /// An elementwise division `a ⊘ b` under `policy`.
+    PointwiseDiv {
+        /// Numerator.
+        a: Matrix<Complex64>,
+        /// Denominator.
+        b: Matrix<Complex64>,
+        /// Division-by-zero handling.
+        policy: DivPolicy,
+    },
+    /// An elementwise difference `a − b` (the Equation-5 residual).
+    Sub {
+        /// Minuend — typically the observed output broadcast against
+        /// every prediction of a batch, hence shared.
+        a: Arc<Matrix<f64>>,
+        /// Subtrahend (per-lane).
+        b: Matrix<f64>,
+    },
+    /// A real matrix product `a · b` on the systolic MXU.
+    Matmul {
+        /// Left factor (`m × k`).
+        a: Matrix<f64>,
+        /// Right factor (`k × n`).
+        b: Matrix<f64>,
+    },
+}
+
+impl KernelJob {
+    /// Short static label of the lane's kernel kind, for traces and
+    /// error messages.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            KernelJob::Transform { .. } => "transform",
+            KernelJob::Hadamard { .. } => "hadamard",
+            KernelJob::PointwiseDiv { .. } => "pointwise-div",
+            KernelJob::Sub { .. } => "sub",
+            KernelJob::Matmul { .. } => "matmul",
+        }
+    }
+}
+
+/// The result of one [`KernelJob`] lane: complex for transforms and
+/// complex elementwise kernels, real for differences and matmuls.
+#[derive(Debug, Clone, PartialEq)]
+pub enum KernelResult {
+    /// A complex matrix (transform, Hadamard, pointwise division).
+    Complex(Matrix<Complex64>),
+    /// A real matrix (difference, matmul).
+    Real(Matrix<f64>),
+}
+
+impl KernelResult {
+    /// Unwraps the complex matrix of a transform/elementwise lane.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the result is [`KernelResult::Real`] — the
+    /// dispatcher produced a lane kind the submitter did not queue.
+    pub fn into_complex(self) -> Matrix<Complex64> {
+        match self {
+            KernelResult::Complex(m) => m,
+            KernelResult::Real(_) => panic!("kernel lane produced a real result, expected complex"),
+        }
+    }
+
+    /// Unwraps the real matrix of a difference/matmul lane.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the result is [`KernelResult::Complex`] — the
+    /// dispatcher produced a lane kind the submitter did not queue.
+    pub fn into_real(self) -> Matrix<f64> {
+        match self {
+            KernelResult::Real(m) => m,
+            KernelResult::Complex(_) => {
+                panic!("kernel lane produced a complex result, expected real")
+            }
+        }
+    }
+}
 
 /// A coalescing submission queue in front of one [`SharedDevice`].
 ///
@@ -419,6 +532,101 @@ mod tests {
             let out = q.submit(vec![round], |_, v| Ok(v)).unwrap();
             assert_eq!(out, vec![round]);
         }
+    }
+
+    #[test]
+    fn kernel_job_kinds_are_labelled() {
+        let x = Matrix::filled(2, 2, Complex64::ONE).unwrap();
+        let r = Matrix::filled(2, 2, 1.0).unwrap();
+        let jobs = [
+            KernelJob::Transform {
+                x: x.clone(),
+                forward: true,
+            },
+            KernelJob::Hadamard {
+                a: x.clone(),
+                b: Arc::new(x.clone()),
+            },
+            KernelJob::PointwiseDiv {
+                a: x.clone(),
+                b: x,
+                policy: DivPolicy::Clamp { floor: 1e-12 },
+            },
+            KernelJob::Sub {
+                a: Arc::new(r.clone()),
+                b: r.clone(),
+            },
+            KernelJob::Matmul { a: r.clone(), b: r },
+        ];
+        let kinds: Vec<_> = jobs.iter().map(KernelJob::kind).collect();
+        assert_eq!(
+            kinds,
+            vec!["transform", "hadamard", "pointwise-div", "sub", "matmul"]
+        );
+    }
+
+    #[test]
+    fn kernel_results_unwrap_by_kind() {
+        let c = Matrix::filled(2, 2, Complex64::I).unwrap();
+        let r = Matrix::filled(2, 2, 3.0).unwrap();
+        assert_eq!(
+            KernelResult::Complex(c.clone()).into_complex().as_slice(),
+            c.as_slice()
+        );
+        assert_eq!(
+            KernelResult::Real(r.clone()).into_real().as_slice(),
+            r.as_slice()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "expected complex")]
+    fn wrong_kind_unwrap_panics() {
+        KernelResult::Real(Matrix::filled(1, 1, 0.0).unwrap()).into_complex();
+    }
+
+    /// The queue is payload-generic: a mixed-kind flight of
+    /// [`KernelJob`] lanes coalesces and returns per-lane results in
+    /// submission order, whatever the mix.
+    #[test]
+    fn mixed_kernel_jobs_ride_one_queue() {
+        use xai_tensor::ops;
+        let dev = SharedDevice::new(TpuConfig::small_test());
+        let q: BatchQueue<KernelJob, KernelResult> = BatchQueue::new(dev, Duration::ZERO, 8);
+        let x = Matrix::filled(2, 2, Complex64::new(2.0, 1.0)).unwrap();
+        let r = Matrix::filled(2, 2, 4.0).unwrap();
+        let out = q
+            .submit(
+                vec![
+                    KernelJob::Hadamard {
+                        a: x.clone(),
+                        b: Arc::new(x.clone()),
+                    },
+                    KernelJob::Sub {
+                        a: Arc::new(r.clone()),
+                        b: r.clone(),
+                    },
+                ],
+                |_, jobs| {
+                    jobs.into_iter()
+                        .map(|job| match job {
+                            KernelJob::Hadamard { a, b } => {
+                                Ok(KernelResult::Complex(ops::hadamard(&a, &b)?))
+                            }
+                            KernelJob::Sub { a, b } => Ok(KernelResult::Real(ops::sub(&a, &b)?)),
+                            other => panic!("unqueued kind {}", other.kind()),
+                        })
+                        .collect()
+                },
+            )
+            .unwrap();
+        assert_eq!(out.len(), 2);
+        let had = out[0].clone().into_complex();
+        assert_eq!(
+            had[(0, 0)],
+            Complex64::new(2.0, 1.0) * Complex64::new(2.0, 1.0)
+        );
+        assert_eq!(out[1].clone().into_real()[(1, 1)], 0.0);
     }
 
     #[test]

@@ -61,7 +61,7 @@ mod shared;
 pub mod systolic;
 pub mod trace;
 
-pub use batch::BatchQueue;
+pub use batch::{BatchQueue, KernelJob, KernelResult};
 pub use compiler::{compile_contribution, compile_distillation, compile_fft2d, Fft2dSlots};
 pub use config::{Precision, TpuConfig};
 pub use core::{bf16_round, TpuCore};

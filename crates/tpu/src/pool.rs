@@ -385,10 +385,12 @@ impl DevicePool {
     ///
     /// Returns [`TensorError::WorkerPanicked`] when any shard
     /// panicked (the pool recovers: devices are unwedged and the next
-    /// execution serves normally; charges reported by surviving
-    /// shards still merge into the timeline), the first shard error
-    /// in device order otherwise, and [`TensorError::DataLength`]
-    /// when a shard returns the wrong number of results.
+    /// execution serves normally), the first shard error in device
+    /// order otherwise, and [`TensorError::DataLength`] when a shard
+    /// returns the wrong number of results. A failed flight merges
+    /// **nothing** into the pool timeline — the partial charges of
+    /// surviving shards remain on their chips' own clocks only, so
+    /// the merged serving clock never bills undelivered work.
     pub fn run_sharded<W, R>(
         &self,
         work: Vec<W>,
@@ -399,15 +401,65 @@ impl DevicePool {
         W: Send,
         R: Send,
     {
+        let lanes: Vec<LaneCost> = work.iter().map(&lane).collect();
+        let plan = ShardPlan::plan(&lanes, self.devices.len(), self.strategy);
+        let gather_bytes = plan.gather_shard_bytes(&lanes);
+        self.run_planned(&plan, gather_bytes, work, shard)
+    }
+
+    /// Executes `work` under a [`ShardPlan`] the caller already
+    /// computed — e.g. while deciding whether fanning out is worth it
+    /// — avoiding a second planning pass. `gather_bytes` prices the
+    /// inter-chip gather (normally
+    /// [`ShardPlan::gather_shard_bytes`]). Execution, accounting and
+    /// error semantics are exactly [`DevicePool::run_sharded`]'s.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::DataLength`] when the plan does not
+    /// cover this pool's devices and every lane of `work` exactly
+    /// once, plus every error [`DevicePool::run_sharded`] can return.
+    pub fn run_planned<W, R>(
+        &self,
+        plan: &ShardPlan,
+        gather_bytes: usize,
+        work: Vec<W>,
+        shard: impl Fn(&SharedDevice, Vec<W>) -> ShardOutcome<R> + Sync,
+    ) -> Result<ShardedRun<R>>
+    where
+        W: Send,
+        R: Send,
+    {
+        if plan.assignments().len() != self.devices.len() {
+            return Err(TensorError::DataLength {
+                expected: self.devices.len(),
+                actual: plan.assignments().len(),
+            });
+        }
+        let mut placed = vec![false; work.len()];
+        let mut placements = 0usize;
+        for &i in plan.assignments().iter().flatten() {
+            if i >= work.len() || placed[i] {
+                return Err(TensorError::DataLength {
+                    expected: work.len(),
+                    actual: i,
+                });
+            }
+            placed[i] = true;
+            placements += 1;
+        }
+        if placements != work.len() {
+            return Err(TensorError::DataLength {
+                expected: work.len(),
+                actual: placements,
+            });
+        }
         if work.is_empty() {
             return Ok(ShardedRun {
                 results: Vec::new(),
                 seconds: 0.0,
             });
         }
-        let lanes: Vec<LaneCost> = work.iter().map(&lane).collect();
-        let plan = ShardPlan::plan(&lanes, self.devices.len(), self.strategy);
-        let gather_bytes = plan.gather_shard_bytes(&lanes);
 
         // Bin the work per device. `lane_maps[s]` remembers which
         // lanes shard `s` carries so results reassemble in lane order.
@@ -458,9 +510,15 @@ impl DevicePool {
         let mut slowest = 0.0f64;
         let mut panicked = false;
         let mut first_err: Option<TensorError> = None;
-        for outcome in outcomes {
+        for (outcome, assigned) in outcomes.into_iter().zip(&lane_maps) {
             match outcome.expect("scope joined every shard") {
                 Ok(Ok((results, seconds))) => {
+                    if results.len() != assigned.len() && first_err.is_none() {
+                        first_err = Some(TensorError::DataLength {
+                            expected: assigned.len(),
+                            actual: results.len(),
+                        });
+                    }
                     slowest = slowest.max(seconds);
                     per_shard.push(results);
                 }
@@ -477,12 +535,22 @@ impl DevicePool {
             }
         }
 
-        // Merge the timeline even for failed flights: whatever the
-        // surviving shards charged is real simulated work, and the
-        // ledger is monotone either way. The gather only happens for
-        // flights that actually complete across several chips.
-        let all_ok = !panicked && first_err.is_none();
-        let gather_s = if all_ok && n_shards > 1 {
+        // Only completed flights merge into the serving timeline: a
+        // panicked or errored flight returns nothing to its callers,
+        // so folding its partial-shard charges (or a gather that never
+        // happened) into the merged clock would bill work the flight
+        // did not deliver — and bill it *again* when the caller
+        // retries. The partial charges stay visible on each chip's own
+        // wall clock and energy counters; `reset` clears those too.
+        if panicked {
+            return Err(TensorError::WorkerPanicked {
+                op: "device pool shard",
+            });
+        }
+        if let Some(e) = first_err {
+            return Err(e);
+        }
+        let gather_s = if n_shards > 1 {
             self.cfg.cross_replica_cost_s(gather_bytes)
         } else {
             0.0
@@ -492,28 +560,13 @@ impl DevicePool {
             let mut timeline = self.lock_timeline();
             timeline.wall_s += seconds;
             timeline.gather_s += gather_s;
-            if all_ok && n_shards > 1 {
+            if n_shards > 1 {
                 timeline.sharded_flights += 1;
             }
         }
 
-        if panicked {
-            return Err(TensorError::WorkerPanicked {
-                op: "device pool shard",
-            });
-        }
-        if let Some(e) = first_err {
-            return Err(e);
-        }
-
         let mut out: Vec<Option<R>> = (0..total).map(|_| None).collect();
         for (assigned, results) in lane_maps.iter().zip(per_shard) {
-            if results.len() != assigned.len() {
-                return Err(TensorError::DataLength {
-                    expected: assigned.len(),
-                    actual: results.len(),
-                });
-            }
             for (&i, r) in assigned.iter().zip(results) {
                 out[i] = Some(r);
             }
@@ -731,6 +784,8 @@ mod tests {
             )
             .unwrap_err();
         assert_eq!(err, TensorError::EmptyDimension);
+        // An errored flight merges nothing into the serving timeline.
+        assert_eq!(pool.wall_seconds(), 0.0);
         // The pool still serves.
         let run = pool
             .run_sharded(vec![5u64, 6], |_| lane(1.0), |_, v: Vec<u64>| uncharged(v))
@@ -774,6 +829,49 @@ mod tests {
         assert!(run.seconds > 0.0);
     }
 
+    /// A flight that fails with `WorkerPanicked` must leave the pool's
+    /// accounting consistent: partial-shard charges stay on the chips'
+    /// own clocks (the work physically ran and burned energy) but
+    /// never leak into the merged serving timeline, and `reset`
+    /// clears every chip — not just the primary.
+    #[test]
+    fn failed_flight_merges_no_partial_charges_into_the_timeline() {
+        let pool = DevicePool::with_cores(TpuConfig::small_test(), 2, 1);
+        let err = pool
+            .run_sharded(
+                vec![shard_mat(0.1), shard_mat(2.0)],
+                |m| lane(m.len() as f64),
+                |device, items| {
+                    // Both shards charge real work under their chip
+                    // lock; the shard whose product is large then
+                    // crashes — after charging, the worst case for a
+                    // timeline leak.
+                    let (out, dt) =
+                        device.timed(|d| d.run_phase(items, |core, s| core.matmul(&s, &s)))?;
+                    if out.iter().any(|m| m[(0, 0)] > 1.0) {
+                        device.with(|_| panic!("chip crash after charging its shard"));
+                    }
+                    Ok((out, dt))
+                },
+            )
+            .unwrap_err();
+        assert!(matches!(err, TensorError::WorkerPanicked { .. }));
+        // The chips recorded the partial work they really did...
+        assert!(pool.devices().iter().all(|d| d.wall_seconds() > 0.0));
+        assert!(pool.energy_pj() > 0.0);
+        // ...but none of it leaked into the merged serving timeline.
+        assert_eq!(pool.wall_seconds(), 0.0);
+        assert_eq!(pool.gather_seconds(), 0.0);
+        assert_eq!(pool.sharded_flights(), 0);
+        // reset() clears every chip, not just the primary.
+        pool.reset();
+        assert_eq!(pool.energy_pj(), 0.0);
+        for d in pool.devices() {
+            assert_eq!(d.wall_seconds(), 0.0);
+            assert_eq!(d.energy_pj(), 0.0);
+        }
+    }
+
     #[test]
     fn wrong_shard_arity_is_an_error_not_a_hang() {
         let pool = DevicePool::new(TpuConfig::small_test(), 2);
@@ -781,10 +879,48 @@ mod tests {
             .run_sharded(
                 vec![1u64, 2, 3],
                 |_| lane(1.0),
-                |_, _| uncharged(vec![7u64]),
+                // Wrong arity, with a self-reported charge that must
+                // be discarded along with the failed flight.
+                |_, _| Ok((vec![7u64], 1.5)),
             )
             .unwrap_err();
         assert!(matches!(err, TensorError::DataLength { .. }));
+        assert_eq!(pool.wall_seconds(), 0.0);
+    }
+
+    #[test]
+    fn run_planned_rejects_inconsistent_plans_and_reuses_good_ones() {
+        let pool = DevicePool::new(TpuConfig::small_test(), 2);
+        let lanes: Vec<LaneCost> = (0..3).map(|_| lane(1.0)).collect();
+        // Plan computed for a different pool size.
+        let wrong_devices = ShardPlan::plan(&lanes, 3, ShardStrategy::RoundRobin);
+        let err = pool
+            .run_planned(&wrong_devices, 0, vec![1u64, 2, 3], |_, v: Vec<u64>| {
+                uncharged(v)
+            })
+            .unwrap_err();
+        assert!(matches!(err, TensorError::DataLength { .. }));
+        // Plan covering fewer lanes than the work carries.
+        let fewer: Vec<LaneCost> = (0..2).map(|_| lane(1.0)).collect();
+        let wrong_lanes = ShardPlan::plan(&fewer, 2, ShardStrategy::RoundRobin);
+        let err = pool
+            .run_planned(&wrong_lanes, 0, vec![1u64, 2, 3], |_, v: Vec<u64>| {
+                uncharged(v)
+            })
+            .unwrap_err();
+        assert!(matches!(err, TensorError::DataLength { .. }));
+        assert_eq!(pool.wall_seconds(), 0.0, "rejected plans charge nothing");
+        // A caller-reused matching plan executes identically.
+        let plan = ShardPlan::plan(&lanes, 2, ShardStrategy::RoundRobin);
+        let run = pool
+            .run_planned(
+                &plan,
+                plan.gather_shard_bytes(&lanes),
+                vec![1u64, 2, 3],
+                |_, v: Vec<u64>| uncharged(v),
+            )
+            .unwrap();
+        assert_eq!(run.results, vec![1, 2, 3]);
     }
 
     #[test]
