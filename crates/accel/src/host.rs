@@ -13,6 +13,13 @@
 //! [`xai_fourier::global_plan_cache`], so plan construction amortises
 //! across threads and models alike.
 //!
+//! The numeric kernels themselves run on the shared
+//! [`xai_parallel`] work-stealing pool (blocked matmul panels, 2-D
+//! transform row blocks, large elementwise chunks), so the host
+//! baselines use every core `XAI_THREADS` grants while staying
+//! bit-identical to serial execution; the simulated charges are
+//! functions of the workload shape and never of the worker count.
+//!
 //! Sustained-throughput calibration (documented in EXPERIMENTS.md):
 //! the models use *sustained* rather than peak figures, since the
 //! pipeline's kernels are small and latency/occupancy-bound on real
@@ -49,7 +56,7 @@ impl HostModel {
     }
 
     fn matmul(&self, a: &Matrix<f64>, b: &Matrix<f64>) -> Result<Matrix<f64>> {
-        let out = ops::matmul_blocked(a, b, ops::DEFAULT_BLOCK)?;
+        let out = ops::matmul_blocked_parallel(a, b, ops::DEFAULT_BLOCK)?;
         let (m, k) = a.shape();
         let n = b.cols();
         self.charge(cost::matmul_flops(m, k, n), cost::matmul_bytes(m, k, n));
@@ -58,11 +65,12 @@ impl HostModel {
 
     fn fft2d(&self, x: &Matrix<Complex64>, forward: bool) -> Result<Matrix<Complex64>> {
         let (m, n) = x.shape();
+        let workers = xai_parallel::global().num_threads();
         let plan = global_plan_cache().plan_2d(m, n);
         let out = if forward {
-            plan.forward(x)?
+            plan.forward_parallel(x, workers)?
         } else {
-            plan.inverse(x)?
+            plan.inverse_parallel(x, workers)?
         };
         let (row_ops, col_ops) = plan.op_counts();
         self.charge(
@@ -179,13 +187,16 @@ impl GpuModel {
             return Ok(Vec::new());
         }
         let (m, n) = xs[0].shape();
+        let workers = xai_parallel::global().num_threads();
         let plan = global_plan_cache().plan_2d(m, n);
         // Fused batch path: one row pass + one column pass over the
-        // whole batch (bit-identical to per-matrix transforms).
+        // whole batch (bit-identical to per-matrix transforms), with
+        // both passes sharded over the host pool. A failed batch
+        // charges nothing, like every other kernel here.
         let out = if forward {
-            plan.forward_batch(xs)
+            plan.forward_batch_parallel(xs, workers)?
         } else {
-            plan.inverse_batch(xs)
+            plan.inverse_batch_parallel(xs, workers)?
         };
         let (row_ops, col_ops) = plan.op_counts();
         let b = xs.len() as f64;
@@ -193,7 +204,7 @@ impl GpuModel {
             cost::fft2d_flops(m, n, row_ops, col_ops) * b,
             cost::fft2d_bytes(m, n) * b,
         );
-        out
+        Ok(out)
     }
 }
 

@@ -6,7 +6,9 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 use xai_fourier::convolve2d_fft;
 use xai_tensor::conv::conv2d_circular;
-use xai_tensor::ops::{matmul, matmul_blocked, DEFAULT_BLOCK};
+use xai_tensor::ops::{
+    matmul, matmul_blocked, matmul_blocked_parallel, pointwise_div, DivPolicy, DEFAULT_BLOCK,
+};
 use xai_tensor::Matrix;
 
 fn real_matrix(n: usize, seed: usize) -> Matrix<f64> {
@@ -28,6 +30,35 @@ fn bench_matmul(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("blocked", n), &n, |b, _| {
             b.iter(|| {
                 matmul_blocked(black_box(&a), black_box(&b_), DEFAULT_BLOCK).expect("shapes")
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("blocked-pool", n), &n, |b, _| {
+            b.iter(|| {
+                matmul_blocked_parallel(black_box(&a), black_box(&b_), DEFAULT_BLOCK)
+                    .expect("shapes")
+            });
+        });
+    }
+    group.finish();
+}
+
+/// The elementwise hot loops after the iterator rewrite (bounds
+/// checks elided in release) and their pool fan-out above the fixed
+/// chunk threshold.
+fn bench_elementwise(c: &mut Criterion) {
+    let mut group = c.benchmark_group("elementwise");
+    group.sample_size(20);
+    for n in [128usize, 256] {
+        let a = real_matrix(n, 5).to_complex();
+        let b_ = real_matrix(n, 6)
+            .map(|v| v + 1.5) // keep denominators away from zero
+            .to_complex();
+        group.bench_with_input(BenchmarkId::new("hadamard", n), &n, |b, _| {
+            b.iter(|| xai_tensor::ops::hadamard(black_box(&a), black_box(&b_)).expect("shapes"));
+        });
+        group.bench_with_input(BenchmarkId::new("pointwise-div", n), &n, |b, _| {
+            b.iter(|| {
+                pointwise_div(black_box(&a), black_box(&b_), DivPolicy::default()).expect("shapes")
             });
         });
     }
@@ -52,5 +83,5 @@ fn bench_convolution(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_matmul, bench_convolution);
+criterion_group!(benches, bench_matmul, bench_elementwise, bench_convolution);
 criterion_main!(benches);

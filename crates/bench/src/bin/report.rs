@@ -17,9 +17,10 @@ use xai_core::{
 };
 use xai_data::cifar::{as_training_pairs, ImageConfig, ImageDataset};
 use xai_data::mirai::{TraceConfig, TraceDataset};
+use xai_fourier::Fft2d;
 use xai_nn::models::{resnet_small, vgg_small};
 use xai_nn::{Tensor3, Trainer};
-use xai_tensor::{conv::conv2d_circular, Matrix, Result};
+use xai_tensor::{conv::conv2d_circular, ops, Matrix, Result};
 use xai_tpu::{DevicePool, TpuConfig};
 
 struct Claim {
@@ -301,6 +302,65 @@ fn main() -> Result<()> {
             paper: "every kernel scales with the fleet",
             measured: format!("{speedup:.1}x with 4 simulated chips"),
             pass: speedup >= 2.0,
+        });
+    }
+
+    // --- Host work-stealing runtime (real wall-clock). -----------------
+    {
+        // Serial vs pool-parallel execution of the two host-side hot
+        // kernels at 512², on THIS machine's cores. Wall-clock, so the
+        // metrics are exempt from the CI regression gate (see
+        // xai_bench::compare::WALLCLOCK_METRICS) and the claim only
+        // gates when the pool actually has ≥4 workers on ≥4 cores —
+        // CI pins XAI_THREADS=2, making the row informational there.
+        let pool = xai_parallel::global();
+        let threads = pool.num_threads();
+        let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+        let n = 512;
+
+        fn best_of<R>(runs: usize, mut f: impl FnMut() -> R) -> (f64, R) {
+            let mut best = f64::INFINITY;
+            let mut out = None;
+            for _ in 0..runs {
+                let t0 = Instant::now();
+                let r = f();
+                best = best.min(t0.elapsed().as_secs_f64());
+                out = Some(r);
+            }
+            (best, out.expect("runs >= 1"))
+        }
+
+        let a = Matrix::from_fn(n, n, |r, c| ((r * 31 + c * 7) % 13) as f64 - 6.0)?;
+        let b = Matrix::from_fn(n, n, |r, c| ((r * 5 + c * 11) % 17) as f64 - 8.0)?;
+        let (t_mm_serial, mm_serial) = best_of(3, || {
+            ops::matmul_blocked(&a, &b, ops::DEFAULT_BLOCK).unwrap()
+        });
+        let (t_mm_par, mm_par) = best_of(3, || {
+            ops::matmul_blocked_parallel(&a, &b, ops::DEFAULT_BLOCK).unwrap()
+        });
+        let mm_identical = mm_serial.as_slice() == mm_par.as_slice();
+        let mm_speedup = t_mm_serial / t_mm_par;
+
+        let x = Matrix::from_fn(n, n, |r, c| ((r * 3 + c * 5) % 23) as f64 * 0.21)?.to_complex();
+        let plan = Fft2d::new(n, n);
+        let (t_fft_serial, fft_serial) = best_of(3, || plan.forward(&x).unwrap());
+        let (t_fft_par, fft_par) = best_of(3, || plan.forward_parallel(&x, threads).unwrap());
+        let fft_identical = fft_serial.as_slice() == fft_par.as_slice();
+        let fft_speedup = t_fft_serial / t_fft_par;
+
+        metrics.push(("host_parallel_speedup_matmul_512", mm_speedup));
+        metrics.push(("host_parallel_speedup_fft2d_512", fft_speedup));
+        let gated = threads >= 4 && cores >= 4;
+        claims.push(Claim {
+            id: "host work-stealing runtime",
+            paper: "data decomposition spans host cores too",
+            measured: format!(
+                "{mm_speedup:.1}x matmul / {fft_speedup:.1}x fft2d ({threads} workers, {cores} cores{})",
+                if gated { "" } else { "; informational" }
+            ),
+            pass: mm_identical
+                && fft_identical
+                && (!gated || (mm_speedup >= 2.0 && fft_speedup >= 1.5)),
         });
     }
 

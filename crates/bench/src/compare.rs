@@ -14,6 +14,8 @@ pub const WALLCLOCK_METRICS: &[&str] = &[
     "closed_form_wallclock_seconds",
     "lime_baseline_wallclock_seconds",
     "closed_form_speedup_vs_lime",
+    "host_parallel_speedup_matmul_512",
+    "host_parallel_speedup_fft2d_512",
 ];
 
 /// Relative delta below which two metric values count as *equal*.
@@ -160,7 +162,8 @@ mod tests {
     "some_speedup_vs_cpu": 6.3e1,
     "roundtrip_seconds_512sq": 3.6e-5,
     "kernel_recovery_max_error": 7.1e-9,
-    "closed_form_wallclock_seconds": 5.9e-4
+    "closed_form_wallclock_seconds": 5.9e-4,
+    "host_parallel_speedup_matmul_512": 3.1e0
   }
 }"#;
 
@@ -172,7 +175,7 @@ mod tests {
             Some(false)
         );
         let metrics = parse_metrics(SAMPLE);
-        assert_eq!(metrics.len(), 4);
+        assert_eq!(metrics.len(), 5);
         assert_eq!(metrics[0].0, "some_speedup_vs_cpu");
         assert!((metrics[1].1 - 3.6e-5).abs() < 1e-12);
     }
@@ -191,7 +194,7 @@ mod tests {
         let baseline = parse_metrics(SAMPLE);
         // Within tolerance: nothing regresses.
         let same = compare_metrics(&baseline, &baseline, 0.10);
-        assert_eq!(same.len(), 3, "wall-clock metric must be skipped");
+        assert_eq!(same.len(), 3, "both wall-clock metrics must be skipped");
         assert!(same.iter().all(|c| !c.regressed));
         // A 50% slower roundtrip and a 50% smaller speedup both trip.
         let worse: Vec<(String, f64)> = baseline
@@ -217,11 +220,15 @@ mod tests {
             regressed,
             vec!["some_speedup_vs_cpu", "roundtrip_seconds_512sq"]
         );
-        // Wall-clock noise never regresses the gate.
+        // Wall-clock noise never regresses the gate — including a
+        // host-parallel speedup collapsing on a loaded runner.
         let mut noisy = baseline.clone();
         for (k, v) in &mut noisy {
             if k == "closed_form_wallclock_seconds" {
                 *v *= 100.0;
+            }
+            if k == "host_parallel_speedup_matmul_512" {
+                *v *= 0.01;
             }
         }
         assert!(compare_metrics(&baseline, &noisy, 0.10)

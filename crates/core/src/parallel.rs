@@ -4,8 +4,9 @@
 //! input–output pairs concurrently. On the simulated device this is
 //! [`xai_tpu::TpuDevice::run_phase`]; on the *host* it is real thread
 //! parallelism — this module shards a batch of explanation tasks
-//! across `std::thread::scope` workers, which is what the wall-clock
-//! criterion benches measure.
+//! across the shared [`xai_parallel`] pool's blocking lane (one
+//! persistent, reused crew thread per request shard — no per-call
+//! spawning), which is what the wall-clock criterion benches measure.
 //!
 //! Two families are provided: the host-path [`explain_batch`] /
 //! [`explain_batch_parallel`] (pure CPU arithmetic, no simulated
@@ -169,9 +170,17 @@ fn block_contributions_on(
 }
 
 /// Shards `batch` into at most `workers` contiguous chunks, runs `f`
-/// on each from its own scoped thread, and reassembles the results in
-/// input order. Thread panics propagate; errors surface in batch
-/// order.
+/// on each from the shared pool's *blocking* lane, and reassembles
+/// the results in input order. Worker panics propagate (the scope
+/// re-raises the first one after every sibling finished); errors
+/// surface in batch order.
+///
+/// The blocking lane guarantees every chunk a thread of its own —
+/// request workers rendezvous inside coalescing accelerators
+/// (`BatchQueue` followers park until the fleet's flight lands), so
+/// running them on a bounded compute pool would stall flights until
+/// the straggler window. The crew threads are persistent: repeated
+/// calls reuse them instead of re-spawning per call.
 fn run_sharded<T: Sync, R: Send>(
     batch: &[T],
     workers: usize,
@@ -186,7 +195,7 @@ fn run_sharded<T: Sync, R: Send>(
     let chunk = batch.len().div_ceil(workers);
     let mut results: Vec<Option<Result<Vec<R>>>> =
         (0..batch.len().div_ceil(chunk)).map(|_| None).collect();
-    std::thread::scope(|scope| {
+    xai_parallel::global().scope_blocking(|scope| {
         for (slot, work) in results.iter_mut().zip(batch.chunks(chunk)) {
             let f = &f;
             scope.spawn(move || {

@@ -5,7 +5,10 @@
 //! transforms of every column of the intermediate. Rows (and then
 //! columns) are fully independent, so they shard across `p` workers
 //! with zero communication — the property Algorithm 1 exploits on TPU
-//! cores and [`Fft2d::forward_parallel`] exploits on host threads.
+//! cores and [`Fft2d::forward_parallel`] exploits on the host via the
+//! shared [`xai_parallel`] work-stealing pool: `workers` fixes the
+//! split points (so results are bit-identical for any pool size), and
+//! idle pool workers steal whole row blocks to balance ragged splits.
 
 use crate::norm::Norm;
 use crate::plan::FftPlan;
@@ -225,30 +228,20 @@ impl Fft2d {
     }
 
     fn run_rows(&self, m: &mut Matrix<Complex64>, plan: &FftPlan, fwd: bool, workers: usize) {
-        let norm = Norm::Backward; // scale handled per-axis by plan norm below
         let cols = m.cols();
         let rows = m.rows();
         // Clamp to the row count: more workers than rows would only
-        // spawn degenerate threads with nothing to transform.
+        // queue degenerate chunks with nothing to transform.
         let workers = workers.min(rows).max(1);
-        let run = |chunk: &mut [Complex64]| {
-            for row in chunk.chunks_exact_mut(cols) {
-                if fwd {
-                    plan.forward(row, norm);
-                } else {
-                    plan.inverse(row, norm);
-                }
-            }
-        };
         if workers <= 1 {
-            run(m.as_mut_slice());
+            run_chunk(m.as_mut_slice(), cols, plan, fwd);
         } else {
-            let rows_per = rows.div_ceil(workers);
-            let chunk_len = rows_per * cols;
-            std::thread::scope(|s| {
-                for chunk in m.as_mut_slice().chunks_mut(chunk_len) {
-                    s.spawn(move || run_chunk(chunk, cols, plan, fwd));
-                }
+            // Fixed split points (`workers` row blocks regardless of
+            // pool size — the determinism contract), balanced by idle
+            // pool workers stealing whole blocks from the injector.
+            let chunk_len = rows.div_ceil(workers) * cols;
+            xai_parallel::global().par_chunks_mut(m.as_mut_slice(), chunk_len, |_, chunk| {
+                run_chunk(chunk, cols, plan, fwd)
             });
         }
 

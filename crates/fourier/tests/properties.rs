@@ -99,7 +99,7 @@ proptest! {
         m in 1usize..9,
         n in 1usize..9,
         b in 0usize..5,
-        workers in 1usize..6,
+        workers in 1usize..8,
         seed_data in proptest::collection::vec((-10.0f64..10.0, -10.0f64..10.0), 8 * 8 * 4),
     ) {
         // Random shapes (radix-2 and Bluestein lengths), batch sizes

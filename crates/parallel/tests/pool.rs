@@ -1,0 +1,215 @@
+//! Runtime contract tests: deterministic chunking across pool sizes,
+//! guaranteed concurrency on the blocking lane, panic recovery, and
+//! thread reuse — the properties every wired hot path relies on.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Barrier, Mutex};
+use xai_parallel::Pool;
+
+/// The satellite contract: for ANY pool size, `par_chunks_mut` with
+/// fixed split points produces output bit-identical to the serial
+/// loop — including ragged tails and chunk sizes that do not divide
+/// the length.
+#[test]
+fn chunked_results_bit_identical_across_pool_sizes() {
+    for &len in &[1usize, 7, 64, 500, 1023] {
+        for &chunk in &[1usize, 3, 64, 250, 2000] {
+            // A cheap but position-dependent kernel: the serial
+            // reference below must be reproduced exactly.
+            let kernel = |i: usize, c: &mut [f64]| {
+                for (off, v) in c.iter_mut().enumerate() {
+                    *v = (*v * 1.5 + (i * 1000 + off) as f64).sin();
+                }
+            };
+            let mut expect: Vec<f64> = (0..len).map(|i| i as f64 * 0.25).collect();
+            for (i, c) in expect.chunks_mut(chunk).enumerate() {
+                kernel(i, c);
+            }
+            for &threads in &[1usize, 2, 4, 7] {
+                let pool = Pool::new(threads);
+                let mut got: Vec<f64> = (0..len).map(|i| i as f64 * 0.25).collect();
+                pool.par_chunks_mut(&mut got, chunk, kernel);
+                assert_eq!(
+                    expect.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                    got.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                    "len={len} chunk={chunk} threads={threads}"
+                );
+            }
+        }
+    }
+}
+
+/// Every chunk is delivered exactly once with the right index, even
+/// when chunks outnumber workers by a lot (the injector balances).
+#[test]
+fn each_chunk_delivered_exactly_once() {
+    let pool = Pool::new(2);
+    let mut data = vec![0usize; 97];
+    pool.par_chunks_mut(&mut data, 5, |i, c| {
+        for v in c.iter_mut() {
+            *v = i + 1;
+        }
+    });
+    for (j, v) in data.iter().enumerate() {
+        assert_eq!(*v, j / 5 + 1, "element {j}");
+    }
+}
+
+/// Nested data parallelism must not deadlock: compute tasks waiting
+/// on their own inner scopes help drain the injector.
+#[test]
+fn nested_scopes_complete_on_tiny_pool() {
+    let pool = Pool::new(1);
+    let mut rows = vec![vec![1u64; 64]; 8];
+    pool.scope(|s| {
+        for row in rows.iter_mut() {
+            let pool = &pool;
+            s.spawn(move || {
+                pool.par_chunks_mut(row, 16, |i, c| {
+                    for v in c.iter_mut() {
+                        *v += i as u64;
+                    }
+                });
+            });
+        }
+    });
+    for row in &rows {
+        assert_eq!(row[0], 1);
+        assert_eq!(row[63], 4);
+    }
+}
+
+/// The blocking lane guarantees one thread per task: more rendezvous
+/// tasks than compute workers must still all run concurrently. A
+/// bounded pool would deadlock here (every task waits at the barrier
+/// for all the others).
+#[test]
+fn blocking_scope_guarantees_concurrency_beyond_pool_size() {
+    let pool = Pool::new(1);
+    let fleet = 8;
+    let barrier = Barrier::new(fleet);
+    let landed = AtomicUsize::new(0);
+    pool.scope_blocking(|s| {
+        for _ in 0..fleet {
+            let barrier = &barrier;
+            let landed = &landed;
+            s.spawn(move || {
+                barrier.wait();
+                landed.fetch_add(1, Ordering::SeqCst);
+            });
+        }
+    });
+    assert_eq!(landed.load(Ordering::SeqCst), fleet);
+    assert!(pool.crew_threads() >= fleet - 1, "crew covers the fleet");
+}
+
+/// Repeated fan-outs reuse the crew: the high-water mark is set by
+/// the first call and never grows for same-sized later calls.
+#[test]
+fn crew_threads_are_reused_not_respawned() {
+    let pool = Pool::new(1);
+    let fan_out = |n: usize| {
+        let barrier = Barrier::new(n);
+        pool.scope_blocking(|s| {
+            for _ in 0..n {
+                let barrier = &barrier;
+                s.spawn(move || {
+                    barrier.wait();
+                });
+            }
+        });
+    };
+    fan_out(6);
+    let high_water = pool.crew_threads();
+    for _ in 0..5 {
+        fan_out(6);
+        fan_out(3);
+    }
+    assert_eq!(
+        pool.crew_threads(),
+        high_water,
+        "repeated blocking scopes must not spawn new threads"
+    );
+}
+
+/// A panicking task: (1) propagates its payload to the scope caller,
+/// (2) does not prevent sibling tasks from finishing, and (3) leaves
+/// the pool fully serviceable for later submissions.
+#[test]
+fn pool_recovers_from_task_panic() {
+    let pool = Pool::new(2);
+    let completed = AtomicUsize::new(0);
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        pool.scope(|s| {
+            for i in 0..10 {
+                let completed = &completed;
+                s.spawn(move || {
+                    if i == 3 {
+                        panic!("lane 3 exploded");
+                    }
+                    completed.fetch_add(1, Ordering::SeqCst);
+                });
+            }
+        });
+    }));
+    let payload = result.expect_err("task panic must propagate");
+    let msg = payload
+        .downcast_ref::<&str>()
+        .copied()
+        .unwrap_or("non-str payload");
+    assert!(msg.contains("lane 3"), "got: {msg}");
+    assert_eq!(completed.load(Ordering::SeqCst), 9, "siblings still ran");
+
+    // Later submissions run on the same (recovered) workers.
+    let mut data = vec![1u32; 40];
+    pool.par_chunks_mut(&mut data, 4, |_, c| {
+        for v in c.iter_mut() {
+            *v += 1;
+        }
+    });
+    assert!(data.iter().all(|&v| v == 2));
+
+    // And the blocking lane recovers too.
+    let err = catch_unwind(AssertUnwindSafe(|| {
+        pool.scope_blocking(|s| s.spawn(|| panic!("blocking lane panic")))
+    }));
+    assert!(err.is_err());
+    let ok = Mutex::new(false);
+    pool.scope_blocking(|s| {
+        s.spawn(|| *ok.lock().unwrap() = true);
+    });
+    assert!(*ok.lock().unwrap());
+}
+
+/// A panic in the scope *body* (not a task) still joins the spawned
+/// tasks before unwinding — the soundness guarantee of the runtime.
+#[test]
+fn scope_body_panic_still_joins_tasks() {
+    let pool = Pool::new(2);
+    let done = AtomicUsize::new(0);
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        pool.scope(|s| {
+            for _ in 0..6 {
+                let done = &done;
+                s.spawn(move || {
+                    done.fetch_add(1, Ordering::SeqCst);
+                });
+            }
+            panic!("body bailed after spawning");
+        })
+    }));
+    assert!(result.is_err());
+    assert_eq!(done.load(Ordering::SeqCst), 6, "all tasks joined first");
+}
+
+/// `join` runs both halves and propagates a panicking half after the
+/// other completed.
+#[test]
+fn join_propagates_panics() {
+    let pool = Pool::new(2);
+    let (a, b) = pool.join(|| 2 + 2, || 40);
+    assert_eq!(a + b, 44);
+    let boom = catch_unwind(AssertUnwindSafe(|| pool.join(|| panic!("left half"), || 1)));
+    assert!(boom.is_err());
+}

@@ -46,19 +46,29 @@ pub fn conv2d_circular(x: &Matrix<f64>, k: &Matrix<f64>) -> Result<Matrix<f64>> 
     }
     let (m, n) = x.shape();
     let mut out = Matrix::zeros(m, n)?;
-    for i in 0..m {
-        for j in 0..n {
-            let mut acc = 0.0;
-            for p in 0..m {
-                let xi = (i + m - p) % m;
-                for q in 0..n {
-                    let xj = (j + n - q) % n;
-                    acc += x[(xi, xj)] * k[(p, q)];
+    // Output rows are independent, so they fan out over the shared
+    // pool in fixed row blocks (a function of the shape only — the
+    // determinism contract) sized so one block is ≥ ~64k MACs: one
+    // output row costs m·n·n multiply-adds. Small signals stay one
+    // block, i.e. serial.
+    let block_rows = (1usize << 16).div_ceil(m * n * n).max(1);
+    xai_parallel::global().par_chunks_mut(out.as_mut_slice(), block_rows * n, |bi, chunk| {
+        let i0 = bi * block_rows;
+        for (li, out_row) in chunk.chunks_exact_mut(n).enumerate() {
+            let i = i0 + li;
+            for (j, o) in out_row.iter_mut().enumerate() {
+                let mut acc = 0.0;
+                for p in 0..m {
+                    let xi = (i + m - p) % m;
+                    for q in 0..n {
+                        let xj = (j + n - q) % n;
+                        acc += x[(xi, xj)] * k[(p, q)];
+                    }
                 }
+                *o = acc;
             }
-            out[(i, j)] = acc;
         }
-    }
+    });
     Ok(out)
 }
 

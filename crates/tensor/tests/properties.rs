@@ -107,6 +107,72 @@ proptest! {
     }
 
     #[test]
+    fn parallel_blocked_matmul_bit_identical(
+        a in matrix_strategy(13, 9),
+        b in matrix_strategy(9, 7),
+        block in 1usize..16,
+    ) {
+        // The pool-parallel panels must reproduce the serial blocked
+        // loop BIT for bit — the runtime's determinism contract
+        // (fixed split points + serial per-panel accumulation order).
+        let serial = matmul_blocked(&a, &b, block).unwrap();
+        let parallel = ops::matmul_blocked_parallel(&a, &b, block).unwrap();
+        prop_assert_eq!(serial.as_slice(), parallel.as_slice());
+    }
+
+    #[test]
+    fn elementwise_ops_match_zip_with_reference(
+        a in matrix_strategy(5, 11),
+        b in matrix_strategy(5, 11),
+    ) {
+        // The chunks_exact/iterator rewrite (and its parallel path)
+        // must be indistinguishable from the straightforward
+        // per-element closure.
+        prop_assert_eq!(
+            ops::hadamard(&a, &b).unwrap().as_slice(),
+            a.zip_with(&b, |x, y| x * y).unwrap().as_slice()
+        );
+        prop_assert_eq!(
+            ops::add(&a, &b).unwrap().as_slice(),
+            a.zip_with(&b, |x, y| x + y).unwrap().as_slice()
+        );
+        prop_assert_eq!(
+            ops::sub(&a, &b).unwrap().as_slice(),
+            a.zip_with(&b, |x, y| x - y).unwrap().as_slice()
+        );
+    }
+
+    #[test]
+    fn pointwise_div_policies_match_reference(
+        re in -20.0f64..20.0,
+        im in -20.0f64..20.0,
+        floor in 0.1f64..2.0,
+    ) {
+        let a = Matrix::filled(3, 3, Complex64::new(re, im)).unwrap();
+        let b = Matrix::from_fn(3, 3, |r, c| {
+            Complex64::new(re * (r as f64 - 1.0), im * (c as f64 - 1.0))
+        }).unwrap();
+        let clamp = ops::pointwise_div(&a, &b, ops::DivPolicy::Clamp { floor }).unwrap();
+        let reference = a.zip_with(&b, |x, y| {
+            let mag = y.abs();
+            if mag == 0.0 {
+                x / Complex64::from_real(floor)
+            } else if mag < floor {
+                x / y.scale(floor / mag)
+            } else {
+                x / y
+            }
+        }).unwrap();
+        prop_assert_eq!(clamp.as_slice(), reference.as_slice());
+        let zf = ops::pointwise_div(&a, &b, ops::DivPolicy::ZeroFill { tol: floor }).unwrap();
+        for (q, &den) in zf.as_slice().iter().zip(b.as_slice()) {
+            if den.abs() <= floor {
+                prop_assert_eq!(*q, Complex64::ZERO);
+            }
+        }
+    }
+
+    #[test]
     fn resized_embedding_preserves_content(a in matrix_strategy(3, 4)) {
         let big = a.resized(6, 8).unwrap();
         let back = big.submatrix(0, 0, 3, 4).unwrap();

@@ -8,8 +8,9 @@
 //! the missing runtime piece. A [`DevicePool`] owns several
 //! [`SharedDevice`]s, plans a [`ShardPlan`] over a flight's lanes
 //! (round-robin or cost-aware placement, see [`ShardStrategy`]),
-//! executes the shards concurrently from `std::thread::scope` workers
-//! — real host parallelism, one thread per chip — and charges one
+//! executes the shards concurrently on the shared [`xai_parallel`]
+//! pool's blocking lane — real host parallelism, one persistent crew
+//! thread per occupied chip, reused across flights — and charges one
 //! inter-chip gather collective for the reassembly stage.
 //!
 //! Timing semantics mirror [`crate::TpuDevice::run_phase`] one level
@@ -491,7 +492,12 @@ impl DevicePool {
                 shard(&self.devices[d], items)
             })));
         } else {
-            std::thread::scope(|scope| {
+            // Shards run on the shared host pool's *blocking* lane:
+            // each holds its chip's lock for the whole shard (and may
+            // contend with concurrent flights), so every shard is
+            // guaranteed a persistent crew thread instead of queueing
+            // behind bounded compute workers.
+            xai_parallel::global().scope_blocking(|scope| {
                 for (slot, (d, items)) in outcomes.iter_mut().zip(shard_work) {
                     let device = &self.devices[d];
                     let shard = &shard;
