@@ -226,14 +226,15 @@ impl TpuAccel {
     /// `max_lanes`, and `Duration::ZERO` keeps the code path with no
     /// cross-thread coalescing (and no waiting).
     ///
-    /// **Error granularity**: a flight fails as a unit. One lane's
+    /// **Error granularity**: results are per-lane. One lane's
     /// data-dependent error (e.g. a
     /// [`DivPolicy::Strict`](xai_tensor::ops::DivPolicy) division by
-    /// zero) or panic surfaces to *every* request coalesced into that
-    /// flight, matching [`xai_tpu::BatchQueue`]'s documented
-    /// dispatch-error and `WorkerPanicked` semantics. Callers needing
-    /// per-request error isolation should not share an accelerator's
-    /// batching window across fault domains.
+    /// zero) fails only the request that submitted that lane — the
+    /// other requests coalesced into the flight still receive their
+    /// results. Flight-wide failures (a panicking leader, a dispatch
+    /// error) still surface to every participant, matching
+    /// [`xai_tpu::BatchQueue`]'s documented `WorkerPanicked`
+    /// semantics.
     pub fn with_batching(mut self, window: Duration, max_lanes: usize) -> Self {
         self.queue = Some(BatchQueue::new(self.device.clone(), window, max_lanes));
         self
@@ -365,6 +366,17 @@ fn kernel_ops_bytes(job: &KernelJob) -> (f64, f64) {
             let n = b.cols();
             (cost::matmul_flops(m, k, n), cost::matmul_bytes(m, k, n))
         }
+        // The fused chain's ledger entry is exactly the sum of its
+        // four staged entries: fft + hadamard + ifft + sub.
+        KernelJob::FilterDiff { x, .. } => {
+            let (m, n) = x.shape();
+            let (t_ops, t_bytes) = transform_ops_bytes(m, n);
+            let len = x.len() as f64;
+            (
+                2.0 * t_ops + 6.0 * len + len,
+                2.0 * t_bytes + 48.0 * len + 24.0 * len,
+            )
+        }
     }
 }
 
@@ -388,6 +400,9 @@ fn kernel_lane_cost(job: &KernelJob) -> LaneCost {
         KernelJob::Hadamard { a, .. } | KernelJob::PointwiseDiv { a, .. } => 16 * a.len(),
         KernelJob::Sub { a, .. } => 8 * a.len(),
         KernelJob::Matmul { a, b } => 8 * a.rows() * b.cols(),
+        // The one-gather win of the fused chain: only the final real
+        // difference ships, not the three complex intermediates.
+        KernelJob::FilterDiff { x, .. } => 8 * x.len(),
     };
     LaneCost {
         compute: kernel_ops_bytes(job).0,
@@ -395,18 +410,63 @@ fn kernel_lane_cost(job: &KernelJob) -> LaneCost {
     }
 }
 
+/// Numeric path of one fused filter-diff group: one forward batch
+/// transform, per-lane spectral filters, one inverse batch transform
+/// and the per-lane Equation-5 difference — the exact staged
+/// arithmetic, so the fused lane is bit-identical to the chained
+/// kernels by construction. A failure in any stage fans out to every
+/// lane of the group (they share the batch transforms).
+fn filter_diff_group_numerics(
+    m: usize,
+    n: usize,
+    xs: Vec<Matrix<Complex64>>,
+    filters: &[Arc<Matrix<Complex64>>],
+    ys: &[Arc<Matrix<f64>>],
+) -> Vec<Result<KernelResult>> {
+    let count = xs.len();
+    let run = || -> Result<Vec<Result<KernelResult>>> {
+        let plan = global_plan_cache().plan_2d(m, n);
+        let spectra = plan.forward_batch(&xs)?;
+        let filtered: Vec<Matrix<Complex64>> = spectra
+            .iter()
+            .zip(filters)
+            .map(|(s, f)| ops::hadamard(s, f))
+            .collect::<Result<_>>()?;
+        let preds = plan.inverse_batch(&filtered)?;
+        Ok(preds
+            .iter()
+            .zip(ys)
+            .map(|(p, y)| Ok(KernelResult::Real(ops::sub(y, &p.to_real())?)))
+            .collect())
+    };
+    match run() {
+        Ok(lanes) => lanes,
+        Err(e) => (0..count).map(|_| Err(e.clone())).collect(),
+    }
+}
+
 /// Numeric path of one kernel-generic flight, in lane order. Pure
 /// host arithmetic — no simulated-time charging. Transform lanes are
 /// grouped by (shape, direction) and run as fused batch transforms
-/// (bit-identical to per-matrix); elementwise and matmul lanes are
-/// pure per-lane functions of their inputs, so the flight's numerics
-/// are placement-independent by construction.
-fn flight_numerics(flight: Vec<KernelJob>) -> Result<Vec<KernelResult>> {
+/// (bit-identical to per-matrix); fused filter-diff lanes are grouped
+/// by shape and pipeline all four stages; elementwise and matmul
+/// lanes are pure per-lane functions of their inputs, so the flight's
+/// numerics are placement-independent by construction.
+///
+/// Each lane carries its *own* `Result`: a data-dependent error (a
+/// strict division by zero, say) fails only that lane, and the queue
+/// delivers it only to the submitter owning the lane. Errors in a
+/// batched transform group fan out to every lane of the group.
+type FusedLane = (Matrix<Complex64>, Arc<Matrix<Complex64>>, Arc<Matrix<f64>>);
+
+fn flight_numerics(flight: Vec<KernelJob>) -> Vec<Result<KernelResult>> {
     // Requests from concurrent explanation workers are homogeneous,
     // but neither the queue nor the pool requires it.
-    let mut slots: Vec<Option<KernelResult>> = (0..flight.len()).map(|_| None).collect();
+    let mut slots: Vec<Option<Result<KernelResult>>> = (0..flight.len()).map(|_| None).collect();
     let mut groups: Vec<((usize, usize, bool), Vec<usize>)> = Vec::new();
     let mut transforms: Vec<Option<Matrix<Complex64>>> = (0..flight.len()).map(|_| None).collect();
+    let mut fused_groups: Vec<((usize, usize), Vec<usize>)> = Vec::new();
+    let mut fused: Vec<Option<FusedLane>> = (0..flight.len()).map(|_| None).collect();
     for (i, job) in flight.into_iter().enumerate() {
         match job {
             KernelJob::Transform { x, forward } => {
@@ -418,16 +478,24 @@ fn flight_numerics(flight: Vec<KernelJob>) -> Result<Vec<KernelResult>> {
                 transforms[i] = Some(x);
             }
             KernelJob::Hadamard { a, b } => {
-                slots[i] = Some(KernelResult::Complex(ops::hadamard(&a, &b)?));
+                slots[i] = Some(ops::hadamard(&a, &b).map(KernelResult::Complex));
             }
             KernelJob::PointwiseDiv { a, b, policy } => {
-                slots[i] = Some(KernelResult::Complex(ops::pointwise_div(&a, &b, policy)?));
+                slots[i] = Some(ops::pointwise_div(&a, &b, policy).map(KernelResult::Complex));
             }
             KernelJob::Sub { a, b } => {
-                slots[i] = Some(KernelResult::Real(ops::sub(&a, &b)?));
+                slots[i] = Some(ops::sub(&a, &b).map(KernelResult::Real));
             }
             KernelJob::Matmul { a, b } => {
-                slots[i] = Some(KernelResult::Real(matmul_numerics(&a, &b)?));
+                slots[i] = Some(matmul_numerics(&a, &b).map(KernelResult::Real));
+            }
+            KernelJob::FilterDiff { x, filter, y } => {
+                let key = x.shape();
+                match fused_groups.iter_mut().find(|(k, _)| *k == key) {
+                    Some((_, lanes)) => lanes.push(i),
+                    None => fused_groups.push((key, vec![i])),
+                }
+                fused[i] = Some((x, filter, y));
             }
         }
     }
@@ -438,18 +506,44 @@ fn flight_numerics(flight: Vec<KernelJob>) -> Result<Vec<KernelResult>> {
             .map(|&i| transforms[i].take().expect("each lane consumed once"))
             .collect();
         let outs = if *forward {
-            plan.forward_batch(&xs)?
+            plan.forward_batch(&xs)
         } else {
-            plan.inverse_batch(&xs)?
+            plan.inverse_batch(&xs)
         };
-        for (&i, out) in lanes.iter().zip(outs) {
-            slots[i] = Some(KernelResult::Complex(out));
+        match outs {
+            Ok(outs) => {
+                for (&i, out) in lanes.iter().zip(outs) {
+                    slots[i] = Some(Ok(KernelResult::Complex(out)));
+                }
+            }
+            // A batched-transform failure fans out to its whole
+            // group: the lanes shared one fused transform.
+            Err(e) => {
+                for &i in lanes {
+                    slots[i] = Some(Err(e.clone()));
+                }
+            }
         }
     }
-    Ok(slots
+    for ((m, n), lanes) in &fused_groups {
+        let mut xs = Vec::with_capacity(lanes.len());
+        let mut filters = Vec::with_capacity(lanes.len());
+        let mut ys = Vec::with_capacity(lanes.len());
+        for &i in lanes {
+            let (x, f, y) = fused[i].take().expect("each fused lane consumed once");
+            xs.push(x);
+            filters.push(f);
+            ys.push(y);
+        }
+        let outs = filter_diff_group_numerics(*m, *n, xs, &filters, &ys);
+        for (&i, out) in lanes.iter().zip(outs) {
+            slots[i] = Some(out);
+        }
+    }
+    slots
         .into_iter()
         .map(|s| s.expect("every lane produced a result"))
-        .collect())
+        .collect()
 }
 
 /// The real matmul numeric path: int8 quantisation, as §II-A
@@ -502,6 +596,10 @@ struct ShardCharges {
     elementwise: Vec<(&'static str, usize)>,
     /// Matmul lanes' `(m, k, n)`, in lane order.
     matmuls: Vec<(usize, usize, usize)>,
+    /// Fused filter-diff lanes' shapes, in lane order: charged as
+    /// forward-transform stage + hadamard + inverse-transform stage +
+    /// sub, each stage priced exactly like its staged counterpart.
+    fused: Vec<(usize, usize)>,
 }
 
 /// Summarises a shard's lanes for [`charge_kernel_shard`].
@@ -522,6 +620,7 @@ fn shard_charges<'a>(jobs: impl IntoIterator<Item = &'a KernelJob>) -> ShardChar
             KernelJob::PointwiseDiv { a, .. } => bump(&mut charges, "pointwise-div", a.len()),
             KernelJob::Sub { a, .. } => bump(&mut charges, "sub", a.len()),
             KernelJob::Matmul { a, b } => charges.matmuls.push((a.rows(), a.cols(), b.cols())),
+            KernelJob::FilterDiff { x, .. } => charges.fused.push(x.shape()),
         }
     }
     charges
@@ -545,6 +644,18 @@ fn charge_kernel_shard(d: &mut TpuDevice, charges: &ShardCharges) -> Result<()> 
     }
     for &(m, k, n) in &charges.matmuls {
         charge_rowsharded_matmul(d, m, k, n)?;
+    }
+    if !charges.fused.is_empty() {
+        // The fused chain pays its four stages exactly as the staged
+        // chain would — a transform flight per transform stage (one
+        // collective pair each) and the two elementwise stages — but
+        // in ONE flight, so only the final real difference ships over
+        // the inter-chip gather instead of all four stage results.
+        let elems: usize = charges.fused.iter().map(|&(m, n)| m * n).sum();
+        charge_transform_shard(d, &charges.fused)?;
+        charge_sharded_elementwise(d, "hadamard", elems)?;
+        charge_transform_shard(d, &charges.fused)?;
+        charge_sharded_elementwise(d, "sub", elems)?;
     }
     Ok(())
 }
@@ -580,10 +691,32 @@ impl TpuAccel {
     /// shared by the per-request batch path and the cross-request
     /// queue, so the two can never drift apart.
     fn charge_transform_flight(&self, shapes: &[(usize, usize)]) -> Result<()> {
-        let dt = self.charge_region(|d| charge_transform_shard(d, shapes))?;
+        let dt = self.charge_flight_region(shapes.len(), |d| charge_transform_shard(d, shapes))?;
         let (ops, bytes) = flight_ops_bytes(shapes);
         self.stats.record(dt, ops, bytes);
         Ok(())
+    }
+
+    /// Charges one flight through a per-core lane lease: up to `want`
+    /// lanes are leased (clamped to the chip's cores), the charge is
+    /// measured under the device lock exactly as
+    /// [`TpuAccel::charge_region`] would — the ledger arithmetic is
+    /// identical, so totals stay bit-identical — and the lane
+    /// timeline records the flight's span so concurrent flights on
+    /// disjoint cores register as overlap. The pool timeline advances
+    /// by the same delta when pooled.
+    fn charge_flight_region(
+        &self,
+        want: usize,
+        charge: impl FnOnce(&mut TpuDevice) -> Result<()>,
+    ) -> Result<f64> {
+        let lease = self.device.lease(want);
+        let ((), dt) = lease.timed(charge)?;
+        drop(lease);
+        if let Some(pool) = &self.pool {
+            pool.advance_external(dt);
+        }
+        Ok(dt)
     }
 
     /// Routes kernel lanes through the cross-request queue: this call
@@ -596,7 +729,9 @@ impl TpuAccel {
     /// the kernel work it ships.
     fn queued(&self, jobs: Vec<KernelJob>) -> Result<Vec<KernelResult>> {
         let queue = self.queue.as_ref().expect("batching enabled");
-        queue.submit(jobs, |_, flight| self.dispatch_flight(flight))
+        // Per-lane results: a data-dependent error in one lane fails
+        // only the submitter owning it, not the whole flight.
+        queue.submit_per_lane(jobs, |_, flight| self.dispatch_flight(flight))
     }
 
     /// Submits a single-lane kernel through the queue and unwraps its
@@ -614,7 +749,7 @@ impl TpuAccel {
     /// a pool with more than one chip, the flight's lanes are sharded
     /// across the chips instead (see
     /// [`TpuAccel::dispatch_pooled_flight`]).
-    fn dispatch_flight(&self, flight: Vec<KernelJob>) -> Result<Vec<KernelResult>> {
+    fn dispatch_flight(&self, flight: Vec<KernelJob>) -> Result<Vec<Result<KernelResult>>> {
         let charges = shard_charges(&flight);
         if let Some(pool) = &self.pool {
             if pool.num_devices() > 1 && flight.len() > 1 {
@@ -624,8 +759,11 @@ impl TpuAccel {
             }
         }
         let (ops, bytes) = flight_stats(&flight);
-        let out = flight_numerics(flight)?;
-        let dt = self.charge_region(|d| charge_kernel_shard(d, &charges))?;
+        let lanes = flight.len();
+        let out = flight_numerics(flight);
+        // A failed lane still charges: the device ran the flight's
+        // schedule; only that lane's submitter sees the error.
+        let dt = self.charge_flight_region(lanes, |d| charge_kernel_shard(d, &charges))?;
         self.stats.record(dt, ops, bytes);
         Ok(out)
     }
@@ -699,12 +837,18 @@ impl TpuAccel {
         flight: Vec<KernelJob>,
         plan: &ShardPlan,
         gather_bytes: usize,
-    ) -> Result<Vec<KernelResult>> {
+    ) -> Result<Vec<Result<KernelResult>>> {
         let (ops, bytes) = flight_stats(&flight);
         let run = pool.run_planned(plan, gather_bytes, flight, |device, jobs| {
             let charges = shard_charges(&jobs);
-            let outs = flight_numerics(jobs)?;
-            let ((), dt) = device.timed(|d| charge_kernel_shard(d, &charges))?;
+            let lanes = jobs.len();
+            let outs = flight_numerics(jobs);
+            // Each chip's shard charges through a lease on its own
+            // core lanes, so co-scheduled flights on one chip overlap
+            // on the lane timeline. The measured delta is identical
+            // to the pre-lane `device.timed` path.
+            let lease = device.lease(lanes);
+            let ((), dt) = lease.timed(|d| charge_kernel_shard(d, &charges))?;
             Ok((outs, dt))
         })?;
         self.stats.record(run.seconds, ops, bytes);
@@ -930,6 +1074,45 @@ impl Accelerator for TpuAccel {
                 .record(dt, (elems * count) as f64, 24.0 * (elems * count) as f64);
         }
         out
+    }
+
+    /// The fused filter-diff flight: with batching enabled, every
+    /// input rides ONE [`KernelJob::FilterDiff`] lane — fft →
+    /// hadamard → ifft → sub pipeline on-device as a single
+    /// submission with a single result gather, per-stage charges
+    /// identical to the staged chain, and concurrent submitters'
+    /// lanes coalescing into shared flights that shard across a pool.
+    /// Without batching, stages run as the four batched kernels
+    /// (identical charges, four gathers). Bit-identical either way.
+    fn filter_diff_batch(
+        &self,
+        xs: &[Matrix<Complex64>],
+        filter: &Matrix<Complex64>,
+        y: &Matrix<f64>,
+    ) -> Result<Vec<Matrix<f64>>> {
+        if self.queue.is_some() && !xs.is_empty() {
+            // Broadcast operands ship once per flight, not per lane.
+            let filter = Arc::new(filter.clone());
+            let y = Arc::new(y.clone());
+            let jobs = xs
+                .iter()
+                .map(|x| KernelJob::FilterDiff {
+                    x: x.clone(),
+                    filter: Arc::clone(&filter),
+                    y: Arc::clone(&y),
+                })
+                .collect();
+            let out = self.queued(jobs)?;
+            return Ok(out.into_iter().map(KernelResult::into_real).collect());
+        }
+        let spectra = self.fft2d_batch(xs)?;
+        let filtered = self.hadamard_batch(&spectra, filter)?;
+        let preds: Vec<Matrix<f64>> = self
+            .ifft2d_batch(&filtered)?
+            .into_iter()
+            .map(|p| p.to_real())
+            .collect();
+        self.sub_batch(y, &preds)
     }
 
     fn charge_workload(&self, flops: f64, bytes: f64) {

@@ -150,6 +150,35 @@ pub trait Accelerator: Send + Sync {
         preds.iter().map(|p| self.sub(y, p)).collect()
     }
 
+    /// The fused serving chain of §III-D: for every occluded input
+    /// `xᵢ`, computes `y − re(ifft2(fft2(xᵢ) ∘ filter))` — forward
+    /// transform, spectral filter, inverse transform and the
+    /// Equation-5 difference — as one batched submission. The default
+    /// implementation stages the four batched kernels; platforms with
+    /// an on-device pipeline (the TPU's fused filter-diff flight)
+    /// override it to run all four stages in a single flight with one
+    /// result gather. Results are bit-identical either way.
+    ///
+    /// # Errors
+    ///
+    /// As the staged kernels: shape mismatch between `xs`, `filter`
+    /// and `y`.
+    fn filter_diff_batch(
+        &self,
+        xs: &[Matrix<Complex64>],
+        filter: &Matrix<Complex64>,
+        y: &Matrix<f64>,
+    ) -> Result<Vec<Matrix<f64>>> {
+        let spectra = self.fft2d_batch(xs)?;
+        let filtered = self.hadamard_batch(&spectra, filter)?;
+        let preds: Vec<Matrix<f64>> = self
+            .ifft2d_batch(&filtered)?
+            .into_iter()
+            .map(|p| p.to_real())
+            .collect();
+        self.sub_batch(y, &preds)
+    }
+
     /// Advances the clock for an externally-described workload of
     /// `flops` arithmetic and `bytes` traffic (roofline charge). Used
     /// by the NN substrate to time training/inference of networks

@@ -145,14 +145,10 @@ pub fn contributions_batch_on(
         .iter()
         .map(|&r| Ok(occlude(x, r)?.to_complex()))
         .collect::<Result<_>>()?;
-    let spectra = acc.fft2d_batch(&occluded)?;
-    let filtered = acc.hadamard_batch(&spectra, model.kernel_spectrum())?;
-    let preds: Vec<Matrix<f64>> = acc
-        .ifft2d_batch(&filtered)?
-        .into_iter()
-        .map(|p| p.to_real())
-        .collect();
-    let diffs = acc.sub_batch(y, &preds)?;
+    // The fused serving chain: fft → hadamard → ifft → sub as one
+    // batched submission (a single flight with one gather on
+    // platforms with an on-device pipeline).
+    let diffs = acc.filter_diff_batch(&occluded, model.kernel_spectrum(), y)?;
     Ok(diffs.iter().map(Matrix::frobenius_norm).collect())
 }
 

@@ -12,7 +12,7 @@
 
 use crate::norm::Norm;
 use crate::plan::FftPlan;
-use xai_tensor::{Complex64, Matrix, Result, TensorError};
+use xai_tensor::{transpose_slice, Complex64, Matrix, Result, TensorError};
 
 /// A reusable 2-D DFT plan for fixed `rows × cols` shape.
 #[derive(Debug, Clone)]
@@ -180,11 +180,15 @@ impl Fft2d {
         // Stage 1: transform all rows.
         let mut inter = x.clone();
         self.run_rows(&mut inter, &self.row_plan, fwd, workers);
-        // Stage 2: transform all columns (transpose, run rows, transpose back —
-        // keeps the hot loop contiguous).
-        let mut t = inter.transpose();
+        // Stage 2: transform all columns (transpose, run rows,
+        // transpose back — keeps the hot loop contiguous). The
+        // transposes are cache-blocked tile walks sharded over the
+        // same `workers` bound as the transforms; a transpose is a
+        // pure permutation, so they stay bit-identical to the naive
+        // column walk for every worker count.
+        let mut t = inter.transpose_parallel(workers);
         self.run_rows(&mut t, &self.col_plan, fwd, workers);
-        Ok(t.transpose())
+        Ok(t.transpose_parallel(workers))
     }
 
     fn transform_batch(
@@ -213,17 +217,38 @@ impl Fft2d {
         // Stage 2: ONE fused column pass. Each matrix's block is
         // transposed into a single (b·n) × m scratch so the column
         // transforms run as contiguous rows, then transposed back.
+        // Both scatter and gather are per-block cache-blocked tile
+        // transposes; with more than one worker the scatter shards
+        // across blocks on the shared pool (one block per chunk, so
+        // the split is independent of the pool size).
         let mut scratch = Matrix::filled(b * n, m, Complex64::ZERO)?;
-        for i in 0..b {
-            for r in 0..m {
-                for c in 0..n {
-                    scratch[(i * n + c, r)] = stacked[(i * m + r, c)];
-                }
+        let src = stacked.as_slice();
+        if workers <= 1 || b <= 1 {
+            for i in 0..b {
+                transpose_slice(
+                    &src[i * m * n..(i + 1) * m * n],
+                    m,
+                    n,
+                    &mut scratch.as_mut_slice()[i * n * m..(i + 1) * n * m],
+                );
             }
+        } else {
+            xai_parallel::global().par_chunks_mut(scratch.as_mut_slice(), n * m, |i, chunk| {
+                transpose_slice(&src[i * m * n..(i + 1) * m * n], m, n, chunk);
+            });
         }
         self.run_rows(&mut scratch, &self.col_plan, fwd, workers);
         (0..b)
-            .map(|i| Matrix::from_fn(m, n, |r, c| scratch[(i * n + c, r)]))
+            .map(|i| {
+                let mut out = vec![Complex64::ZERO; m * n];
+                transpose_slice(
+                    &scratch.as_slice()[i * n * m..(i + 1) * n * m],
+                    n,
+                    m,
+                    &mut out,
+                );
+                Matrix::from_vec(m, n, out)
+            })
             .collect()
     }
 

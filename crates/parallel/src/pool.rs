@@ -4,12 +4,18 @@
 //!
 //! Design notes (the "your call" choices of the runtime):
 //!
-//! * **Injector queue, not per-worker deques.** Tasks are whole row
-//!   blocks — tens of microseconds to milliseconds each — so one
-//!   `Mutex<VecDeque>` injector is contention-free at this
-//!   granularity and gives the same balancing property a Chase–Lev
-//!   deque buys: an idle worker (or the waiting caller) steals the
-//!   next unstarted block, so ragged splits never idle a core.
+//! * **Per-worker deques over a shared injector.** Each compute
+//!   worker owns a deque with the classic Chase–Lev discipline (the
+//!   owner pushes and pops at the back, thieves take from the front —
+//!   realised as `Mutex<VecDeque>` per worker, which at row-block
+//!   granularity costs the same as the lock-free version while
+//!   keeping the crate to its single `unsafe`). The injector queue
+//!   remains as the overflow / external-submission path: callers that
+//!   are not pool workers enqueue there, and a worker that drains it
+//!   moves half the backlog into its own deque in one lock
+//!   acquisition. Idle workers steal half a victim deque at a time,
+//!   so ragged splits never idle a core and a burst of nested spawns
+//!   spreads across the fleet instead of convoying on one lock.
 //! * **The caller helps.** A thread waiting on [`Scope`] completion
 //!   runs compute tasks from the injector instead of sleeping. This
 //!   is what makes nested scopes (a pool task opening its own
@@ -20,6 +26,7 @@
 //!   observable behaviour `std::thread::scope` has, minus the thread
 //!   churn. The pool keeps serving later submissions.
 
+use std::cell::Cell;
 use std::collections::VecDeque;
 use std::marker::PhantomData;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
@@ -30,6 +37,15 @@ use std::thread::JoinHandle;
 /// Hard ceiling on configured worker counts, so a typo'd
 /// `XAI_THREADS` cannot fork-bomb the process.
 const MAX_THREADS: usize = 512;
+
+thread_local! {
+    /// `(pool identity, worker index)` of the compute worker running
+    /// the current thread, if any. Lets `push_task` route a worker's
+    /// own spawns straight to its deque (the Chase–Lev owner end) and
+    /// lets a helping waiter drain its own deque — the pool identity
+    /// guards against a task of one pool submitting into another.
+    static WORKER_SLOT: Cell<Option<(usize, usize)>> = const { Cell::new(None) };
+}
 
 /// A queueable unit of work whose closure lifetime has been erased.
 ///
@@ -97,6 +113,12 @@ struct Shared {
     /// Fine at row-block granularity; simplicity beats a wakeup
     /// hierarchy here.
     work_available: Condvar,
+    /// One work deque per compute worker. Lock order: `inner` may be
+    /// held while a deque is locked, never the reverse, and no two
+    /// deques are ever held at once (steals stage through a local
+    /// buffer) — owner pushes therefore release the deque before
+    /// taking `inner` to notify.
+    deques: Vec<Mutex<VecDeque<Task>>>,
 }
 
 impl Shared {
@@ -112,6 +134,73 @@ impl Shared {
         self.work_available
             .wait(guard)
             .unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Identity of this pool for the [`WORKER_SLOT`] tag. Stable for
+    /// the pool's lifetime; its workers are joined before the
+    /// allocation can be reused.
+    fn id(&self) -> usize {
+        self as *const Shared as usize
+    }
+
+    fn deque(&self, index: usize) -> MutexGuard<'_, VecDeque<Task>> {
+        self.deques[index]
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Finds the next runnable compute task for a thread whose worker
+    /// slot is `slot` (`None` for a helping external caller):
+    /// own deque first (owner end), then the injector — moving half
+    /// of any remaining backlog into the worker's own deque in the
+    /// same lock acquisition — then a steal of half a victim deque.
+    ///
+    /// Must be called with the `inner` lock held: every queue
+    /// inspection that can precede a sleep happens under that lock,
+    /// and every publication notifies while holding it, so a `None`
+    /// here can never race a missed wakeup.
+    fn next_task(&self, inner: &mut Inner, slot: Option<usize>) -> Option<Task> {
+        if let Some(i) = slot {
+            if let Some(task) = self.deque(i).pop_back() {
+                return Some(task);
+            }
+        }
+        if let Some(first) = inner.compute.pop_front() {
+            if let Some(i) = slot {
+                let extra = inner.compute.len() / 2;
+                if extra > 0 {
+                    let mut own = self.deque(i);
+                    for _ in 0..extra {
+                        own.push_back(inner.compute.pop_front().expect("counted backlog"));
+                    }
+                }
+            }
+            return Some(first);
+        }
+        for victim in 0..self.deques.len() {
+            if Some(victim) == slot {
+                continue;
+            }
+            let mut stolen: VecDeque<Task> = {
+                let mut dq = self.deque(victim);
+                let take = match (dq.len(), slot) {
+                    (0, _) => 0,
+                    // A worker steals half the victim's queue …
+                    (n, Some(_)) => n.div_ceil(2),
+                    // … a helping caller has no deque to bank into.
+                    (_, None) => 1,
+                };
+                dq.drain(..take).collect()
+            };
+            let Some(first) = stolen.pop_front() else {
+                continue;
+            };
+            if let Some(i) = slot {
+                self.deque(i).append(&mut stolen);
+            }
+            return Some(first);
+        }
+        None
     }
 }
 
@@ -206,19 +295,22 @@ impl<'scope, 'env> Scope<'scope, 'env> {
     }
 
     /// Blocks until every spawned task finished, running compute-lane
-    /// tasks from the injector while waiting (the caller is one of
-    /// the workers — this is what keeps nested scopes live).
+    /// tasks from the injector and the worker deques while waiting
+    /// (the caller is one of the workers — this is what keeps nested
+    /// scopes live, including a worker's own scope whose spawns sit
+    /// in that worker's own deque).
     fn wait_all(&self) {
         if self.state.pending.load(Ordering::SeqCst) == 0 {
             return;
         }
         let shared = &self.pool.shared;
+        let slot = self.pool.worker_slot();
         let mut guard = shared.lock();
         loop {
             if self.state.pending.load(Ordering::SeqCst) == 0 {
                 return;
             }
-            if let Some(task) = guard.compute.pop_front() {
+            if let Some(task) = shared.next_task(&mut guard, slot) {
                 drop(guard);
                 task.run();
                 guard = shared.lock();
@@ -245,6 +337,7 @@ impl Pool {
         let shared = Arc::new(Shared {
             inner: Mutex::new(Inner::default()),
             work_available: Condvar::new(),
+            deques: (0..threads).map(|_| Mutex::new(VecDeque::new())).collect(),
         });
         let mut handles = Vec::with_capacity(threads);
         for i in 0..threads {
@@ -252,7 +345,7 @@ impl Pool {
             handles.push(
                 std::thread::Builder::new()
                     .name(format!("xai-par-cpu-{i}"))
-                    .spawn(move || compute_loop(worker_shared))
+                    .spawn(move || compute_loop(worker_shared, i))
                     .expect("spawn pool worker"),
             );
         }
@@ -378,7 +471,28 @@ impl Pool {
         }
     }
 
+    /// Worker index of the current thread *in this pool's fleet*, if
+    /// the thread is one of this pool's compute workers.
+    fn worker_slot(&self) -> Option<usize> {
+        WORKER_SLOT
+            .with(Cell::get)
+            .and_then(|(id, i)| (id == self.shared.id()).then_some(i))
+    }
+
     fn push_task(&self, lane: Lane, task: Task) {
+        if lane == Lane::Compute {
+            if let Some(i) = self.worker_slot() {
+                // Owner push: a worker's own spawn goes to the back of
+                // its deque, where the owner pops first (LIFO keeps the
+                // working set warm) and thieves steal from the front.
+                // The deque lock is released before `inner` is taken to
+                // notify — the lock order every other path relies on.
+                self.shared.deque(i).push_back(task);
+                let _guard = self.shared.lock();
+                self.shared.work_available.notify_all();
+                return;
+            }
+        }
         let mut guard = self.shared.lock();
         match lane {
             Lane::Compute => guard.compute.push_back(task),
@@ -430,10 +544,11 @@ impl std::fmt::Debug for Pool {
     }
 }
 
-fn compute_loop(shared: Arc<Shared>) {
+fn compute_loop(shared: Arc<Shared>, index: usize) {
+    WORKER_SLOT.with(|slot| slot.set(Some((shared.id(), index))));
     let mut guard = shared.lock();
     loop {
-        if let Some(task) = guard.compute.pop_front() {
+        if let Some(task) = shared.next_task(&mut guard, Some(index)) {
             drop(guard);
             task.run();
             guard = shared.lock();
@@ -566,5 +681,82 @@ mod tests {
     #[should_panic(expected = "chunk_len > 0")]
     fn zero_chunk_rejected() {
         Pool::new(1).par_chunks_mut(&mut [0u8; 4], 0, |_, _| {});
+    }
+
+    #[test]
+    fn nested_scope_on_one_worker_pool_drains_own_deque() {
+        // A worker's own spawns land in its own deque; its nested
+        // wait must drain that deque or a one-worker pool deadlocks.
+        let pool = Pool::new(1);
+        let hits = AtomicUsize::new(0);
+        pool.scope(|s| {
+            let (pool, hits) = (&pool, &hits);
+            s.spawn(move || {
+                pool.scope(|inner| {
+                    for _ in 0..5 {
+                        inner.spawn(|| {
+                            hits.fetch_add(1, Ordering::SeqCst);
+                        });
+                    }
+                });
+                hits.fetch_add(100, Ordering::SeqCst);
+            });
+        });
+        assert_eq!(hits.load(Ordering::SeqCst), 105);
+    }
+
+    #[test]
+    fn recursive_spawns_complete_across_pool_sizes() {
+        // Fan-out from inside worker tasks: owner pushes plus thief
+        // steal-half must account for every task exactly once.
+        for threads in [1, 2, 4] {
+            let pool = Pool::new(threads);
+            let count = AtomicUsize::new(0);
+            pool.scope(|s| {
+                let (pool, count) = (&pool, &count);
+                for _ in 0..8 {
+                    s.spawn(move || {
+                        count.fetch_add(1, Ordering::SeqCst);
+                        // Nested fan-out from a worker thread: these
+                        // land on the worker's own deque and are either
+                        // drained by it or stolen in halves.
+                        pool.scope(|inner| {
+                            for _ in 0..16 {
+                                inner.spawn(|| {
+                                    count.fetch_add(1, Ordering::SeqCst);
+                                });
+                            }
+                        });
+                    });
+                }
+            });
+            assert_eq!(
+                count.load(Ordering::SeqCst),
+                8 + 8 * 16,
+                "threads={threads}"
+            );
+        }
+    }
+
+    #[test]
+    fn worker_spawns_route_to_other_pools_injector() {
+        // A task of pool A driving pool B must not push into A's (or a
+        // phantom) deque: the worker-slot tag is per-pool identity.
+        let a = Pool::new(2);
+        let b = Pool::new(2);
+        let total = AtomicUsize::new(0);
+        a.scope(|s| {
+            let (b, total) = (&b, &total);
+            s.spawn(move || {
+                b.scope(|sb| {
+                    for _ in 0..6 {
+                        sb.spawn(|| {
+                            total.fetch_add(1, Ordering::SeqCst);
+                        });
+                    }
+                });
+            });
+        });
+        assert_eq!(total.load(Ordering::SeqCst), 6);
     }
 }

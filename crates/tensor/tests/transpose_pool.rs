@@ -1,0 +1,70 @@
+//! Pool-size independence of the tile transpose: re-runs the
+//! bit-identity check in child processes pinned to `XAI_THREADS` ∈
+//! {1, 2, 4, 7}, because the global pool size is fixed per process.
+//! The determinism contract says the split points depend only on the
+//! `workers` argument, never on how many pool threads execute them —
+//! so every configuration must reproduce `Matrix::transpose` exactly.
+
+use xai_tensor::Matrix;
+
+/// Ragged and odd shapes straddling the 32-element tile edge.
+const SHAPES: [(usize, usize); 8] = [
+    (1, 17),
+    (17, 1),
+    (3, 5),
+    (31, 33),
+    (32, 32),
+    (33, 31),
+    (37, 41),
+    (7, 129),
+];
+
+fn child_check() {
+    let threads: usize = std::env::var("XAI_THREADS").unwrap().parse().unwrap();
+    assert_eq!(
+        xai_parallel::global().num_threads(),
+        threads,
+        "global pool must honour XAI_THREADS"
+    );
+    for &(m, n) in &SHAPES {
+        let x = Matrix::from_fn(m, n, |r, c| (r * 131 + c * 17) as f64 * 0.25 - 3.0).unwrap();
+        let naive = x.transpose();
+        assert_eq!(x.transpose_blocked(), naive, "blocked {m}x{n}");
+        for workers in [1, 2, 4, 7] {
+            assert_eq!(
+                x.transpose_parallel(workers),
+                naive,
+                "parallel {m}x{n} workers={workers} pool={threads}"
+            );
+        }
+        let z = x.to_complex();
+        let naive_z = z.transpose();
+        assert_eq!(z.transpose_blocked(), naive_z, "complex blocked {m}x{n}");
+        for workers in [1, 2, 4, 7] {
+            assert_eq!(
+                z.transpose_parallel(workers),
+                naive_z,
+                "complex parallel {m}x{n} workers={workers} pool={threads}"
+            );
+        }
+    }
+}
+
+#[test]
+fn tile_transpose_bit_identical_across_pool_sizes() {
+    if std::env::var("XAI_TRANSPOSE_CHILD").is_ok() {
+        child_check();
+        return;
+    }
+    let exe = std::env::current_exe().expect("test binary path");
+    for threads in ["1", "2", "4", "7"] {
+        let status = std::process::Command::new(&exe)
+            .arg("tile_transpose_bit_identical_across_pool_sizes")
+            .arg("--exact")
+            .env("XAI_TRANSPOSE_CHILD", "1")
+            .env("XAI_THREADS", threads)
+            .status()
+            .expect("spawn child test process");
+        assert!(status.success(), "child failed under XAI_THREADS={threads}");
+    }
+}

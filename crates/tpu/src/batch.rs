@@ -84,6 +84,19 @@ pub enum KernelJob {
         /// Right factor (`k × n`).
         b: Matrix<f64>,
     },
+    /// The fused serving chain fft → hadamard → ifft → sub as a
+    /// *single* lane: `re(ifft2(fft2(x) ∘ filter))` subtracted from
+    /// `y`. The dependent stages pipeline on-device — the flight
+    /// ships one real gather instead of four per-stage round-trips —
+    /// while per-stage charges stay identical to the staged chain.
+    FilterDiff {
+        /// The occluded input, spatial domain.
+        x: Matrix<Complex64>,
+        /// Frequency-domain filter, broadcast across the batch.
+        filter: Arc<Matrix<Complex64>>,
+        /// Observed output (the minuend), broadcast across the batch.
+        y: Arc<Matrix<f64>>,
+    },
 }
 
 impl KernelJob {
@@ -96,6 +109,7 @@ impl KernelJob {
             KernelJob::PointwiseDiv { .. } => "pointwise-div",
             KernelJob::Sub { .. } => "sub",
             KernelJob::Matmul { .. } => "matmul",
+            KernelJob::FilterDiff { .. } => "filter-diff",
         }
     }
 }
@@ -196,7 +210,11 @@ struct QueueState<W, R> {
 #[derive(Debug)]
 struct Landing<R> {
     /// Per-item result slots (taken once each) or the flight's error.
-    outcome: Result<Vec<Option<R>>>,
+    /// Each slot carries its *own* `Result`, so a data-dependent
+    /// failure in one lane fails only the submitter owning that lane;
+    /// the outer `Err` is reserved for flight-wide failures (dispatch
+    /// error, arity mismatch, leader panic) that hit every submitter.
+    outcome: Result<Vec<Option<Result<R>>>>,
     /// Submissions that still have to collect from this landing.
     outstanding: usize,
 }
@@ -255,6 +273,31 @@ impl<W: Send, R: Send> BatchQueue<W, R> {
         items: Vec<W>,
         dispatch: impl FnOnce(&SharedDevice, Vec<W>) -> Result<Vec<R>>,
     ) -> Result<Vec<R>> {
+        self.submit_per_lane(items, |device, batch| {
+            dispatch(device, batch).map(|results| results.into_iter().map(Ok).collect())
+        })
+    }
+
+    /// Like [`BatchQueue::submit`], but `dispatch` returns a
+    /// *per-lane* `Result` for each item: a data-dependent failure in
+    /// one lane (a strict division by zero, say) is delivered only to
+    /// the submitter whose items produced it — every other submitter
+    /// of the same coalesced flight still receives its results. The
+    /// outer `Result` keeps flight-wide semantics: a dispatch `Err`,
+    /// an arity mismatch or a leader panic fails all submitters, as
+    /// in [`BatchQueue::submit`].
+    ///
+    /// A submitter whose slice contains several failed lanes receives
+    /// the first failed lane's error.
+    ///
+    /// # Errors
+    ///
+    /// As [`BatchQueue::submit`], plus the per-lane errors above.
+    pub fn submit_per_lane(
+        &self,
+        items: Vec<W>,
+        dispatch: impl FnOnce(&SharedDevice, Vec<W>) -> Result<Vec<Result<R>>>,
+    ) -> Result<Vec<R>> {
         if items.is_empty() {
             return Ok(Vec::new());
         }
@@ -282,7 +325,7 @@ impl<W: Send, R: Send> BatchQueue<W, R> {
         &'q self,
         mut st: MutexGuard<'q, QueueState<W, R>>,
         generation: u64,
-        dispatch: impl FnOnce(&SharedDevice, Vec<W>) -> Result<Vec<R>>,
+        dispatch: impl FnOnce(&SharedDevice, Vec<W>) -> Result<Vec<Result<R>>>,
     ) -> MutexGuard<'q, QueueState<W, R>> {
         let deadline = Instant::now() + self.window;
         while st.pending.len() < self.max_lanes {
@@ -364,10 +407,13 @@ impl<W: Send, R: Send> BatchQueue<W, R> {
         loop {
             if let Some(landing) = st.landed.get_mut(&generation) {
                 let taken = match &mut landing.outcome {
-                    Ok(slots) => Ok(slots[offset..offset + count]
+                    // Per-lane results: a failed lane fails only the
+                    // submitter owning it (first failure wins within
+                    // one submission's slice).
+                    Ok(slots) => slots[offset..offset + count]
                         .iter_mut()
                         .map(|s| s.take().expect("each result slot is taken exactly once"))
-                        .collect()),
+                        .collect(),
                     Err(e) => Err(e.clone()),
                 };
                 landing.outstanding -= 1;
@@ -556,13 +602,103 @@ mod tests {
                 a: Arc::new(r.clone()),
                 b: r.clone(),
             },
-            KernelJob::Matmul { a: r.clone(), b: r },
+            KernelJob::Matmul {
+                a: r.clone(),
+                b: r.clone(),
+            },
+            KernelJob::FilterDiff {
+                x: Matrix::filled(2, 2, Complex64::ONE).unwrap(),
+                filter: Arc::new(Matrix::filled(2, 2, Complex64::ONE).unwrap()),
+                y: Arc::new(r),
+            },
         ];
         let kinds: Vec<_> = jobs.iter().map(KernelJob::kind).collect();
         assert_eq!(
             kinds,
-            vec!["transform", "hadamard", "pointwise-div", "sub", "matmul"]
+            vec![
+                "transform",
+                "hadamard",
+                "pointwise-div",
+                "sub",
+                "matmul",
+                "filter-diff"
+            ]
         );
+    }
+
+    /// Satellite: a data-dependent error in one lane fails only the
+    /// submitter owning that lane — the other seven submitters of the
+    /// same coalesced flight still land their results.
+    #[test]
+    fn per_lane_error_fails_only_its_submitter() {
+        let threads = 8usize;
+        let q: Arc<BatchQueue<u64, u64>> = Arc::new(queue(60_000, threads));
+        let results = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..threads as u64)
+                .map(|t| {
+                    let q = Arc::clone(&q);
+                    scope.spawn(move || {
+                        q.submit_per_lane(vec![t], |_, batch| {
+                            Ok(batch
+                                .into_iter()
+                                .map(|v| {
+                                    if v == 3 {
+                                        // The poisoned lane: a strict
+                                        // ÷0-style data error.
+                                        Err(TensorError::DivisionByZero { index: 0 })
+                                    } else {
+                                        Ok(v * 2)
+                                    }
+                                })
+                                .collect())
+                        })
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().unwrap())
+                .collect::<Vec<_>>()
+        });
+        for (t, r) in results.iter().enumerate() {
+            if t == 3 {
+                assert_eq!(
+                    r.clone().unwrap_err(),
+                    TensorError::DivisionByZero { index: 0 }
+                );
+            } else {
+                assert_eq!(r.clone().unwrap(), vec![t as u64 * 2], "lane {t}");
+            }
+        }
+    }
+
+    /// A submission spanning several lanes receives its *first*
+    /// failed lane's error; flight-wide errors still hit everyone.
+    #[test]
+    fn per_lane_first_error_wins_within_a_submission() {
+        let q = queue(0, 8);
+        let err = q
+            .submit_per_lane(vec![1u64, 2, 3], |_, batch| {
+                Ok(batch
+                    .into_iter()
+                    .map(|v| {
+                        if v >= 2 {
+                            Err(TensorError::EmptyDimension)
+                        } else {
+                            Ok(v)
+                        }
+                    })
+                    .collect())
+            })
+            .unwrap_err();
+        assert_eq!(err, TensorError::EmptyDimension);
+        // Flight-wide error path unchanged.
+        let err = q
+            .submit_per_lane(vec![1u64], |_, _| {
+                Err::<Vec<Result<u64>>, _>(TensorError::DivisionByZero { index: 0 })
+            })
+            .unwrap_err();
+        assert_eq!(err, TensorError::DivisionByZero { index: 0 });
     }
 
     #[test]

@@ -176,6 +176,69 @@ pub fn compile_contribution() -> Program {
     )
 }
 
+/// Compiles a whole batch of contribution evaluations as ONE
+/// straight-line program — the ISA-level witness of the fused
+/// filter-diff flight: `lanes` occluded inputs share the kernel
+/// spectrum, reference output and DFT matrices, and every lane's
+/// `Y − F⁻¹(F(X′ᵢ)◦F(K))` chain is emitted back-to-back with no host
+/// round trip between lanes.
+///
+/// Register convention: 0 = F(K), 1 = Y, 2 = W, 3 = W⁻¹, then lane
+/// `i`'s occluded input at `4 + i`. Each lane's difference lands in
+/// its own register (`4 + lanes + 6·i + 5`); the program's declared
+/// output is the **last** lane's difference.
+///
+/// # Panics
+///
+/// Panics if `lanes == 0` — an empty flight has no program.
+pub fn compile_contribution_batch(lanes: usize) -> Program {
+    assert!(lanes > 0, "compile_contribution_batch requires lanes > 0");
+    let (f_kernel, y_ref, w, w_inv) = (0, 1, 2, 3);
+    let temps = 4 + lanes;
+    let mut instructions = Vec::with_capacity(6 * lanes);
+    let mut last_diff = 0;
+    for i in 0..lanes {
+        let x_occluded = 4 + i;
+        let base = temps + 6 * i;
+        let (t0, fx, prod, t1, pred, diff) =
+            (base, base + 1, base + 2, base + 3, base + 4, base + 5);
+        instructions.extend([
+            Instruction::MatMul {
+                a: w,
+                b: x_occluded,
+                dst: t0,
+            },
+            Instruction::MatMul {
+                a: t0,
+                b: w,
+                dst: fx,
+            },
+            Instruction::Hadamard {
+                a: fx,
+                b: f_kernel,
+                dst: prod,
+            },
+            Instruction::MatMul {
+                a: w_inv,
+                b: prod,
+                dst: t1,
+            },
+            Instruction::MatMul {
+                a: t1,
+                b: w_inv,
+                dst: pred,
+            },
+            Instruction::Sub {
+                a: y_ref,
+                b: pred,
+                dst: diff,
+            },
+        ]);
+        last_diff = diff;
+    }
+    Program::new(temps + 6 * lanes, instructions, last_diff)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -308,11 +371,69 @@ mod tests {
     }
 
     #[test]
+    fn compiled_contribution_batch_matches_per_lane_programs() {
+        let n = 6;
+        let lanes = 3;
+        let k = Matrix::from_fn(n, n, |r, c| {
+            Complex64::from_real(((r * 2 + c) % 5) as f64 * 0.3)
+        })
+        .unwrap();
+        let w = dft_matrix(n, false);
+        let w_inv = dft_matrix(n, true);
+        let f = |m: &Matrix<Complex64>| {
+            xai_tensor::ops::matmul(&xai_tensor::ops::matmul(&w, m).unwrap(), &w).unwrap()
+        };
+        let xs: Vec<Matrix<Complex64>> = (0..lanes).map(|i| complex_input(n, 4 + i)).collect();
+        let y = complex_input(n, 9);
+
+        let batch = compile_contribution_batch(lanes);
+        assert_eq!(batch.instructions().len(), 6 * lanes);
+
+        // The batch program's declared output is the LAST lane's diff;
+        // it must match the single-lane program run on that input.
+        let mut inputs = vec![
+            (0, f(&k)),
+            (1, y.clone()),
+            (2, w.clone()),
+            (3, w_inv.clone()),
+        ];
+        for (i, x) in xs.iter().enumerate() {
+            inputs.push((4 + i, x.clone()));
+        }
+        let mut core = TpuCore::new(TpuConfig::small_test());
+        let got = core.execute(&batch, &inputs).unwrap();
+
+        let single = compile_contribution();
+        let mut reference_core = TpuCore::new(TpuConfig::small_test());
+        let expect = reference_core
+            .execute(
+                &single,
+                &[
+                    (0, xs[lanes - 1].clone()),
+                    (1, f(&k)),
+                    (2, y),
+                    (3, w),
+                    (4, w_inv),
+                ],
+            )
+            .unwrap();
+        assert!(got.max_abs_diff(&expect).unwrap() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "lanes > 0")]
+    fn compiled_contribution_batch_rejects_empty_flight() {
+        let _ = compile_contribution_batch(0);
+    }
+
+    #[test]
     fn compiled_programs_validate() {
         assert!(compile_fft2d(Fft2dSlots::default()).validate().is_ok());
         assert!(compile_distillation(DivPolicy::default())
             .validate()
             .is_ok());
         assert!(compile_contribution().validate().is_ok());
+        assert!(compile_contribution_batch(1).validate().is_ok());
+        assert!(compile_contribution_batch(5).validate().is_ok());
     }
 }

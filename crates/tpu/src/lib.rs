@@ -62,13 +62,16 @@ pub mod systolic;
 pub mod trace;
 
 pub use batch::{BatchQueue, KernelJob, KernelResult};
-pub use compiler::{compile_contribution, compile_distillation, compile_fft2d, Fft2dSlots};
+pub use compiler::{
+    compile_contribution, compile_contribution_batch, compile_distillation, compile_fft2d,
+    Fft2dSlots,
+};
 pub use config::{Precision, TpuConfig};
 pub use core::{bf16_round, TpuCore};
 pub use device::{PhaseTime, TpuDevice};
 pub use isa::{Instruction, Program, Slot};
 pub use memory::MemoryModel;
 pub use pool::{DevicePool, LaneCost, ShardOutcome, ShardPlan, ShardStrategy, ShardedRun};
-pub use shared::SharedDevice;
+pub use shared::{LaneLease, SharedDevice};
 pub use systolic::{tile_stream_cycles, weight_load_cycles, SystolicArray, TileResult};
 pub use trace::{Event, OpKind, Trace};

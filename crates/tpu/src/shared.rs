@@ -12,13 +12,24 @@
 
 use crate::config::TpuConfig;
 use crate::device::TpuDevice;
-use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 
 /// A cloneable, `Send + Sync` handle to one simulated TPU.
 ///
 /// All clones refer to the *same* device: cycles, collectives and
 /// energy accumulate globally across every handle, matching how a
 /// physical accelerator is shared between host threads.
+///
+/// Beyond the whole-device mutex, the handle tracks **per-core
+/// lanes**: a flight leases a subset of the chip's cores via
+/// [`SharedDevice::lease`] and charges through the lease, so two
+/// concurrent flights that fit on disjoint cores *overlap* on the
+/// lane timeline instead of convoying. The ledger itself (cycles,
+/// bytes, energy, collectives) still accumulates under the single
+/// mutex exactly as before — the lane overlay only records how much
+/// of the serial charge could have run concurrently, so every
+/// numeric result and every `wall_seconds` total stays bit-identical
+/// to the pre-lane code.
 ///
 /// # Examples
 ///
@@ -40,6 +51,55 @@ use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 #[derive(Debug, Clone)]
 pub struct SharedDevice {
     inner: Arc<Mutex<TpuDevice>>,
+    lanes: Arc<LaneSet>,
+}
+
+/// The per-core lane scheduler state shared by every handle clone.
+#[derive(Debug)]
+struct LaneSet {
+    state: Mutex<LaneState>,
+    /// Wakes blocked [`SharedDevice::lease`] calls when lanes free up.
+    freed: Condvar,
+}
+
+#[derive(Debug)]
+struct LaneState {
+    /// Whether each core lane is currently leased by a live flight.
+    busy: Vec<bool>,
+    /// The lane-timeline instant each core becomes idle again.
+    busy_until: Vec<f64>,
+    /// Sum of every charge routed through a lease — the convoyed
+    /// (pre-lane) timeline length.
+    serial_s: f64,
+}
+
+impl LaneSet {
+    fn new(cores: usize) -> Self {
+        LaneSet {
+            state: Mutex::new(LaneState {
+                busy: vec![false; cores.max(1)],
+                busy_until: vec![0.0; cores.max(1)],
+                serial_s: 0.0,
+            }),
+            freed: Condvar::new(),
+        }
+    }
+
+    fn lock(&self) -> MutexGuard<'_, LaneState> {
+        self.state.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+/// An exclusive lease on a subset of one device's core lanes,
+/// returned by [`SharedDevice::lease`]. Charges routed through
+/// [`LaneLease::timed`] advance only the leased lanes on the lane
+/// timeline (and the whole-device ledger exactly as an un-leased
+/// [`SharedDevice::timed`] would). Dropping the lease frees the
+/// lanes and wakes blocked leasers.
+#[derive(Debug)]
+pub struct LaneLease {
+    device: SharedDevice,
+    cores: Vec<usize>,
 }
 
 impl SharedDevice {
@@ -55,9 +115,75 @@ impl SharedDevice {
 
     /// Wraps an existing device.
     pub fn from_device(device: TpuDevice) -> Self {
+        let cores = device.num_cores();
         SharedDevice {
             inner: Arc::new(Mutex::new(device)),
+            lanes: Arc::new(LaneSet::new(cores)),
         }
+    }
+
+    /// Leases up to `want` free core lanes, blocking while *no* lane
+    /// is free. Returns a [`LaneLease`] holding at least one and at
+    /// most `min(want, num_cores)` lanes — a flight that asked for
+    /// four cores on a busy chip may receive fewer and simply run
+    /// longer on the lane timeline, exactly like a real scheduler
+    /// packing co-tenant jobs.
+    ///
+    /// Free lanes are taken **most-recently-busy first** (largest
+    /// `busy_until`): back-to-back flights from one caller chain onto
+    /// the same cores and stay serial on the lane timeline, so only
+    /// genuinely concurrent leases record overlap.
+    pub fn lease(&self, want: usize) -> LaneLease {
+        let want = want.max(1);
+        let mut st = self.lanes.lock();
+        loop {
+            let mut free: Vec<usize> = (0..st.busy.len()).filter(|&i| !st.busy[i]).collect();
+            if !free.is_empty() {
+                free.sort_by(|&a, &b| {
+                    st.busy_until[b]
+                        .partial_cmp(&st.busy_until[a])
+                        .unwrap_or(std::cmp::Ordering::Equal)
+                        .then(a.cmp(&b))
+                });
+                free.truncate(want);
+                for &i in &free {
+                    st.busy[i] = true;
+                }
+                return LaneLease {
+                    device: self.clone(),
+                    cores: free,
+                };
+            }
+            st = self
+                .lanes
+                .freed
+                .wait(st)
+                .unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+
+    /// Total charge routed through lane leases, ignoring overlap —
+    /// the length the lane timeline would have if every flight had
+    /// convoyed behind the whole-device mutex.
+    pub fn lane_serial_seconds(&self) -> f64 {
+        self.lanes.lock().serial_s
+    }
+
+    /// Lane-timeline makespan: the instant the last core goes idle.
+    /// With overlapping flights this is shorter than
+    /// [`SharedDevice::lane_serial_seconds`].
+    pub fn lane_makespan_seconds(&self) -> f64 {
+        let st = self.lanes.lock();
+        st.busy_until.iter().fold(0.0f64, |m, &t| m.max(t))
+    }
+
+    /// Seconds of charge that ran concurrently on disjoint core
+    /// lanes: `lane_serial_seconds − lane_makespan_seconds`. Zero
+    /// when every flight convoyed; positive when flights overlapped.
+    pub fn lane_overlap_seconds(&self) -> f64 {
+        let st = self.lanes.lock();
+        let makespan = st.busy_until.iter().fold(0.0f64, |m, &t| m.max(t));
+        (st.serial_s - makespan).max(0.0)
     }
 
     /// Runs `f` with exclusive access to the device. The lock is held
@@ -135,9 +261,14 @@ impl SharedDevice {
         self.lock().energy_pj()
     }
 
-    /// Zeroes all core counters and device clocks.
+    /// Zeroes all core counters and device clocks, including the
+    /// per-core lane timeline. Lanes leased at reset time stay
+    /// leased; only their clocks rewind.
     pub fn reset(&self) {
         self.lock().reset();
+        let mut st = self.lanes.lock();
+        st.busy_until.iter_mut().for_each(|t| *t = 0.0);
+        st.serial_s = 0.0;
     }
 
     /// `true` when both handles refer to the same device.
@@ -151,6 +282,59 @@ impl SharedDevice {
         // behind is a partially-charged phase — still serviceable,
         // unlike a process-wide wedge.
         self.inner.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+impl LaneLease {
+    /// The core lane indices this lease holds, ascending.
+    pub fn cores(&self) -> Vec<usize> {
+        let mut c = self.cores.clone();
+        c.sort_unstable();
+        c
+    }
+
+    /// The device this lease's lanes belong to.
+    pub fn device(&self) -> &SharedDevice {
+        &self.device
+    }
+
+    /// Charge-and-measure exactly like [`SharedDevice::timed`] —
+    /// same lock, same ledger arithmetic, same returned delta — then
+    /// advance the leased lanes on the lane timeline: the charge
+    /// starts when the slowest leased lane last went idle and ends
+    /// `dt` later. Disjoint concurrent leases therefore overlap on
+    /// the timeline while the ledger still accumulates serially.
+    ///
+    /// # Errors
+    ///
+    /// Propagates `f`'s error; failed charges advance neither clock.
+    pub fn timed<R>(
+        &self,
+        f: impl FnOnce(&mut TpuDevice) -> xai_tensor::Result<R>,
+    ) -> xai_tensor::Result<(R, f64)> {
+        let (value, dt) = self.device.timed(f)?;
+        let mut st = self.device.lanes.lock();
+        let start = self
+            .cores
+            .iter()
+            .fold(0.0f64, |m, &i| m.max(st.busy_until[i]));
+        let end = start + dt;
+        for &i in &self.cores {
+            st.busy_until[i] = end;
+        }
+        st.serial_s += dt;
+        Ok((value, dt))
+    }
+}
+
+impl Drop for LaneLease {
+    fn drop(&mut self) {
+        let mut st = self.device.lanes.lock();
+        for &i in &self.cores {
+            st.busy[i] = false;
+        }
+        drop(st);
+        self.device.lanes.freed.notify_all();
     }
 }
 
@@ -251,6 +435,86 @@ mod tests {
         dev.run_phase(vec![shard(2.0)], |core, s| core.matmul(&s, &s))
             .unwrap();
         assert!(dev.wall_seconds() > before);
+    }
+
+    #[test]
+    fn lease_routes_charges_onto_disjoint_lanes() {
+        let dev = SharedDevice::with_cores(TpuConfig::small_test(), 8);
+        // Two flights lease four lanes each: disjoint cores, so their
+        // lane-timeline spans overlap fully while the ledger (and
+        // serial_s) accumulates both charges.
+        let a = dev.lease(4);
+        let b = dev.lease(4);
+        assert_eq!(a.cores().len(), 4);
+        assert_eq!(b.cores().len(), 4);
+        assert!(a.cores().iter().all(|c| !b.cores().contains(c)));
+        let (_, dta) = a
+            .timed(|d| d.run_phase(vec![shard(1.0)], |core, s| core.matmul(&s, &s)))
+            .unwrap();
+        let (_, dtb) = b
+            .timed(|d| d.run_phase(vec![shard(2.0)], |core, s| core.matmul(&s, &s)))
+            .unwrap();
+        drop(a);
+        drop(b);
+        assert!(dta > 0.0 && dtb > 0.0);
+        // Ledger unchanged by lanes: wall time is still the serial sum.
+        assert!((dev.wall_seconds() - (dta + dtb)).abs() < 1e-18);
+        assert!((dev.lane_serial_seconds() - (dta + dtb)).abs() < 1e-18);
+        // Overlapping disjoint leases: makespan is the slower flight.
+        assert!((dev.lane_makespan_seconds() - dta.max(dtb)).abs() < 1e-18);
+        assert!((dev.lane_overlap_seconds() - dta.min(dtb)).abs() < 1e-18);
+    }
+
+    #[test]
+    fn sequential_leases_chain_without_overlap() {
+        let dev = SharedDevice::with_cores(TpuConfig::small_test(), 8);
+        for v in [1.0, 2.0, 3.0] {
+            let lease = dev.lease(4);
+            lease
+                .timed(|d| d.run_phase(vec![shard(v)], |core, s| core.matmul(&s, &s)))
+                .unwrap();
+        }
+        // Back-to-back flights re-lease the most-recently-busy lanes,
+        // so the timeline stays serial: no phantom overlap.
+        assert!(dev.lane_serial_seconds() > 0.0);
+        assert!((dev.lane_makespan_seconds() - dev.lane_serial_seconds()).abs() < 1e-15);
+        assert_eq!(dev.lane_overlap_seconds(), 0.0);
+    }
+
+    #[test]
+    fn lease_blocks_until_lanes_free_and_clamps_want() {
+        let dev = SharedDevice::with_cores(TpuConfig::small_test(), 2);
+        // Asking for more lanes than the chip has clamps to the chip.
+        let all = dev.lease(16);
+        assert_eq!(all.cores(), vec![0, 1]);
+        let waited = std::thread::scope(|scope| {
+            let handle = dev.clone();
+            let t = scope.spawn(move || {
+                // Blocks until `all` drops, then gets a lane.
+                let lease = handle.lease(1);
+                lease.cores().len()
+            });
+            std::thread::sleep(std::time::Duration::from_millis(20));
+            drop(all);
+            t.join().unwrap()
+        });
+        assert_eq!(waited, 1);
+    }
+
+    #[test]
+    fn lane_clocks_reset_with_the_device() {
+        let dev = SharedDevice::with_cores(TpuConfig::small_test(), 4);
+        let lease = dev.lease(2);
+        lease
+            .timed(|d| d.run_phase(vec![shard(1.0)], |core, s| core.matmul(&s, &s)))
+            .unwrap();
+        drop(lease);
+        assert!(dev.lane_serial_seconds() > 0.0);
+        dev.reset();
+        assert_eq!(dev.lane_serial_seconds(), 0.0);
+        assert_eq!(dev.lane_makespan_seconds(), 0.0);
+        assert_eq!(dev.lane_overlap_seconds(), 0.0);
+        assert_eq!(dev.wall_seconds(), 0.0);
     }
 
     #[test]
