@@ -34,8 +34,8 @@ use xai_tensor::ops::{self, DivPolicy};
 use xai_tensor::quant::QuantizedMatrix;
 use xai_tensor::{Complex64, Matrix, Result};
 use xai_tpu::{
-    BatchQueue, DevicePool, KernelJob, KernelResult, LaneCost, ShardPlan, SharedDevice, TpuConfig,
-    TpuDevice,
+    BatchQueue, DevicePool, KernelJob, KernelResult, LaneCost, ShardPlan, ShardStrategy,
+    SharedDevice, TpuConfig, TpuDevice,
 };
 
 /// TPU-based accelerator (the "Proposed Approach" column of the
@@ -787,6 +787,17 @@ impl TpuAccel {
     /// vector units finish them faster than the inter-chip link could
     /// even start the reassembly. Heavily oversubscribed elementwise
     /// flights cross the threshold and shard like transforms do.
+    ///
+    /// The gather is priced on the **pool's** fabric
+    /// ([`DevicePool::gather_cost_s`]): hop- and pressure-scaled on a
+    /// ring, hierarchical on a torus, and exactly the seed
+    /// `cross_replica_cost_s` on the default flat crossbar. Under
+    /// [`ShardStrategy::TopologyAware`] the dry run widens into a
+    /// width search: every pod-aligned prefix of the pool
+    /// ([`xai_tpu::Topology::fanout_widths`]) is probed in real
+    /// simulated seconds, so a cheaper few-participant gather trades
+    /// directly against the wider plan's shorter makespan; ties keep
+    /// the narrowest (most local) width.
     fn fanout_plan(
         &self,
         pool: &DevicePool,
@@ -794,10 +805,16 @@ impl TpuAccel {
         whole_flight_charges: &ShardCharges,
     ) -> Option<(ShardPlan, usize)> {
         let lanes: Vec<LaneCost> = flight.iter().map(kernel_lane_cost).collect();
-        let plan = ShardPlan::plan(&lanes, pool.num_devices(), pool.strategy());
-        if plan.occupied_devices() < 2 {
-            return None;
-        }
+        let n = pool.num_devices();
+        let candidates: Vec<ShardPlan> = match pool.strategy() {
+            ShardStrategy::TopologyAware => pool
+                .topology()
+                .fanout_widths(n)
+                .into_iter()
+                .map(|w| ShardPlan::plan_width(&lanes, n, w))
+                .collect(),
+            strategy => vec![ShardPlan::plan_on(&lanes, n, strategy, pool.topology())],
+        };
         // An unchargeable probe (empty phase) means the real dispatch
         // would fail identically on either path; prefer the simpler
         // primary-chip path.
@@ -807,17 +824,28 @@ impl TpuAccel {
             Some(scratch.wall_seconds())
         };
         let single = probe(&self.device, whole_flight_charges)?;
-        let mut slowest = 0.0f64;
-        for (d, assigned) in plan.assignments().iter().enumerate() {
-            if assigned.is_empty() {
+        let mut best: Option<(f64, ShardPlan, usize)> = None;
+        for plan in candidates {
+            if plan.occupied_devices() < 2 {
                 continue;
             }
-            let charges = shard_charges(assigned.iter().map(|&i| &flight[i]));
-            slowest = slowest.max(probe(pool.device(d), &charges)?);
+            let mut slowest = 0.0f64;
+            for (d, assigned) in plan.assignments().iter().enumerate() {
+                if assigned.is_empty() {
+                    continue;
+                }
+                let charges = shard_charges(assigned.iter().map(|&i| &flight[i]));
+                slowest = slowest.max(probe(pool.device(d), &charges)?);
+            }
+            let gather_bytes = plan.gather_shard_bytes(&lanes);
+            let gather = pool.gather_cost_s(gather_bytes, plan.occupied_devices());
+            let cost = slowest + gather;
+            if best.as_ref().is_none_or(|(b, _, _)| cost < *b) {
+                best = Some((cost, plan, gather_bytes));
+            }
         }
-        let gather_bytes = plan.gather_shard_bytes(&lanes);
-        let gather = self.device.config().cross_replica_cost_s(gather_bytes);
-        (slowest + gather < single).then_some((plan, gather_bytes))
+        let (cost, plan, gather_bytes) = best?;
+        (cost < single).then_some((plan, gather_bytes))
     }
 
     /// Executes one coalesced flight sharded across the pool's chips
@@ -1384,7 +1412,7 @@ mod tests {
             .collect();
         let plain = TpuAccel::with_cores(4);
         let reference = plain.fft2d_batch(&xs).unwrap();
-        for n_devices in [1usize, 2, 4] {
+        for n_devices in [1usize, 2, 4, 16] {
             let pooled = TpuAccel::over_pool(
                 DevicePool::with_cores(TpuConfig::tpu_v2(), n_devices, 4),
                 Duration::ZERO,
@@ -1501,7 +1529,7 @@ mod tests {
         let plain = TpuAccel::with_cores(4);
         let had_ref = plain.hadamard_batch(&xs, &k).unwrap();
         let sub_ref = plain.sub_batch(&y, &preds).unwrap();
-        for n_devices in [1usize, 2, 4] {
+        for n_devices in [1usize, 2, 4, 16] {
             let pooled = TpuAccel::over_pool(
                 DevicePool::with_cores(TpuConfig::tpu_v2(), n_devices, 4),
                 Duration::ZERO,
@@ -1547,6 +1575,91 @@ mod tests {
         assert!(
             t4 < t1,
             "4 chips {t4} s must beat 1 chip {t1} s on a heavy elementwise flight"
+        );
+    }
+
+    #[test]
+    fn pooled_flights_stay_bit_identical_on_ring_and_torus_fabrics() {
+        use xai_tpu::Topology;
+        // The fabric reshapes charges, never numerics: a 16-chip
+        // torus pool and a ring pool both reproduce the single-chip
+        // transform bits, while the torus's hierarchical gather
+        // undercuts the ring's.
+        let xs: Vec<Matrix<Complex64>> = (0..64)
+            .map(|s| {
+                Matrix::from_fn(16, 16, |r, c| ((r * 7 + c * 3 + s) % 11) as f64 - 5.0)
+                    .unwrap()
+                    .to_complex()
+            })
+            .collect();
+        let plain = TpuAccel::with_cores(4);
+        let reference = plain.fft2d_batch(&xs).unwrap();
+        let mut gathers = Vec::new();
+        for topology in [Topology::ring(), Topology::torus(4)] {
+            let pooled = TpuAccel::over_pool(
+                DevicePool::with_cores(TpuConfig::tpu_v2(), 16, 1).with_topology(topology),
+                Duration::ZERO,
+                xs.len(),
+            );
+            let out = pooled.fft2d_batch(&xs).unwrap();
+            for (a, b) in reference.iter().zip(&out) {
+                assert_eq!(a.as_slice(), b.as_slice(), "{}", topology.name());
+            }
+            assert_eq!(pooled.pool().unwrap().sharded_flights(), 1);
+            gathers.push(pooled.pool().unwrap().gather_seconds());
+        }
+        assert!(
+            gathers[1] < gathers[0],
+            "hierarchical torus gather {} s must undercut the ring {} s",
+            gathers[1],
+            gathers[0]
+        );
+    }
+
+    #[test]
+    fn topology_aware_fanout_narrows_the_flight_on_a_torus() {
+        use xai_tpu::{ShardStrategy, Topology};
+        // 20 equal transform lanes on a 16-chip 4×4 torus of
+        // single-core chips: full width leaves four chips running two
+        // lanes anyway, so the width search settles on three pods —
+        // the same makespan with a cheaper 12-participant gather.
+        let xs: Vec<Matrix<Complex64>> = (0..20)
+            .map(|s| {
+                Matrix::from_fn(16, 16, |r, c| ((r * 5 + c + s) % 9) as f64 - 4.0)
+                    .unwrap()
+                    .to_complex()
+            })
+            .collect();
+        let run = |strategy: ShardStrategy| {
+            let acc = TpuAccel::over_pool(
+                DevicePool::with_cores(TpuConfig::tpu_v2(), 16, 1)
+                    .with_strategy(strategy)
+                    .with_topology(Topology::torus(4)),
+                Duration::ZERO,
+                xs.len(),
+            );
+            let out = acc.fft2d_batch(&xs).unwrap();
+            let occupied = acc
+                .pool()
+                .unwrap()
+                .devices()
+                .iter()
+                .filter(|d| d.wall_seconds() > 0.0)
+                .count();
+            (out, occupied, acc.elapsed_seconds())
+        };
+        let (aware_out, aware_occupied, aware_s) = run(ShardStrategy::TopologyAware);
+        let (full_out, full_occupied, full_s) = run(ShardStrategy::CostAware);
+        for (a, b) in aware_out.iter().zip(&full_out) {
+            assert_eq!(a.as_slice(), b.as_slice(), "placement never changes bits");
+        }
+        assert!(
+            aware_occupied < full_occupied,
+            "aware plan must occupy fewer chips ({aware_occupied} vs {full_occupied})"
+        );
+        assert!(
+            aware_s <= full_s,
+            "narrower gather must not cost time ({aware_s} s vs {full_s} s)"
         );
     }
 

@@ -119,7 +119,7 @@ proptest! {
                 .map(|xs| serial.filter_diff_batch(xs, &k, &y).unwrap())
                 .collect();
 
-            for devices in [1usize, 2, 4] {
+            for devices in [1usize, 2, 4, 16] {
                 let staged = run_staged(devices, &xs_per, &k, &y);
                 let fused = run_fused(devices, &xs_per, &k, &y);
                 for w in 0..workers {

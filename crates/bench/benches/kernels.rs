@@ -106,11 +106,52 @@ fn bench_convolution(c: &mut Criterion) {
     group.finish();
 }
 
+/// One sharded gather flight per fabric at pod scale: the same
+/// oversubscribed matmul fleet reassembled over a flat crossbar, a
+/// ring and a 2-D torus at 4, 16 and 64 chips. Host wall time tracks
+/// the real fan-out/join cost; the simulated gather ordering (flat ≤
+/// torus ≤ ring) is pinned by the suite's property tests.
+fn bench_collectives(c: &mut Criterion) {
+    use xai_tpu::{DevicePool, LaneCost, Topology, TpuConfig};
+    let mut group = c.benchmark_group("collectives");
+    group.sample_size(10);
+    for chips in [4usize, 16, 64] {
+        let work: Vec<Matrix<f64>> = (0..2 * chips)
+            .map(|i| real_matrix(8, i).map(|v| v * 0.5))
+            .collect();
+        for (label, topology) in [
+            ("flat-gather", Topology::flat()),
+            ("ring-gather", Topology::ring()),
+            ("torus-gather", Topology::torus(4)),
+        ] {
+            group.bench_with_input(BenchmarkId::new(label, chips), &chips, |b, _| {
+                let pool = DevicePool::with_cores(TpuConfig::small_test(), chips, 1)
+                    .with_topology(topology);
+                b.iter(|| {
+                    pool.run_sharded(
+                        black_box(work.clone()),
+                        |m| LaneCost {
+                            compute: m.len() as f64,
+                            gather_bytes: 8 * m.len(),
+                        },
+                        |device, items| {
+                            device.timed(|d| d.run_phase(items, |core, s| core.matmul(&s, &s)))
+                        },
+                    )
+                    .expect("sharded gather flight")
+                });
+            });
+        }
+    }
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_matmul,
     bench_elementwise,
     bench_transpose,
-    bench_convolution
+    bench_convolution,
+    bench_collectives
 );
 criterion_main!(benches);

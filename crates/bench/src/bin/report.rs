@@ -21,7 +21,7 @@ use xai_fourier::Fft2d;
 use xai_nn::models::{resnet_small, vgg_small};
 use xai_nn::{Tensor3, Trainer};
 use xai_tensor::{conv::conv2d_circular, ops, Matrix, Result};
-use xai_tpu::{DevicePool, SharedDevice, TpuConfig};
+use xai_tpu::{DevicePool, LaneCost, ShardStrategy, SharedDevice, Topology, TpuConfig};
 
 struct Claim {
     id: &'static str,
@@ -250,6 +250,85 @@ fn main() -> Result<()> {
             paper: "§III-D batches span multiple chips",
             measured: format!("{speedup:.1}x with 4 simulated chips"),
             pass: speedup >= 2.0,
+        });
+    }
+
+    // --- Pod-scale sharding on a real fabric. --------------------------
+    {
+        // The 4-chip metric keeps the seed's ideal crossbar; this one
+        // prices the fleet's reassembly on a 4×4 torus (hierarchical
+        // intra-pod ring gather, then pod leaders exchange) and scales
+        // the fleet to 16 chips. A finer region grid (8×8 → 64 regions
+        // per worker, 512 lanes per flight) keeps every chip
+        // oversubscribed, so the torus's extra hop latency and link
+        // pressure — not idle chips — are what separate it from the
+        // flat-link ideal. Graceful degradation means the torus still
+        // clears 4× while never beating the crossbar it approximates.
+        let workers = 8;
+        let cores_per_chip = 8;
+        let pairs = distillation_pairs(workers, 64)?;
+        let model = DistilledModel::fit(&pairs, SolveStrategy::default())?;
+        let lanes = workers * 64;
+
+        let run = |n_devices: usize, topology: Topology| -> Result<f64> {
+            let acc = TpuAccel::over_pool(
+                DevicePool::with_cores(TpuConfig::tpu_v2(), n_devices, cores_per_chip)
+                    .with_topology(topology),
+                Duration::from_secs(60),
+                lanes,
+            );
+            explain_batch_parallel_on(&acc, &model, &pairs, 8, workers)?;
+            Ok(acc.elapsed_seconds())
+        };
+        let t_single = run(1, Topology::flat())?;
+        let speedup_flat = t_single / run(16, Topology::flat())?;
+        let speedup = t_single / run(16, Topology::torus(4))?;
+        metrics.push(("sharded_speedup_16_devices", speedup));
+        metrics.push(("sharded_speedup_16_devices_flat", speedup_flat));
+        claims.push(Claim {
+            id: "pod-scale sharding",
+            paper: "collectives scale past the ideal crossbar",
+            measured: format!("{speedup:.1}x on a 4x4 torus ({speedup_flat:.1}x flat ideal)"),
+            pass: speedup >= 4.0 && speedup <= speedup_flat,
+        });
+    }
+
+    // --- Topology-aware placement beats round-robin. -------------------
+    {
+        // Skewed lane sizes on a 16-chip ring: every fourth lane is a
+        // 32² matmul among 8² ones, and round-robin lands all sixteen
+        // heavy lanes on the same four chips while LPT spreads them.
+        // Both strategies pay the identical ring gather, so the wall
+        // ratio isolates placement quality on a non-flat fabric. The
+        // small 4×4-array config keeps compute — not link latency —
+        // the dominant charge, so imbalance actually shows up.
+        let skew = |i: usize| if i.is_multiple_of(4) { 32usize } else { 8 };
+        let work = || -> Result<Vec<Matrix<f64>>> {
+            (0..64)
+                .map(|i| Matrix::filled(skew(i), skew(i), 0.5))
+                .collect()
+        };
+        let run = |strategy: ShardStrategy| -> Result<f64> {
+            let pool = DevicePool::with_cores(TpuConfig::small_test(), 16, 1)
+                .with_strategy(strategy)
+                .with_topology(Topology::ring());
+            pool.run_sharded(
+                work()?,
+                |m| LaneCost {
+                    compute: m.len() as f64,
+                    gather_bytes: 8 * m.len(),
+                },
+                |device, items| device.timed(|d| d.run_phase(items, |core, s| core.matmul(&s, &s))),
+            )?;
+            Ok(pool.wall_seconds())
+        };
+        let ratio = run(ShardStrategy::RoundRobin)? / run(ShardStrategy::CostAware)?;
+        metrics.push(("placement_costaware_vs_round_robin_16_devices", ratio));
+        claims.push(Claim {
+            id: "topology-aware placement",
+            paper: "cost-aware shards balance skewed lanes",
+            measured: format!("{ratio:.2}x over round-robin on a 16-chip ring"),
+            pass: ratio > 1.0,
         });
     }
 

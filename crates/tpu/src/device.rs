@@ -202,11 +202,7 @@ impl TpuDevice {
             acc = acc.zip_with(p, |a, b| a + b)?;
         }
         let bytes = (acc.len() * std::mem::size_of::<T>()) as u64;
-        let cost = self.cfg.cross_replica_cost_s(bytes as usize);
-        self.comm_seconds += cost;
-        self.wall_seconds += cost;
-        self.collectives += 1;
-        self.last_phase.comm_s += cost;
+        let cost = self.charge_collective_cost(bytes as usize);
         // Attribute the event to core 0's trace for visibility.
         if let Some(c0) = self.cores.first_mut() {
             let cycles = (cost * self.cfg.clock_hz) as u64;
@@ -243,11 +239,22 @@ impl TpuDevice {
     /// the reassembly traffic of a transform whose numeric result is
     /// computed on the fast host path.
     pub fn charge_collective(&mut self, bytes: usize) {
-        let cost = self.cfg.cross_replica_cost_s(bytes);
+        self.charge_collective_cost(bytes);
+    }
+
+    /// The one place a device-level collective charges its clocks.
+    /// The device's cores sit one pod of the configured
+    /// [`crate::Topology`] apart, so the collective is priced as a
+    /// single intra-pod step — with the default flat crossbar and no
+    /// per-link override that is bit-for-bit the seed
+    /// [`TpuConfig::cross_replica_cost_s`] charge.
+    fn charge_collective_cost(&mut self, bytes: usize) -> f64 {
+        let cost = self.cfg.topology.intra_pod_cost_s(&self.cfg, bytes);
         self.comm_seconds += cost;
         self.wall_seconds += cost;
         self.collectives += 1;
         self.last_phase.comm_s += cost;
+        cost
     }
 
     /// Advances the device wall clock by externally-accounted work
@@ -269,11 +276,7 @@ impl TpuDevice {
     pub fn gather_rows(&mut self, shards: &[Matrix<Complex64>]) -> Result<Matrix<Complex64>> {
         let merged = Matrix::vstack(shards)?;
         let bytes = merged.len() * std::mem::size_of::<Complex64>();
-        let cost = self.cfg.cross_replica_cost_s(bytes);
-        self.comm_seconds += cost;
-        self.wall_seconds += cost;
-        self.collectives += 1;
-        self.last_phase.comm_s += cost;
+        self.charge_collective_cost(bytes);
         Ok(merged)
     }
 }

@@ -59,6 +59,7 @@ pub mod memory;
 pub mod pool;
 mod shared;
 pub mod systolic;
+pub mod topology;
 pub mod trace;
 
 pub use batch::{BatchQueue, KernelJob, KernelResult};
@@ -74,4 +75,5 @@ pub use memory::MemoryModel;
 pub use pool::{DevicePool, LaneCost, ShardOutcome, ShardPlan, ShardStrategy, ShardedRun};
 pub use shared::{LaneLease, SharedDevice};
 pub use systolic::{tile_stream_cycles, weight_load_cycles, SystolicArray, TileResult};
+pub use topology::{Topology, TopologyKind};
 pub use trace::{Event, OpKind, Trace};

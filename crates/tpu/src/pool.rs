@@ -24,6 +24,7 @@
 use crate::config::TpuConfig;
 use crate::device::TpuDevice;
 use crate::shared::SharedDevice;
+use crate::topology::Topology;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::{Mutex, MutexGuard, PoisonError};
 use xai_tensor::{Result, TensorError};
@@ -42,6 +43,17 @@ pub enum ShardStrategy {
     /// on lane order and device index, so the plan is deterministic.
     #[default]
     CostAware,
+    /// LPT balance traded against placement locality on the pool's
+    /// [`Topology`]: the plan packs lanes onto the smallest
+    /// pod-aligned prefix of devices whose LPT makespan matches the
+    /// full-width plan's, so a flight occupies fewer collective
+    /// participants (a cheaper ring/torus gather) whenever spreading
+    /// wider would not finish compute any sooner. On a flat crossbar
+    /// this is exactly [`ShardStrategy::CostAware`]. The pooled
+    /// dispatcher additionally dry-runs pod-aligned widths in real
+    /// simulated seconds when this strategy is selected (see
+    /// `TpuAccel::fanout_plan` in `xai-accel`).
+    TopologyAware,
 }
 
 /// Per-lane cost description consumed by the shard planner.
@@ -78,45 +90,97 @@ pub struct ShardPlan {
 }
 
 impl ShardPlan {
-    /// Plans `lanes` onto `devices` chips under `strategy`. With one
-    /// device (or one lane) every lane lands on device 0.
+    /// Plans `lanes` onto `devices` chips under `strategy`, assuming
+    /// a flat-crossbar fabric (use [`ShardPlan::plan_on`] to let a
+    /// ring/torus topology shape the placement). With one device (or
+    /// one lane) every lane lands on device 0. `devices == 0` is a
+    /// caller bug the planner absorbs rather than trusts: the plan is
+    /// computed as if one device existed.
     pub fn plan(lanes: &[LaneCost], devices: usize, strategy: ShardStrategy) -> ShardPlan {
+        Self::plan_on(lanes, devices, strategy, &Topology::flat())
+    }
+
+    /// Plans `lanes` onto `devices` chips under `strategy` on a
+    /// specific fabric. The topology only matters to
+    /// [`ShardStrategy::TopologyAware`]: it packs lanes onto the
+    /// narrowest [`Topology::fanout_widths`] prefix whose LPT
+    /// makespan matches the full-width plan's, so the flight's
+    /// gather involves as few collective participants as balance
+    /// allows. `devices == 0` plans for one device, as in
+    /// [`ShardPlan::plan`].
+    pub fn plan_on(
+        lanes: &[LaneCost],
+        devices: usize,
+        strategy: ShardStrategy,
+        topology: &Topology,
+    ) -> ShardPlan {
         let devices = devices.max(1);
-        let mut assignments: Vec<Vec<usize>> = (0..devices).map(|_| Vec::new()).collect();
         match strategy {
             ShardStrategy::RoundRobin => {
+                let mut assignments: Vec<Vec<usize>> = (0..devices).map(|_| Vec::new()).collect();
                 for i in 0..lanes.len() {
                     assignments[i % devices].push(i);
                 }
+                ShardPlan { assignments }
             }
-            ShardStrategy::CostAware => {
-                // LPT: heaviest lane first (stable on lane index), to
-                // whichever device is least loaded (stable on device
-                // index).
-                let mut order: Vec<usize> = (0..lanes.len()).collect();
-                order.sort_by(|&a, &b| {
-                    lanes[b]
-                        .compute
-                        .partial_cmp(&lanes[a].compute)
-                        .unwrap_or(std::cmp::Ordering::Equal)
-                        .then(a.cmp(&b))
-                });
-                let mut load = vec![0.0f64; devices];
-                for i in order {
-                    let d = load
-                        .iter()
-                        .enumerate()
-                        .min_by(|(_, a), (_, b)| {
-                            a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal)
-                        })
-                        .map(|(d, _)| d)
-                        .unwrap_or(0);
-                    load[d] += lanes[i].compute;
-                    assignments[d].push(i);
+            ShardStrategy::CostAware => Self::plan_width(lanes, devices, devices),
+            ShardStrategy::TopologyAware => {
+                let full = Self::plan_width(lanes, devices, devices);
+                let target = full.makespan(lanes);
+                for &w in &topology.fanout_widths(devices) {
+                    if w >= devices {
+                        break;
+                    }
+                    let narrow = Self::plan_width(lanes, devices, w);
+                    if narrow.makespan(lanes) <= target {
+                        return narrow;
+                    }
                 }
+                full
             }
         }
+    }
+
+    /// LPT over a prefix: lanes are placed heaviest-first onto the
+    /// least-loaded of the first `width` devices (clamped to
+    /// `1..=devices`), while the plan still covers all `devices`
+    /// chips so it stays valid for the whole pool. Ties break on lane
+    /// order and device index, so the plan is deterministic.
+    pub fn plan_width(lanes: &[LaneCost], devices: usize, width: usize) -> ShardPlan {
+        let devices = devices.max(1);
+        let width = width.clamp(1, devices);
+        let mut assignments: Vec<Vec<usize>> = (0..devices).map(|_| Vec::new()).collect();
+        // LPT: heaviest lane first (stable on lane index), to
+        // whichever device is least loaded (stable on device index).
+        let mut order: Vec<usize> = (0..lanes.len()).collect();
+        order.sort_by(|&a, &b| {
+            lanes[b]
+                .compute
+                .partial_cmp(&lanes[a].compute)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.cmp(&b))
+        });
+        let mut load = vec![0.0f64; width];
+        for i in order {
+            let d = load
+                .iter()
+                .enumerate()
+                .min_by(|(_, a), (_, b)| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal))
+                .map(|(d, _)| d)
+                .unwrap_or(0);
+            load[d] += lanes[i].compute;
+            assignments[d].push(i);
+        }
         ShardPlan { assignments }
+    }
+
+    /// The heaviest device's summed lane compute under this plan —
+    /// what the merged timeline's slowest-shard term scales with.
+    pub fn makespan(&self, lanes: &[LaneCost]) -> f64 {
+        self.assignments
+            .iter()
+            .map(|a| a.iter().map(|&i| lanes[i].compute).sum::<f64>())
+            .fold(0.0, f64::max)
     }
 
     /// Lane indices per device, in dispatch order.
@@ -215,6 +279,11 @@ pub struct DevicePool {
     strategy: ShardStrategy,
     /// Config snapshot used to price inter-chip gathers.
     cfg: TpuConfig,
+    /// The inter-chip fabric pricing this pool's gathers. Seeded from
+    /// the primary device's configured topology (flat by default), so
+    /// a chip's on-chip interconnect and the pool's inter-chip fabric
+    /// can differ (see [`DevicePool::with_topology`]).
+    topology: Topology,
     timeline: Mutex<PoolTimeline>,
 }
 
@@ -256,10 +325,12 @@ impl DevicePool {
             "a DevicePool needs at least one device"
         );
         let cfg = devices[0].config();
+        let topology = cfg.topology;
         DevicePool {
             devices,
             strategy: ShardStrategy::default(),
             cfg,
+            topology,
             timeline: Mutex::new(PoolTimeline::default()),
         }
     }
@@ -270,9 +341,31 @@ impl DevicePool {
         self
     }
 
+    /// Replaces the inter-chip fabric pricing this pool's gathers
+    /// (builder style). Each chip's on-chip collectives keep pricing
+    /// through its own configured topology — this only reshapes the
+    /// links *between* chips.
+    pub fn with_topology(mut self, topology: Topology) -> Self {
+        self.topology = topology;
+        self
+    }
+
     /// The shard-placement strategy in use.
     pub fn strategy(&self) -> ShardStrategy {
         self.strategy
+    }
+
+    /// The inter-chip fabric pricing this pool's gathers.
+    pub fn topology(&self) -> &Topology {
+        &self.topology
+    }
+
+    /// Cost in seconds of one inter-chip gather in which each of
+    /// `participants` chips contributes `bytes`, priced on this
+    /// pool's fabric. On the default flat crossbar this is exactly
+    /// [`TpuConfig::cross_replica_cost_s`] for any `participants ≥ 2`.
+    pub fn gather_cost_s(&self, bytes: usize, participants: usize) -> f64 {
+        self.topology.gather_cost_s(&self.cfg, bytes, participants)
     }
 
     /// Number of chips in the pool.
@@ -353,6 +446,7 @@ impl DevicePool {
                 .collect(),
             strategy: self.strategy,
             cfg: self.cfg.clone(),
+            topology: self.topology,
             timeline: Mutex::new(*self.lock_timeline()),
         }
     }
@@ -372,10 +466,11 @@ impl DevicePool {
     /// Accounting: the merged timeline advances by the slowest
     /// shard's self-reported charge (chips run concurrently) plus —
     /// when more than one chip was occupied — one inter-chip gather
-    /// priced at [`TpuConfig::cross_replica_cost_s`] over the largest
-    /// single lane's gather payload (the same per-shard
-    /// parallel-links convention as
-    /// [`crate::TpuDevice::cross_replica_sum`]). Because every shard
+    /// priced at [`DevicePool::gather_cost_s`] over the largest
+    /// single lane's gather payload and the occupied chip count (the
+    /// same per-shard parallel-links convention as
+    /// [`crate::TpuDevice::cross_replica_sum`], hierarchical on a
+    /// torus fabric). Because every shard
     /// measures its own charge under its device lock, concurrent
     /// flights and concurrent [`DevicePool::advance_external`]
     /// charges never pollute each other's deltas, and the timeline
@@ -403,7 +498,7 @@ impl DevicePool {
         R: Send,
     {
         let lanes: Vec<LaneCost> = work.iter().map(&lane).collect();
-        let plan = ShardPlan::plan(&lanes, self.devices.len(), self.strategy);
+        let plan = ShardPlan::plan_on(&lanes, self.devices.len(), self.strategy, &self.topology);
         let gather_bytes = plan.gather_shard_bytes(&lanes);
         self.run_planned(&plan, gather_bytes, work, shard)
     }
@@ -557,7 +652,10 @@ impl DevicePool {
             return Err(e);
         }
         let gather_s = if n_shards > 1 {
-            self.cfg.cross_replica_cost_s(gather_bytes)
+            // Hierarchical on a torus, hop- and pressure-scaled on a
+            // ring, and exactly the seed `cross_replica_cost_s` on
+            // the default flat crossbar.
+            self.gather_cost_s(gather_bytes, n_shards)
         } else {
             0.0
         };
@@ -989,6 +1087,106 @@ mod tests {
         assert!(copy.wall_seconds() > 1.0);
         assert_eq!(pool.wall_seconds(), 1.0, "original untouched");
         assert!(!pool.primary().same_device(copy.primary()));
+    }
+
+    #[test]
+    fn zero_devices_plans_for_one_device() {
+        // Regression: `plan` must absorb a `devices == 0` caller bug
+        // instead of indexing into an empty assignment table.
+        let lanes: Vec<LaneCost> = (0..5).map(|i| lane(i as f64 + 1.0)).collect();
+        for strategy in [
+            ShardStrategy::RoundRobin,
+            ShardStrategy::CostAware,
+            ShardStrategy::TopologyAware,
+        ] {
+            let plan = ShardPlan::plan(&lanes, 0, strategy);
+            assert_eq!(plan.assignments().len(), 1, "{strategy:?}");
+            assert_eq!(plan.occupied_devices(), 1);
+            let mut placed: Vec<usize> = plan.assignments()[0].clone();
+            placed.sort_unstable();
+            assert_eq!(placed, (0..5).collect::<Vec<_>>());
+        }
+        assert_eq!(ShardPlan::plan_width(&lanes, 0, 0).assignments().len(), 1);
+        assert_eq!(
+            ShardPlan::plan(&[], 0, ShardStrategy::CostAware).occupied_devices(),
+            0
+        );
+    }
+
+    #[test]
+    fn pool_gather_prices_through_its_topology() {
+        let cfg = TpuConfig::small_test();
+        let flat = DevicePool::new(cfg.clone(), 4);
+        let ring = DevicePool::new(cfg.clone(), 4).with_topology(Topology::ring());
+        // Default fabric: exactly the seed charge.
+        assert_eq!(
+            flat.gather_cost_s(512, 4).to_bits(),
+            cfg.cross_replica_cost_s(512).to_bits(),
+        );
+        assert!(ring.gather_cost_s(512, 4) > flat.gather_cost_s(512, 4));
+        // The fabric survives a deep clone and shows in the merged
+        // timeline: the same flight pays more reassembly on the ring.
+        let work = || -> Vec<Matrix<f64>> { (0..4).map(|_| shard_mat(0.5)).collect() };
+        let ring = ring.deep_clone();
+        for pool in [&flat, &ring] {
+            pool.run_sharded(work(), |m| lane(m.len() as f64), matmul_shard)
+                .unwrap();
+        }
+        assert!(ring.gather_seconds() > flat.gather_seconds());
+    }
+
+    #[test]
+    fn topology_aware_narrows_when_balance_allows() {
+        // 20 equal lanes on 16 chips: the full-width LPT leaves four
+        // chips with 2 lanes (makespan 2), so packing onto a 12-chip
+        // (three-pod) prefix costs no compute time but shrinks the
+        // gather's participant count.
+        let lanes: Vec<LaneCost> = (0..20).map(|_| lane(1.0)).collect();
+        let torus = Topology::torus(4);
+        let plan = ShardPlan::plan_on(&lanes, 16, ShardStrategy::TopologyAware, &torus);
+        assert_eq!(plan.occupied_devices(), 12);
+        assert_eq!(plan.makespan(&lanes), 2.0);
+        let full = ShardPlan::plan_on(&lanes, 16, ShardStrategy::CostAware, &torus);
+        assert_eq!(full.makespan(&lanes), 2.0, "narrowing sacrificed nothing");
+        // When every chip is needed to hold the makespan, the aware
+        // plan uses them all.
+        let heavy: Vec<LaneCost> = (0..16).map(|_| lane(1.0)).collect();
+        let plan = ShardPlan::plan_on(&heavy, 16, ShardStrategy::TopologyAware, &torus);
+        assert_eq!(plan.occupied_devices(), 16);
+        // On a flat crossbar the strategy is exactly CostAware.
+        let flat = Topology::flat();
+        assert_eq!(
+            ShardPlan::plan_on(&lanes, 16, ShardStrategy::TopologyAware, &flat),
+            ShardPlan::plan_on(&lanes, 16, ShardStrategy::CostAware, &flat),
+        );
+    }
+
+    #[test]
+    fn cost_aware_beats_round_robin_on_skewed_lanes_over_a_ring() {
+        // Skewed lane sizes laid out so round-robin piles the heavy
+        // lanes onto the same chips: on a non-flat fabric both plans
+        // pay the same ring gather, so the placement alone decides
+        // the merged timeline.
+        let skew = |i: usize| if i.is_multiple_of(4) { 16usize } else { 4 };
+        let work = || -> Vec<Matrix<f64>> {
+            (0..16)
+                .map(|i| Matrix::filled(skew(i), skew(i), 0.5).unwrap())
+                .collect()
+        };
+        let run = |strategy: ShardStrategy| -> f64 {
+            let pool = DevicePool::with_cores(TpuConfig::small_test(), 4, 1)
+                .with_strategy(strategy)
+                .with_topology(Topology::ring());
+            pool.run_sharded(work(), |m| lane(m.len() as f64), matmul_shard)
+                .unwrap();
+            pool.wall_seconds()
+        };
+        let rr = run(ShardStrategy::RoundRobin);
+        let ca = run(ShardStrategy::CostAware);
+        assert!(
+            ca < rr,
+            "cost-aware placement ({ca} s) must beat round-robin ({rr} s)"
+        );
     }
 
     #[test]

@@ -236,6 +236,14 @@ impl SharedDevice {
         self.lock().config().clone()
     }
 
+    /// The interconnect topology pricing this chip's collectives —
+    /// the fabric its core lanes overlay. Snapshot of the config's
+    /// [`crate::Topology`]; [`crate::DevicePool`] seeds its
+    /// inter-chip fabric from the primary chip's value.
+    pub fn topology(&self) -> crate::Topology {
+        self.lock().config().topology
+    }
+
     /// Number of cores.
     pub fn num_cores(&self) -> usize {
         self.lock().num_cores()

@@ -1,0 +1,506 @@
+//! Interconnect topologies for collective pricing.
+//!
+//! The seed cost model priced every collective as one flat
+//! `α + β·bytes` hop ([`crate::TpuConfig::cross_replica_cost_s`]),
+//! which makes 16–64-chip fleets look linearly cheap: an ideal
+//! crossbar where every participant is one hop from every other. Real
+//! TPU pods are rings and 2-D tori, so hop counts and bisection
+//! bandwidth grow with the fleet. This module supplies that layer:
+//!
+//! * [`Topology::flat`] — the seed's ideal crossbar, kept as the
+//!   default and **bit-for-bit identical** to
+//!   [`crate::TpuConfig::cross_replica_cost_s`];
+//! * [`Topology::ring`] — a single bidirectional ring; gathers pay
+//!   the farthest participant's hop latency and squeeze all shards
+//!   through the root's two ring links;
+//! * [`Topology::torus`] — a 2-D torus of ring-shaped pods;
+//!   collectives run hierarchically (§III-D's reassembly, one level
+//!   up): an intra-pod ring gather, then pod leaders exchange their
+//!   pod-aggregated payloads over the inter-pod ring.
+//!
+//! All costs follow the per-shard parallel-links convention of
+//! [`crate::TpuDevice::cross_replica_sum`]: `bytes` is one (the
+//! largest) participant's payload, not the summed traffic; latency
+//! scales with hop distance, bandwidth time with how many payloads
+//! serialise over the narrowest cut.
+//!
+//! # Examples
+//!
+//! ```
+//! use xai_tpu::{Topology, TpuConfig};
+//!
+//! let cfg = TpuConfig::tpu_v2();
+//! let flat = Topology::flat();
+//! let ring = Topology::ring();
+//! // The flat crossbar reproduces the seed charge exactly.
+//! assert_eq!(
+//!     flat.gather_cost_s(&cfg, 4096, 16),
+//!     cfg.cross_replica_cost_s(4096),
+//! );
+//! // A 16-chip ring gather pays real hop latency and link pressure.
+//! assert!(ring.gather_cost_s(&cfg, 4096, 16) > flat.gather_cost_s(&cfg, 4096, 16));
+//! // A 4×4 torus splits the collective hierarchically and lands
+//! // between the ring and the ideal crossbar.
+//! let torus = Topology::torus(4);
+//! assert!(torus.gather_cost_s(&cfg, 4096, 16) < ring.gather_cost_s(&cfg, 4096, 16));
+//! ```
+
+use crate::config::TpuConfig;
+
+/// The shape of the interconnect fabric.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum TopologyKind {
+    /// Ideal crossbar: every participant is one hop from every other
+    /// and every collective costs a single `α + β·bytes` step — the
+    /// seed cost model, byte-for-byte.
+    #[default]
+    FlatCrossbar,
+    /// One bidirectional ring over all participants.
+    Ring,
+    /// A 2-D torus: ring-shaped pods of `pod` chips each, joined by
+    /// an inter-pod ring. Collectives are hierarchical: intra-pod
+    /// ring gather, then pod leaders exchange pod aggregates.
+    Torus2d {
+        /// Chips per pod (the torus row width), ≥ 1.
+        pod: usize,
+    },
+}
+
+/// An interconnect topology with optional per-link overrides of the
+/// configuration's `α` (latency) and `β` (1/bandwidth) terms.
+///
+/// The default is [`Topology::flat`] with no overrides, which prices
+/// every collective exactly as
+/// [`crate::TpuConfig::cross_replica_cost_s`] — the seed model.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Topology {
+    kind: TopologyKind,
+    /// Per-link latency override, seconds (`None` → the config's
+    /// `link_latency_s`).
+    link_latency_s: Option<f64>,
+    /// Per-link bandwidth override, bytes/s (`None` → the config's
+    /// `link_bytes_per_sec`).
+    link_bytes_per_sec: Option<f64>,
+}
+
+impl Topology {
+    /// The ideal crossbar (the seed cost model).
+    pub fn flat() -> Self {
+        Topology {
+            kind: TopologyKind::FlatCrossbar,
+            link_latency_s: None,
+            link_bytes_per_sec: None,
+        }
+    }
+
+    /// A single bidirectional ring over all participants.
+    pub fn ring() -> Self {
+        Topology {
+            kind: TopologyKind::Ring,
+            link_latency_s: None,
+            link_bytes_per_sec: None,
+        }
+    }
+
+    /// A 2-D torus of ring-shaped pods, `pod` chips per pod (clamped
+    /// to ≥ 1).
+    pub fn torus(pod: usize) -> Self {
+        Topology {
+            kind: TopologyKind::Torus2d { pod: pod.max(1) },
+            link_latency_s: None,
+            link_bytes_per_sec: None,
+        }
+    }
+
+    /// Overrides the per-link `α` (seconds) and bandwidth (bytes/s)
+    /// instead of inheriting the configuration's values — e.g. a
+    /// slower inter-chip fabric than the on-chip interconnect.
+    pub fn with_link(mut self, link_latency_s: f64, link_bytes_per_sec: f64) -> Self {
+        self.link_latency_s = Some(link_latency_s);
+        self.link_bytes_per_sec = Some(link_bytes_per_sec);
+        self
+    }
+
+    /// The fabric shape.
+    pub fn kind(&self) -> TopologyKind {
+        self.kind
+    }
+
+    /// A short label for reports and benchmark IDs.
+    pub fn name(&self) -> &'static str {
+        match self.kind {
+            TopologyKind::FlatCrossbar => "flat",
+            TopologyKind::Ring => "ring",
+            TopologyKind::Torus2d { .. } => "torus2d",
+        }
+    }
+
+    /// Effective per-link latency, seconds.
+    pub fn link_latency_s(&self, cfg: &TpuConfig) -> f64 {
+        self.link_latency_s.unwrap_or(cfg.link_latency_s)
+    }
+
+    /// Effective per-link bandwidth, bytes/s.
+    pub fn link_bytes_per_sec(&self, cfg: &TpuConfig) -> f64 {
+        self.link_bytes_per_sec.unwrap_or(cfg.link_bytes_per_sec)
+    }
+
+    /// Chips per pod when `chips` participants populate this fabric.
+    /// The flat crossbar and the ring are a single pod.
+    pub fn pod_size(&self, chips: usize) -> usize {
+        match self.kind {
+            TopologyKind::FlatCrossbar | TopologyKind::Ring => chips.max(1),
+            TopologyKind::Torus2d { pod } => pod.min(chips.max(1)),
+        }
+    }
+
+    /// Number of pods when `chips` participants populate this fabric.
+    pub fn pods(&self, chips: usize) -> usize {
+        match self.kind {
+            TopologyKind::FlatCrossbar | TopologyKind::Ring => 1,
+            TopologyKind::Torus2d { pod } => chips.max(1).div_ceil(pod),
+        }
+    }
+
+    /// The pod a chip index belongs to (chips fill pods row-major).
+    pub fn pod_of(&self, chip: usize) -> usize {
+        match self.kind {
+            TopologyKind::FlatCrossbar | TopologyKind::Ring => 0,
+            TopologyKind::Torus2d { pod } => chip / pod,
+        }
+    }
+
+    /// Hop-count distance between chips `a` and `b` on a fabric of
+    /// `chips` participants.
+    pub fn hops(&self, a: usize, b: usize, chips: usize) -> usize {
+        let chips = chips.max(1);
+        let (a, b) = (a % chips, b % chips);
+        if a == b {
+            return 0;
+        }
+        match self.kind {
+            TopologyKind::FlatCrossbar => 1,
+            TopologyKind::Ring => ring_distance(a, b, chips),
+            TopologyKind::Torus2d { pod } => {
+                let cols = pod.min(chips);
+                let rows = chips.div_ceil(cols);
+                let (ar, ac) = (a / cols, a % cols);
+                let (br, bc) = (b / cols, b % cols);
+                ring_distance(ac, bc, cols) + ring_distance(ar, br, rows)
+            }
+        }
+    }
+
+    /// The largest hop distance between any two of `chips`
+    /// participants (0 for a single chip).
+    pub fn diameter(&self, chips: usize) -> usize {
+        let chips = chips.max(1);
+        if chips == 1 {
+            return 0;
+        }
+        match self.kind {
+            TopologyKind::FlatCrossbar => 1,
+            TopologyKind::Ring => chips / 2,
+            TopologyKind::Torus2d { pod } => {
+                let cols = pod.min(chips);
+                let rows = chips.div_ceil(cols);
+                cols / 2 + rows / 2
+            }
+        }
+    }
+
+    /// Links crossing the narrowest even bisection of `chips`
+    /// participants. The ideal crossbar has a dedicated link per
+    /// cross pair; a ring is cut in exactly two places; a torus is
+    /// cut across its shorter dimension (two wrap links per row or
+    /// column crossed).
+    pub fn bisection_links(&self, chips: usize) -> usize {
+        let chips = chips.max(1);
+        if chips == 1 {
+            return 1;
+        }
+        match self.kind {
+            TopologyKind::FlatCrossbar => (chips / 2) * chips.div_ceil(2),
+            TopologyKind::Ring => 2,
+            TopologyKind::Torus2d { pod } => {
+                let cols = pod.min(chips);
+                let rows = chips.div_ceil(cols);
+                2 * cols.min(rows)
+            }
+        }
+    }
+
+    /// Aggregate bandwidth across the narrowest bisection, bytes/s.
+    pub fn bisection_bytes_per_sec(&self, cfg: &TpuConfig, chips: usize) -> f64 {
+        self.bisection_links(chips) as f64 * self.link_bytes_per_sec(cfg)
+    }
+
+    /// Cost of moving `bytes` over `hops` pipelined links (wormhole
+    /// convention: latency per hop, bandwidth paid once). Zero hops
+    /// move nothing.
+    pub fn hop_cost_s(&self, cfg: &TpuConfig, hops: usize, bytes: usize) -> f64 {
+        if hops == 0 {
+            return 0.0;
+        }
+        hops as f64 * self.link_latency_s(cfg) + bytes as f64 / self.link_bytes_per_sec(cfg)
+    }
+
+    /// Cost of moving `bytes` from chip `a` to chip `b` on a fabric
+    /// of `chips` participants.
+    pub fn distance_cost_s(
+        &self,
+        cfg: &TpuConfig,
+        a: usize,
+        b: usize,
+        chips: usize,
+        bytes: usize,
+    ) -> f64 {
+        self.hop_cost_s(cfg, self.hops(a, b, chips), bytes)
+    }
+
+    /// Cost of one intra-pod collective step moving `bytes`: a single
+    /// nearest-neighbour link traversal. Without per-link overrides
+    /// this is exactly [`crate::TpuConfig::cross_replica_cost_s`] —
+    /// the charge every on-chip (intra-pod) collective pays.
+    pub fn intra_pod_cost_s(&self, cfg: &TpuConfig, bytes: usize) -> f64 {
+        self.link_latency_s(cfg) + bytes as f64 / self.link_bytes_per_sec(cfg)
+    }
+
+    /// Cost of one inter-pod exchange of `bytes` on a fabric of
+    /// `chips` participants: a worst-case (diameter) traversal,
+    /// never cheaper than the intra-pod step.
+    pub fn inter_pod_cost_s(&self, cfg: &TpuConfig, bytes: usize, chips: usize) -> f64 {
+        self.hop_cost_s(cfg, self.diameter(chips).max(1), bytes)
+    }
+
+    /// Cost in seconds of one gather/all-reduce collective in which
+    /// each of `participants` chips contributes a `bytes`-sized shard
+    /// (the per-shard convention of
+    /// [`crate::TpuDevice::cross_replica_sum`]). Fewer than two
+    /// participants exchange nothing.
+    ///
+    /// * Flat crossbar: one parallel-links step, `α + β·bytes`,
+    ///   independent of the participant count — bit-for-bit the seed
+    ///   [`crate::TpuConfig::cross_replica_cost_s`] charge.
+    /// * Ring: the root waits `⌈p/2⌉` hops of latency for the
+    ///   farthest shard, and the `p − 1` remote shards drain through
+    ///   its two ring links — `max(1, (p−1)/2)` serialised payloads.
+    /// * 2-D torus: hierarchical. Each pod ring-gathers its `q`
+    ///   local shards, then the `⌈p/q⌉` pod leaders exchange
+    ///   pod-aggregated (`q·bytes`) payloads over the inter-pod ring.
+    pub fn gather_cost_s(&self, cfg: &TpuConfig, bytes: usize, participants: usize) -> f64 {
+        if participants < 2 {
+            return 0.0;
+        }
+        match self.kind {
+            TopologyKind::FlatCrossbar => {
+                self.link_latency_s(cfg) + bytes as f64 / self.link_bytes_per_sec(cfg)
+            }
+            TopologyKind::Ring => self.ring_gather_cost_s(cfg, bytes, participants),
+            TopologyKind::Torus2d { pod } => {
+                let q = pod.min(participants);
+                let pods = participants.div_ceil(pod);
+                let intra = self.ring_gather_cost_s(cfg, bytes, q);
+                let inter = self.ring_gather_cost_s(cfg, q.saturating_mul(bytes), pods);
+                intra + inter
+            }
+        }
+    }
+
+    /// Candidate fan-out widths for a pool of `devices` chips: the
+    /// prefix sizes a topology-aware planner should weigh against
+    /// using the whole pool, ordered narrowest first and always
+    /// ending in `devices`. The flat crossbar gains nothing from
+    /// shrinking (its gather price ignores the participant count), a
+    /// ring halves its gather by halving participants (powers of
+    /// two), and a torus grows pod by pod so no flight straddles a
+    /// partially-filled pod.
+    pub fn fanout_widths(&self, devices: usize) -> Vec<usize> {
+        let devices = devices.max(1);
+        let mut widths: Vec<usize> = match self.kind {
+            TopologyKind::FlatCrossbar => Vec::new(),
+            TopologyKind::Ring => {
+                let mut w = 2usize;
+                let mut out = Vec::new();
+                while w < devices {
+                    out.push(w);
+                    w *= 2;
+                }
+                out
+            }
+            TopologyKind::Torus2d { pod } => (1..)
+                .map(|k| k * pod)
+                .take_while(|&w| w < devices)
+                .collect(),
+        };
+        widths.push(devices);
+        widths
+    }
+
+    /// One ring-shaped gather stage: `p` members each contribute
+    /// `bytes` toward a root. See [`Topology::gather_cost_s`].
+    fn ring_gather_cost_s(&self, cfg: &TpuConfig, bytes: usize, p: usize) -> f64 {
+        if p < 2 {
+            return 0.0;
+        }
+        let hops = p.div_ceil(2) as f64;
+        let serialised = ((p - 1) as f64 / 2.0).max(1.0);
+        hops * self.link_latency_s(cfg) + serialised * (bytes as f64 / self.link_bytes_per_sec(cfg))
+    }
+}
+
+/// Shortest distance between `a` and `b` on a ring of `n` members.
+fn ring_distance(a: usize, b: usize, n: usize) -> usize {
+    if n <= 1 {
+        return 0;
+    }
+    let d = a.abs_diff(b) % n;
+    d.min(n - d)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> TpuConfig {
+        TpuConfig::tpu_v2()
+    }
+
+    #[test]
+    fn flat_gather_is_bit_identical_to_the_seed_charge() {
+        let cfg = cfg();
+        let flat = Topology::flat();
+        for bytes in [0usize, 1, 7, 4096, 65_536, 70_000_000_000] {
+            for p in [2usize, 3, 16, 64, 128] {
+                assert_eq!(
+                    flat.gather_cost_s(&cfg, bytes, p).to_bits(),
+                    cfg.cross_replica_cost_s(bytes).to_bits(),
+                    "flat gather must reproduce the seed charge exactly ({bytes} B, {p} chips)"
+                );
+            }
+            assert_eq!(
+                flat.intra_pod_cost_s(&cfg, bytes).to_bits(),
+                cfg.cross_replica_cost_s(bytes).to_bits(),
+            );
+        }
+    }
+
+    #[test]
+    fn ring_of_two_degenerates_to_flat() {
+        let cfg = cfg();
+        for bytes in [0usize, 64, 65_536] {
+            assert_eq!(
+                Topology::ring().gather_cost_s(&cfg, bytes, 2).to_bits(),
+                cfg.cross_replica_cost_s(bytes).to_bits(),
+            );
+        }
+    }
+
+    #[test]
+    fn ring_distance_wraps() {
+        let ring = Topology::ring();
+        assert_eq!(ring.hops(0, 1, 8), 1);
+        assert_eq!(ring.hops(0, 7, 8), 1); // wrap link
+        assert_eq!(ring.hops(0, 4, 8), 4); // antipode
+        assert_eq!(ring.hops(3, 3, 8), 0);
+        assert_eq!(ring.diameter(8), 4);
+    }
+
+    #[test]
+    fn torus_distance_is_row_plus_column_rings() {
+        let torus = Topology::torus(4);
+        // 4×4 torus: chip = 4·row + col.
+        assert_eq!(torus.hops(0, 5, 16), 2); // one row hop + one col hop
+        assert_eq!(torus.hops(0, 10, 16), 4); // antipode: 2 + 2
+        assert_eq!(torus.diameter(16), 4);
+        assert_eq!(torus.pods(16), 4);
+        assert_eq!(torus.pod_size(16), 4);
+        assert_eq!(torus.pod_of(0), 0);
+        assert_eq!(torus.pod_of(7), 1);
+    }
+
+    #[test]
+    fn bisection_orders_flat_above_torus_above_ring() {
+        let chips = 16;
+        let flat = Topology::flat().bisection_links(chips);
+        let torus = Topology::torus(4).bisection_links(chips);
+        let ring = Topology::ring().bisection_links(chips);
+        assert_eq!(flat, 64);
+        assert_eq!(torus, 8);
+        assert_eq!(ring, 2);
+        assert!(flat > torus && torus > ring);
+        let cfg = cfg();
+        assert_eq!(
+            Topology::torus(4).bisection_bytes_per_sec(&cfg, chips),
+            8.0 * cfg.link_bytes_per_sec,
+        );
+    }
+
+    #[test]
+    fn link_overrides_replace_config_terms() {
+        let cfg = cfg();
+        let slow = Topology::ring().with_link(5.0e-6, 10.0e9);
+        assert_eq!(slow.link_latency_s(&cfg), 5.0e-6);
+        assert_eq!(slow.link_bytes_per_sec(&cfg), 10.0e9);
+        assert!(slow.gather_cost_s(&cfg, 4096, 4) > Topology::ring().gather_cost_s(&cfg, 4096, 4));
+    }
+
+    #[test]
+    fn gather_cost_grows_with_participants() {
+        let cfg = cfg();
+        for topo in [Topology::flat(), Topology::ring(), Topology::torus(4)] {
+            let mut last = 0.0;
+            for p in 2..=64 {
+                let cost = topo.gather_cost_s(&cfg, 65_536, p);
+                assert!(
+                    cost >= last,
+                    "{} gather must be monotone in participants (p={p})",
+                    topo.name()
+                );
+                last = cost;
+            }
+        }
+    }
+
+    #[test]
+    fn single_participant_gathers_are_free() {
+        let cfg = cfg();
+        for topo in [Topology::flat(), Topology::ring(), Topology::torus(4)] {
+            assert_eq!(topo.gather_cost_s(&cfg, 1 << 20, 0), 0.0);
+            assert_eq!(topo.gather_cost_s(&cfg, 1 << 20, 1), 0.0);
+        }
+    }
+
+    #[test]
+    fn torus_gather_is_hierarchical() {
+        let cfg = cfg();
+        let torus = Topology::torus(4);
+        // 16 chips in 4 pods of 4: intra-pod gather over 4, plus
+        // leaders exchanging 4× payloads over the pod ring.
+        let intra = torus.ring_gather_cost_s(&cfg, 4096, 4);
+        let inter = torus.ring_gather_cost_s(&cfg, 4 * 4096, 4);
+        assert_eq!(torus.gather_cost_s(&cfg, 4096, 16), intra + inter);
+        // A single pod skips the inter-pod stage entirely.
+        assert_eq!(
+            torus.gather_cost_s(&cfg, 4096, 4),
+            torus.ring_gather_cost_s(&cfg, 4096, 4)
+        );
+    }
+
+    #[test]
+    fn intra_pod_never_exceeds_inter_pod() {
+        let cfg = cfg();
+        for topo in [Topology::flat(), Topology::ring(), Topology::torus(4)] {
+            for chips in [1usize, 2, 4, 16, 64] {
+                for bytes in [0usize, 64, 65_536] {
+                    assert!(
+                        topo.intra_pod_cost_s(&cfg, bytes)
+                            <= topo.inter_pod_cost_s(&cfg, bytes, chips),
+                        "{} intra-pod must not exceed inter-pod (chips={chips})",
+                        topo.name()
+                    );
+                }
+            }
+        }
+    }
+}

@@ -97,9 +97,10 @@ fn communication_cost_scales_with_payload() {
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(6))]
-    /// Sharding §III-D explanation batches across 1, 2 or 4 simulated
-    /// chips must be bit-identical to the single-device path: lanes
-    /// are pure functions of their inputs, wherever they are placed.
+    /// Sharding §III-D explanation batches across 1, 2, 4 or 16
+    /// simulated chips must be bit-identical to the single-device
+    /// path: lanes are pure functions of their inputs, wherever they
+    /// are placed.
     #[test]
     fn pooled_explanations_bit_identical_across_device_counts(
         seed in proptest::collection::vec(-4.0f64..4.0, 8 * 8 * 4),
@@ -116,7 +117,7 @@ proptest! {
         let model = DistilledModel::fit(&pairs, SolveStrategy::default()).unwrap();
         let reference =
             explain_batch_on(&TpuAccel::with_cores(4), &model, &pairs, 4).unwrap();
-        for n_devices in [1usize, 2, 4] {
+        for n_devices in [1usize, 2, 4, 16] {
             let acc = TpuAccel::over_pool(
                 DevicePool::with_cores(TpuConfig::tpu_v2(), n_devices, 4),
                 Duration::ZERO,
@@ -239,6 +240,55 @@ fn four_chips_explain_faster_than_one() {
         t_four < t_one,
         "4 chips ({t_four} s) must beat 1 chip ({t_one} s)"
     );
+}
+
+/// Pod-scale fleets: 16 and 64 chips produce bit-identical maps on
+/// every interconnect fabric, while the merged clock orders the
+/// fabrics by bisection bandwidth — the flat crossbar is the ideal
+/// that the torus and ring degrade gracefully from.
+#[test]
+fn pod_scale_fleets_degrade_gracefully_by_fabric() {
+    use tpu_xai::tpu::Topology;
+    let k = Matrix::from_fn(16, 16, |r, c| ((r * 3 + c) % 7) as f64 * 0.2).unwrap();
+    let pairs: Vec<(Matrix<f64>, Matrix<f64>)> = (0..8)
+        .map(|s| {
+            let x = Matrix::from_fn(16, 16, |r, c| ((r * 5 + c + s) % 9) as f64 - 4.0).unwrap();
+            let y = conv2d_circular(&x, &k).unwrap();
+            (x, y)
+        })
+        .collect();
+    let model = DistilledModel::fit(&pairs, SolveStrategy::default()).unwrap();
+    let lanes = pairs.len() * 16;
+    let run = |n_devices: usize, topology: Topology| {
+        let acc = TpuAccel::over_pool(
+            DevicePool::with_cores(TpuConfig::tpu_v2(), n_devices, 1).with_topology(topology),
+            Duration::from_secs(60),
+            lanes,
+        );
+        let maps = explain_batch_parallel_on(&acc, &model, &pairs, 4, pairs.len()).unwrap();
+        let sharded = acc.pool().unwrap().sharded_flights();
+        (maps, acc.elapsed_seconds(), sharded)
+    };
+    for n_devices in [16usize, 64] {
+        let (flat_maps, t_flat, flat_sharded) = run(n_devices, Topology::flat());
+        let (torus_maps, t_torus, _) = run(n_devices, Topology::torus(4));
+        let (ring_maps, t_ring, _) = run(n_devices, Topology::ring());
+        for (a, b) in flat_maps.iter().zip(&torus_maps) {
+            assert_eq!(
+                a.as_slice(),
+                b.as_slice(),
+                "torus bits at {n_devices} chips"
+            );
+        }
+        for (a, b) in flat_maps.iter().zip(&ring_maps) {
+            assert_eq!(a.as_slice(), b.as_slice(), "ring bits at {n_devices} chips");
+        }
+        assert!(flat_sharded > 0, "the ideal fabric must fan out");
+        assert!(
+            t_flat <= t_torus && t_torus <= t_ring,
+            "{n_devices} chips must order flat {t_flat} s ≤ torus {t_torus} s ≤ ring {t_ring} s"
+        );
+    }
 }
 
 #[test]

@@ -197,7 +197,7 @@ proptest! {
         let plain = TpuAccel::with_cores(4);
         let had_ref = plain.hadamard_batch(&xs, &k).unwrap();
         let sub_ref = plain.sub_batch(&y, &preds).unwrap();
-        for n_devices in [1usize, 2, 4] {
+        for n_devices in [1usize, 2, 4, 16] {
             let pooled = TpuAccel::over_pool(
                 DevicePool::with_cores(TpuConfig::tpu_v2(), n_devices, 1),
                 Duration::ZERO,
@@ -232,7 +232,7 @@ proptest! {
         let a = Matrix::from_fn(24, 24, |r, c| seed[(r * 5 + c) % seed.len()]).unwrap();
         let b = Matrix::from_fn(24, 24, |r, c| seed[(r + c * 3) % seed.len()] * 0.5).unwrap();
         let reference = TpuAccel::with_cores(4).matmul(&a, &b).unwrap();
-        for n_devices in [1usize, 2, 4] {
+        for n_devices in [1usize, 2, 4, 16] {
             let pooled = TpuAccel::with_pool(n_devices, Duration::ZERO, 4);
             let out = pooled.matmul(&a, &b).unwrap();
             prop_assert_eq!(out.as_slice(), reference.as_slice(), "n_devices={}", n_devices);

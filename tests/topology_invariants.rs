@@ -1,0 +1,118 @@
+//! Property pins for the interconnect-topology cost model: the
+//! invariants every fabric must satisfy for the pool's shard/don't-
+//! shard oracle to stay sound, and the bit-for-bit identity that
+//! keeps the default flat crossbar indistinguishable from the seed
+//! `cross_replica_cost_s` charge.
+
+use proptest::prelude::*;
+use tpu_xai::tpu::{Topology, TpuConfig};
+
+fn fabrics() -> Vec<Topology> {
+    vec![
+        Topology::flat(),
+        Topology::ring(),
+        Topology::torus(2),
+        Topology::torus(4),
+        Topology::torus(8),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The flat crossbar reproduces the seed charge exactly — same
+    /// bits, not merely the same value — for every payload size and
+    /// participant count, so every simulated metric priced through
+    /// the default topology is unchanged from the seed model.
+    #[test]
+    fn flat_crossbar_is_bit_identical_to_cross_replica_cost(
+        bytes in 0usize..1 << 40,
+        participants in 2usize..256,
+    ) {
+        let cfg = TpuConfig::tpu_v2();
+        let flat = Topology::flat();
+        prop_assert_eq!(
+            flat.gather_cost_s(&cfg, bytes, participants).to_bits(),
+            cfg.cross_replica_cost_s(bytes).to_bits()
+        );
+        prop_assert_eq!(
+            flat.intra_pod_cost_s(&cfg, bytes).to_bits(),
+            cfg.cross_replica_cost_s(bytes).to_bits()
+        );
+        prop_assert_eq!(
+            cfg.collective_cost_s(bytes, participants).to_bits(),
+            cfg.cross_replica_cost_s(bytes).to_bits()
+        );
+    }
+
+    /// More hops never cost less: on every fabric, a transfer over a
+    /// longer route is at least as expensive for the same payload.
+    #[test]
+    fn more_hops_never_cost_less(
+        a in 0usize..64,
+        b in 0usize..64,
+        c in 0usize..64,
+        d in 0usize..64,
+        chips in 2usize..65,
+        bytes in 0usize..1 << 30,
+    ) {
+        let cfg = TpuConfig::tpu_v2();
+        for topo in fabrics() {
+            let (near, far) = {
+                let h1 = topo.hops(a, b, chips);
+                let h2 = topo.hops(c, d, chips);
+                if h1 <= h2 { ((a, b), (c, d)) } else { ((c, d), (a, b)) }
+            };
+            prop_assert!(
+                topo.distance_cost_s(&cfg, near.0, near.1, chips, bytes)
+                    <= topo.distance_cost_s(&cfg, far.0, far.1, chips, bytes),
+                "{} route cost must be monotone in hop count",
+                topo.name()
+            );
+        }
+    }
+
+    /// Gathers never get cheaper as chips join the collective.
+    #[test]
+    fn gathers_are_monotone_in_participants(
+        participants in 2usize..65,
+        bytes in 0usize..1 << 30,
+    ) {
+        let cfg = TpuConfig::tpu_v2();
+        for topo in fabrics() {
+            prop_assert!(
+                topo.gather_cost_s(&cfg, bytes, participants)
+                    <= topo.gather_cost_s(&cfg, bytes, participants + 1),
+                "{} gather must be monotone in participants",
+                topo.name()
+            );
+            // No fabric undercuts the ideal crossbar.
+            prop_assert!(
+                topo.gather_cost_s(&cfg, bytes, participants)
+                    >= Topology::flat().gather_cost_s(&cfg, bytes, participants),
+                "{} cannot beat the ideal crossbar",
+                topo.name()
+            );
+        }
+    }
+
+    /// An intra-pod step never exceeds the inter-pod exchange for
+    /// the same payload — the hierarchy's cheap level really is the
+    /// cheap level.
+    #[test]
+    fn intra_pod_never_exceeds_inter_pod(
+        chips in 1usize..65,
+        bytes in 0usize..1 << 30,
+    ) {
+        let cfg = TpuConfig::tpu_v2();
+        for topo in fabrics() {
+            prop_assert!(
+                topo.intra_pod_cost_s(&cfg, bytes)
+                    <= topo.inter_pod_cost_s(&cfg, bytes, chips),
+                "{} intra-pod must not exceed inter-pod at {} chips",
+                topo.name(),
+                chips
+            );
+        }
+    }
+}
