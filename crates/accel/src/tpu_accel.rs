@@ -1161,6 +1161,10 @@ impl Accelerator for TpuAccel {
         }
     }
 
+    fn queue_depth(&self) -> usize {
+        self.queue.as_ref().map_or(0, |q| q.pending_lanes())
+    }
+
     fn elapsed_seconds(&self) -> f64 {
         match &self.pool {
             Some(pool) => pool.wall_seconds(),

@@ -185,6 +185,18 @@ pub trait Accelerator: Send + Sync {
     /// whose layers run outside this trait.
     fn charge_workload(&self, flops: f64, bytes: f64);
 
+    /// Lanes currently enqueued but not yet dispatched on this
+    /// accelerator's coalescing queue, if it has one.
+    ///
+    /// A serving layer reads this as its backpressure signal: a deep
+    /// queue means admitted work is still waiting for a flight, so new
+    /// arrivals should be shed early rather than queued behind it.
+    /// Accelerators without a batching queue report `0` (nothing ever
+    /// waits).
+    fn queue_depth(&self) -> usize {
+        0
+    }
+
     /// Simulated seconds elapsed since construction or reset.
     ///
     /// When the accelerator is shared across threads this is the

@@ -1,0 +1,77 @@
+//! # xai-serve
+//!
+//! The serving front door for the explanation engine: the paper's
+//! "millions of users" deployment scenario (Pan & Mishra, DATE 2022)
+//! made concrete as an admission-controlled request loop over any
+//! [`xai_accel::Accelerator`].
+//!
+//! Built entirely on `std` (mpsc-style mutex/condvar loop — no async
+//! runtime):
+//!
+//! * [`ExplainServer`] — worker threads drain a bounded admission
+//!   queue onto one shared accelerator; submissions return
+//!   futures-like [`ResponseHandle`]s immediately;
+//! * [`ShedPolicy`] — `RejectNewest` / `RejectOldest` /
+//!   `DeadlineAware` load shedding once the queue is full, so
+//!   saturation produces fast [`ServeError::Rejected`] errors instead
+//!   of unbounded latency;
+//! * per-request **deadlines**, checked at dequeue (dead requests
+//!   never touch the device) and at completion (late results resolve
+//!   [`ServeError::DeadlineExceeded`], never a stale `Ok`);
+//! * [`SimServer`] + [`run_load`] — a deterministic discrete-event
+//!   twin and a seeded open-loop load generator, reporting p50/p99
+//!   latency, goodput and shed rate in simulated time with
+//!   bit-identical outcomes for a fixed seed.
+//!
+//! On a batching accelerator (`TpuAccel::with_batching` /
+//! `over_pool`), concurrently served requests still coalesce into
+//! shared device flights — admission control composes with, rather
+//! than replaces, the §III-D multi-input parallelism.
+//!
+//! ## Example
+//!
+//! ```
+//! use std::sync::Arc;
+//! use xai_accel::{Accelerator, TpuAccel};
+//! use xai_core::{DistilledModel, SolveStrategy};
+//! use xai_serve::{ExplainJob, ExplainServer, JobOutput, ServeConfig, ShedPolicy};
+//! use xai_tensor::{conv::conv2d_circular, Matrix};
+//!
+//! # fn main() -> Result<(), xai_tensor::TensorError> {
+//! let k = Matrix::from_fn(8, 8, |r, c| ((r + c * 3) % 5) as f64 * 0.25)?;
+//! let x = Matrix::from_fn(8, 8, |r, c| ((r * 5 + c) % 9) as f64 - 4.0)?;
+//! let y = conv2d_circular(&x, &k)?;
+//! let model = DistilledModel::fit(&[(x.clone(), y.clone())], SolveStrategy::default())?;
+//!
+//! let acc: Arc<dyn Accelerator> = Arc::new(TpuAccel::with_cores(4));
+//! let server = ExplainServer::new(
+//!     acc,
+//!     model,
+//!     ServeConfig {
+//!         capacity: 16,
+//!         policy: ShedPolicy::RejectNewest,
+//!         workers: 2,
+//!     },
+//! );
+//! let handle = server.submit(ExplainJob::Contributions { x, y, grid: 2 }, 3600.0);
+//! assert!(matches!(handle.wait(), Ok(JobOutput::Map(_))));
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod clock;
+mod loadgen;
+mod queue;
+mod request;
+mod server;
+mod sim;
+
+pub use clock::{SimClock, TimeSource, WallClock};
+pub use loadgen::{load_accelerator, run_load, synth_problem, LoadConfig, LoadReport};
+pub use queue::ShedPolicy;
+pub use request::{ExplainJob, JobOutput, Outcome, ResponseHandle, ServeError, ServeResult};
+pub use server::{DrainMode, ExplainServer, ServeConfig};
+pub use sim::SimServer;

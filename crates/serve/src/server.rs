@@ -1,0 +1,294 @@
+//! The threaded serving front door: an mpsc/condvar request loop over
+//! a shared [`Accelerator`].
+
+use crate::clock::{TimeSource, WallClock};
+use crate::queue::{AdmissionQueue, Pending, ShedPolicy};
+use crate::request::{run_job, ExplainJob, ResponseHandle, ServeError};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
+use std::thread::JoinHandle;
+use xai_accel::Accelerator;
+use xai_core::DistilledModel;
+
+/// Serving knobs: queue bound, shedding policy, worker parallelism.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServeConfig {
+    /// Admission-queue capacity — arrivals beyond it are shed
+    /// according to `policy` instead of queueing unboundedly.
+    pub capacity: usize,
+    /// What to shed when the queue is full.
+    pub policy: ShedPolicy,
+    /// Worker threads draining the queue. Each worker drives the
+    /// shared accelerator concurrently, so on a batching accelerator
+    /// in-flight requests coalesce into shared device flights.
+    pub workers: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            capacity: 64,
+            policy: ShedPolicy::RejectNewest,
+            workers: 2,
+        }
+    }
+}
+
+/// What shutdown does with requests still queued.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DrainMode {
+    /// Serve everything already admitted, then stop.
+    Drain,
+    /// Resolve everything still queued with
+    /// [`ServeError::ShuttingDown`], serve only what is already on a
+    /// worker, then stop.
+    Reject,
+}
+
+#[derive(Debug)]
+struct State {
+    queue: AdmissionQueue,
+    stopping: Option<DrainMode>,
+}
+
+struct Shared {
+    acc: Arc<dyn Accelerator>,
+    model: DistilledModel,
+    clock: Arc<dyn TimeSource>,
+    state: Mutex<State>,
+    arrivals: Condvar,
+}
+
+impl Shared {
+    fn lock(&self) -> MutexGuard<'_, State> {
+        self.state.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+/// The serving front door: submissions become [`ResponseHandle`]s,
+/// worker threads drain a bounded admission queue onto one shared
+/// [`Accelerator`], and saturation produces fast
+/// [`ServeError::Rejected`] / [`ServeError::DeadlineExceeded`] errors
+/// instead of unbounded latency.
+///
+/// Deadlines are checked twice: at dequeue (an already-dead request is
+/// dropped without touching the device) and at completion (a result
+/// that arrives late resolves `DeadlineExceeded`, never a stale `Ok`).
+///
+/// # Examples
+///
+/// ```
+/// use std::sync::Arc;
+/// use xai_accel::{Accelerator, TpuAccel};
+/// use xai_core::{DistilledModel, SolveStrategy};
+/// use xai_serve::{ExplainJob, ExplainServer, JobOutput, ServeConfig};
+/// use xai_tensor::{conv::conv2d_circular, Matrix};
+///
+/// # fn main() -> Result<(), xai_tensor::TensorError> {
+/// let k = Matrix::from_fn(8, 8, |r, c| ((r + c * 3) % 5) as f64 * 0.25)?;
+/// let x = Matrix::from_fn(8, 8, |r, c| ((r * 5 + c) % 9) as f64 - 4.0)?;
+/// let y = conv2d_circular(&x, &k)?;
+/// let model = DistilledModel::fit(&[(x.clone(), y.clone())], SolveStrategy::default())?;
+///
+/// let acc: Arc<dyn Accelerator> = Arc::new(TpuAccel::with_cores(4));
+/// let server = ExplainServer::new(acc, model, ServeConfig::default());
+/// let handle = server.submit(ExplainJob::Contributions { x, y, grid: 2 }, 3600.0);
+/// match handle.wait() {
+///     Ok(JobOutput::Map(map)) => assert_eq!(map.shape(), (2, 2)),
+///     other => panic!("unexpected: {other:?}"),
+/// }
+/// # Ok(())
+/// # }
+/// ```
+pub struct ExplainServer {
+    shared: Arc<Shared>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for ExplainServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ExplainServer")
+            .field("workers", &self.workers.len())
+            .field("queue_len", &self.queue_len())
+            .finish()
+    }
+}
+
+impl ExplainServer {
+    /// Starts a server over `acc` on real wall time.
+    pub fn new(acc: Arc<dyn Accelerator>, model: DistilledModel, config: ServeConfig) -> Self {
+        Self::with_clock(acc, model, config, Arc::new(WallClock::new()))
+    }
+
+    /// Starts a server measuring deadlines and latencies on `clock` —
+    /// the deterministic test suites substitute a
+    /// [`crate::SimClock`].
+    pub fn with_clock(
+        acc: Arc<dyn Accelerator>,
+        model: DistilledModel,
+        config: ServeConfig,
+        clock: Arc<dyn TimeSource>,
+    ) -> Self {
+        let shared = Arc::new(Shared {
+            acc,
+            model,
+            clock,
+            state: Mutex::new(State {
+                queue: AdmissionQueue::new(config.capacity, config.policy),
+                stopping: None,
+            }),
+            arrivals: Condvar::new(),
+        });
+        let workers = (0..config.workers.max(1))
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("xai-serve-{i}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("spawn serve worker")
+            })
+            .collect();
+        ExplainServer { shared, workers }
+    }
+
+    /// Submits a request with a deadline `deadline_s` seconds from
+    /// now, returning immediately with a handle. A shed request's
+    /// handle is already resolved when this returns — saturation is a
+    /// fast error, never a blocked submitter.
+    pub fn submit(&self, job: ExplainJob, deadline_s: f64) -> ResponseHandle {
+        let now = self.shared.clock.now_s();
+        let handle = ResponseHandle::pending(now, now + deadline_s);
+        let victim = {
+            let mut st = self.shared.lock();
+            if st.stopping.is_some() {
+                drop(st);
+                handle.fulfill(Err(ServeError::ShuttingDown), now);
+                return handle;
+            }
+            let (queue_len, capacity) = (st.queue.len(), st.queue.capacity());
+            let victim = st.queue.offer(Pending {
+                job,
+                handle: handle.clone(),
+            });
+            victim.map(|v| (v, queue_len, capacity))
+        };
+        if let Some((victim, queue_len, capacity)) = victim {
+            victim.handle.fulfill(
+                Err(ServeError::Rejected {
+                    queue_len,
+                    capacity,
+                }),
+                now,
+            );
+        }
+        self.shared.arrivals.notify_one();
+        handle
+    }
+
+    /// Requests currently admitted but not yet picked up by a worker.
+    pub fn queue_len(&self) -> usize {
+        self.shared.lock().queue.len()
+    }
+
+    /// Deepest queue occupancy observed so far (never exceeds the
+    /// configured capacity).
+    pub fn high_water(&self) -> usize {
+        self.shared.lock().queue.high_water()
+    }
+
+    /// The configured shedding policy.
+    pub fn policy(&self) -> ShedPolicy {
+        self.shared.lock().queue.policy()
+    }
+
+    /// The backpressure signal: admitted-but-unserved requests plus
+    /// kernel lanes already enqueued on the accelerator's coalescing
+    /// queue but not yet dispatched
+    /// ([`Accelerator::queue_depth`]).
+    pub fn pressure(&self) -> usize {
+        self.queue_len() + self.shared.acc.queue_depth()
+    }
+
+    /// Stops the server: no further admissions, queued requests
+    /// drained or rejected per `mode`, workers joined. Every handle
+    /// ever returned by [`ExplainServer::submit`] is resolved when
+    /// this returns.
+    pub fn shutdown(mut self, mode: DrainMode) {
+        self.shutdown_inner(mode);
+    }
+
+    fn shutdown_inner(&mut self, mode: DrainMode) {
+        let victims = {
+            let mut st = self.shared.lock();
+            if st.stopping.is_none() {
+                st.stopping = Some(mode);
+            }
+            match mode {
+                DrainMode::Reject => st.queue.drain_all(),
+                DrainMode::Drain => Vec::new(),
+            }
+        };
+        let now = self.shared.clock.now_s();
+        for victim in victims {
+            victim.handle.fulfill(Err(ServeError::ShuttingDown), now);
+        }
+        self.shared.arrivals.notify_all();
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+impl Drop for ExplainServer {
+    fn drop(&mut self) {
+        if !self.workers.is_empty() {
+            self.shutdown_inner(DrainMode::Drain);
+        }
+    }
+}
+
+fn worker_loop(shared: &Shared) {
+    loop {
+        let pending = {
+            let mut st = shared.lock();
+            loop {
+                if let Some(p) = st.queue.pop() {
+                    break p;
+                }
+                if st.stopping.is_some() {
+                    return; // queue empty and stopping: done
+                }
+                st = shared
+                    .arrivals
+                    .wait(st)
+                    .unwrap_or_else(PoisonError::into_inner);
+            }
+        };
+        serve_one(shared, pending);
+    }
+}
+
+fn serve_one(shared: &Shared, pending: Pending) {
+    let Pending { job, handle } = pending;
+    let start = shared.clock.now_s();
+    if start > handle.deadline_s() {
+        // Dead on dequeue: resolve without touching the device.
+        handle.fulfill(
+            Err(ServeError::DeadlineExceeded {
+                missed_by_s: start - handle.deadline_s(),
+            }),
+            start,
+        );
+        return;
+    }
+    let result = run_job(&*shared.acc, &shared.model, &job);
+    let end = shared.clock.now_s();
+    let resolved = match result {
+        // A result that lands past the deadline is stale, never Ok.
+        Ok(_) if end > handle.deadline_s() => Err(ServeError::DeadlineExceeded {
+            missed_by_s: end - handle.deadline_s(),
+        }),
+        Ok(out) => Ok(out),
+        Err(e) => Err(ServeError::Kernel(e)),
+    };
+    handle.fulfill(resolved, end);
+}

@@ -1,0 +1,160 @@
+//! A deterministic, single-threaded twin of the serving loop.
+//!
+//! [`SimServer`] runs the same admission queue, the same deadline
+//! checks and the same kernels as [`crate::ExplainServer`], but as a
+//! discrete-event simulation on a [`SimClock`]: serving a request
+//! advances the clock by exactly the simulated device time it
+//! charged. Outcomes are therefore a pure function of (seed, config) —
+//! the property the deterministic load-test suite pins.
+
+use crate::clock::{SimClock, TimeSource};
+use crate::queue::{AdmissionQueue, Pending, ShedPolicy};
+use crate::request::{run_job, ExplainJob, ResponseHandle, ServeError};
+use std::sync::Arc;
+use xai_accel::Accelerator;
+use xai_core::DistilledModel;
+
+/// The deterministic serving simulator: one simulated device, one
+/// logical server, virtual time.
+pub struct SimServer {
+    acc: Arc<dyn Accelerator>,
+    model: DistilledModel,
+    clock: SimClock,
+    queue: AdmissionQueue,
+}
+
+impl std::fmt::Debug for SimServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SimServer")
+            .field("now_s", &self.now_s())
+            .field("queue_len", &self.queue.len())
+            .finish()
+    }
+}
+
+impl SimServer {
+    /// A simulator serving `model` on `acc` behind a bounded queue.
+    pub fn new(
+        acc: Arc<dyn Accelerator>,
+        model: DistilledModel,
+        capacity: usize,
+        policy: ShedPolicy,
+    ) -> Self {
+        SimServer {
+            acc,
+            model,
+            clock: SimClock::new(),
+            queue: AdmissionQueue::new(capacity, policy),
+        }
+    }
+
+    /// The simulator's virtual clock (clones share the reading).
+    pub fn clock(&self) -> SimClock {
+        self.clock.clone()
+    }
+
+    /// Current virtual time in seconds.
+    pub fn now_s(&self) -> f64 {
+        self.clock.now_s()
+    }
+
+    /// Requests admitted but not yet served.
+    pub fn queue_len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Deepest queue occupancy observed.
+    pub fn high_water(&self) -> usize {
+        self.queue.high_water()
+    }
+
+    /// The accelerator under service (for charge accounting asserts).
+    pub fn accelerator(&self) -> &Arc<dyn Accelerator> {
+        &self.acc
+    }
+
+    /// Submits a request arriving at virtual time `arrival_s` with a
+    /// relative deadline of `deadline_rel_s` seconds. Admission (and
+    /// any shedding) is decided at the arrival instant; a shed
+    /// request's handle is resolved before this returns.
+    ///
+    /// The virtual clock may already sit past `arrival_s` when the
+    /// device finished its previous request late; the queue contents
+    /// are still exactly those of the arrival instant because nothing
+    /// dequeues between the two moments (see [`SimServer::step_until`]).
+    pub fn submit_at(
+        &mut self,
+        arrival_s: f64,
+        job: ExplainJob,
+        deadline_rel_s: f64,
+    ) -> ResponseHandle {
+        self.clock.set(arrival_s);
+        let handle = ResponseHandle::pending(arrival_s, arrival_s + deadline_rel_s);
+        let (queue_len, capacity) = (self.queue.len(), self.queue.capacity());
+        if let Some(victim) = self.queue.offer(Pending {
+            job,
+            handle: handle.clone(),
+        }) {
+            victim.handle.fulfill(
+                Err(ServeError::Rejected {
+                    queue_len,
+                    capacity,
+                }),
+                arrival_s,
+            );
+        }
+        handle
+    }
+
+    /// Serves the next queued request **iff** its service would start
+    /// strictly before `horizon_s` (the next arrival). Returns `false`
+    /// when the device is already at/past the horizon or the queue is
+    /// empty — the open-loop driver then delivers the next arrival
+    /// first, keeping discrete events in time order.
+    pub fn step_until(&mut self, horizon_s: f64) -> bool {
+        if self.now_s() >= horizon_s || self.queue.is_empty() {
+            return false;
+        }
+        self.step()
+    }
+
+    /// Serves one queued request to completion, advancing the virtual
+    /// clock by exactly the simulated device time it charges. An
+    /// already-dead request (deadline behind the clock) resolves
+    /// `DeadlineExceeded` without touching the device. Returns `false`
+    /// when idle.
+    pub fn step(&mut self) -> bool {
+        let Some(Pending { job, handle }) = self.queue.pop() else {
+            return false;
+        };
+        let start = self.now_s();
+        if start > handle.deadline_s() {
+            handle.fulfill(
+                Err(ServeError::DeadlineExceeded {
+                    missed_by_s: start - handle.deadline_s(),
+                }),
+                start,
+            );
+            return true;
+        }
+        let charged_before = self.acc.elapsed_seconds();
+        let result = run_job(&*self.acc, &self.model, &job);
+        self.clock
+            .advance(self.acc.elapsed_seconds() - charged_before);
+        let end = self.now_s();
+        let resolved = match result {
+            Ok(_) if end > handle.deadline_s() => Err(ServeError::DeadlineExceeded {
+                missed_by_s: end - handle.deadline_s(),
+            }),
+            Ok(out) => Ok(out),
+            Err(e) => Err(ServeError::Kernel(e)),
+        };
+        handle.fulfill(resolved, end);
+        true
+    }
+
+    /// Serves everything still queued.
+    pub fn drain(&mut self) {
+        while self.step() {}
+    }
+}

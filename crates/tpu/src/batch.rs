@@ -31,6 +31,99 @@ use std::time::{Duration, Instant};
 use xai_tensor::ops::DivPolicy;
 use xai_tensor::{Complex64, Matrix, Result, TensorError};
 
+/// The time source a [`BatchQueue`] measures its batching window on.
+///
+/// Production queues run on [`WallTime`]; deterministic tests (and the
+/// serving layer's simulated-clock load suites) substitute
+/// [`ManualTime`], whose `now` only moves when the test advances it —
+/// so window-expiry behaviour can be pinned exactly instead of raced
+/// against the host scheduler.
+pub trait QueueTime: Send + Sync + std::fmt::Debug {
+    /// Monotonic elapsed time since an arbitrary epoch.
+    fn now(&self) -> Duration;
+
+    /// Upper bound on the *real* time a leader may block waiting for
+    /// arrivals when `remaining` window time is left on this source.
+    /// Wall clocks return `remaining` (one sleep covers the window);
+    /// manual clocks return a short poll slice so the leader re-reads
+    /// the clock promptly after a test advances it.
+    fn wait_hint(&self, remaining: Duration) -> Duration {
+        remaining
+    }
+}
+
+/// The default [`QueueTime`]: real monotonic wall time.
+#[derive(Debug)]
+pub struct WallTime {
+    epoch: Instant,
+}
+
+impl WallTime {
+    /// A wall-time source with its epoch at construction.
+    pub fn new() -> Self {
+        WallTime {
+            epoch: Instant::now(),
+        }
+    }
+}
+
+impl Default for WallTime {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl QueueTime for WallTime {
+    fn now(&self) -> Duration {
+        self.epoch.elapsed()
+    }
+}
+
+/// A manually-advanced [`QueueTime`] for deterministic window tests:
+/// `now` is frozen until [`ManualTime::advance`] (or
+/// [`ManualTime::set`]) moves it, so a flight's window expires exactly
+/// when the test says it does, never when the host scheduler does.
+///
+/// Cheap to clone; clones share the same clock.
+#[derive(Debug, Clone, Default)]
+pub struct ManualTime {
+    now: Arc<Mutex<Duration>>,
+}
+
+impl ManualTime {
+    /// A manual clock starting at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Moves the clock forward by `dt`.
+    pub fn advance(&self, dt: Duration) {
+        let mut now = self.now.lock().unwrap_or_else(PoisonError::into_inner);
+        *now += dt;
+    }
+
+    /// Jumps the clock to an absolute reading (must not move
+    /// backwards; a backwards set is clamped to the current reading).
+    pub fn set(&self, t: Duration) {
+        let mut now = self.now.lock().unwrap_or_else(PoisonError::into_inner);
+        *now = t.max(*now);
+    }
+}
+
+impl QueueTime for ManualTime {
+    fn now(&self) -> Duration {
+        *self.now.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    fn wait_hint(&self, _remaining: Duration) -> Duration {
+        // Poll slice: the manual clock can be advanced at any moment
+        // by another thread, so the leader re-reads it every
+        // millisecond of real time rather than sleeping out a window
+        // that may never elapse on this source.
+        Duration::from_millis(1)
+    }
+}
+
 /// One lane of a kernel-generic flight: the work-item type an
 /// accelerator layer routes through a single [`BatchQueue`] so one
 /// coalesced dispatch can mix kernel kinds — 2-D transforms,
@@ -186,6 +279,9 @@ pub struct BatchQueue<W, R> {
     device: SharedDevice,
     window: Duration,
     max_lanes: usize,
+    /// The clock the batching window is measured on (wall time unless
+    /// constructed through [`BatchQueue::with_time`]).
+    time: Arc<dyn QueueTime>,
     state: Mutex<QueueState<W, R>>,
     /// Wakes the current leader when followers add lanes.
     arrivals: Condvar,
@@ -199,6 +295,12 @@ struct QueueState<W, R> {
     generation: u64,
     /// Work items of the forming flight, in submission order.
     pending: Vec<W>,
+    /// When the forming flight's *first* lane was enqueued, on the
+    /// queue's [`QueueTime`]. The batching window is anchored here —
+    /// not at whenever the leader gets around to waiting — so a
+    /// slowly-scheduled leader can never stretch the window beyond
+    /// `window` for the lanes already pending.
+    window_open: Option<Duration>,
     /// Submissions participating in the forming flight.
     submissions: usize,
     /// Whether the forming flight already has a leader.
@@ -221,15 +323,30 @@ struct Landing<R> {
 
 impl<W: Send, R: Send> BatchQueue<W, R> {
     /// Creates a queue over `device` with the given batching `window`
-    /// and early-dispatch threshold (`max_lanes` is clamped to ≥ 1).
+    /// and early-dispatch threshold (`max_lanes` is clamped to ≥ 1),
+    /// measuring the window on real wall time.
     pub fn new(device: SharedDevice, window: Duration, max_lanes: usize) -> Self {
+        Self::with_time(device, window, max_lanes, Arc::new(WallTime::new()))
+    }
+
+    /// Like [`BatchQueue::new`], but the batching window is measured
+    /// on the supplied [`QueueTime`] — a [`ManualTime`] makes window
+    /// expiry fully deterministic for tests and simulated serving.
+    pub fn with_time(
+        device: SharedDevice,
+        window: Duration,
+        max_lanes: usize,
+        time: Arc<dyn QueueTime>,
+    ) -> Self {
         BatchQueue {
             device,
             window,
             max_lanes: max_lanes.max(1),
+            time,
             state: Mutex::new(QueueState {
                 generation: 0,
                 pending: Vec::new(),
+                window_open: None,
                 submissions: 0,
                 has_leader: false,
                 landed: HashMap::new(),
@@ -252,6 +369,28 @@ impl<W: Send, R: Send> BatchQueue<W, R> {
     /// The lane count that triggers dispatch before the window ends.
     pub fn max_lanes(&self) -> usize {
         self.max_lanes
+    }
+
+    /// Lanes currently enqueued in the *forming* flight (work items
+    /// accepted but not yet dispatched). The serving layer reads this
+    /// as device backpressure: admission control can translate a deep
+    /// forming flight into an expected queueing delay and shed
+    /// deadline-doomed requests before they cost anything.
+    pub fn pending_lanes(&self) -> usize {
+        self.lock().pending.len()
+    }
+
+    /// Submissions participating in the forming flight.
+    pub fn pending_submissions(&self) -> usize {
+        self.lock().submissions
+    }
+
+    /// When the forming flight's first lane was enqueued, on the
+    /// queue's [`QueueTime`] — `None` while no flight is forming. The
+    /// flight dispatches no later than this instant plus
+    /// [`BatchQueue::window`].
+    pub fn window_open_at(&self) -> Option<Duration> {
+        self.lock().window_open
     }
 
     /// Submits `items` and blocks until their results are available,
@@ -305,6 +444,12 @@ impl<W: Send, R: Send> BatchQueue<W, R> {
         let generation = st.generation;
         let offset = st.pending.len();
         let count = items.len();
+        if st.pending.is_empty() {
+            // First enqueue of this flight: the batching window opens
+            // *now*, whoever ends up leading and however slowly they
+            // reach their wait loop.
+            st.window_open = Some(self.time.now());
+        }
         st.pending.extend(items);
         st.submissions += 1;
         if st.has_leader {
@@ -327,25 +472,29 @@ impl<W: Send, R: Send> BatchQueue<W, R> {
         generation: u64,
         dispatch: impl FnOnce(&SharedDevice, Vec<W>) -> Result<Vec<Result<R>>>,
     ) -> MutexGuard<'q, QueueState<W, R>> {
-        let deadline = Instant::now() + self.window;
+        // The window is anchored at the flight's FIRST enqueue (not at
+        // this leader's arrival in the wait loop): lanes already
+        // pending dispatch no later than `window_open + window`, even
+        // when the leading thread is scheduled late. Every wake —
+        // arrival notify, timeout or spurious — re-reads the queue's
+        // clock, so a [`ManualTime`] drives this loop deterministically.
         while st.pending.len() < self.max_lanes {
-            let now = Instant::now();
+            let now = self.time.now();
+            let deadline = st.window_open.unwrap_or(now) + self.window;
             if now >= deadline {
                 break;
             }
-            let (guard, timeout) = self
+            let (guard, _) = self
                 .arrivals
-                .wait_timeout(st, deadline - now)
+                .wait_timeout(st, self.time.wait_hint(deadline - now))
                 .unwrap_or_else(PoisonError::into_inner);
             st = guard;
-            if timeout.timed_out() {
-                break;
-            }
         }
         // Close the flight: later submitters start the next one.
         let batch = std::mem::take(&mut st.pending);
         let submissions = std::mem::replace(&mut st.submissions, 0);
         let lanes = batch.len();
+        st.window_open = None;
         st.generation += 1;
         st.has_leader = false;
         drop(st);
@@ -530,6 +679,71 @@ mod tests {
             dispatches.load(Ordering::SeqCst),
             1,
             "all submissions must ride one coalesced flight"
+        );
+    }
+
+    #[test]
+    fn window_expires_at_first_enqueue_plus_window_on_the_queue_clock() {
+        let time = ManualTime::new();
+        time.set(Duration::from_secs(10));
+        let q: Arc<BatchQueue<u64, u64>> = Arc::new(BatchQueue::with_time(
+            SharedDevice::new(TpuConfig::small_test()),
+            Duration::from_secs(5),
+            64,
+            Arc::new(time.clone()),
+        ));
+        let dispatched_at = Arc::new(Mutex::new(None::<Duration>));
+        std::thread::scope(|scope| {
+            let leader = {
+                let q = Arc::clone(&q);
+                let time = time.clone();
+                let dispatched_at = Arc::clone(&dispatched_at);
+                scope.spawn(move || {
+                    q.submit(vec![1], move |_, v| {
+                        *dispatched_at.lock().unwrap_or_else(PoisonError::into_inner) =
+                            Some(time.now());
+                        Ok(v)
+                    })
+                })
+            };
+            // The first enqueue anchors the window at t = 10 s.
+            while q.pending_lanes() < 1 {
+                std::thread::yield_now();
+            }
+            assert_eq!(q.window_open_at(), Some(Duration::from_secs(10)));
+
+            // A follower arriving at t = 13 s must not re-anchor it.
+            time.set(Duration::from_secs(13));
+            let follower = {
+                let q = Arc::clone(&q);
+                scope.spawn(move || {
+                    q.submit(vec![2], |_, _| unreachable!("the follower never leads"))
+                })
+            };
+            while q.pending_lanes() < 2 {
+                std::thread::yield_now();
+            }
+            assert_eq!(q.window_open_at(), Some(Duration::from_secs(10)));
+
+            // While the queue clock is frozen short of the deadline the
+            // flight stays open no matter how much real time passes...
+            std::thread::sleep(Duration::from_millis(30));
+            assert_eq!(q.pending_lanes(), 2, "window must not expire on wall time");
+
+            // ...and crossing first-enqueue + window releases it.
+            time.set(Duration::from_secs(15));
+            assert_eq!(leader.join().unwrap().unwrap(), vec![1]);
+            assert_eq!(follower.join().unwrap().unwrap(), vec![2]);
+        });
+        assert_eq!(
+            *dispatched_at.lock().unwrap_or_else(PoisonError::into_inner),
+            Some(Duration::from_secs(15)),
+            "dispatch is pinned at first-enqueue + window on the queue clock"
+        );
+        assert_eq!(
+            q.window_open_at(),
+            None,
+            "the window anchor clears when the flight closes"
         );
     }
 

@@ -62,7 +62,7 @@ pub mod systolic;
 pub mod topology;
 pub mod trace;
 
-pub use batch::{BatchQueue, KernelJob, KernelResult};
+pub use batch::{BatchQueue, KernelJob, KernelResult, ManualTime, QueueTime, WallTime};
 pub use compiler::{
     compile_contribution, compile_contribution_batch, compile_distillation, compile_fft2d,
     Fft2dSlots,

@@ -21,6 +21,7 @@
 //! | [`nn`] | from-scratch CNN substrate (VGG-style, ResNet-style) |
 //! | [`data`] | synthetic CIFAR-like images & MIRAI-like malware traces |
 //! | [`core`] | the paper: distillation, contribution factors, explainers |
+//! | [`serve`] | serving front door: admission control, deadlines, load shedding |
 //! | [`parallel`] | hand-rolled work-stealing host runtime behind every parallel path |
 //!
 //! ## Quickstart
@@ -56,5 +57,6 @@ pub use xai_data as data;
 pub use xai_fourier as fourier;
 pub use xai_nn as nn;
 pub use xai_parallel as parallel;
+pub use xai_serve as serve;
 pub use xai_tensor as tensor;
 pub use xai_tpu as tpu;
