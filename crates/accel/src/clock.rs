@@ -7,7 +7,12 @@
 //! lock is never held while numeric work executes.
 
 use crate::stats::KernelStats;
-use std::sync::{Mutex, PoisonError};
+use xai_sync::{LockClass, OrderedMutex};
+
+/// The clock ledger is a leaf of the workspace lock hierarchy: a
+/// kernel records its charge *after* releasing every device, lane and
+/// queue lock, and nothing is ever acquired while the ledger is held.
+static ACCEL_CLOCK: LockClass = LockClass::new("accel::clock", 50);
 
 /// An interior-mutable clock + statistics ledger.
 ///
@@ -29,9 +34,17 @@ use std::sync::{Mutex, PoisonError};
 /// clock.reset();
 /// assert_eq!(clock.seconds(), 0.0);
 /// ```
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct Clock {
-    inner: Mutex<KernelStats>,
+    inner: OrderedMutex<KernelStats>,
+}
+
+impl Default for Clock {
+    fn default() -> Self {
+        Clock {
+            inner: OrderedMutex::new(&ACCEL_CLOCK, KernelStats::new()),
+        }
+    }
 }
 
 impl Clock {
@@ -41,43 +54,41 @@ impl Clock {
     }
 
     /// Adds one kernel's contribution to the ledger.
+    ///
+    /// Poisoning recovers (that's [`OrderedMutex`]'s only policy):
+    /// every update is a plain numeric accumulation, so the ledger is
+    /// internally consistent even if another thread panicked
+    /// mid-kernel — one crashed worker must not freeze timing for the
+    /// whole process.
     pub fn record(&self, seconds: f64, ops: f64, bytes: f64) {
-        self.lock().record(seconds, ops, bytes);
+        self.inner.lock_recover().record(seconds, ops, bytes);
     }
 
     /// Merges an externally-accumulated record.
     pub fn merge(&self, other: &KernelStats) {
-        self.lock().merge(other);
+        self.inner.lock_recover().merge(other);
     }
 
     /// Simulated seconds elapsed since construction or reset.
     pub fn seconds(&self) -> f64 {
-        self.lock().seconds
+        self.inner.lock_recover().seconds
     }
 
     /// Snapshot of the accumulated statistics.
     pub fn stats(&self) -> KernelStats {
-        *self.lock()
+        *self.inner.lock_recover()
     }
 
     /// Zeroes the ledger.
     pub fn reset(&self) {
-        *self.lock() = KernelStats::new();
-    }
-
-    /// Locks the ledger, recovering from poisoning: every update is a
-    /// plain numeric accumulation, so the ledger is internally
-    /// consistent even if another thread panicked mid-kernel — one
-    /// crashed worker must not freeze timing for the whole process.
-    fn lock(&self) -> std::sync::MutexGuard<'_, KernelStats> {
-        self.inner.lock().unwrap_or_else(PoisonError::into_inner)
+        *self.inner.lock_recover() = KernelStats::new();
     }
 }
 
 impl Clone for Clock {
     fn clone(&self) -> Self {
         Clock {
-            inner: Mutex::new(self.stats()),
+            inner: OrderedMutex::new(&ACCEL_CLOCK, self.stats()),
         }
     }
 }
@@ -107,6 +118,9 @@ mod tests {
         assert_eq!(snap.seconds(), 1.0);
     }
 
+    /// Pins that [`OrderedMutex::lock_recover`] preserves the ledger's
+    /// recover-and-continue semantics and that `is_poisoned()`
+    /// introspection still sees the underlying poison flag.
     #[test]
     fn poisoned_clock_recovers_and_keeps_recording() {
         use std::sync::Arc;
@@ -114,7 +128,7 @@ mod tests {
         clock.record(0.5, 1.0, 1.0);
         let crashing = Arc::clone(&clock);
         let handle = std::thread::spawn(move || {
-            let _guard = crashing.inner.lock().unwrap();
+            let _guard = crashing.inner.lock_recover();
             panic!("worker crash while holding the clock lock");
         });
         assert!(handle.join().is_err());
@@ -123,6 +137,10 @@ mod tests {
         assert_eq!(clock.seconds(), 0.5);
         clock.record(0.25, 1.0, 1.0);
         assert_eq!(clock.seconds(), 0.75);
+        assert!(
+            clock.inner.is_poisoned(),
+            "recovery does not clear the flag"
+        );
     }
 
     #[test]

@@ -11,7 +11,13 @@
 use crate::fft2d::Fft2d;
 use crate::plan::FftPlan;
 use std::collections::HashMap;
-use std::sync::{Arc, Mutex, MutexGuard, OnceLock, PoisonError};
+use std::sync::{Arc, OnceLock};
+use xai_sync::{LockClass, OrderedMutex, OrderedMutexGuard};
+
+/// The plan cache is a leaf of the workspace lock hierarchy: plans
+/// are looked up before kernels run and never while a device, queue
+/// or pool lock is held by design — and lockdep now checks that.
+static FOURIER_CACHE: LockClass = LockClass::new("fourier::cache", 52);
 
 /// A shape-keyed, thread-safe cache of 1-D and 2-D transform plans.
 ///
@@ -39,9 +45,17 @@ use std::sync::{Arc, Mutex, MutexGuard, OnceLock, PoisonError};
 /// assert!(std::sync::Arc::ptr_eq(&a, &b)); // built once
 /// assert_eq!(cache.len(), 1);
 /// ```
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct PlanCache {
-    inner: Mutex<PlanMaps>,
+    inner: OrderedMutex<PlanMaps>,
+}
+
+impl Default for PlanCache {
+    fn default() -> Self {
+        PlanCache {
+            inner: OrderedMutex::new(&FOURIER_CACHE, PlanMaps::default()),
+        }
+    }
 }
 
 #[derive(Debug, Default)]
@@ -111,11 +125,12 @@ impl PlanCache {
         maps.plans_2d.clear();
     }
 
-    /// Locks the plan maps, recovering from poisoning: the maps only
-    /// ever hold fully-constructed plans, so state behind a lock
-    /// poisoned by a panicking thread is still consistent.
-    fn lock(&self) -> MutexGuard<'_, PlanMaps> {
-        self.inner.lock().unwrap_or_else(PoisonError::into_inner)
+    /// Locks the plan maps. [`OrderedMutex::lock_recover`] recovers
+    /// from poisoning by policy: the maps only ever hold
+    /// fully-constructed plans, so state behind a lock poisoned by a
+    /// panicking thread is still consistent.
+    fn lock(&self) -> OrderedMutexGuard<'_, PlanMaps> {
+        self.inner.lock_recover()
     }
 }
 
@@ -238,7 +253,7 @@ mod tests {
         // not wedge the cache for subsequent requests.
         let crashing = Arc::clone(&cache);
         let handle = std::thread::spawn(move || {
-            let _guard = crashing.inner.lock().unwrap();
+            let _guard = crashing.inner.lock_recover();
             panic!("simulated worker crash while holding the lock");
         });
         assert!(handle.join().is_err(), "worker must have panicked");

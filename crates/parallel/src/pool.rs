@@ -31,7 +31,22 @@ use std::collections::VecDeque;
 use std::marker::PhantomData;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, Condvar, Mutex, MutexGuard, OnceLock, PoisonError};
+use std::sync::{Arc, OnceLock};
+use xai_sync::{LockClass, OrderedCondvar, OrderedMutex, OrderedMutexGuard};
+
+/// The injector queue + crew bookkeeping. May be held while a deque
+/// is locked (never the reverse), hence the lower rank.
+static PARALLEL_INJECTOR: LockClass = LockClass::new("parallel::injector", 40);
+
+/// The per-worker Chase–Lev-style deques. One class for all of them:
+/// no two deques are ever held at once (steals stage through a local
+/// buffer), so a second same-class acquisition is itself a bug that
+/// lockdep's recursion check catches.
+static PARALLEL_DEQUE: LockClass = LockClass::new("parallel::deque", 44);
+
+/// A scope's first-panic slot — touched only after a task has run,
+/// with no queue lock held; a leaf next to the ledgers.
+static PARALLEL_SCOPE_PANIC: LockClass = LockClass::new("parallel::scope_panic", 48);
 use std::thread::JoinHandle;
 
 /// Hard ceiling on configured worker counts, so a typo'd
@@ -67,6 +82,9 @@ impl Task {
     /// `pending == 0` before returning — including when the scope
     /// body or a task panics — so no borrow handed to [`Scope::spawn`]
     /// is ever dangling while a task can still touch it.
+    // SAFETY: the crate denies unsafe_code at the manifest level;
+    // this scoped allow marks the one sanctioned erasure.
+    #[allow(unsafe_code)]
     unsafe fn erase<'env>(job: Box<dyn FnOnce() + Send + 'env>) -> Task {
         // SAFETY: lifetime-only transmute between identically laid
         // out trait-object boxes; validity is the caller's contract
@@ -107,18 +125,18 @@ struct Inner {
 }
 
 struct Shared {
-    inner: Mutex<Inner>,
+    inner: OrderedMutex<Inner>,
     /// One condvar for everything: workers wait for queue pushes,
     /// scope waiters additionally wake on final task completions.
     /// Fine at row-block granularity; simplicity beats a wakeup
     /// hierarchy here.
-    work_available: Condvar,
+    work_available: OrderedCondvar,
     /// One work deque per compute worker. Lock order: `inner` may be
     /// held while a deque is locked, never the reverse, and no two
     /// deques are ever held at once (steals stage through a local
     /// buffer) — owner pushes therefore release the deque before
     /// taking `inner` to notify.
-    deques: Vec<Mutex<VecDeque<Task>>>,
+    deques: Vec<OrderedMutex<VecDeque<Task>>>,
 }
 
 impl Shared {
@@ -126,14 +144,12 @@ impl Shared {
     /// outside the lock and catch their own panics, so poisoning can
     /// only come from an abort-adjacent path; the state is a plain
     /// queue and always consistent.
-    fn lock(&self) -> MutexGuard<'_, Inner> {
-        self.inner.lock().unwrap_or_else(PoisonError::into_inner)
+    fn lock(&self) -> OrderedMutexGuard<'_, Inner> {
+        self.inner.lock_recover()
     }
 
-    fn wait<'a>(&self, guard: MutexGuard<'a, Inner>) -> MutexGuard<'a, Inner> {
-        self.work_available
-            .wait(guard)
-            .unwrap_or_else(PoisonError::into_inner)
+    fn wait<'a>(&self, guard: OrderedMutexGuard<'a, Inner>) -> OrderedMutexGuard<'a, Inner> {
+        self.work_available.wait(guard)
     }
 
     /// Identity of this pool for the [`WORKER_SLOT`] tag. Stable for
@@ -143,10 +159,8 @@ impl Shared {
         self as *const Shared as usize
     }
 
-    fn deque(&self, index: usize) -> MutexGuard<'_, VecDeque<Task>> {
-        self.deques[index]
-            .lock()
-            .unwrap_or_else(PoisonError::into_inner)
+    fn deque(&self, index: usize) -> OrderedMutexGuard<'_, VecDeque<Task>> {
+        self.deques[index].lock_recover()
     }
 
     /// Finds the next runnable compute task for a thread whose worker
@@ -206,29 +220,31 @@ impl Shared {
 
 /// Per-scope bookkeeping shared between the scope's caller and its
 /// in-flight tasks.
-#[derive(Default)]
 struct ScopeState {
     /// Tasks spawned but not yet finished. Never reaches zero while
     /// work is outstanding: a task that spawns a sibling increments
     /// *before* its own decrement.
     pending: AtomicUsize,
     /// First panic payload raised by a task, re-thrown by the caller.
-    panic: Mutex<Option<Box<dyn std::any::Any + Send>>>,
+    panic: OrderedMutex<Option<Box<dyn std::any::Any + Send>>>,
+}
+
+impl Default for ScopeState {
+    fn default() -> Self {
+        ScopeState {
+            pending: AtomicUsize::new(0),
+            panic: OrderedMutex::new(&PARALLEL_SCOPE_PANIC, None),
+        }
+    }
 }
 
 impl ScopeState {
     fn store_panic(&self, payload: Box<dyn std::any::Any + Send>) {
-        self.panic
-            .lock()
-            .unwrap_or_else(PoisonError::into_inner)
-            .get_or_insert(payload);
+        self.panic.lock_recover().get_or_insert(payload);
     }
 
     fn take_panic(&self) -> Option<Box<dyn std::any::Any + Send>> {
-        self.panic
-            .lock()
-            .unwrap_or_else(PoisonError::into_inner)
-            .take()
+        self.panic.lock_recover().take()
     }
 }
 
@@ -290,6 +306,7 @@ impl<'scope, 'env> Scope<'scope, 'env> {
         // SAFETY: `run_scope` joins this task (waits for pending == 0)
         // before the scope call returns on every path — see
         // `Task::erase` for the full argument.
+        #[allow(unsafe_code)]
         let task = unsafe { Task::erase(job) };
         self.pool.push_task(self.lane, task);
     }
@@ -335,9 +352,11 @@ impl Pool {
     pub fn new(threads: usize) -> Self {
         let threads = threads.clamp(1, MAX_THREADS);
         let shared = Arc::new(Shared {
-            inner: Mutex::new(Inner::default()),
-            work_available: Condvar::new(),
-            deques: (0..threads).map(|_| Mutex::new(VecDeque::new())).collect(),
+            inner: OrderedMutex::new(&PARALLEL_INJECTOR, Inner::default()),
+            work_available: OrderedCondvar::new(),
+            deques: (0..threads)
+                .map(|_| OrderedMutex::new(&PARALLEL_DEQUE, VecDeque::new()))
+                .collect(),
         });
         let mut handles = Vec::with_capacity(threads);
         for i in 0..threads {
@@ -661,9 +680,9 @@ mod tests {
     #[test]
     fn one_worker_pool_runs_serially_in_order() {
         let pool = Pool::new(1);
-        let order = Mutex::new(Vec::new());
-        pool.par_chunks_mut(&mut [0u8; 10], 3, |i, _| order.lock().unwrap().push(i));
-        assert_eq!(order.into_inner().unwrap(), vec![0, 1, 2, 3]);
+        let order: OrderedMutex<Vec<usize>> = OrderedMutex::default();
+        pool.par_chunks_mut(&mut [0u8; 10], 3, |i, _| order.lock_recover().push(i));
+        assert_eq!(order.into_inner(), vec![0, 1, 2, 3]);
     }
 
     #[test]

@@ -4,8 +4,9 @@
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Barrier, Mutex};
+use std::sync::Barrier;
 use xai_parallel::Pool;
+use xai_sync::OrderedMutex;
 
 /// The satellite contract: for ANY pool size, `par_chunks_mut` with
 /// fixed split points produces output bit-identical to the serial
@@ -175,11 +176,11 @@ fn pool_recovers_from_task_panic() {
         pool.scope_blocking(|s| s.spawn(|| panic!("blocking lane panic")))
     }));
     assert!(err.is_err());
-    let ok = Mutex::new(false);
+    let ok: OrderedMutex<bool> = OrderedMutex::default();
     pool.scope_blocking(|s| {
-        s.spawn(|| *ok.lock().unwrap() = true);
+        s.spawn(|| *ok.lock_recover() = true);
     });
-    assert!(*ok.lock().unwrap());
+    assert!(*ok.lock_recover());
 }
 
 /// A panic in the scope *body* (not a task) still joins the spawned

@@ -6,7 +6,12 @@
 //! when the test (or the simulated device) says so — no wall-clock
 //! flakiness, bit-identical outcomes for a fixed seed.
 
-use std::sync::{Arc, Mutex, PoisonError};
+use std::sync::Arc;
+use xai_sync::{LockClass, OrderedMutex};
+
+/// A [`SimClock`]'s reading — a leaf: read/advanced between serving
+/// steps, never while another serve lock is wanted.
+static SERVE_CLOCK: LockClass = LockClass::new("serve::clock", 54);
 use std::time::Instant;
 
 /// The serving layer's notion of time: seconds since an arbitrary
@@ -49,9 +54,17 @@ impl TimeSource for WallClock {
 /// request's "duration" is exactly the device time it charged.
 ///
 /// Cheap to clone; clones share the same reading.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct SimClock {
-    now_s: Arc<Mutex<f64>>,
+    now_s: Arc<OrderedMutex<f64>>,
+}
+
+impl Default for SimClock {
+    fn default() -> Self {
+        SimClock {
+            now_s: Arc::new(OrderedMutex::new(&SERVE_CLOCK, 0.0)),
+        }
+    }
 }
 
 impl SimClock {
@@ -63,21 +76,21 @@ impl SimClock {
     /// Moves the clock forward by `dt_s` seconds (negative deltas are
     /// ignored — the clock never runs backwards).
     pub fn advance(&self, dt_s: f64) {
-        let mut now = self.now_s.lock().unwrap_or_else(PoisonError::into_inner);
+        let mut now = self.now_s.lock_recover();
         *now += dt_s.max(0.0);
     }
 
     /// Jumps the clock to the absolute reading `t_s`, clamped so it
     /// never moves backwards.
     pub fn set(&self, t_s: f64) {
-        let mut now = self.now_s.lock().unwrap_or_else(PoisonError::into_inner);
+        let mut now = self.now_s.lock_recover();
         *now = t_s.max(*now);
     }
 }
 
 impl TimeSource for SimClock {
     fn now_s(&self) -> f64 {
-        *self.now_s.lock().unwrap_or_else(PoisonError::into_inner)
+        *self.now_s.lock_recover()
     }
 }
 

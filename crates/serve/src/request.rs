@@ -1,6 +1,11 @@
 //! Requests, responses and the futures-like [`ResponseHandle`].
 
-use std::sync::{Arc, Condvar, Mutex, PoisonError};
+use std::sync::Arc;
+use xai_sync::{LockClass, OrderedCondvar, OrderedMutex};
+
+/// A response handle's result slot — the deepest leaf: fulfilment
+/// happens after every server/queue/device lock has been released.
+static SERVE_RESPONSE: LockClass = LockClass::new("serve::response", 60);
 use xai_accel::Accelerator;
 use xai_core::{contributions_batch_on, DistilledModel, Region};
 use xai_tensor::ops::DivPolicy;
@@ -113,8 +118,8 @@ pub enum Outcome {
 #[derive(Debug)]
 struct HandleState {
     /// `(result, resolved_at_s)` — set exactly once.
-    slot: Mutex<Option<(ServeResult, f64)>>,
-    done: Condvar,
+    slot: OrderedMutex<Option<(ServeResult, f64)>>,
+    done: OrderedCondvar,
     submitted_at_s: f64,
     deadline_s: f64,
 }
@@ -137,8 +142,8 @@ impl ResponseHandle {
     pub(crate) fn pending(submitted_at_s: f64, deadline_s: f64) -> Self {
         ResponseHandle {
             inner: Arc::new(HandleState {
-                slot: Mutex::new(None),
-                done: Condvar::new(),
+                slot: OrderedMutex::new(&SERVE_RESPONSE, None),
+                done: OrderedCondvar::new(),
                 submitted_at_s,
                 deadline_s,
             }),
@@ -148,11 +153,7 @@ impl ResponseHandle {
     /// Resolves the handle. Panics on double resolution: every
     /// submission completes XOR sheds XOR misses its deadline.
     pub(crate) fn fulfill(&self, result: ServeResult, at_s: f64) {
-        let mut slot = self
-            .inner
-            .slot
-            .lock()
-            .unwrap_or_else(PoisonError::into_inner);
+        let mut slot = self.inner.slot.lock_recover();
         assert!(
             slot.is_none(),
             "a response handle must resolve exactly once"
@@ -163,17 +164,9 @@ impl ResponseHandle {
 
     /// Blocks until the request resolves, then returns the result.
     pub fn wait(&self) -> ServeResult {
-        let mut slot = self
-            .inner
-            .slot
-            .lock()
-            .unwrap_or_else(PoisonError::into_inner);
+        let mut slot = self.inner.slot.lock_recover();
         while slot.is_none() {
-            slot = self
-                .inner
-                .done
-                .wait(slot)
-                .unwrap_or_else(PoisonError::into_inner);
+            slot = self.inner.done.wait(slot);
         }
         slot.as_ref().expect("resolved").0.clone()
     }
@@ -182,27 +175,21 @@ impl ResponseHandle {
     pub fn poll(&self) -> Option<ServeResult> {
         self.inner
             .slot
-            .lock()
-            .unwrap_or_else(PoisonError::into_inner)
+            .lock_recover()
             .as_ref()
             .map(|(r, _)| r.clone())
     }
 
     /// `true` once the request has resolved.
     pub fn is_resolved(&self) -> bool {
-        self.inner
-            .slot
-            .lock()
-            .unwrap_or_else(PoisonError::into_inner)
-            .is_some()
+        self.inner.slot.lock_recover().is_some()
     }
 
     /// The coarse disposition, once resolved (no payload clone).
     pub fn outcome(&self) -> Option<Outcome> {
         self.inner
             .slot
-            .lock()
-            .unwrap_or_else(PoisonError::into_inner)
+            .lock_recover()
             .as_ref()
             .map(|(r, _)| match r {
                 Ok(_) => Outcome::Completed,
@@ -216,8 +203,7 @@ impl ResponseHandle {
     pub fn latency_s(&self) -> Option<f64> {
         self.inner
             .slot
-            .lock()
-            .unwrap_or_else(PoisonError::into_inner)
+            .lock_recover()
             .as_ref()
             .map(|&(_, at)| at - self.inner.submitted_at_s)
     }

@@ -4,7 +4,14 @@
 use crate::clock::{TimeSource, WallClock};
 use crate::queue::{AdmissionQueue, Pending, ShedPolicy};
 use crate::request::{run_job, ExplainJob, ResponseHandle, ServeError};
-use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
+use std::sync::Arc;
+use xai_sync::{LockClass, OrderedCondvar, OrderedMutex, OrderedMutexGuard};
+
+/// The admission queue + drain state: the outermost lock of the
+/// serving stack — a worker that popped a request goes on to take
+/// queue, pool and device locks while this one is long released,
+/// but admission checks may read queue depth while holding it.
+static SERVE_STATE: LockClass = LockClass::new("serve::state", 10);
 use std::thread::JoinHandle;
 use xai_accel::Accelerator;
 use xai_core::DistilledModel;
@@ -54,13 +61,13 @@ struct Shared {
     acc: Arc<dyn Accelerator>,
     model: DistilledModel,
     clock: Arc<dyn TimeSource>,
-    state: Mutex<State>,
-    arrivals: Condvar,
+    state: OrderedMutex<State>,
+    arrivals: OrderedCondvar,
 }
 
 impl Shared {
-    fn lock(&self) -> MutexGuard<'_, State> {
-        self.state.lock().unwrap_or_else(PoisonError::into_inner)
+    fn lock(&self) -> OrderedMutexGuard<'_, State> {
+        self.state.lock_recover()
     }
 }
 
@@ -132,11 +139,14 @@ impl ExplainServer {
             acc,
             model,
             clock,
-            state: Mutex::new(State {
-                queue: AdmissionQueue::new(config.capacity, config.policy),
-                stopping: None,
-            }),
-            arrivals: Condvar::new(),
+            state: OrderedMutex::new(
+                &SERVE_STATE,
+                State {
+                    queue: AdmissionQueue::new(config.capacity, config.policy),
+                    stopping: None,
+                },
+            ),
+            arrivals: OrderedCondvar::new(),
         });
         let workers = (0..config.workers.max(1))
             .map(|i| {
@@ -257,10 +267,7 @@ fn worker_loop(shared: &Shared) {
                 if st.stopping.is_some() {
                     return; // queue empty and stopping: done
                 }
-                st = shared
-                    .arrivals
-                    .wait(st)
-                    .unwrap_or_else(PoisonError::into_inner);
+                st = shared.arrivals.wait(st);
             }
         };
         serve_one(shared, pending);

@@ -26,10 +26,20 @@
 use crate::shared::SharedDevice;
 use std::collections::HashMap;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
-use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
+use xai_sync::{LockClass, OrderedCondvar, OrderedMutex, OrderedMutexGuard};
 use xai_tensor::ops::DivPolicy;
 use xai_tensor::{Complex64, Matrix, Result, TensorError};
+
+/// The flight-forming queue state. Ranked between the serving front
+/// door (whose workers submit into queues) and the device locks a
+/// leader charges while the flight state is briefly re-held.
+static TPU_QUEUE: LockClass = LockClass::new("tpu::queue", 20);
+
+/// A [`ManualTime`]'s clock cell — a deep leaf: a flight leader
+/// reads the queue clock while holding the queue state.
+static TPU_QUEUE_TIME: LockClass = LockClass::new("tpu::queue_time", 56);
 
 /// The time source a [`BatchQueue`] measures its batching window on.
 ///
@@ -85,9 +95,9 @@ impl QueueTime for WallTime {
 /// when the test says it does, never when the host scheduler does.
 ///
 /// Cheap to clone; clones share the same clock.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct ManualTime {
-    now: Arc<Mutex<Duration>>,
+    now: Arc<OrderedMutex<Duration>>,
 }
 
 impl ManualTime {
@@ -98,21 +108,28 @@ impl ManualTime {
 
     /// Moves the clock forward by `dt`.
     pub fn advance(&self, dt: Duration) {
-        let mut now = self.now.lock().unwrap_or_else(PoisonError::into_inner);
-        *now += dt;
+        *self.now.lock_recover() += dt;
     }
 
     /// Jumps the clock to an absolute reading (must not move
     /// backwards; a backwards set is clamped to the current reading).
     pub fn set(&self, t: Duration) {
-        let mut now = self.now.lock().unwrap_or_else(PoisonError::into_inner);
+        let mut now = self.now.lock_recover();
         *now = t.max(*now);
+    }
+}
+
+impl Default for ManualTime {
+    fn default() -> Self {
+        ManualTime {
+            now: Arc::new(OrderedMutex::new(&TPU_QUEUE_TIME, Duration::ZERO)),
+        }
     }
 }
 
 impl QueueTime for ManualTime {
     fn now(&self) -> Duration {
-        *self.now.lock().unwrap_or_else(PoisonError::into_inner)
+        *self.now.lock_recover()
     }
 
     fn wait_hint(&self, _remaining: Duration) -> Duration {
@@ -282,11 +299,11 @@ pub struct BatchQueue<W, R> {
     /// The clock the batching window is measured on (wall time unless
     /// constructed through [`BatchQueue::with_time`]).
     time: Arc<dyn QueueTime>,
-    state: Mutex<QueueState<W, R>>,
+    state: OrderedMutex<QueueState<W, R>>,
     /// Wakes the current leader when followers add lanes.
-    arrivals: Condvar,
+    arrivals: OrderedCondvar,
     /// Wakes followers when a flight lands.
-    completions: Condvar,
+    completions: OrderedCondvar,
 }
 
 #[derive(Debug)]
@@ -343,16 +360,19 @@ impl<W: Send, R: Send> BatchQueue<W, R> {
             window,
             max_lanes: max_lanes.max(1),
             time,
-            state: Mutex::new(QueueState {
-                generation: 0,
-                pending: Vec::new(),
-                window_open: None,
-                submissions: 0,
-                has_leader: false,
-                landed: HashMap::new(),
-            }),
-            arrivals: Condvar::new(),
-            completions: Condvar::new(),
+            state: OrderedMutex::new(
+                &TPU_QUEUE,
+                QueueState {
+                    generation: 0,
+                    pending: Vec::new(),
+                    window_open: None,
+                    submissions: 0,
+                    has_leader: false,
+                    landed: HashMap::new(),
+                },
+            ),
+            arrivals: OrderedCondvar::new(),
+            completions: OrderedCondvar::new(),
         }
     }
 
@@ -468,10 +488,10 @@ impl<W: Send, R: Send> BatchQueue<W, R> {
     /// publishes the landing.
     fn run_flight<'q>(
         &'q self,
-        mut st: MutexGuard<'q, QueueState<W, R>>,
+        mut st: OrderedMutexGuard<'q, QueueState<W, R>>,
         generation: u64,
         dispatch: impl FnOnce(&SharedDevice, Vec<W>) -> Result<Vec<Result<R>>>,
-    ) -> MutexGuard<'q, QueueState<W, R>> {
+    ) -> OrderedMutexGuard<'q, QueueState<W, R>> {
         // The window is anchored at the flight's FIRST enqueue (not at
         // this leader's arrival in the wait loop): lanes already
         // pending dispatch no later than `window_open + window`, even
@@ -486,8 +506,7 @@ impl<W: Send, R: Send> BatchQueue<W, R> {
             }
             let (guard, _) = self
                 .arrivals
-                .wait_timeout(st, self.time.wait_hint(deadline - now))
-                .unwrap_or_else(PoisonError::into_inner);
+                .wait_timeout(st, self.time.wait_hint(deadline - now));
             st = guard;
         }
         // Close the flight: later submitters start the next one.
@@ -548,7 +567,7 @@ impl<W: Send, R: Send> BatchQueue<W, R> {
     /// for the landing if necessary.
     fn collect(
         &self,
-        mut st: MutexGuard<'_, QueueState<W, R>>,
+        mut st: OrderedMutexGuard<'_, QueueState<W, R>>,
         generation: u64,
         offset: usize,
         count: usize,
@@ -571,15 +590,12 @@ impl<W: Send, R: Send> BatchQueue<W, R> {
                 }
                 return taken;
             }
-            st = self
-                .completions
-                .wait(st)
-                .unwrap_or_else(PoisonError::into_inner);
+            st = self.completions.wait(st);
         }
     }
 
-    fn lock(&self) -> MutexGuard<'_, QueueState<W, R>> {
-        self.state.lock().unwrap_or_else(PoisonError::into_inner)
+    fn lock(&self) -> OrderedMutexGuard<'_, QueueState<W, R>> {
+        self.state.lock_recover()
     }
 }
 
@@ -692,7 +708,7 @@ mod tests {
             64,
             Arc::new(time.clone()),
         ));
-        let dispatched_at = Arc::new(Mutex::new(None::<Duration>));
+        let dispatched_at = Arc::new(OrderedMutex::<Option<Duration>>::default());
         std::thread::scope(|scope| {
             let leader = {
                 let q = Arc::clone(&q);
@@ -700,8 +716,8 @@ mod tests {
                 let dispatched_at = Arc::clone(&dispatched_at);
                 scope.spawn(move || {
                     q.submit(vec![1], move |_, v| {
-                        *dispatched_at.lock().unwrap_or_else(PoisonError::into_inner) =
-                            Some(time.now());
+                        let at = time.now();
+                        *dispatched_at.lock_recover() = Some(at);
                         Ok(v)
                     })
                 })
@@ -736,7 +752,7 @@ mod tests {
             assert_eq!(follower.join().unwrap().unwrap(), vec![2]);
         });
         assert_eq!(
-            *dispatched_at.lock().unwrap_or_else(PoisonError::into_inner),
+            *dispatched_at.lock_recover(),
             Some(Duration::from_secs(15)),
             "dispatch is pinned at first-enqueue + window on the queue clock"
         );

@@ -26,7 +26,12 @@ use crate::device::TpuDevice;
 use crate::shared::SharedDevice;
 use crate::topology::Topology;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::{Mutex, MutexGuard, PoisonError};
+use xai_sync::{LockClass, OrderedMutex, OrderedMutexGuard};
+
+/// The pool's merged lane timeline. Ranked between the flight queue
+/// (whose dispatch shards across the pool) and the per-chip device
+/// locks the shards charge.
+static TPU_POOL: LockClass = LockClass::new("tpu::pool", 25);
 use xai_tensor::{Result, TensorError};
 
 /// How a [`ShardPlan`] places lanes onto devices.
@@ -284,7 +289,7 @@ pub struct DevicePool {
     /// a chip's on-chip interconnect and the pool's inter-chip fabric
     /// can differ (see [`DevicePool::with_topology`]).
     topology: Topology,
-    timeline: Mutex<PoolTimeline>,
+    timeline: OrderedMutex<PoolTimeline>,
 }
 
 impl DevicePool {
@@ -331,7 +336,7 @@ impl DevicePool {
             strategy: ShardStrategy::default(),
             cfg,
             topology,
-            timeline: Mutex::new(PoolTimeline::default()),
+            timeline: OrderedMutex::new(&TPU_POOL, PoolTimeline::default()),
         }
     }
 
@@ -447,7 +452,7 @@ impl DevicePool {
             strategy: self.strategy,
             cfg: self.cfg.clone(),
             topology: self.topology,
-            timeline: Mutex::new(*self.lock_timeline()),
+            timeline: OrderedMutex::new(&TPU_POOL, *self.lock_timeline()),
         }
     }
 
@@ -684,11 +689,10 @@ impl DevicePool {
         })
     }
 
-    fn lock_timeline(&self) -> MutexGuard<'_, PoolTimeline> {
+    fn lock_timeline(&self) -> OrderedMutexGuard<'_, PoolTimeline> {
         // Same policy as SharedDevice: the timeline is a monotone
-        // ledger, so recover from poisoning rather than wedging the
-        // pool.
-        self.timeline.lock().unwrap_or_else(PoisonError::into_inner)
+        // ledger, so lock_recover rather than wedging the pool.
+        self.timeline.lock_recover()
     }
 }
 

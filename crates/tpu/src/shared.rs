@@ -12,7 +12,20 @@
 
 use crate::config::TpuConfig;
 use crate::device::TpuDevice;
-use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
+use std::sync::Arc;
+use xai_sync::{LockClass, OrderedCondvar, OrderedMutex, OrderedMutexGuard};
+
+/// The whole-device mutex. Ranked below the queue/pool locks (a
+/// flight leader charges the device while coordinating a batch) and
+/// above the lane scheduler, the host pool's queues and the leaf
+/// ledgers — all of which may be taken while a kernel holds the
+/// device.
+static TPU_DEVICE: LockClass = LockClass::new("tpu::device", 30);
+
+/// The per-core lane scheduler. Leased and freed while no device
+/// lock is needed, but `LaneLease::timed` records its charge right
+/// after the device releases — so lanes rank below the device.
+static DEVICE_LANES: LockClass = LockClass::new("device::lanes", 34);
 
 /// A cloneable, `Send + Sync` handle to one simulated TPU.
 ///
@@ -50,16 +63,16 @@ use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 /// ```
 #[derive(Debug, Clone)]
 pub struct SharedDevice {
-    inner: Arc<Mutex<TpuDevice>>,
+    inner: Arc<OrderedMutex<TpuDevice>>,
     lanes: Arc<LaneSet>,
 }
 
 /// The per-core lane scheduler state shared by every handle clone.
 #[derive(Debug)]
 struct LaneSet {
-    state: Mutex<LaneState>,
+    state: OrderedMutex<LaneState>,
     /// Wakes blocked [`SharedDevice::lease`] calls when lanes free up.
-    freed: Condvar,
+    freed: OrderedCondvar,
 }
 
 #[derive(Debug)]
@@ -76,17 +89,20 @@ struct LaneState {
 impl LaneSet {
     fn new(cores: usize) -> Self {
         LaneSet {
-            state: Mutex::new(LaneState {
-                busy: vec![false; cores.max(1)],
-                busy_until: vec![0.0; cores.max(1)],
-                serial_s: 0.0,
-            }),
-            freed: Condvar::new(),
+            state: OrderedMutex::new(
+                &DEVICE_LANES,
+                LaneState {
+                    busy: vec![false; cores.max(1)],
+                    busy_until: vec![0.0; cores.max(1)],
+                    serial_s: 0.0,
+                },
+            ),
+            freed: OrderedCondvar::new(),
         }
     }
 
-    fn lock(&self) -> MutexGuard<'_, LaneState> {
-        self.state.lock().unwrap_or_else(PoisonError::into_inner)
+    fn lock(&self) -> OrderedMutexGuard<'_, LaneState> {
+        self.state.lock_recover()
     }
 }
 
@@ -117,7 +133,7 @@ impl SharedDevice {
     pub fn from_device(device: TpuDevice) -> Self {
         let cores = device.num_cores();
         SharedDevice {
-            inner: Arc::new(Mutex::new(device)),
+            inner: Arc::new(OrderedMutex::new(&TPU_DEVICE, device)),
             lanes: Arc::new(LaneSet::new(cores)),
         }
     }
@@ -154,11 +170,7 @@ impl SharedDevice {
                     cores: free,
                 };
             }
-            st = self
-                .lanes
-                .freed
-                .wait(st)
-                .unwrap_or_else(PoisonError::into_inner);
+            st = self.lanes.freed.wait(st);
         }
     }
 
@@ -284,12 +296,12 @@ impl SharedDevice {
         Arc::ptr_eq(&self.inner, &other.inner)
     }
 
-    fn lock(&self) -> MutexGuard<'_, TpuDevice> {
-        // Recover from poisoning: cycle/energy/communication counters
-        // are monotone sums, so the worst a mid-kernel panic leaves
+    fn lock(&self) -> OrderedMutexGuard<'_, TpuDevice> {
+        // lock_recover: cycle/energy/communication counters are
+        // monotone sums, so the worst a mid-kernel panic leaves
         // behind is a partially-charged phase — still serviceable,
         // unlike a process-wide wedge.
-        self.inner.lock().unwrap_or_else(PoisonError::into_inner)
+        self.inner.lock_recover()
     }
 }
 

@@ -8,7 +8,7 @@
 //! intentionally awkward worker count (prime, larger than most row
 //! splits here) so ragged chunk balancing actually happens.
 
-use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
+use std::sync::Arc;
 use std::time::Duration;
 use tpu_xai::accel::{Accelerator, TpuAccel};
 use tpu_xai::core::{explain_batch_on, explain_batch_parallel_on, DistilledModel, SolveStrategy};
@@ -16,6 +16,7 @@ use tpu_xai::fourier::Fft2d;
 use tpu_xai::parallel;
 use tpu_xai::tensor::ops::{self, DivPolicy};
 use tpu_xai::tensor::{conv::conv2d_circular, Complex64, Matrix, TensorError};
+use xai_sync::{LockClass, OrderedMutex, OrderedMutexGuard};
 
 /// Pins the pool size for this process before anything can touch the
 /// lazily-initialised global pool (`init_global` rather than setting
@@ -32,9 +33,12 @@ fn setup() -> &'static parallel::Pool {
 /// the harness runs tests concurrently, and two overlapping request
 /// fleets would legitimately push the crew high-water mark past what
 /// the thread-count test measured, flaking its assertion.
-fn crew_lock() -> MutexGuard<'static, ()> {
-    static LOCK: Mutex<()> = Mutex::new(());
-    LOCK.lock().unwrap_or_else(PoisonError::into_inner)
+fn crew_lock() -> OrderedMutexGuard<'static, ()> {
+    // Rank 1: this gate is held across whole request fleets, i.e.
+    // while every other lock class in the stack gets acquired.
+    static CREW_GATE: LockClass = LockClass::new("test::crew_gate", 1);
+    static LOCK: OrderedMutex<()> = OrderedMutex::new(&CREW_GATE, ());
+    LOCK.lock_recover()
 }
 
 #[test]
