@@ -756,6 +756,21 @@ impl TpuAccel {
                 if let Some((plan, gather_bytes)) = self.fanout_plan(pool, &flight, &charges) {
                     return self.dispatch_pooled_flight(pool, flight, &plan, gather_bytes);
                 }
+                if pool.fault_plan().is_some() {
+                    // Fault injection must see every multi-lane
+                    // flight: when a plan is installed, the
+                    // single-chip fallback also runs through the
+                    // pool's faulted dispatch — all lanes on the
+                    // first healthy chip, retries and quarantine
+                    // included. Without a plan this branch is never
+                    // taken and the fallback below stays bit-identical.
+                    let lanes: Vec<LaneCost> = flight.iter().map(kernel_lane_cost).collect();
+                    let healthy = pool.healthy_device_indices();
+                    let plan =
+                        ShardPlan::plan_width(&lanes, 1, 1).project(&healthy, pool.num_devices());
+                    let gather_bytes = plan.gather_shard_bytes(&lanes);
+                    return self.dispatch_pooled_flight(pool, flight, &plan, gather_bytes);
+                }
             }
         }
         let (ops, bytes) = flight_stats(&flight);
@@ -806,14 +821,21 @@ impl TpuAccel {
     ) -> Option<(ShardPlan, usize)> {
         let lanes: Vec<LaneCost> = flight.iter().map(kernel_lane_cost).collect();
         let n = pool.num_devices();
+        // Plan over the *healthy* chips on the *fault-masked* fabric,
+        // then project the subset plan back onto full-pool device
+        // indices. With no fault plan installed the healthy set is the
+        // identity and the masked fabric is the configured one, so
+        // this is bit-identical to planning over the whole pool.
+        let healthy = pool.healthy_device_indices();
+        let h = healthy.len();
+        let fabric = pool.effective_topology();
         let candidates: Vec<ShardPlan> = match pool.strategy() {
-            ShardStrategy::TopologyAware => pool
-                .topology()
-                .fanout_widths(n)
+            ShardStrategy::TopologyAware => fabric
+                .fanout_widths(h)
                 .into_iter()
-                .map(|w| ShardPlan::plan_width(&lanes, n, w))
+                .map(|w| ShardPlan::plan_width(&lanes, h, w).project(&healthy, n))
                 .collect(),
-            strategy => vec![ShardPlan::plan_on(&lanes, n, strategy, pool.topology())],
+            strategy => vec![ShardPlan::plan_on(&lanes, h, strategy, &fabric).project(&healthy, n)],
         };
         // An unchargeable probe (empty phase) means the real dispatch
         // would fail identically on either path; prefer the simpler
@@ -1163,6 +1185,13 @@ impl Accelerator for TpuAccel {
 
     fn queue_depth(&self) -> usize {
         self.queue.as_ref().map_or(0, |q| q.pending_lanes())
+    }
+
+    fn healthy_fraction(&self) -> f64 {
+        match &self.pool {
+            Some(pool) => pool.healthy_fraction(),
+            None => 1.0,
+        }
     }
 
     fn elapsed_seconds(&self) -> f64 {

@@ -197,6 +197,18 @@ pub trait Accelerator: Send + Sync {
         0
     }
 
+    /// Fraction of this accelerator's execution capacity currently
+    /// healthy, in `(0, 1]`.
+    ///
+    /// A multi-chip backend with quarantined or fail-stopped chips
+    /// reports the surviving share; the serving layer multiplies its
+    /// admission capacity by this so it sheds proactively against the
+    /// shrunken pool instead of queueing work the fleet can no longer
+    /// absorb. Accelerators without fault domains are always whole.
+    fn healthy_fraction(&self) -> f64 {
+        1.0
+    }
+
     /// Simulated seconds elapsed since construction or reset.
     ///
     /// When the accelerator is shared across threads this is the

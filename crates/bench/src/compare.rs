@@ -87,14 +87,15 @@ pub fn parse_metrics(json: &str) -> Vec<(String, f64)> {
 }
 
 /// `true` when smaller values of this metric are better (times,
-/// errors, latencies, shed rates); larger is better otherwise
-/// (speedups, accuracies, throughputs, savings).
+/// errors, latencies, shed and retry rates); larger is better
+/// otherwise (speedups, accuracies, throughputs, savings).
 pub fn lower_is_better(key: &str) -> bool {
     key.contains("seconds")
         || key.contains("error")
         || key.contains("latency")
         || key.contains("shed_rate")
         || key.contains("over_deadline")
+        || key.contains("retry_rate")
 }
 
 /// Metrics present in the candidate but absent from the baseline —
@@ -196,6 +197,9 @@ mod tests {
         assert!(!lower_is_better("table2_interpret_speedup_vs_cpu"));
         assert!(!lower_is_better("serving_explanations_per_sec_batched_8w"));
         assert!(!lower_is_better("fig5_block_localization_accuracy"));
+        assert!(lower_is_better("degraded_shed_rate_1of16_failed"));
+        assert!(lower_is_better("degraded_retry_rate_1of16_failed"));
+        assert!(!lower_is_better("degraded_goodput_frac_1of16_failed"));
     }
 
     #[test]

@@ -46,3 +46,14 @@ fn wrapper_names(_g: OrderedMutexGuard2, _m: MutexGuard2) {
     // Word-boundary matching: identifiers merely *containing* the
     // banned names are fine.
 }
+
+fn hopeful(job: &Job2) {
+    while job_retries(job) { resubmit(job) } // rule 6: no-unbounded-retry
+}
+
+fn bounded(job: &Job2) {
+    // negative control: naming the budget in the header bounds it.
+    while job_retries(job) < retry_budget(job) {
+        resubmit(job);
+    }
+}

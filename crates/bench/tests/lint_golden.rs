@@ -24,6 +24,7 @@ fn fixture_trips_each_rule_exactly_once_at_pinned_lines() {
             ("no-thread-spawn", 15),
             ("no-wall-clock", 19),
             ("safety-comment", 23),
+            ("no-unbounded-retry", 51),
         ],
         "full diagnostics: {diags:#?}"
     );
@@ -76,6 +77,8 @@ fn lock_hierarchy_table_matches_the_documented_ranks() {
     for expected in [
         "serve::state",
         "tpu::queue",
+        "tpu::fault",
+        "tpu::quarantine",
         "tpu::pool",
         "tpu::device",
         "device::lanes",
@@ -96,7 +99,10 @@ fn lock_hierarchy_table_matches_the_documented_ranks() {
     }
     let pos = |n: &str| names.iter().position(|x| *x == n).unwrap();
     assert!(pos("serve::state") < pos("tpu::queue"));
-    assert!(pos("tpu::queue") < pos("tpu::device"));
+    assert!(pos("tpu::queue") < pos("tpu::fault"));
+    assert!(pos("tpu::fault") < pos("tpu::quarantine"));
+    assert!(pos("tpu::quarantine") < pos("tpu::pool"));
+    assert!(pos("tpu::pool") < pos("tpu::device"));
     assert!(pos("tpu::device") < pos("device::lanes"));
     assert!(pos("device::lanes") < pos("parallel::injector"));
     assert!(pos("parallel::injector") < pos("parallel::deque"));

@@ -19,6 +19,7 @@
 //! | `no-lock-unwrap` | no `.lock().unwrap()` / `.lock().expect(` — poison recovery is the policy, and `lock_recover()` is the API |
 //! | `no-thread-spawn` | `thread::spawn`/`thread::scope` only inside `xai-parallel` (and tests): serving paths must ride the resident pool, never spawn per call |
 //! | `no-wall-clock` | `Instant::now`/`SystemTime` only in the sanctioned clock sources, bench bins and the criterion shim — protecting `SimServer`'s virtual-time determinism |
+//! | `no-unbounded-retry` | a `while`/`for` header keyed on a retry/attempt identifier must reference a budget/limit binding in the same header — retry loops are bounded by construction, never by hope |
 //! | `safety-comment` | every `unsafe` keyword is preceded by a `// SAFETY:` (or `# Safety` doc) comment within five lines |
 //!
 //! A violation can be waived in place with
@@ -34,11 +35,12 @@ use std::fmt;
 use std::path::{Path, PathBuf};
 
 /// The rule identifiers, in reporting order.
-pub const RULES: [&str; 5] = [
+pub const RULES: [&str; 6] = [
     "no-raw-mutex",
     "no-lock-unwrap",
     "no-thread-spawn",
     "no-wall-clock",
+    "no-unbounded-retry",
     "safety-comment",
 ];
 
@@ -421,6 +423,28 @@ pub fn lint_source(rel: &str, source: &str) -> Vec<Diagnostic> {
                     .to_string(),
             );
         }
+        if !in_test {
+            // A loop *keyed on* a retry/attempt identifier with no
+            // budget/limit word in the same header retries on hope:
+            // the fault layer's contract is that every retry loop is
+            // bounded by construction (`FaultPlan::retry_budget`,
+            // `ServeConfig::retry_budget`, a deadline…).
+            let lower = code.to_lowercase();
+            let loop_header = find_word(&lower, "while") || find_word(&lower, "for");
+            let retry_keyed = lower.contains("retr") || lower.contains("attempt");
+            let bounded = ["budget", "limit", "max", "bound", "cap", "deadline"]
+                .iter()
+                .any(|w| lower.contains(w));
+            if loop_header && retry_keyed && !bounded {
+                report(
+                    "no-unbounded-retry",
+                    "a retry loop must reference its budget/limit in the \
+                     loop header; unbounded retry turns one fault into a \
+                     livelock"
+                        .to_string(),
+                );
+            }
+        }
         if find_word(code, "unsafe") {
             // Accept a SAFETY marker on this line or anywhere in the
             // contiguous comment/attribute block directly above it —
@@ -654,6 +678,34 @@ mod tests {
         assert!(rules_hit("crates/tpu/src/batch.rs", src).is_empty());
         assert!(rules_hit("crates/serve/src/clock.rs", src).is_empty());
         assert!(rules_hit("crates/bench/src/bin/load.rs", src).is_empty());
+    }
+
+    #[test]
+    fn unbounded_retry_scoping() {
+        let bad = "fn f() { while retries_left { go(); } }\n";
+        assert_eq!(
+            rules_hit("crates/demo/src/lib.rs", bad),
+            ["no-unbounded-retry"]
+        );
+        let bad_for = "fn f() { for attempt in attempts_iter() { go(); } }\n";
+        assert_eq!(
+            rules_hit("crates/demo/src/lib.rs", bad_for),
+            ["no-unbounded-retry"]
+        );
+        // A budget/limit word in the same header bounds the loop.
+        let bounded = "fn f() { while retries < budget { go(); } }\n\
+                       fn g() { for attempt in 0..max_attempts { go(); } }\n";
+        assert!(rules_hit("crates/demo/src/lib.rs", bounded).is_empty());
+        // Loops not keyed on retry identifiers never fire.
+        let plain = "fn f() { while pending { go(); } loop { break; } }\n";
+        assert!(rules_hit("crates/demo/src/lib.rs", plain).is_empty());
+        // The waiver works like every other rule's.
+        let waived = "// lint:allow(no-unbounded-retry): bounded by caller\n\
+                      fn f() { while retrying() { go(); } }\n";
+        assert!(rules_hit("crates/demo/src/lib.rs", waived).is_empty());
+        // Test code is harness territory.
+        let in_tests = "#[cfg(test)]\nmod tests {\n    fn f() { while retrying() { go(); } }\n}\n";
+        assert!(rules_hit("crates/demo/src/lib.rs", in_tests).is_empty());
     }
 
     #[test]

@@ -51,6 +51,7 @@
 //!         capacity: 16,
 //!         policy: ShedPolicy::RejectNewest,
 //!         workers: 2,
+//!         retry_budget: 0,
 //!     },
 //! );
 //! let handle = server.submit(ExplainJob::Contributions { x, y, grid: 2 }, 3600.0);
@@ -70,7 +71,7 @@ mod server;
 mod sim;
 
 pub use clock::{SimClock, TimeSource, WallClock};
-pub use loadgen::{load_accelerator, run_load, synth_problem, LoadConfig, LoadReport};
+pub use loadgen::{load_accelerator, run_load, synth_problem, LoadConfig, LoadFault, LoadReport};
 pub use queue::ShedPolicy;
 pub use request::{ExplainJob, JobOutput, Outcome, ResponseHandle, ServeError, ServeResult};
 pub use server::{DrainMode, ExplainServer, ServeConfig};

@@ -18,7 +18,50 @@ use xai_accel::{Accelerator, TpuAccel};
 use xai_core::{DistilledModel, SolveStrategy};
 use xai_tensor::conv::conv2d_circular;
 use xai_tensor::{Matrix, Result};
-use xai_tpu::{DevicePool, TpuConfig};
+use xai_tpu::{DevicePool, FaultPlan, FaultStats, Topology, TpuConfig};
+
+/// A seeded fault scenario layered onto one load experiment: the
+/// chaos suite's knob for "what breaks, and when".
+///
+/// The calibration probe always runs fault-free — `capacity_rps` is
+/// the *healthy* baseline, so a degraded run's `goodput_frac` measures
+/// real degradation rather than recalibrating it away.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LoadFault {
+    /// Seed of the injected fault plan's transient draw stream.
+    pub seed: u64,
+    /// Per-shard-attempt transient fault probability in `[0, 1]`.
+    pub transient_prob: f64,
+    /// Chip that fail-stops mid-run, if any.
+    pub fail_stop_chip: Option<usize>,
+    /// When the fail-stop lands, as a fraction of the expected arrival
+    /// span (`requests / offered_rps`) — `0.5` is mid-load.
+    pub fail_stop_at_frac: f64,
+}
+
+impl LoadFault {
+    /// A scenario where `chip` fail-stops halfway through the arrival
+    /// span and nothing else goes wrong.
+    pub fn fail_stop_mid_load(chip: usize) -> Self {
+        LoadFault {
+            seed: 7,
+            transient_prob: 0.0,
+            fail_stop_chip: Some(chip),
+            fail_stop_at_frac: 0.5,
+        }
+    }
+
+    /// A scenario of seeded transient kernel faults at probability
+    /// `prob` per shard attempt, with no permanent failures.
+    pub fn transient(seed: u64, prob: f64) -> Self {
+        LoadFault {
+            seed,
+            transient_prob: prob,
+            fail_stop_chip: None,
+            fail_stop_at_frac: 0.5,
+        }
+    }
+}
 
 /// Knobs of one synthetic load experiment.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -44,6 +87,16 @@ pub struct LoadConfig {
     pub size: usize,
     /// Occlusion grid of each request (`grid²` fused lanes).
     pub grid: usize,
+    /// Interconnect fabric of the pool (`None` = the pool default,
+    /// a flat crossbar). The degraded-mode scenario prices gathers on
+    /// a 4×4 torus so a dead chip's detours show up in the timeline.
+    pub topology: Option<Topology>,
+    /// Seeded fault scenario, if any (`None` = fault-free; the code
+    /// path is then bit-identical to a build without fault support).
+    pub fault: Option<LoadFault>,
+    /// Serving-level retry budget: transiently-failed requests re-run
+    /// up to this many extra times while their deadline still allows.
+    pub retry_budget: usize,
 }
 
 impl Default for LoadConfig {
@@ -58,6 +111,9 @@ impl Default for LoadConfig {
             devices: 2,
             size: 8,
             grid: 2,
+            topology: None,
+            fault: None,
+            retry_budget: 2,
         }
     }
 }
@@ -99,6 +155,12 @@ pub struct LoadReport {
     pub makespan_s: f64,
     /// Deepest admission-queue occupancy observed.
     pub queue_high_water: usize,
+    /// Serving-level retries: whole-job re-runs after a transient
+    /// kernel failure (always 0 on a fault-free run).
+    pub retries: u64,
+    /// Device-pool fault counters accumulated over the run — shard
+    /// retries, quarantines, probes, budget exhaustions.
+    pub fault_stats: FaultStats,
     /// Per-request dispositions in submission order — the determinism
     /// pin compares two runs' vectors for equality.
     pub outcomes: Vec<Outcome>,
@@ -129,6 +191,17 @@ pub fn load_accelerator(devices: usize) -> Arc<dyn Accelerator> {
     ))
 }
 
+/// The concrete flavour of [`load_accelerator`] with the experiment's
+/// fabric installed — kept concrete so `run_load` can reach the pool
+/// for fault-plan installation and counter readback.
+fn pooled_accel(cfg: &LoadConfig) -> Arc<TpuAccel> {
+    let mut pool = DevicePool::new(TpuConfig::small_test(), cfg.devices.max(1));
+    if let Some(topology) = cfg.topology {
+        pool = pool.with_topology(topology);
+    }
+    Arc::new(TpuAccel::over_pool(pool, Duration::ZERO, 256))
+}
+
 /// Runs one seeded open-loop load experiment against a [`SimServer`].
 ///
 /// The event loop is a textbook single-server queue simulation:
@@ -150,8 +223,11 @@ pub fn run_load(cfg: &LoadConfig) -> Result<LoadReport> {
 
     // Calibrate the service time on a twin accelerator: simulated
     // charges are deterministic, so one measured request prices all.
+    // The probe shares the experiment's fabric but never its fault
+    // plan — `capacity_rps` is the *healthy* baseline, so degraded
+    // goodput fractions measure real degradation.
     let service_s = {
-        let calib = load_accelerator(cfg.devices);
+        let calib: Arc<dyn Accelerator> = pooled_accel(cfg);
         let mut probe = SimServer::new(calib, model.clone(), 1, cfg.policy);
         probe.submit_at(0.0, job.clone(), f64::INFINITY);
         probe.drain();
@@ -161,12 +237,25 @@ pub fn run_load(cfg: &LoadConfig) -> Result<LoadReport> {
     let offered_rps = cfg.oversubscription * capacity_rps;
     let deadline_s = cfg.deadline_factor * service_s;
 
+    let acc = pooled_accel(cfg);
+    if let Some(fault) = cfg.fault {
+        let mut plan = FaultPlan::seeded(fault.seed).transient(fault.transient_prob);
+        if let Some(chip) = fault.fail_stop_chip {
+            // "Mid-load" is a fraction of the expected arrival span.
+            let span_s = cfg.requests as f64 / offered_rps;
+            plan = plan.fail_stop(chip, fault.fail_stop_at_frac * span_s);
+        }
+        acc.pool()
+            .expect("pooled_accel always carries a pool")
+            .install_fault_plan(plan);
+    }
     let mut sim = SimServer::new(
-        load_accelerator(cfg.devices),
+        Arc::<TpuAccel>::clone(&acc) as Arc<dyn Accelerator>,
         model,
         cfg.capacity,
         cfg.policy,
-    );
+    )
+    .with_retry_budget(cfg.retry_budget);
     let mut rng = StdRng::seed_from_u64(cfg.seed);
     let mut t = 0.0f64;
     let mut handles = Vec::with_capacity(cfg.requests);
@@ -220,6 +309,8 @@ pub fn run_load(cfg: &LoadConfig) -> Result<LoadReport> {
         max_over_deadline_s,
         makespan_s,
         queue_high_water: sim.high_water(),
+        retries: sim.retries(),
+        fault_stats: acc.pool().map(|p| p.fault_stats()).unwrap_or_default(),
         outcomes,
     })
 }

@@ -54,6 +54,14 @@ impl AdmissionQueue {
         self.capacity
     }
 
+    /// Re-sizes the queue (clamped to ≥ 1) — how the server shrinks
+    /// admission when the accelerator's healthy fraction drops.
+    /// Entries already admitted are never evicted by a shrink; the
+    /// tighter bound applies to subsequent offers.
+    pub(crate) fn set_capacity(&mut self, capacity: usize) {
+        self.capacity = capacity.max(1);
+    }
+
     pub(crate) fn policy(&self) -> ShedPolicy {
         self.policy
     }

@@ -219,6 +219,18 @@ impl ResponseHandle {
     }
 }
 
+/// Whether a kernel failure is worth re-running the job for: fault
+/// injection and panicked flight-mates are transient conditions of the
+/// *device*, not of the request, so a retry can legitimately succeed.
+/// Deterministic input errors (shape mismatch, strict ÷0, …) fail the
+/// same way every time and are never retried.
+pub(crate) fn retryable_kernel_error(e: &TensorError) -> bool {
+    matches!(
+        e,
+        TensorError::FaultBudgetExhausted { .. } | TensorError::WorkerPanicked { .. }
+    )
+}
+
 /// Executes one job on the accelerator. Shared by the threaded server
 /// and the deterministic simulator so both serve identical numerics.
 pub(crate) fn run_job(

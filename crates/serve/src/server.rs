@@ -28,6 +28,13 @@ pub struct ServeConfig {
     /// shared accelerator concurrently, so on a batching accelerator
     /// in-flight requests coalesce into shared device flights.
     pub workers: usize,
+    /// Extra attempts for a request whose kernel failed *transiently*
+    /// (fault-injection budget exhausted, panicked flight-mate). A
+    /// retry is only taken while it can still finish inside the
+    /// request's deadline; deterministic kernel errors (shape
+    /// mismatch, strict ÷0, …) are never retried. `0` disables
+    /// serving-level retry entirely.
+    pub retry_budget: usize,
 }
 
 impl Default for ServeConfig {
@@ -36,6 +43,7 @@ impl Default for ServeConfig {
             capacity: 64,
             policy: ShedPolicy::RejectNewest,
             workers: 2,
+            retry_budget: 0,
         }
     }
 }
@@ -63,6 +71,10 @@ struct Shared {
     clock: Arc<dyn TimeSource>,
     state: OrderedMutex<State>,
     arrivals: OrderedCondvar,
+    /// Configured admission bound; the live bound is this scaled by
+    /// the accelerator's healthy fraction at each arrival.
+    base_capacity: usize,
+    retry_budget: usize,
 }
 
 impl Shared {
@@ -147,6 +159,8 @@ impl ExplainServer {
                 },
             ),
             arrivals: OrderedCondvar::new(),
+            base_capacity: config.capacity.max(1),
+            retry_budget: config.retry_budget,
         });
         let workers = (0..config.workers.max(1))
             .map(|i| {
@@ -174,6 +188,14 @@ impl ExplainServer {
                 handle.fulfill(Err(ServeError::ShuttingDown), now);
                 return handle;
             }
+            // Degraded-mode gate: a pool that quarantined chips
+            // reports a healthy fraction < 1 and the admission bound
+            // shrinks with it (reading the fraction takes fault/
+            // quarantine locks, ranked above serve::state, so the
+            // nesting is lockdep-clean).
+            let effective = (self.shared.base_capacity as f64 * self.shared.acc.healthy_fraction())
+                .ceil() as usize;
+            st.queue.set_capacity(effective);
             let (queue_len, capacity) = (st.queue.len(), st.queue.capacity());
             let victim = st.queue.offer(Pending {
                 job,
@@ -287,8 +309,25 @@ fn serve_one(shared: &Shared, pending: Pending) {
         );
         return;
     }
-    let result = run_job(&*shared.acc, &shared.model, &job);
-    let end = shared.clock.now_s();
+    let mut attempts = 0usize;
+    let (result, end) = loop {
+        let attempt_start = shared.clock.now_s();
+        let result = run_job(&*shared.acc, &shared.model, &job);
+        let end = shared.clock.now_s();
+        match result {
+            // Transient kernel failures re-run while the budget holds
+            // AND a rerun of the observed cost could still land inside
+            // the deadline; anything else resolves as-is.
+            Err(ref e)
+                if crate::request::retryable_kernel_error(e)
+                    && attempts < shared.retry_budget
+                    && end + (end - attempt_start) <= handle.deadline_s() =>
+            {
+                attempts += 1;
+            }
+            other => break (other, end),
+        }
+    };
     let resolved = match result {
         // A result that lands past the deadline is stale, never Ok.
         Ok(_) if end > handle.deadline_s() => Err(ServeError::DeadlineExceeded {

@@ -9,7 +9,7 @@
 
 use crate::clock::{SimClock, TimeSource};
 use crate::queue::{AdmissionQueue, Pending, ShedPolicy};
-use crate::request::{run_job, ExplainJob, ResponseHandle, ServeError};
+use crate::request::{retryable_kernel_error, run_job, ExplainJob, ResponseHandle, ServeError};
 use std::sync::Arc;
 use xai_accel::Accelerator;
 use xai_core::DistilledModel;
@@ -21,6 +21,13 @@ pub struct SimServer {
     model: DistilledModel,
     clock: SimClock,
     queue: AdmissionQueue,
+    /// The configured admission bound; the live bound is this scaled
+    /// by the accelerator's healthy fraction at each arrival.
+    base_capacity: usize,
+    /// Transient kernel failures re-run at most this many times.
+    retry_budget: usize,
+    /// Serving-level retries performed (each one re-ran a whole job).
+    retries: u64,
 }
 
 impl std::fmt::Debug for SimServer {
@@ -45,7 +52,26 @@ impl SimServer {
             model,
             clock: SimClock::new(),
             queue: AdmissionQueue::new(capacity, policy),
+            base_capacity: capacity.max(1),
+            retry_budget: 0,
+            retries: 0,
         }
+    }
+
+    /// Re-runs a request whose kernel failed transiently (fault budget
+    /// exhausted, panicked flight-mate) up to `budget` extra times —
+    /// but only while a retry can still finish inside the request's
+    /// deadline. Deterministic kernel errors are never retried.
+    #[must_use]
+    pub fn with_retry_budget(mut self, budget: usize) -> Self {
+        self.retry_budget = budget;
+        self
+    }
+
+    /// Serving-level retries performed so far (whole-job re-runs after
+    /// a transient kernel failure).
+    pub fn retries(&self) -> u64 {
+        self.retries
     }
 
     /// The simulator's virtual clock (clones share the reading).
@@ -89,6 +115,12 @@ impl SimServer {
         deadline_rel_s: f64,
     ) -> ResponseHandle {
         self.clock.set(arrival_s);
+        // Degraded-mode gate: admission shrinks with the fleet. A pool
+        // that lost chips reports a healthy fraction < 1 and the queue
+        // bound scales down with it, so overload is shed at the door
+        // instead of queueing work the survivors cannot absorb.
+        let effective = (self.base_capacity as f64 * self.acc.healthy_fraction()).ceil() as usize;
+        self.queue.set_capacity(effective);
         let handle = ResponseHandle::pending(arrival_s, arrival_s + deadline_rel_s);
         let (queue_len, capacity) = (self.queue.len(), self.queue.capacity());
         if let Some(victim) = self.queue.offer(Pending {
@@ -137,10 +169,28 @@ impl SimServer {
             );
             return true;
         }
-        let charged_before = self.acc.elapsed_seconds();
-        let result = run_job(&*self.acc, &self.model, &job);
-        self.clock
-            .advance(self.acc.elapsed_seconds() - charged_before);
+        let mut attempts = 0usize;
+        let result = loop {
+            let charged_before = self.acc.elapsed_seconds();
+            let result = run_job(&*self.acc, &self.model, &job);
+            let attempt_s = self.acc.elapsed_seconds() - charged_before;
+            self.clock.advance(attempt_s);
+            match result {
+                // A transient failure re-runs only while the budget
+                // holds AND a rerun of the same cost could still land
+                // inside the deadline — a retry that cannot finish in
+                // time is pure waste and resolves the failure instead.
+                Err(ref e)
+                    if retryable_kernel_error(e)
+                        && attempts < self.retry_budget
+                        && self.now_s() + attempt_s <= handle.deadline_s() =>
+                {
+                    attempts += 1;
+                    self.retries += 1;
+                }
+                other => break other,
+            }
+        };
         let end = self.now_s();
         let resolved = match result {
             Ok(_) if end > handle.deadline_s() => Err(ServeError::DeadlineExceeded {

@@ -51,6 +51,17 @@ pub enum TensorError {
         /// Name of the shared operation that crashed.
         op: &'static str,
     },
+    /// A fault-tolerant executor retried a failed operation up to its
+    /// configured budget and every attempt faulted, so the work was
+    /// abandoned rather than retried unboundedly. Typed (never a
+    /// panic) so exactly the owning submitter sees it; the shared
+    /// executor itself keeps serving.
+    FaultBudgetExhausted {
+        /// Name of the operation that kept faulting.
+        op: &'static str,
+        /// Attempts made (the initial try plus every retry).
+        attempts: usize,
+    },
 }
 
 impl fmt::Display for TensorError {
@@ -74,6 +85,12 @@ impl fmt::Display for TensorError {
             }
             TensorError::WorkerPanicked { op } => {
                 write!(f, "a cooperating worker panicked during {op}")
+            }
+            TensorError::FaultBudgetExhausted { op, attempts } => {
+                write!(
+                    f,
+                    "fault retry budget exhausted after {attempts} attempts of {op}"
+                )
             }
         }
     }
@@ -121,5 +138,17 @@ mod tests {
     fn division_by_zero_carries_index() {
         let e = TensorError::DivisionByZero { index: 42 };
         assert!(e.to_string().contains("42"));
+    }
+
+    #[test]
+    fn fault_budget_exhausted_names_op_and_attempts() {
+        let e = TensorError::FaultBudgetExhausted {
+            op: "device pool shard",
+            attempts: 4,
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("device pool shard"));
+        assert!(msg.contains("4 attempts"));
+        assert!(msg.chars().next().unwrap().is_lowercase());
     }
 }

@@ -54,6 +54,7 @@ mod compiler;
 mod config;
 mod core;
 mod device;
+pub mod fault;
 mod isa;
 pub mod memory;
 pub mod pool;
@@ -70,6 +71,7 @@ pub use compiler::{
 pub use config::{Precision, TpuConfig};
 pub use core::{bf16_round, TpuCore};
 pub use device::{PhaseTime, TpuDevice};
+pub use fault::{FailStop, FaultPlan, FaultStats, LinkFault};
 pub use isa::{Instruction, Program, Slot};
 pub use memory::MemoryModel;
 pub use pool::{DevicePool, LaneCost, ShardOutcome, ShardPlan, ShardStrategy, ShardedRun};

@@ -23,9 +23,11 @@
 
 use crate::config::TpuConfig;
 use crate::device::TpuDevice;
+use crate::fault::{FaultPlan, FaultStats, TPU_FAULT, TPU_QUARANTINE};
 use crate::shared::SharedDevice;
 use crate::topology::Topology;
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
 use xai_sync::{LockClass, OrderedMutex, OrderedMutexGuard};
 
 /// The pool's merged lane timeline. Ranked between the flight queue
@@ -33,6 +35,33 @@ use xai_sync::{LockClass, OrderedMutex, OrderedMutexGuard};
 /// locks the shards charge.
 static TPU_POOL: LockClass = LockClass::new("tpu::pool", 25);
 use xai_tensor::{Result, TensorError};
+
+/// The installed fault plan plus its deterministic draw counter. One
+/// transient-fault draw is consumed per live shard per attempt, in
+/// device-index order, so a seeded chaos run replays bit-for-bit in a
+/// single-submitter driver.
+#[derive(Debug, Clone, Default)]
+struct FaultState {
+    plan: Option<FaultPlan>,
+    draws: u64,
+}
+
+/// One quarantined chip.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct QuarantineEntry {
+    chip: usize,
+    /// Simulated time at which a cooldown probe may re-admit the chip.
+    until_s: f64,
+    /// Fail-stopped chips never re-admit: probes re-confirm the death.
+    permanent: bool,
+}
+
+/// Quarantine entries plus the fault-layer observability counters.
+#[derive(Debug, Clone, Default)]
+struct QuarantineState {
+    entries: Vec<QuarantineEntry>,
+    stats: FaultStats,
+}
 
 /// How a [`ShardPlan`] places lanes onto devices.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -212,6 +241,25 @@ impl ShardPlan {
             .max()
             .unwrap_or(0)
     }
+
+    /// Re-maps a plan computed over a device *subset* onto the full
+    /// pool: `device_map[s]` names the pool device that subset slot
+    /// `s` targeted, and the returned plan has `total` device slots —
+    /// how a fan-out planned over the healthy survivors becomes a
+    /// valid whole-pool plan. Out-of-range map entries fold onto the
+    /// primary device rather than panicking.
+    pub fn project(&self, device_map: &[usize], total: usize) -> ShardPlan {
+        let total = total.max(1);
+        let mut assignments: Vec<Vec<usize>> = (0..total).map(|_| Vec::new()).collect();
+        for (slot, lanes) in self.assignments.iter().enumerate() {
+            if lanes.is_empty() {
+                continue;
+            }
+            let d = device_map.get(slot).copied().unwrap_or(0) % total;
+            assignments[d].extend(lanes.iter().copied());
+        }
+        ShardPlan { assignments }
+    }
 }
 
 /// One shard's return value: its lanes' results in order, plus the
@@ -290,6 +338,14 @@ pub struct DevicePool {
     /// can differ (see [`DevicePool::with_topology`]).
     topology: Topology,
     timeline: OrderedMutex<PoolTimeline>,
+    /// Installed fault plan + transient draw counter. `None` (the
+    /// default) keeps dispatch on the exact pre-fault code path.
+    fault: OrderedMutex<FaultState>,
+    /// Quarantined chips and the fault/retry/quarantine counters.
+    quarantine: OrderedMutex<QuarantineState>,
+    /// Lock-free fast-path flag mirroring `fault.plan.is_some()`, so
+    /// the no-plan hot path never touches the fault lock.
+    faults_enabled: AtomicBool,
 }
 
 impl DevicePool {
@@ -337,6 +393,9 @@ impl DevicePool {
             cfg,
             topology,
             timeline: OrderedMutex::new(&TPU_POOL, PoolTimeline::default()),
+            fault: OrderedMutex::new(&TPU_FAULT, FaultState::default()),
+            quarantine: OrderedMutex::new(&TPU_QUARANTINE, QuarantineState::default()),
+            faults_enabled: AtomicBool::new(false),
         }
     }
 
@@ -355,6 +414,111 @@ impl DevicePool {
         self
     }
 
+    /// Installs a fault plan (builder style). See
+    /// [`DevicePool::install_fault_plan`].
+    pub fn with_fault_plan(self, plan: FaultPlan) -> Self {
+        self.install_fault_plan(plan);
+        self
+    }
+
+    /// Installs a seeded [`FaultPlan`]: from the next flight on,
+    /// dispatch consults the plan for fail-stops, transient shard
+    /// faults and link faults, retries lost lanes under the plan's
+    /// budget, and quarantines faulted chips. Replacing a plan resets
+    /// the transient draw counter (a fresh schedule replays from its
+    /// start) but keeps quarantine state and counters.
+    pub fn install_fault_plan(&self, plan: FaultPlan) {
+        {
+            let mut f = self.fault.lock_recover();
+            f.plan = Some(plan);
+            f.draws = 0;
+        }
+        self.faults_enabled.store(true, Ordering::Release);
+    }
+
+    /// Removes the fault plan and releases every quarantined chip:
+    /// dispatch returns to the exact pre-fault code path (bit-identical
+    /// timing). Counters are kept — they describe what really
+    /// happened — and clear on [`DevicePool::reset`].
+    pub fn clear_fault_plan(&self) {
+        self.faults_enabled.store(false, Ordering::Release);
+        {
+            let mut f = self.fault.lock_recover();
+            f.plan = None;
+            f.draws = 0;
+        }
+        self.quarantine.lock_recover().entries.clear();
+    }
+
+    /// The installed fault plan, if any.
+    pub fn fault_plan(&self) -> Option<FaultPlan> {
+        if !self.faults_enabled.load(Ordering::Acquire) {
+            return None;
+        }
+        self.fault.lock_recover().plan.clone()
+    }
+
+    /// The fault layer's counters: faults injected, retries, re-plans,
+    /// quarantine traffic. All zero until a plan injects something.
+    pub fn fault_stats(&self) -> FaultStats {
+        self.quarantine.lock_recover().stats
+    }
+
+    /// Number of chips currently able to take shards: not quarantined
+    /// and not past a scheduled fail-stop. Equals
+    /// [`DevicePool::num_devices`] with no plan installed.
+    pub fn healthy_devices(&self) -> usize {
+        match self.fault_plan() {
+            None => self.devices.len(),
+            Some(fp) => {
+                let now = self.wall_seconds();
+                let quarantined = self.quarantined_set();
+                (0..self.devices.len())
+                    .filter(|&d| !quarantined[d] && !fp.chip_dead(d, now))
+                    .count()
+            }
+        }
+    }
+
+    /// Healthy chips as a fraction of the pool — the serving layer's
+    /// capacity multiplier under degradation. 1.0 with no plan.
+    pub fn healthy_fraction(&self) -> f64 {
+        self.healthy_devices() as f64 / self.devices.len() as f64
+    }
+
+    /// Pool indices of the chips shards may target right now, primary
+    /// order. Falls back to the primary device when everything is
+    /// quarantined or dead (the pool still *tries* — attempts on dead
+    /// chips fail and exhaust the retry budget as a typed error).
+    pub fn healthy_device_indices(&self) -> Vec<usize> {
+        match self.fault_plan() {
+            None => (0..self.devices.len()).collect(),
+            Some(fp) => {
+                let now = self.wall_seconds();
+                let quarantined = self.quarantined_set();
+                let healthy: Vec<usize> = (0..self.devices.len())
+                    .filter(|&d| !quarantined[d] && !fp.chip_dead(d, now))
+                    .collect();
+                if healthy.is_empty() {
+                    vec![0]
+                } else {
+                    healthy
+                }
+            }
+        }
+    }
+
+    /// The pool's fabric with every link fault scheduled at or before
+    /// the current merged time applied — what gathers and fan-out
+    /// planning should price against. The configured topology itself
+    /// with no plan installed.
+    pub fn effective_topology(&self) -> Topology {
+        match self.fault_plan() {
+            None => self.topology,
+            Some(fp) => fp.mask_topology(self.topology, self.wall_seconds()),
+        }
+    }
+
     /// The shard-placement strategy in use.
     pub fn strategy(&self) -> ShardStrategy {
         self.strategy
@@ -370,6 +534,11 @@ impl DevicePool {
     /// pool's fabric. On the default flat crossbar this is exactly
     /// [`TpuConfig::cross_replica_cost_s`] for any `participants ≥ 2`.
     pub fn gather_cost_s(&self, bytes: usize, participants: usize) -> f64 {
+        if self.faults_enabled.load(Ordering::Acquire) {
+            return self
+                .effective_topology()
+                .gather_cost_s(&self.cfg, bytes, participants);
+        }
         self.topology.gather_cost_s(&self.cfg, bytes, participants)
     }
 
@@ -421,12 +590,17 @@ impl DevicePool {
         self.devices.iter().map(SharedDevice::energy_pj).sum()
     }
 
-    /// Zeroes every chip's counters and the merged timeline.
+    /// Zeroes every chip's counters and the merged timeline, empties
+    /// the quarantine and the fault counters, and rewinds the fault
+    /// plan's transient draw stream (the plan itself stays installed —
+    /// a reset replays the same schedule from its start).
     pub fn reset(&self) {
         for d in &self.devices {
             d.reset();
         }
         *self.lock_timeline() = PoolTimeline::default();
+        self.fault.lock_recover().draws = 0;
+        *self.quarantine.lock_recover() = QuarantineState::default();
     }
 
     /// Merges externally-measured simulated seconds into the pool
@@ -443,6 +617,13 @@ impl DevicePool {
     /// and the timeline snapshot is carried over. The clone shares no
     /// state with `self`.
     pub fn deep_clone(&self) -> Self {
+        // Snapshot each guarded state in its own statement: a struct
+        // literal keeps every temporary guard alive to the end of the
+        // expression, which would nest tpu::pool over the lower-ranked
+        // fault/quarantine locks.
+        let fault = self.fault.lock_recover().clone();
+        let quarantine = self.quarantine.lock_recover().clone();
+        let timeline = *self.lock_timeline();
         DevicePool {
             devices: self
                 .devices
@@ -452,7 +633,10 @@ impl DevicePool {
             strategy: self.strategy,
             cfg: self.cfg.clone(),
             topology: self.topology,
-            timeline: OrderedMutex::new(&TPU_POOL, *self.lock_timeline()),
+            timeline: OrderedMutex::new(&TPU_POOL, timeline),
+            fault: OrderedMutex::new(&TPU_FAULT, fault),
+            quarantine: OrderedMutex::new(&TPU_QUARANTINE, quarantine),
+            faults_enabled: AtomicBool::new(self.faults_enabled.load(Ordering::Acquire)),
         }
     }
 
@@ -499,7 +683,7 @@ impl DevicePool {
         shard: impl Fn(&SharedDevice, Vec<W>) -> ShardOutcome<R> + Sync,
     ) -> Result<ShardedRun<R>>
     where
-        W: Send,
+        W: Send + Clone,
         R: Send,
     {
         let lanes: Vec<LaneCost> = work.iter().map(&lane).collect();
@@ -528,7 +712,7 @@ impl DevicePool {
         shard: impl Fn(&SharedDevice, Vec<W>) -> ShardOutcome<R> + Sync,
     ) -> Result<ShardedRun<R>>
     where
-        W: Send,
+        W: Send + Clone,
         R: Send,
     {
         if plan.assignments().len() != self.devices.len() {
@@ -561,7 +745,31 @@ impl DevicePool {
                 seconds: 0.0,
             });
         }
+        // Dispatch forks exactly here: with no fault plan installed
+        // the pool runs its pre-fault path, untouched — bit-identical
+        // timing and results, pinned by property tests. With a plan,
+        // the fault-aware path injects, quarantines and retries.
+        match self.fault_plan() {
+            None => self.run_planned_healthy(plan, gather_bytes, work, &shard),
+            Some(fp) => self.run_planned_faulted(&fp, plan, gather_bytes, work, &shard),
+        }
+    }
 
+    /// The pre-fault execution path, byte-for-byte the pool's original
+    /// dispatch: bin, execute concurrently, merge slowest + gather on
+    /// success only. Validation already ran in
+    /// [`DevicePool::run_planned`].
+    fn run_planned_healthy<W, R>(
+        &self,
+        plan: &ShardPlan,
+        gather_bytes: usize,
+        work: Vec<W>,
+        shard: &(impl Fn(&SharedDevice, Vec<W>) -> ShardOutcome<R> + Sync),
+    ) -> Result<ShardedRun<R>>
+    where
+        W: Send,
+        R: Send,
+    {
         // Bin the work per device. `lane_maps[s]` remembers which
         // lanes shard `s` carries so results reassemble in lane order.
         let mut slots: Vec<Option<W>> = work.into_iter().map(Some).collect();
@@ -689,6 +897,355 @@ impl DevicePool {
         })
     }
 
+    /// The fault-aware execution path: consults the installed
+    /// [`FaultPlan`] at dispatch, injects scheduled fail-stops and
+    /// seeded transient faults, quarantines faulted chips, re-plans
+    /// lost lanes over the healthy survivors and retries them under
+    /// the plan's bounded budget with exponential simulated backoff.
+    ///
+    /// Accounting: the flight's merged contribution is the sum of
+    /// every round's slowest-shard charge (a transiently-faulted
+    /// shard really ran — its chip charged real time before the
+    /// results were lost), plus the simulated backoffs, plus one
+    /// gather over the *distinct contributing* chips (those holding
+    /// final results), priced on the link-fault-masked fabric.
+    /// Numeric results are pure functions of the lanes, so a retried
+    /// flight is bit-identical to its fault-free run — only the
+    /// timeline pays. A flight that fails outright (real shard error,
+    /// panic, or budget exhaustion) merges nothing, exactly like the
+    /// healthy path.
+    fn run_planned_faulted<W, R>(
+        &self,
+        fp: &FaultPlan,
+        plan: &ShardPlan,
+        gather_bytes: usize,
+        work: Vec<W>,
+        shard: &(impl Fn(&SharedDevice, Vec<W>) -> ShardOutcome<R> + Sync),
+    ) -> Result<ShardedRun<R>>
+    where
+        W: Send + Clone,
+        R: Send,
+    {
+        let total = work.len();
+        let start_s = self.wall_seconds();
+        self.apply_fault_schedule(fp, start_s);
+
+        // Lanes stay in their slots until a shard delivers them: a
+        // transient fault discards results, so the items must survive
+        // for the retry (hence `W: Clone`).
+        let mut slots: Vec<Option<W>> = work.into_iter().map(Some).collect();
+        let mut out: Vec<Option<R>> = (0..total).map(|_| None).collect();
+        let mut contributed = vec![false; self.devices.len()];
+        let mut compute_s = 0.0f64; // Σ per-round slowest-shard charges
+        let mut backoff_s = 0.0f64; // Σ simulated retry backoffs
+
+        // Initial placement: the caller's plan, with lanes that landed
+        // on quarantined/dead chips re-planned round-robin onto the
+        // healthy survivors (lane costs are unknown at this level).
+        let mut assignment: Vec<Vec<usize>> = plan.assignments().to_vec();
+        if self.evict_unhealthy(fp, start_s, &mut assignment) {
+            self.with_stats(|s| s.replans += 1);
+        }
+
+        let mut round = 0usize;
+        loop {
+            let now = start_s + compute_s + backoff_s;
+            // Bin the still-pending lanes; chips dead by schedule fail
+            // their shards with zero charge (they no longer execute).
+            let mut live_devices: Vec<usize> = Vec::new();
+            let mut live_maps: Vec<Vec<usize>> = Vec::new();
+            let mut live_work: Vec<(usize, Vec<W>)> = Vec::new();
+            let mut pending_total = 0usize;
+            for (d, assigned) in assignment.iter().enumerate() {
+                let pending: Vec<usize> = assigned
+                    .iter()
+                    .copied()
+                    .filter(|&i| slots[i].is_some())
+                    .collect();
+                if pending.is_empty() {
+                    continue;
+                }
+                pending_total += pending.len();
+                if fp.chip_dead(d, now) {
+                    self.quarantine_chip(d, f64::INFINITY, true);
+                    continue;
+                }
+                live_work.push((
+                    d,
+                    pending
+                        .iter()
+                        .map(|&i| slots[i].clone().expect("pending lane present"))
+                        .collect(),
+                ));
+                live_devices.push(d);
+                live_maps.push(pending);
+            }
+            if pending_total == 0 {
+                break;
+            }
+
+            // One transient draw per live shard, device-index order.
+            let faults = self.consume_draws(fp, live_work.len());
+            let outcomes = self.execute_shards(live_work, shard);
+
+            let mut round_slowest = 0.0f64;
+            for (((outcome, pending), &d), &faulted) in outcomes
+                .into_iter()
+                .zip(&live_maps)
+                .zip(&live_devices)
+                .zip(&faults)
+            {
+                match outcome {
+                    Err(_) => {
+                        // A real panic is not an injected fault: fail
+                        // the flight and merge nothing, exactly as the
+                        // healthy path would.
+                        return Err(TensorError::WorkerPanicked {
+                            op: "device pool shard",
+                        });
+                    }
+                    Ok(Err(e)) => return Err(e),
+                    Ok(Ok((results, seconds))) => {
+                        if results.len() != pending.len() {
+                            return Err(TensorError::DataLength {
+                                expected: pending.len(),
+                                actual: results.len(),
+                            });
+                        }
+                        round_slowest = round_slowest.max(seconds);
+                        if faulted {
+                            // The chip really ran and charged its own
+                            // clock; the answers were lost in transit.
+                            self.with_stats(|s| s.transient_faults += 1);
+                            self.quarantine_chip(d, now + fp.cooldown_s(), false);
+                        } else {
+                            contributed[d] = true;
+                            for (&i, r) in pending.iter().zip(results) {
+                                out[i] = Some(r);
+                                slots[i] = None;
+                            }
+                        }
+                    }
+                }
+            }
+            compute_s += round_slowest;
+
+            let lost: Vec<usize> = (0..total).filter(|&i| slots[i].is_some()).collect();
+            if lost.is_empty() {
+                break;
+            }
+            if round >= fp.retry_budget() {
+                self.with_stats(|s| s.budget_exhausted += 1);
+                return Err(TensorError::FaultBudgetExhausted {
+                    op: "device pool shard",
+                    attempts: round + 1,
+                });
+            }
+            round += 1;
+            self.with_stats(|s| s.retries += 1);
+            backoff_s += fp.backoff_s() * (1u64 << (round - 1).min(62)) as f64;
+            // Re-plan: the lost lanes go round-robin over the healthy
+            // survivors (falling back to the primary when none are
+            // left — those attempts then fail until the budget types
+            // out, never panicking).
+            let targets = self.retry_targets(fp, start_s + compute_s + backoff_s);
+            assignment = vec![Vec::new(); self.devices.len()];
+            for (j, &i) in lost.iter().enumerate() {
+                assignment[targets[j % targets.len()]].push(i);
+            }
+            self.with_stats(|s| s.replans += 1);
+        }
+
+        let distinct = contributed.iter().filter(|&&c| c).count();
+        let gather_s = if distinct > 1 {
+            fp.mask_topology(self.topology, start_s + compute_s + backoff_s)
+                .gather_cost_s(&self.cfg, gather_bytes, distinct)
+        } else {
+            0.0
+        };
+        let seconds = compute_s + backoff_s + gather_s;
+        {
+            let mut timeline = self.lock_timeline();
+            timeline.wall_s += seconds;
+            timeline.gather_s += gather_s;
+            if distinct > 1 {
+                timeline.sharded_flights += 1;
+            }
+        }
+        Ok(ShardedRun {
+            results: out
+                .into_iter()
+                .map(|r| r.expect("every lane produced a result"))
+                .collect(),
+            seconds,
+        })
+    }
+
+    /// Runs the binned shards concurrently (one crew thread per
+    /// occupied chip; a single shard runs inline) and returns the
+    /// caught outcomes in bin order.
+    fn execute_shards<W, R>(
+        &self,
+        mut shard_work: Vec<(usize, Vec<W>)>,
+        shard: &(impl Fn(&SharedDevice, Vec<W>) -> ShardOutcome<R> + Sync),
+    ) -> Vec<std::thread::Result<ShardOutcome<R>>>
+    where
+        W: Send,
+        R: Send,
+    {
+        let n_shards = shard_work.len();
+        let mut outcomes: Vec<Option<std::thread::Result<ShardOutcome<R>>>> =
+            (0..n_shards).map(|_| None).collect();
+        if n_shards == 1 {
+            let (d, items) = shard_work.pop().expect("one shard");
+            outcomes[0] = Some(catch_unwind(AssertUnwindSafe(|| {
+                shard(&self.devices[d], items)
+            })));
+        } else if n_shards > 1 {
+            xai_parallel::global().scope_blocking(|scope| {
+                for (slot, (d, items)) in outcomes.iter_mut().zip(shard_work) {
+                    let device = &self.devices[d];
+                    scope.spawn(move || {
+                        *slot = Some(catch_unwind(AssertUnwindSafe(|| shard(device, items))));
+                    });
+                }
+            });
+        }
+        outcomes
+            .into_iter()
+            .map(|o| o.expect("scope joined every shard"))
+            .collect()
+    }
+
+    /// Probes expired quarantine entries (fail-stopped chips
+    /// re-confirm their death and stay; transiently-faulted chips
+    /// re-admit) and quarantines chips whose scheduled fail-stop has
+    /// come due.
+    fn apply_fault_schedule(&self, fp: &FaultPlan, now_s: f64) {
+        {
+            let mut guard = self.quarantine.lock_recover();
+            let state = &mut *guard;
+            let mut kept = Vec::with_capacity(state.entries.len());
+            for e in state.entries.drain(..) {
+                if e.permanent || e.until_s > now_s {
+                    kept.push(e);
+                    continue;
+                }
+                state.stats.probes += 1;
+                if fp.chip_dead(e.chip, now_s) {
+                    kept.push(QuarantineEntry {
+                        permanent: true,
+                        ..e
+                    });
+                } else {
+                    state.stats.readmissions += 1;
+                }
+            }
+            state.entries = kept;
+        }
+        for fs in fp.fail_stops() {
+            if fs.at_s <= now_s {
+                self.quarantine_chip(fs.chip, f64::INFINITY, true);
+            }
+        }
+    }
+
+    /// Quarantines `chip` (idempotent). Transient quarantine never
+    /// takes the last healthy chip — with everything else gone the
+    /// pool keeps trying on it. A fail-stopped chip is recorded dead
+    /// regardless: serving then degenerates to typed budget errors.
+    fn quarantine_chip(&self, chip: usize, until_s: f64, permanent: bool) {
+        if chip >= self.devices.len() {
+            return;
+        }
+        let mut guard = self.quarantine.lock_recover();
+        let state = &mut *guard;
+        if let Some(e) = state.entries.iter_mut().find(|e| e.chip == chip) {
+            if permanent && !e.permanent {
+                e.permanent = true;
+                state.stats.fail_stops += 1;
+            }
+            return;
+        }
+        if !permanent && state.entries.len() + 1 >= self.devices.len() {
+            return;
+        }
+        state.entries.push(QuarantineEntry {
+            chip,
+            until_s,
+            permanent,
+        });
+        state.stats.quarantines += 1;
+        if permanent {
+            state.stats.fail_stops += 1;
+        }
+    }
+
+    /// Chips a retry may target at `now_s`: not quarantined, not dead.
+    /// Falls back to the primary so the retry loop always has
+    /// somewhere to place lanes.
+    fn retry_targets(&self, fp: &FaultPlan, now_s: f64) -> Vec<usize> {
+        let quarantined = self.quarantined_set();
+        let targets: Vec<usize> = (0..self.devices.len())
+            .filter(|&d| !quarantined[d] && !fp.chip_dead(d, now_s))
+            .collect();
+        if targets.is_empty() {
+            vec![0]
+        } else {
+            targets
+        }
+    }
+
+    /// Moves lanes assigned to quarantined or dead chips round-robin
+    /// onto the healthy survivors; reports whether anything moved.
+    fn evict_unhealthy(&self, fp: &FaultPlan, now_s: f64, assignment: &mut [Vec<usize>]) -> bool {
+        let quarantined = self.quarantined_set();
+        let mut displaced: Vec<usize> = Vec::new();
+        for (d, assigned) in assignment.iter_mut().enumerate() {
+            if (quarantined[d] || fp.chip_dead(d, now_s)) && !assigned.is_empty() {
+                displaced.append(assigned);
+            }
+        }
+        if displaced.is_empty() {
+            return false;
+        }
+        let targets = self.retry_targets(fp, now_s);
+        for (j, i) in displaced.into_iter().enumerate() {
+            assignment[targets[j % targets.len()]].push(i);
+        }
+        true
+    }
+
+    /// Per-device quarantine flags.
+    fn quarantined_set(&self) -> Vec<bool> {
+        let guard = self.quarantine.lock_recover();
+        let mut set = vec![false; self.devices.len()];
+        for e in &guard.entries {
+            if e.chip < set.len() {
+                set[e.chip] = true;
+            }
+        }
+        set
+    }
+
+    /// Applies `f` to the fault counters under the quarantine lock.
+    fn with_stats(&self, f: impl FnOnce(&mut FaultStats)) {
+        f(&mut self.quarantine.lock_recover().stats);
+    }
+
+    /// Consumes `n` draws from the seeded transient stream, one per
+    /// live shard in device-index order.
+    fn consume_draws(&self, fp: &FaultPlan, n: usize) -> Vec<bool> {
+        let mut guard = self.fault.lock_recover();
+        (0..n)
+            .map(|_| {
+                let hit = fp.draw_faults(guard.draws);
+                guard.draws += 1;
+                hit
+            })
+            .collect()
+    }
+
     fn lock_timeline(&self) -> OrderedMutexGuard<'_, PoolTimeline> {
         // Same policy as SharedDevice: the timeline is a monotone
         // ledger, so lock_recover rather than wedging the pool.
@@ -699,6 +1256,7 @@ impl DevicePool {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::fault::FaultPlan;
     use xai_tensor::Matrix;
 
     fn lane(compute: f64) -> LaneCost {
@@ -1191,6 +1749,236 @@ mod tests {
             ca < rr,
             "cost-aware placement ({ca} s) must beat round-robin ({rr} s)"
         );
+    }
+
+    #[test]
+    fn empty_fault_plan_changes_nothing_but_the_code_path() {
+        // A plan with nothing scheduled must reproduce the healthy
+        // path's merged timeline bit-for-bit (same makespan, same
+        // gather, no backoff), and identical results.
+        let work = || -> Vec<Matrix<f64>> { (0..8).map(|i| shard_mat(0.1 * i as f64)).collect() };
+        let healthy = DevicePool::with_cores(TpuConfig::small_test(), 4, 1);
+        let planned = DevicePool::with_cores(TpuConfig::small_test(), 4, 1)
+            .with_fault_plan(FaultPlan::seeded(99));
+        let a = healthy
+            .run_sharded(work(), |m| lane(m.len() as f64), matmul_shard)
+            .unwrap();
+        let b = planned
+            .run_sharded(work(), |m| lane(m.len() as f64), matmul_shard)
+            .unwrap();
+        assert_eq!(a.results, b.results);
+        assert_eq!(a.seconds.to_bits(), b.seconds.to_bits());
+        assert_eq!(
+            healthy.wall_seconds().to_bits(),
+            planned.wall_seconds().to_bits()
+        );
+        assert_eq!(healthy.gather_seconds(), planned.gather_seconds());
+        assert_eq!(planned.fault_stats(), FaultStats::default());
+        assert_eq!(planned.healthy_devices(), 4);
+        assert_eq!(planned.healthy_fraction(), 1.0);
+    }
+
+    #[test]
+    fn transient_fault_retries_to_bit_identical_results() {
+        let work =
+            || -> Vec<Matrix<f64>> { (0..4).map(|i| shard_mat(0.2 * (i + 1) as f64)).collect() };
+        let healthy = DevicePool::with_cores(TpuConfig::small_test(), 2, 1);
+        let reference = healthy
+            .run_sharded(work(), |m| lane(m.len() as f64), matmul_shard)
+            .unwrap();
+        // Draw 0 = the first shard of the first flight: device 0
+        // faults once, its lanes retry on the survivor.
+        let faulted = DevicePool::with_cores(TpuConfig::small_test(), 2, 1)
+            .with_fault_plan(FaultPlan::seeded(7).transient_draw(0));
+        let run = faulted
+            .run_sharded(work(), |m| lane(m.len() as f64), matmul_shard)
+            .unwrap();
+        assert_eq!(run.results, reference.results, "results bit-identical");
+        assert!(
+            run.seconds > reference.seconds,
+            "only the timeline pays for the retry: {} vs {}",
+            run.seconds,
+            reference.seconds
+        );
+        let stats = faulted.fault_stats();
+        assert_eq!(stats.transient_faults, 1);
+        assert_eq!(stats.retries, 1);
+        assert_eq!(stats.quarantines, 1);
+        assert!(stats.replans >= 1);
+        assert_eq!(stats.budget_exhausted, 0);
+    }
+
+    #[test]
+    fn retried_flight_charges_round_makespans_plus_backoff() {
+        // Synthetic charges make the accounting exact: each shard
+        // reports dt = lane count. Round 1: both 2-lane shards run
+        // (makespan 2.0), device 0's results are lost. Round 2: the
+        // two lost lanes rerun on the survivor (dt 2.0) after one
+        // backoff step. All results come from device 1, so no gather.
+        let pool = DevicePool::new(TpuConfig::small_test(), 2).with_fault_plan(
+            FaultPlan::seeded(3)
+                .transient_draw(0)
+                .with_backoff_s(1.0e-6),
+        );
+        let run = pool
+            .run_sharded(
+                vec![10u64, 20, 30, 40],
+                |_| lane(1.0),
+                |_, items| {
+                    let dt = items.len() as f64;
+                    Ok((items, dt))
+                },
+            )
+            .unwrap();
+        assert_eq!(run.results, vec![10, 20, 30, 40], "lane order preserved");
+        let expect: f64 = 2.0 + 2.0 + 1.0e-6;
+        assert_eq!(run.seconds.to_bits(), expect.to_bits());
+        // The pool-merged invariant holds for retried flights too.
+        assert_eq!(pool.wall_seconds().to_bits(), expect.to_bits());
+        assert_eq!(pool.gather_seconds(), 0.0, "single contributing chip");
+    }
+
+    #[test]
+    fn budget_exhaustion_is_a_typed_error_and_merges_nothing() {
+        let pool = DevicePool::with_cores(TpuConfig::small_test(), 2, 1)
+            .with_fault_plan(FaultPlan::seeded(5).transient(1.0).with_retry_budget(2));
+        let err = pool
+            .run_sharded(
+                vec![shard_mat(0.5), shard_mat(0.7)],
+                |m| lane(m.len() as f64),
+                matmul_shard,
+            )
+            .unwrap_err();
+        assert_eq!(
+            err,
+            TensorError::FaultBudgetExhausted {
+                op: "device pool shard",
+                attempts: 3,
+            }
+        );
+        // The chips really ran (their own clocks charged)...
+        assert!(pool.devices().iter().any(|d| d.wall_seconds() > 0.0));
+        // ...but the failed flight merged nothing.
+        assert_eq!(pool.wall_seconds(), 0.0);
+        let stats = pool.fault_stats();
+        assert_eq!(stats.retries, 2);
+        assert_eq!(stats.budget_exhausted, 1);
+        // Clearing the plan restores healthy, bit-identical serving.
+        pool.clear_fault_plan();
+        let run = pool
+            .run_sharded(vec![1u64, 2], |_| lane(1.0), |_, v: Vec<u64>| uncharged(v))
+            .unwrap();
+        assert_eq!(run.results, vec![1, 2]);
+        assert_eq!(pool.healthy_devices(), 2);
+    }
+
+    #[test]
+    fn fail_stop_quarantines_forever_and_the_pool_serves_on() {
+        let pool = DevicePool::new(TpuConfig::small_test(), 2)
+            .with_fault_plan(FaultPlan::seeded(2).fail_stop(1, 0.0));
+        let run = pool
+            .run_sharded(
+                (0..6u64).collect(),
+                |_| lane(1.0),
+                |_, v: Vec<u64>| uncharged(v),
+            )
+            .unwrap();
+        assert_eq!(run.results, (0..6).collect::<Vec<_>>());
+        assert_eq!(pool.healthy_devices(), 1);
+        assert_eq!(pool.healthy_fraction(), 0.5);
+        assert_eq!(pool.healthy_device_indices(), vec![0]);
+        let stats = pool.fault_stats();
+        assert_eq!(stats.fail_stops, 1);
+        // Cooldowns never resurrect a fail-stopped chip.
+        pool.advance_external(10.0);
+        pool.run_sharded(
+            (0..4u64).collect(),
+            |_| lane(1.0),
+            |_, v: Vec<u64>| uncharged(v),
+        )
+        .unwrap();
+        assert_eq!(pool.healthy_devices(), 1);
+        assert_eq!(pool.fault_stats().readmissions, 0);
+    }
+
+    #[test]
+    fn transient_quarantine_readmits_after_cooldown_probe() {
+        let pool = DevicePool::new(TpuConfig::small_test(), 2).with_fault_plan(
+            FaultPlan::seeded(11)
+                .transient_draw(0)
+                .with_cooldown_s(1.0e-3),
+        );
+        pool.run_sharded(
+            (0..4u64).collect(),
+            |_| lane(1.0),
+            |_, v: Vec<u64>| uncharged(v),
+        )
+        .unwrap();
+        assert_eq!(pool.healthy_devices(), 1, "faulted chip sits in quarantine");
+        // Before the cooldown expires the chip stays out...
+        pool.run_sharded(
+            (0..2u64).collect(),
+            |_| lane(1.0),
+            |_, v: Vec<u64>| uncharged(v),
+        )
+        .unwrap();
+        assert_eq!(pool.fault_stats().readmissions, 0);
+        // ...and once simulated time passes it, the next flight's
+        // probe re-admits it.
+        pool.advance_external(1.0);
+        pool.run_sharded(
+            (0..2u64).collect(),
+            |_| lane(1.0),
+            |_, v: Vec<u64>| uncharged(v),
+        )
+        .unwrap();
+        let stats = pool.fault_stats();
+        assert_eq!(stats.probes, 1);
+        assert_eq!(stats.readmissions, 1);
+        assert_eq!(pool.healthy_devices(), 2);
+    }
+
+    #[test]
+    fn healthy_fraction_tracks_scheduled_deaths_without_dispatch() {
+        let pool = DevicePool::new(TpuConfig::small_test(), 4)
+            .with_fault_plan(FaultPlan::seeded(0).fail_stop(2, 0.5));
+        assert_eq!(pool.healthy_devices(), 4, "nothing due yet");
+        pool.advance_external(1.0);
+        // The death shows as soon as the merged clock passes it, even
+        // before any flight dispatches.
+        assert_eq!(pool.healthy_devices(), 3);
+        assert_eq!(pool.healthy_fraction(), 0.75);
+        assert_eq!(pool.healthy_device_indices(), vec![0, 1, 3]);
+    }
+
+    #[test]
+    fn effective_topology_masks_scheduled_link_faults() {
+        let pool = DevicePool::new(TpuConfig::small_test(), 4)
+            .with_topology(Topology::ring())
+            .with_fault_plan(FaultPlan::seeded(0).link_outage(1, 0.5));
+        assert_eq!(pool.effective_topology(), Topology::ring());
+        pool.advance_external(1.0);
+        assert_eq!(
+            pool.effective_topology(),
+            Topology::ring().with_dead_link(1)
+        );
+        // The pool's gather pricing follows the masked fabric.
+        assert!(
+            pool.gather_cost_s(512, 4)
+                > Topology::ring().gather_cost_s(&TpuConfig::small_test(), 512, 4)
+        );
+    }
+
+    #[test]
+    fn project_maps_subset_plans_onto_the_full_pool() {
+        let lanes: Vec<LaneCost> = (0..5).map(|_| lane(1.0)).collect();
+        let subset = ShardPlan::plan(&lanes, 2, ShardStrategy::RoundRobin);
+        let full = subset.project(&[1, 3], 4);
+        assert_eq!(full.assignments().len(), 4);
+        assert_eq!(full.assignments()[1], vec![0, 2, 4]);
+        assert_eq!(full.assignments()[3], vec![1, 3]);
+        assert!(full.assignments()[0].is_empty());
+        assert_eq!(full.occupied_devices(), 2);
     }
 
     #[test]

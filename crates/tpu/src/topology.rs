@@ -67,12 +67,14 @@ pub enum TopologyKind {
 }
 
 /// An interconnect topology with optional per-link overrides of the
-/// configuration's `α` (latency) and `β` (1/bandwidth) terms.
+/// configuration's `α` (latency) and `β` (1/bandwidth) terms, plus a
+/// fault mask over the top-level ring links (see
+/// [`Topology::with_dead_link`]).
 ///
-/// The default is [`Topology::flat`] with no overrides, which prices
-/// every collective exactly as
+/// The default is [`Topology::flat`] with no overrides and no link
+/// faults, which prices every collective exactly as
 /// [`crate::TpuConfig::cross_replica_cost_s`] — the seed model.
-#[derive(Debug, Clone, Copy, PartialEq, Default)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Topology {
     kind: TopologyKind,
     /// Per-link latency override, seconds (`None` → the config's
@@ -81,15 +83,40 @@ pub struct Topology {
     /// Per-link bandwidth override, bytes/s (`None` → the config's
     /// `link_bytes_per_sec`).
     link_bytes_per_sec: Option<f64>,
+    /// Bitmask of dead top-level ring links: bit `i` set means the
+    /// link joining member `i` and `i + 1 (mod p)` is out. Routes
+    /// detour around it; `bisection_links` and `fanout_widths` mask
+    /// it out. The flat crossbar (dedicated per-pair links) ignores
+    /// the mask.
+    dead_links: u64,
+    /// Bitmask of degraded top-level ring links (same indexing).
+    degraded_links: u64,
+    /// Bandwidth divisor applied when a degraded link is on a route
+    /// (≥ 1; only read when `degraded_links != 0`).
+    degrade_factor: f64,
+}
+
+impl Default for Topology {
+    fn default() -> Self {
+        Topology::flat()
+    }
 }
 
 impl Topology {
+    const NO_FAULTS: Topology = Topology {
+        kind: TopologyKind::FlatCrossbar,
+        link_latency_s: None,
+        link_bytes_per_sec: None,
+        dead_links: 0,
+        degraded_links: 0,
+        degrade_factor: 1.0,
+    };
+
     /// The ideal crossbar (the seed cost model).
     pub fn flat() -> Self {
         Topology {
             kind: TopologyKind::FlatCrossbar,
-            link_latency_s: None,
-            link_bytes_per_sec: None,
+            ..Self::NO_FAULTS
         }
     }
 
@@ -97,8 +124,7 @@ impl Topology {
     pub fn ring() -> Self {
         Topology {
             kind: TopologyKind::Ring,
-            link_latency_s: None,
-            link_bytes_per_sec: None,
+            ..Self::NO_FAULTS
         }
     }
 
@@ -107,8 +133,7 @@ impl Topology {
     pub fn torus(pod: usize) -> Self {
         Topology {
             kind: TopologyKind::Torus2d { pod: pod.max(1) },
-            link_latency_s: None,
-            link_bytes_per_sec: None,
+            ..Self::NO_FAULTS
         }
     }
 
@@ -119,6 +144,54 @@ impl Topology {
         self.link_latency_s = Some(link_latency_s);
         self.link_bytes_per_sec = Some(link_bytes_per_sec);
         self
+    }
+
+    /// Marks top-level ring link `i` dead: the link joining member
+    /// `i` and `i + 1 (mod p)` no longer carries traffic. Routes that
+    /// would cross it detour the long way around ([`Topology::hops`]
+    /// grows), the narrowest bisection is chosen through the dead
+    /// link ([`Topology::bisection_links`] shrinks), and fan-out
+    /// prefixes that would straddle it are dropped from
+    /// [`Topology::fanout_widths`].
+    ///
+    /// The "top-level ring" is the ring itself on
+    /// [`TopologyKind::Ring`] and the inter-pod (row) ring on
+    /// [`TopologyKind::Torus2d`]; the flat crossbar has a dedicated
+    /// link per pair and ignores the mask. Links beyond index 63 wrap
+    /// (the mask is a 64-bit field — fleets here are ≤ 64 chips).
+    pub fn with_dead_link(mut self, i: usize) -> Self {
+        self.dead_links |= 1u64 << (i % 64);
+        self
+    }
+
+    /// Degrades top-level ring link `i`: bandwidth through it is
+    /// divided by `factor` (clamped ≥ 1). Gathers whose participant
+    /// prefix includes the link pay the slower serialisation.
+    pub fn with_degraded_link(mut self, i: usize, factor: f64) -> Self {
+        self.degraded_links |= 1u64 << (i % 64);
+        self.degrade_factor = self.degrade_factor.max(factor.max(1.0));
+        self
+    }
+
+    /// `true` when any link fault (outage or degradation) is applied.
+    pub fn has_link_faults(&self) -> bool {
+        self.dead_links != 0 || self.degraded_links != 0
+    }
+
+    /// Number of dead top-level ring links.
+    pub fn dead_link_count(&self) -> usize {
+        self.dead_links.count_ones() as usize
+    }
+
+    /// Dead links among the first `p` ring links (the arcs internal
+    /// to a gather over members `0..p`).
+    fn dead_in_prefix(&self, p: usize) -> usize {
+        (self.dead_links & prefix_mask(p)).count_ones() as usize
+    }
+
+    /// Whether any degraded link sits among the first `p` ring links.
+    fn degraded_in_prefix(&self, p: usize) -> bool {
+        self.degraded_links & prefix_mask(p) != 0
     }
 
     /// The fabric shape.
@@ -180,14 +253,39 @@ impl Topology {
         }
         match self.kind {
             TopologyKind::FlatCrossbar => 1,
-            TopologyKind::Ring => ring_distance(a, b, chips),
+            TopologyKind::Ring => self.masked_ring_distance(a, b, chips),
             TopologyKind::Torus2d { pod } => {
                 let cols = pod.min(chips);
                 let rows = chips.div_ceil(cols);
                 let (ar, ac) = (a / cols, a % cols);
                 let (br, bc) = (b / cols, b % cols);
-                ring_distance(ac, bc, cols) + ring_distance(ar, br, rows)
+                // The fault mask covers the top-level (inter-pod)
+                // ring; intra-pod column rings are unaffected.
+                ring_distance(ac, bc, cols) + self.masked_ring_distance(ar, br, rows)
             }
+        }
+    }
+
+    /// Ring distance with dead links routed around: a blocked short
+    /// arc takes the long way; both arcs blocked means the ring is
+    /// partitioned and the distance saturates at `n` (beyond any
+    /// healthy diameter).
+    fn masked_ring_distance(&self, a: usize, b: usize, n: usize) -> usize {
+        if self.dead_links == 0 {
+            return ring_distance(a, b, n);
+        }
+        if n <= 1 || a == b {
+            return 0;
+        }
+        let up_len = (b + n - a) % n;
+        let down_len = n - up_len;
+        let up_ok = !arc_blocked(a, up_len, n, self.dead_links);
+        let down_ok = !arc_blocked(b, down_len, n, self.dead_links);
+        match (up_ok, down_ok) {
+            (true, true) => up_len.min(down_len),
+            (true, false) => up_len,
+            (false, true) => down_len,
+            (false, false) => n,
         }
     }
 
@@ -221,11 +319,11 @@ impl Topology {
         }
         match self.kind {
             TopologyKind::FlatCrossbar => (chips / 2) * chips.div_ceil(2),
-            TopologyKind::Ring => 2,
+            TopologyKind::Ring => 2usize.saturating_sub(self.dead_in_prefix(chips).min(2)),
             TopologyKind::Torus2d { pod } => {
                 let cols = pod.min(chips);
                 let rows = chips.div_ceil(cols);
-                2 * cols.min(rows)
+                (2 * cols.min(rows)).saturating_sub(self.dead_in_prefix(rows))
             }
         }
     }
@@ -300,7 +398,9 @@ impl Topology {
             TopologyKind::Torus2d { pod } => {
                 let q = pod.min(participants);
                 let pods = participants.div_ceil(pod);
-                let intra = self.ring_gather_cost_s(cfg, bytes, q);
+                // The fault mask covers the top-level (inter-pod)
+                // ring only; intra-pod rings price as healthy.
+                let intra = self.unfaulted().ring_gather_cost_s(cfg, bytes, q);
                 let inter = self.ring_gather_cost_s(cfg, q.saturating_mul(bytes), pods);
                 intra + inter
             }
@@ -333,20 +433,75 @@ impl Topology {
                 .take_while(|&w| w < devices)
                 .collect(),
         };
+        if self.dead_links != 0 {
+            // A prefix gather over members `0..w` routes through the
+            // prefix's internal ring links; a dead one would force
+            // every shard the long way around, so that width is no
+            // longer fabric-natural. The full pool is always kept —
+            // detour pricing in `gather_cost_s` handles it.
+            widths.retain(|&w| match self.kind {
+                TopologyKind::FlatCrossbar => true,
+                TopologyKind::Ring => self.dead_in_prefix(w.saturating_sub(1)) == 0,
+                TopologyKind::Torus2d { pod } => {
+                    let pods_used = w.div_ceil(pod);
+                    self.dead_in_prefix(pods_used.saturating_sub(1)) == 0
+                }
+            });
+        }
         widths.push(devices);
         widths
     }
 
     /// One ring-shaped gather stage: `p` members each contribute
     /// `bytes` toward a root. See [`Topology::gather_cost_s`].
+    ///
+    /// Each dead link among the stage's ring arcs costs one detour
+    /// hop (shards that would cross it walk the long way); a degraded
+    /// link divides the stage's serialisation bandwidth by the
+    /// degrade factor. With no faults the expression is untouched —
+    /// bit-for-bit the healthy charge.
     fn ring_gather_cost_s(&self, cfg: &TpuConfig, bytes: usize, p: usize) -> f64 {
         if p < 2 {
             return 0.0;
         }
-        let hops = p.div_ceil(2) as f64;
+        let mut hops = p.div_ceil(2) as f64;
+        let mut bandwidth = self.link_bytes_per_sec(cfg);
+        if self.dead_links != 0 {
+            hops += self.dead_in_prefix(p) as f64;
+        }
+        if self.degraded_links != 0 && self.degraded_in_prefix(p) {
+            bandwidth /= self.degrade_factor;
+        }
         let serialised = ((p - 1) as f64 / 2.0).max(1.0);
-        hops * self.link_latency_s(cfg) + serialised * (bytes as f64 / self.link_bytes_per_sec(cfg))
+        hops * self.link_latency_s(cfg) + serialised * (bytes as f64 / bandwidth)
     }
+
+    /// A copy of this topology with the link-fault mask cleared —
+    /// same shape and per-link overrides, healthy fabric.
+    pub fn unfaulted(&self) -> Topology {
+        Topology {
+            dead_links: 0,
+            degraded_links: 0,
+            degrade_factor: 1.0,
+            ..*self
+        }
+    }
+}
+
+/// Bitmask of the first `p` top-level ring links.
+fn prefix_mask(p: usize) -> u64 {
+    if p >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << p) - 1
+    }
+}
+
+/// Whether any of the `len` consecutive ring links starting at
+/// `start` (walking toward ascending member indices, mod `n`) is in
+/// the dead-link `mask`.
+fn arc_blocked(start: usize, len: usize, n: usize, mask: u64) -> bool {
+    (0..len).any(|k| mask & (1u64 << ((start + k) % n % 64)) != 0)
 }
 
 /// Shortest distance between `a` and `b` on a ring of `n` members.
@@ -485,6 +640,97 @@ mod tests {
             torus.gather_cost_s(&cfg, 4096, 4),
             torus.ring_gather_cost_s(&cfg, 4096, 4)
         );
+    }
+
+    #[test]
+    fn dead_link_routes_detour_the_long_way() {
+        let ring = Topology::ring().with_dead_link(0);
+        // Link 0 joins chips 0 and 1: the direct hop is gone, the
+        // detour walks the other 7 links.
+        assert_eq!(ring.hops(0, 1, 8), 7);
+        // The wrap link (7) is untouched.
+        assert_eq!(ring.hops(0, 7, 8), 1);
+        // Killing both of chip 0's links partitions it: distance
+        // saturates at the member count.
+        let cut_off = Topology::ring().with_dead_link(0).with_dead_link(7);
+        assert_eq!(cut_off.hops(0, 1, 8), 8);
+        assert_eq!(cut_off.hops(1, 2, 8), 1);
+        // On a torus the mask hits the inter-pod (row) ring only.
+        let torus = Topology::torus(4).with_dead_link(0);
+        assert_eq!(torus.hops(0, 1, 16), 1); // intra-pod, unaffected
+        assert_eq!(torus.hops(0, 4, 16), 3); // row link 0 dead: detour
+    }
+
+    #[test]
+    fn dead_links_shrink_bisection_and_fanout_widths() {
+        assert_eq!(Topology::ring().with_dead_link(3).bisection_links(16), 1);
+        assert_eq!(
+            Topology::ring()
+                .with_dead_link(3)
+                .with_dead_link(9)
+                .bisection_links(16),
+            0
+        );
+        assert_eq!(Topology::torus(4).with_dead_link(0).bisection_links(16), 7);
+        // Ring of 16: healthy prefixes 2/4/8/16. A dead link inside
+        // the 4-prefix (link 2 joins chips 2–3) drops the 4- and
+        // 8-wide prefixes; the full pool is always kept.
+        assert_eq!(
+            Topology::ring().with_dead_link(2).fanout_widths(16),
+            vec![2, 16]
+        );
+        // Torus of 4-pods: inter-pod link 0 (pods 0–1) kills every
+        // multi-pod prefix short of the full pool.
+        assert_eq!(
+            Topology::torus(4).with_dead_link(0).fanout_widths(16),
+            vec![4, 16]
+        );
+    }
+
+    #[test]
+    fn faulted_gathers_pay_detours_and_degradation() {
+        let cfg = cfg();
+        let healthy = Topology::ring();
+        let dead = Topology::ring().with_dead_link(0);
+        assert!(dead.gather_cost_s(&cfg, 4096, 4) > healthy.gather_cost_s(&cfg, 4096, 4));
+        let degraded = Topology::ring().with_degraded_link(1, 4.0);
+        assert!(degraded.gather_cost_s(&cfg, 4096, 4) > healthy.gather_cost_s(&cfg, 4096, 4));
+        // Faults outside the participant prefix change nothing,
+        // bit-for-bit.
+        let far = Topology::ring()
+            .with_dead_link(10)
+            .with_degraded_link(11, 8.0);
+        assert_eq!(
+            far.gather_cost_s(&cfg, 4096, 4).to_bits(),
+            healthy.gather_cost_s(&cfg, 4096, 4).to_bits(),
+        );
+        // `unfaulted` strips the mask entirely.
+        assert_eq!(
+            dead.unfaulted().gather_cost_s(&cfg, 4096, 4).to_bits(),
+            healthy.gather_cost_s(&cfg, 4096, 4).to_bits(),
+        );
+        // Torus intra-pod stage never pays for inter-pod faults: the
+        // single-pod gather is untouched by any mask.
+        let torus = Topology::torus(4)
+            .with_dead_link(0)
+            .with_degraded_link(1, 4.0);
+        assert_eq!(
+            torus.gather_cost_s(&cfg, 4096, 4).to_bits(),
+            Topology::torus(4).gather_cost_s(&cfg, 4096, 4).to_bits(),
+        );
+        assert!(
+            torus.gather_cost_s(&cfg, 4096, 16) > Topology::torus(4).gather_cost_s(&cfg, 4096, 16)
+        );
+    }
+
+    #[test]
+    fn default_topology_is_flat_with_no_faults() {
+        assert_eq!(Topology::default(), Topology::flat());
+        assert!(!Topology::flat().has_link_faults());
+        assert_eq!(Topology::ring().with_dead_link(5).dead_link_count(), 1);
+        assert!(Topology::ring()
+            .with_degraded_link(2, 2.0)
+            .has_link_faults());
     }
 
     #[test]

@@ -425,3 +425,71 @@ fn mixed_lane_costs_are_flops_consistent() {
     };
     assert_ne!(chip_of(0), chip_of(1), "transform lanes must spread");
 }
+
+/// ISSUE 10: a shard that faults transiently after charging its chip
+/// clock must leave the merged timeline consistent when the flight
+/// succeeds via retry. The flight folds Σ per-round makespans plus
+/// the retry backoff into the timeline: the faulted round *ran* — its
+/// charge counts even though its results are discarded — and the
+/// retry round's charge lands on the chip that re-ran the lanes. For
+/// this flight (all lanes on one chip per round) that sum is exactly
+/// `chip0 + chip1 + backoff`, and the numerics stay bit-identical to
+/// the clean pool.
+#[test]
+fn retried_flight_timeline_matches_surviving_chip_plus_backoff() {
+    use tpu_xai::tpu::FaultPlan;
+
+    let faulted = TpuAccel::over_pool(
+        DevicePool::with_cores(TpuConfig::tpu_v2(), 2, 2),
+        Duration::ZERO,
+        256,
+    );
+    // Draw 0 is device 0's first shard attempt: it runs fully, gets
+    // charged, then its results are discarded and the lanes retry.
+    let plan = FaultPlan::seeded(11).transient_draw(0);
+    let backoff_s = plan.backoff_s();
+    faulted.pool().unwrap().install_fault_plan(plan);
+
+    let clean = TpuAccel::over_pool(
+        DevicePool::with_cores(TpuConfig::tpu_v2(), 2, 2),
+        Duration::ZERO,
+        256,
+    );
+
+    // Four identical lanes: both shards (and the retry shard) charge
+    // bit-identical times, so each round's makespan equals the
+    // surviving chip's charge for that round.
+    let xs: Vec<Matrix<Complex64>> = (0..4).map(|_| complex_input(16, 9)).collect();
+    let reference = clean.fft2d_batch(&xs).unwrap();
+    let out = faulted.fft2d_batch(&xs).unwrap();
+    for (a, b) in out.iter().zip(&reference) {
+        assert_eq!(
+            a.as_slice(),
+            b.as_slice(),
+            "retried flights serve bit-identical results"
+        );
+    }
+
+    let pool = faulted.pool().unwrap();
+    let stats = pool.fault_stats();
+    assert_eq!(stats.transient_faults, 1, "exactly the forced draw faulted");
+    assert_eq!(stats.retries, 1);
+    let chip0 = pool.devices()[0].wall_seconds();
+    let chip1 = pool.devices()[1].wall_seconds();
+    assert!(
+        chip0 > 0.0,
+        "the faulted shard ran fully and charged its chip before being discarded"
+    );
+    assert!(chip1 > 0.0, "the retry ran on the surviving chip");
+    let elapsed = faulted.elapsed_seconds();
+    let expected = chip0 + chip1 + backoff_s;
+    assert!(
+        (elapsed - expected).abs() <= 1e-9 * expected,
+        "merged timeline {elapsed} must equal the faulted round's charge plus \
+         the retry round's charge plus one backoff {expected}"
+    );
+    assert!(
+        elapsed > clean.elapsed_seconds(),
+        "the fault costs timeline, never correctness"
+    );
+}

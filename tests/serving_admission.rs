@@ -57,6 +57,7 @@ proptest! {
                 capacity,
                 policy,
                 workers: 2,
+                retry_budget: 0,
             },
         ));
 

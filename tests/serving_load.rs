@@ -263,6 +263,7 @@ fn strict_div_by_zero_errors_one_handle_flight_mates_complete() {
             capacity: 16,
             policy: ShedPolicy::RejectNewest,
             workers: 4,
+            retry_budget: 0,
         },
     );
     let handles: Vec<_> = (0..4)
